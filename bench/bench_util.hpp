@@ -1,0 +1,94 @@
+// Shared helpers for the reproduction benches: canonical scenes, statistics
+// and the table format every bench prints (experiment row + paper target).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <core/movr.hpp>
+#include <geom/angle.hpp>
+
+namespace movr::bench {
+
+/// The paper's testbed: a 5x5 m office, AP next to the PC in one corner.
+inline core::Scene paper_scene(geom::Vec2 headset_pos,
+                               bool with_furniture = true) {
+  auto room = with_furniture ? channel::Room::paper_office()
+                             : channel::Room{5.0, 5.0};
+  const geom::Vec2 ap_pos{0.4, 0.4};
+  core::ApRadio ap{ap_pos, geom::deg_to_rad(45.0)};
+  core::HeadsetRadio headset{headset_pos, 0.0};
+  return core::Scene{std::move(room), std::move(ap), std::move(headset)};
+}
+
+/// Aligns AP and headset for the direct link.
+inline void steer_direct(core::Scene& scene) {
+  scene.ap().node().steer_toward(scene.headset().node().position());
+  scene.headset().node().face_toward(scene.ap().node().position());
+}
+
+/// Calibrates a reflector with ground-truth angles + the gain controller
+/// (fast path used by benches whose subject is NOT the search protocol;
+/// fig8 exercises the real protocol).
+inline void calibrate_reflector(core::Scene& scene,
+                                core::MovrReflector& reflector,
+                                std::mt19937_64& rng) {
+  reflector.front_end().steer_rx(scene.true_reflector_angle_to_ap(reflector));
+  reflector.front_end().steer_tx(
+      scene.true_reflector_angle_to_headset(reflector));
+  scene.ap().node().steer_toward(reflector.position());
+  core::GainController::run(reflector.front_end(),
+                            scene.reflector_input(reflector), rng);
+}
+
+struct Stats {
+  double mean{0.0};
+  double min{0.0};
+  double max{0.0};
+  double median{0.0};
+};
+
+inline Stats stats_of(std::vector<double> v) {
+  Stats s;
+  if (v.empty()) {
+    return s;
+  }
+  s.mean = std::accumulate(v.begin(), v.end(), 0.0) /
+           static_cast<double>(v.size());
+  std::sort(v.begin(), v.end());
+  s.min = v.front();
+  s.max = v.back();
+  s.median = v[v.size() / 2];
+  return s;
+}
+
+inline double percentile(std::vector<double> v, double p) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_cdf(const char* name, std::vector<double> values) {
+  std::printf("  CDF  %-10s:", name);
+  for (double q = 0.0; q <= 1.0001; q += 0.1) {
+    std::printf(" %6.1f", percentile(values, std::min(q, 1.0)));
+  }
+  std::printf("   (q=0.0..1.0)\n");
+}
+
+}  // namespace movr::bench

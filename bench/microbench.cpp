@@ -1,0 +1,163 @@
+// google-benchmark microbenchmarks of the simulator's hot paths: these set
+// how long the experiment benches take and bound what a real-time control
+// loop built on this library could evaluate per frame.
+#include <benchmark/benchmark.h>
+
+#include <channel/ray_tracer.hpp>
+#include <core/movr.hpp>
+#include <geom/angle.hpp>
+#include <phy/beam_sweep.hpp>
+#include <phy/link.hpp>
+#include <rf/codebook.hpp>
+#include <sim/rng.hpp>
+
+namespace {
+
+using namespace movr;
+using geom::deg_to_rad;
+
+core::Scene make_scene() {
+  return core::Scene{channel::Room::paper_office(),
+                     core::ApRadio{{0.4, 0.4}, deg_to_rad(45.0)},
+                     core::HeadsetRadio{{3.0, 2.0}, 0.0}};
+}
+
+void BM_ArrayGain(benchmark::State& state) {
+  rf::PhasedArray array;
+  array.steer(deg_to_rad(75.0));
+  double angle = 0.4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.gain(angle).value());
+    angle += 1e-4;
+  }
+}
+BENCHMARK(BM_ArrayGain);
+
+void BM_ArraySteer(benchmark::State& state) {
+  rf::PhasedArray array;
+  double angle = deg_to_rad(40.0);
+  for (auto _ : state) {
+    array.steer(angle);
+    angle += 1e-4;
+  }
+}
+BENCHMARK(BM_ArraySteer);
+
+void BM_RayTrace(benchmark::State& state) {
+  const auto room = channel::Room::paper_office();
+  const channel::RayTracer tracer{room};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracer.trace({0.4, 0.4}, {3.3, 2.7}));
+  }
+}
+BENCHMARK(BM_RayTrace);
+
+void BM_LinkSnr(benchmark::State& state) {
+  auto scene = make_scene();
+  scene.ap().node().steer_toward(scene.headset().node().position());
+  scene.headset().node().face_toward(scene.ap().node().position());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scene.direct_snr().value());
+  }
+}
+BENCHMARK(BM_LinkSnr);
+
+void BM_ViaReflectorSnr(benchmark::State& state) {
+  auto scene = make_scene();
+  auto& reflector = scene.add_reflector({4.6, 4.6}, deg_to_rad(225.0));
+  reflector.front_end().steer_rx(scene.true_reflector_angle_to_ap(reflector));
+  reflector.front_end().steer_tx(
+      scene.true_reflector_angle_to_headset(reflector));
+  reflector.front_end().set_gain_code(200);
+  scene.ap().node().steer_toward(reflector.position());
+  scene.headset().node().face_toward(reflector.position());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scene.via_snr(reflector).snr.value());
+  }
+}
+BENCHMARK(BM_ViaReflectorSnr);
+
+void BM_LeakageEval(benchmark::State& state) {
+  const hw::LeakageModel model;
+  double tx = 0.7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.coupling(tx, 1.1).value());
+    tx += 1e-4;
+  }
+}
+BENCHMARK(BM_LeakageEval);
+
+void BM_GainControlRamp(benchmark::State& state) {
+  auto scene = make_scene();
+  auto& reflector = scene.add_reflector({4.6, 4.6}, deg_to_rad(225.0));
+  reflector.front_end().steer_rx(scene.true_reflector_angle_to_ap(reflector));
+  reflector.front_end().steer_tx(
+      scene.true_reflector_angle_to_headset(reflector));
+  scene.ap().node().steer_toward(reflector.position());
+  const rf::DbmPower input = scene.reflector_input(reflector);
+  std::mt19937_64 rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::GainController::run(reflector.front_end(), input, rng));
+  }
+}
+BENCHMARK(BM_GainControlRamp);
+
+void BM_BeamSweep21x21(benchmark::State& state) {
+  auto scene = make_scene();
+  const auto codebook = rf::paper_sector_codebook(5.0);
+  auto paths = scene.paths_between(scene.ap().node().position(),
+                                   scene.headset().node().position());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::sweep_best_beams(
+        scene.ap().node(), scene.headset().node(), paths,
+        scene.config().link, codebook, codebook));
+  }
+}
+BENCHMARK(BM_BeamSweep21x21);
+
+void BM_WidebandPower(benchmark::State& state) {
+  std::vector<phy::PathComponent> components;
+  for (int i = 0; i < 12; ++i) {
+    components.push_back({std::polar(1e-3, 0.3 * i), 3.0 + 0.7 * i});
+  }
+  const phy::LinkConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        phy::wideband_power(components, config, rf::Decibels{11.0}));
+  }
+}
+BENCHMARK(BM_WidebandPower);
+
+void BM_BackscatterMeasurement(benchmark::State& state) {
+  auto scene = make_scene();
+  auto& reflector = scene.add_reflector({4.6, 4.6}, deg_to_rad(225.0));
+  reflector.front_end().set_gain_code(170);
+  reflector.front_end().set_modulating(true);
+  const double both = scene.true_reflector_angle_to_ap(reflector);
+  reflector.front_end().steer_rx(both);
+  reflector.front_end().steer_tx(both);
+  scene.ap().node().steer_toward(reflector.position());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scene.backscatter_at_ap(reflector).value());
+  }
+}
+BENCHMARK(BM_BackscatterMeasurement);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.after(sim::Duration{(i * 37) % 1000},
+                      [&counter] { ++counter; });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

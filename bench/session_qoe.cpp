@@ -1,0 +1,139 @@
+// End-to-end VR session quality: MoVR against every baseline, replaying the
+// SAME world (motion + blockage script) under each link strategy.
+//
+// This is the experience-level consequence of Figs. 3 and 9: blocked frames
+// are glitches the player sees; a strategy either bridges blockages or it
+// does not. Also covers the paper's Section 1 WiFi argument.
+#include <cstdio>
+
+#include <baseline/dual_antenna.hpp>
+#include <baseline/strategies.hpp>
+#include <baseline/wifi.hpp>
+#include <sim/rng.hpp>
+#include <vr/session.hpp>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace movr;
+using geom::deg_to_rad;
+
+vr::BlockageScript busy_living_room(sim::TimePoint end) {
+  // Hands up every 3 s, a head turn at 8 s, a person crossing at 14 s.
+  std::vector<vr::BlockageEvent> events =
+      vr::periodic_hand_raises(sim::from_seconds(2.0), sim::from_seconds(0.8),
+                               sim::from_seconds(3.0), end)
+          .events();
+  vr::BlockageEvent head;
+  head.kind = vr::BlockageEvent::Kind::kHead;
+  head.start = sim::from_seconds(8.5);
+  head.duration = sim::from_seconds(1.5);
+  events.push_back(head);
+  vr::BlockageEvent person;
+  person.kind = vr::BlockageEvent::Kind::kPersonCrossing;
+  person.start = sim::from_seconds(14.0);
+  person.duration = sim::from_seconds(4.0);
+  person.path_from = {0.5, 2.8};
+  person.path_to = {4.5, 1.2};
+  events.push_back(person);
+  return vr::BlockageScript{std::move(events)};
+}
+
+struct Row {
+  const char* name;
+  vr::QoeReport report;
+  double extra{0.0};
+};
+
+}  // namespace
+
+int main() {
+  sim::RngRegistry rngs{3};
+  const auto duration = sim::from_seconds(20.0);
+  const auto script = busy_living_room(duration);
+
+  vr::Session::Config config;
+  config.duration = duration;
+
+  std::vector<Row> rows;
+
+  // MoVR.
+  {
+    auto scene = bench::paper_scene({3.0, 2.2}, false);
+    auto& reflector = scene.add_reflector({3.6, 4.8}, deg_to_rad(265.0));
+    auto rng = rngs.stream("cal");
+    bench::calibrate_reflector(scene, reflector, rng);
+    sim::Simulator simulator;
+    vr::MovrStrategy strategy{simulator, scene, rngs.stream("mgr")};
+    vr::PlayerMotion motion{scene.room(), {3.0, 2.2}, 11};
+    vr::Session session{simulator, scene, strategy, &motion, &script, config};
+    rows.push_back({"MoVR (1 reflector)", session.run()});
+  }
+  // Direct tracking, no reflector.
+  {
+    auto scene = bench::paper_scene({3.0, 2.2}, false);
+    sim::Simulator simulator;
+    baseline::DirectTrackingStrategy strategy{scene};
+    vr::PlayerMotion motion{scene.room(), {3.0, 2.2}, 11};
+    vr::Session session{simulator, scene, strategy, &motion, &script, config};
+    rows.push_back({"direct (pose-tracked)", session.run()});
+  }
+  // NLOS beam-switching (current mmWave practice).
+  {
+    auto scene = bench::paper_scene({3.0, 2.2}, false);
+    sim::Simulator simulator;
+    baseline::NlosSweepStrategy strategy{simulator, scene};
+    vr::PlayerMotion motion{scene.room(), {3.0, 2.2}, 11};
+    vr::Session session{simulator, scene, strategy, &motion, &script, config};
+    rows.push_back({"NLOS beam switching", session.run(),
+                    static_cast<double>(strategy.sweeps_performed())});
+  }
+  // Standard 802.11ad tracking: periodic SLS + refinement, no pose oracle.
+  {
+    auto scene = bench::paper_scene({3.0, 2.2}, false);
+    sim::Simulator simulator;
+    baseline::SlsTrackingStrategy strategy{simulator, scene};
+    vr::PlayerMotion motion{scene.room(), {3.0, 2.2}, 11};
+    vr::Session session{simulator, scene, strategy, &motion, &script, config};
+    rows.push_back({"802.11ad SLS tracking", session.run(),
+                    static_cast<double>(strategy.sweeps_performed())});
+  }
+  // Dual antenna (Section 3's "second antenna on the back" proposal).
+  {
+    auto scene = bench::paper_scene({3.0, 2.2}, false);
+    sim::Simulator simulator;
+    baseline::DualAntennaStrategy strategy{scene};
+    vr::PlayerMotion motion{scene.room(), {3.0, 2.2}, 11};
+    vr::Session session{simulator, scene, strategy, &motion, &script, config};
+    rows.push_back({"dual antenna (front+back)", session.run()});
+  }
+  // Fixed beam (WHDI-class).
+  {
+    auto scene = bench::paper_scene({3.0, 2.2}, false);
+    sim::Simulator simulator;
+    baseline::FixedBeamStrategy strategy{scene};
+    vr::PlayerMotion motion{scene.room(), {3.0, 2.2}, 11};
+    vr::Session session{simulator, scene, strategy, &motion, &script, config};
+    rows.push_back({"fixed beam (WHDI)", session.run()});
+  }
+
+  bench::print_header(
+      "Session QoE — 20 s play with hands, head turns, and a passer-by");
+  std::printf("%-24s %8s %16s %10s %12s %12s\n", "strategy", "frames",
+              "glitched", "stalls", "longest", "mean SNR");
+  for (const Row& row : rows) {
+    std::printf("%-24s %8lu %8lu (%5.1f%%) %10lu %9.0f ms %9.1f dB\n",
+                row.name, static_cast<unsigned long>(row.report.frames),
+                static_cast<unsigned long>(row.report.glitched_frames),
+                100.0 * row.report.glitch_fraction(),
+                static_cast<unsigned long>(row.report.stall_events),
+                sim::to_milliseconds(row.report.longest_stall),
+                row.report.mean_snr_db);
+  }
+
+  std::printf("\nWiFi check (Section 1): best 802.11ac rate at infinite SNR "
+              "= %.0f Mbps < required %.0f Mbps\n",
+              baseline::wifi_max_rate_mbps(), vr::kHtcVive.required_mbps());
+  return 0;
+}

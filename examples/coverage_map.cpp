@@ -1,0 +1,51 @@
+// ASCII coverage map of a deployed room: where does the direct beam reach,
+// where does only a reflector save you, and where are you out of luck?
+//
+//   $ ./example_coverage_map
+//
+//   '#' direct LOS covers the cell      '+' only a reflector covers it
+//   '.' below the VR threshold either way
+#include <cstdio>
+
+#include <core/coverage.hpp>
+#include <core/gain_control.hpp>
+#include <core/movr.hpp>
+#include <geom/angle.hpp>
+#include <phy/mcs.hpp>
+#include <vr/requirements.hpp>
+
+int main() {
+  using namespace movr;
+  using geom::deg_to_rad;
+
+  core::Scene scene{channel::Room::paper_office(),
+                    core::ApRadio{{0.4, 0.4}, deg_to_rad(45.0)},
+                    core::HeadsetRadio{{2.5, 2.5}, 0.0}};
+  auto& far_corner = scene.add_reflector({4.6, 4.6}, deg_to_rad(225.0));
+  auto& side_wall = scene.add_reflector({0.4, 4.6}, deg_to_rad(315.0));
+
+  std::mt19937_64 rng{4};
+  for (auto* reflector : {&far_corner, &side_wall}) {
+    reflector->front_end().steer_rx(
+        scene.true_reflector_angle_to_ap(*reflector));
+    scene.ap().node().steer_toward(reflector->position());
+    core::GainController::run(reflector->front_end(),
+                              scene.reflector_input(*reflector), rng);
+  }
+
+  const rf::Decibels threshold =
+      phy::mcs_for_rate(vr::kHtcVive.required_mbps())->min_snr;
+  std::printf("5 x 5 m office, AP at (0.4, 0.4), reflectors at (4.6, 4.6) "
+              "and (0.4, 4.6)\nthreshold: %.1f dB (the Vive's %.0f Mbps "
+              "stream)\n\n",
+              threshold.value(), vr::kHtcVive.required_mbps());
+
+  const auto map = core::compute_coverage(scene, 0.25);
+  std::printf("%s\n", core::render_coverage(map, threshold).c_str());
+  std::printf("legend: '#' direct beam, '+' reflector-only, '.' uncovered\n");
+  std::printf("covered: %.0f%% of the room; blockage-resilient (reflector "
+              "path alone): %.0f%%\n",
+              100.0 * map.covered_fraction(threshold),
+              100.0 * map.reflector_covered_fraction(threshold));
+  return 0;
+}

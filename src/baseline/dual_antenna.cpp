@@ -1,0 +1,41 @@
+#include <baseline/dual_antenna.hpp>
+
+#include <geom/angle.hpp>
+
+namespace movr::baseline {
+
+rf::Decibels DualAntennaStrategy::on_frame() {
+  auto& headset = scene_.headset().node();
+  auto& ap = scene_.ap().node();
+
+  // The headset's tracked position is the front aperture; the back aperture
+  // sits across the head, toward the AP side when the player faces away
+  // (which is when a second antenna could matter at all).
+  const geom::Vec2 front_pos = headset.position();
+  const geom::Vec2 toward_ap = (ap.position() - front_pos).normalized();
+  const geom::Vec2 back_pos =
+      front_pos + toward_ap * config_.antenna_separation_m;
+
+  const auto snr_at = [&](geom::Vec2 aperture) {
+    headset.set_position(aperture);
+    headset.face_toward(ap.position());
+    ap.steer_toward(aperture);
+    return scene_.direct_snr();
+  };
+
+  const rf::Decibels front = snr_at(front_pos);
+  const rf::Decibels back = snr_at(back_pos);
+
+  rf::Decibels best;
+  if (front + config_.switch_margin >= back) {
+    ++front_selected_;
+    best = snr_at(front_pos);  // leave steering on the winner
+  } else {
+    ++back_selected_;
+    best = back;
+  }
+  headset.set_position(front_pos);  // tracked pose is always the visor
+  return best;
+}
+
+}  // namespace movr::baseline

@@ -1,0 +1,53 @@
+// The "second antenna on the back of the headset" alternative.
+//
+// Section 3: "Note that one cannot solve the blockage problem by putting
+// another antenna on the back of the headset, since both antennas may get
+// blocked by the player's hands or body, or by the furniture and people in
+// the environment." This strategy implements that proposal faithfully: two
+// receive apertures ~24 cm apart (front visor and back of the head-strap),
+// each with full-azimuth face selection, the better one used every frame —
+// so the paper's dismissal can be measured rather than asserted.
+//
+// Expected outcome (and what the QoE bench shows): the back antenna rescues
+// *self*-blockage (the player's own head) because it sits on the far side
+// of the head, but a raised hand, furniture, or another person shadows both
+// apertures — their separation is centimetres against blockers that are
+// metres deep in the room.
+#pragma once
+
+#include <core/scene.hpp>
+#include <vr/session.hpp>
+
+namespace movr::baseline {
+
+class DualAntennaStrategy final : public vr::LinkStrategy {
+ public:
+  struct Config {
+    /// Front-to-back aperture separation across the player's head, metres.
+    double antenna_separation_m{0.24};
+    /// The back aperture must beat the front by this much before the
+    /// receiver switches (avoids pointless flapping on a clear channel,
+    /// where the AP-side aperture is trivially ~0.5 dB closer).
+    rf::Decibels switch_margin{1.0};
+  };
+
+  explicit DualAntennaStrategy(core::Scene& scene)
+      : DualAntennaStrategy{scene, Config{}} {}
+  DualAntennaStrategy(core::Scene& scene, Config config)
+      : scene_{scene}, config_{config} {}
+
+  rf::Decibels on_frame() override;
+  std::string_view name() const override { return "dual-antenna"; }
+
+  /// How often each aperture won (diagnostics).
+  int front_selected() const { return front_selected_; }
+  int back_selected() const { return back_selected_; }
+
+ private:
+  core::Scene& scene_;
+  Config config_;
+  int front_selected_{0};
+  int back_selected_{0};
+};
+
+}  // namespace movr::baseline

@@ -1,0 +1,32 @@
+// The naive alternative the paper dismisses in Section 1: "deploy multiple
+// mmWave transmitters in the room to guarantee there is always a line of
+// sight" — it works, but every AP needs an HDMI run back to the PC and a
+// full transceiver. This module quantifies both sides: coverage as a
+// function of AP count, and the cabling/hardware cost that comes with it.
+#pragma once
+
+#include <vector>
+
+#include <core/scene.hpp>
+#include <geom/vec2.hpp>
+#include <rf/units.hpp>
+
+namespace movr::baseline {
+
+struct MultiApDeployment {
+  std::vector<geom::Vec2> ap_positions;
+
+  /// Best direct-link SNR from any AP to a headset at `headset_position`,
+  /// with ideal steering on both ends, in the scene's room/link config.
+  /// (The scene's own AP is ignored; its headset and room are used.)
+  rf::Decibels best_snr(core::Scene& scene, geom::Vec2 headset_position) const;
+
+  /// Total HDMI cable length if every AP is wired to the PC at `pc`,
+  /// along straight runs (lower bound on the real cabling mess).
+  double cabling_metres(geom::Vec2 pc) const;
+};
+
+/// Canonical placements: APs spread along the walls of a w x d room.
+MultiApDeployment corner_deployment(double width_m, double depth_m, int count);
+
+}  // namespace movr::baseline

@@ -1,0 +1,127 @@
+// Baseline link strategies the paper argues against.
+//
+//  * FixedBeamStrategy — WHDI-class wireless-HDMI products: beams aligned
+//    once at set-up, never adapted. "They cannot adapt their direction and
+//    will be disconnected if the player moves" (Section 2b).
+//  * DirectTrackingStrategy — ideal pose-tracked beams but no reflector:
+//    shows that perfect steering does not survive blockage.
+//  * NlosSweepStrategy — what current mmWave systems do (Section 2b): on
+//    SNR degradation, run an exhaustive TX x RX beam sweep and switch to
+//    the best (reflected) path. The sweep itself costs real airtime, and
+//    the wall reflection it lands on is ~16 dB down — fine for elastic
+//    traffic, fatal for VR.
+#pragma once
+
+#include <random>
+
+#include <core/scene.hpp>
+#include <rf/codebook.hpp>
+#include <sim/simulator.hpp>
+#include <vr/session.hpp>
+
+namespace movr::baseline {
+
+class FixedBeamStrategy final : public vr::LinkStrategy {
+ public:
+  /// Aligns both beams for the *current* geometry, then freezes them.
+  explicit FixedBeamStrategy(core::Scene& scene);
+
+  rf::Decibels on_frame() override;
+  std::string_view name() const override { return "fixed-beam"; }
+
+ private:
+  core::Scene& scene_;
+  double ap_steer_;
+  double headset_orientation_;
+  double headset_steer_;
+};
+
+class DirectTrackingStrategy final : public vr::LinkStrategy {
+ public:
+  explicit DirectTrackingStrategy(core::Scene& scene) : scene_{scene} {}
+
+  rf::Decibels on_frame() override;
+  std::string_view name() const override { return "direct-tracking"; }
+
+ private:
+  core::Scene& scene_;
+};
+
+/// What an off-the-shelf 802.11ad pair does: periodic sector-level sweeps
+/// (SLS) at beamwidth granularity keep the beams trained without any pose
+/// oracle. Tracking is nearly free (~1 ms of airtime per sweep), and under
+/// clear LOS it matches pose tracking — but when the LOS blocks, the best
+/// trained sector is a wall reflection, and Fig. 3 says that is not enough.
+class SlsTrackingStrategy final : public vr::LinkStrategy {
+ public:
+  struct Config {
+    /// Beam-training cadence (ad networks re-train within beacon intervals).
+    sim::Duration interval{std::chrono::milliseconds{100}};
+    /// Sector step, degrees (~ one beamwidth).
+    double sector_step_deg{10.0};
+    /// Refinement step for the BRP-like fine pass, degrees.
+    double refine_step_deg{2.0};
+  };
+
+  SlsTrackingStrategy(sim::Simulator& simulator, core::Scene& scene)
+      : SlsTrackingStrategy{simulator, scene, Config{}} {}
+  SlsTrackingStrategy(sim::Simulator& simulator, core::Scene& scene,
+                      Config config)
+      : simulator_{simulator}, scene_{scene}, config_{config} {}
+
+  rf::Decibels on_frame() override;
+  std::string_view name() const override { return "sls-tracking"; }
+
+  int sweeps_performed() const { return sweeps_; }
+  /// Airtime of one SLS at the configured sector count (for reporting).
+  sim::Duration training_airtime() const;
+
+ private:
+  sim::Simulator& simulator_;
+  core::Scene& scene_;
+  Config config_;
+  bool trained_{false};
+  sim::TimePoint last_training_{};
+  int sweeps_{0};
+};
+
+class NlosSweepStrategy final : public vr::LinkStrategy {
+ public:
+  struct Config {
+    /// Sweep resolution (the paper sweeps 1 degree).
+    double step_deg{1.0};
+    /// Per-combination dwell: steer + one measurement.
+    sim::Duration combo_dwell{std::chrono::microseconds{11}};
+    /// Refractory period between sweeps.
+    sim::Duration cooldown{std::chrono::milliseconds{500}};
+    /// A new sweep triggers when the smoothed SNR moves this far from the
+    /// level measured right after the previous sweep.
+    rf::Decibels resweep_delta{5.0};
+  };
+
+  NlosSweepStrategy(sim::Simulator& simulator, core::Scene& scene)
+      : NlosSweepStrategy{simulator, scene, Config{}} {}
+  NlosSweepStrategy(sim::Simulator& simulator, core::Scene& scene,
+                    Config config);
+
+  rf::Decibels on_frame() override;
+  std::string_view name() const override { return "nlos-sweep"; }
+
+  int sweeps_performed() const { return sweeps_; }
+  sim::Duration sweep_cost() const;
+
+ private:
+  void start_sweep();
+
+  sim::Simulator& simulator_;
+  core::Scene& scene_;
+  Config config_;
+  std::vector<double> codebook_;
+  bool sweeping_{false};
+  bool ever_swept_{false};
+  sim::TimePoint last_sweep_end_{};
+  double post_sweep_snr_{0.0};
+  int sweeps_{0};
+};
+
+}  // namespace movr::baseline

@@ -1,0 +1,46 @@
+#include <baseline/wifi.hpp>
+
+#include <array>
+
+namespace movr::baseline {
+
+namespace {
+
+struct VhtMcs {
+  double rate_mbps_80mhz_1ss;
+  double min_snr_db;
+};
+
+// 802.11ac VHT MCS 0-9 at 80 MHz, one spatial stream (long GI), with
+// textbook SNR thresholds.
+constexpr std::array<VhtMcs, 10> kVht{{
+    {29.3, 2.0},
+    {58.5, 5.0},
+    {87.8, 9.0},
+    {117.0, 11.0},
+    {175.5, 15.0},
+    {234.0, 18.0},
+    {263.3, 20.0},
+    {292.5, 25.0},
+    {351.0, 29.0},
+    {390.0, 31.0},
+}};
+
+}  // namespace
+
+double wifi_rate_mbps(rf::Decibels snr, const WifiConfig& config) {
+  double best = 0.0;
+  for (const VhtMcs& mcs : kVht) {
+    if (snr.value() >= mcs.min_snr_db && mcs.rate_mbps_80mhz_1ss > best) {
+      best = mcs.rate_mbps_80mhz_1ss;
+    }
+  }
+  const double width_scale = config.channel_width_mhz / 80.0;
+  return best * width_scale * config.spatial_streams;
+}
+
+double wifi_max_rate_mbps() {
+  return wifi_rate_mbps(rf::Decibels{60.0}, WifiConfig{160.0, 4});
+}
+
+}  // namespace movr::baseline

@@ -1,0 +1,28 @@
+// WiFi (802.11ac) rate model — the paper's opening argument: "typical
+// wireless systems such as WiFi cannot support the required data rates".
+// Even a wave-2 4-stream 160 MHz link tops out far below the Vive's
+// ~5.6 Gb/s raw stream, at any SNR.
+#pragma once
+
+#include <rf/units.hpp>
+
+namespace movr::baseline {
+
+struct WifiConfig {
+  double channel_width_mhz{80.0};  // typical consumer deployment
+  int spatial_streams{4};
+};
+
+/// Best 802.11ac PHY rate at `snr`, Mbps. VHT MCS 0-9 thresholds scaled to
+/// the channel width; multiplied by the stream count.
+double wifi_rate_mbps(rf::Decibels snr, const WifiConfig& config);
+
+inline double wifi_rate_mbps(rf::Decibels snr) {
+  return wifi_rate_mbps(snr, WifiConfig{});
+}
+
+/// The ceiling of the standard (160 MHz, 4 SS, MCS9): ~3467 Mbps — still
+/// short of VR's requirement.
+double wifi_max_rate_mbps();
+
+}  // namespace movr::baseline

@@ -1,0 +1,23 @@
+#include <channel/coherence.hpp>
+
+#include <rf/propagation.hpp>
+
+namespace movr::channel {
+
+double doppler_shift(double speed_mps, double carrier_hz) {
+  return speed_mps / rf::wavelength(carrier_hz);
+}
+
+double coherence_time(double speed_mps, double carrier_hz) {
+  const double fd = doppler_shift(speed_mps, carrier_hz);
+  if (fd <= 0.0) {
+    return 1e9;  // static: effectively infinite
+  }
+  return 0.423 / fd;
+}
+
+double beam_coherence_distance(double beamwidth_rad, double range_m) {
+  return beamwidth_rad * range_m;
+}
+
+}  // namespace movr::channel

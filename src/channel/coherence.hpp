@@ -1,0 +1,27 @@
+// Channel coherence at mmWave under player motion.
+//
+// The simulator evaluates the channel once per frame (block fading). That
+// is only valid if the channel holds still across a frame interval; these
+// helpers quantify it. At 24-60 GHz, head motion of ~1 m/s gives Doppler
+// spreads of 80-200 Hz — coherence times of a few milliseconds, shorter
+// than the 11.1 ms frame. The saving grace (and why per-frame evaluation is
+// the right granularity here) is that the links are LOS/specular and
+// beam-limited: what changes within a frame is the *phase*, not the path
+// inventory or the beam alignment, and the wideband receiver is insensitive
+// to absolute phase. The tests pin these numbers so the modelling
+// assumption is explicit.
+#pragma once
+
+namespace movr::channel {
+
+/// Maximum Doppler shift (Hz) for a scatterer/terminal moving at `speed_mps`.
+double doppler_shift(double speed_mps, double carrier_hz);
+
+/// Coherence time (seconds), Clarke's rule of thumb 0.423 / f_d.
+double coherence_time(double speed_mps, double carrier_hz);
+
+/// Distance over which the beam alignment decays: the player must move
+/// `beamwidth * range` laterally to leave a beam pointed at them.
+double beam_coherence_distance(double beamwidth_rad, double range_m);
+
+}  // namespace movr::channel

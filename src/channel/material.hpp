@@ -1,0 +1,39 @@
+// Surface and blocker materials at 24-60 GHz.
+//
+// The loss figures are the calibration constants of the whole reproduction:
+// they are chosen so the simulated room reproduces the paper's measured
+// deltas (Section 3 / Fig. 3): hand blockage >= 14 dB, head ~20 dB, best
+// wall reflection ~16 dB below LOS. Sources: the paper's own measurements
+// plus published mmWave penetration studies.
+#pragma once
+
+#include <rf/units.hpp>
+
+namespace movr::channel {
+
+/// A reflecting surface (wall, whiteboard, window...).
+struct SurfaceMaterial {
+  /// Power lost at one specular bounce, dB (positive).
+  rf::Decibels reflection_loss{11.0};
+  const char* name{"drywall"};
+};
+
+inline constexpr SurfaceMaterial kDrywall{rf::Decibels{11.0}, "drywall"};
+inline constexpr SurfaceMaterial kConcrete{rf::Decibels{14.0}, "concrete"};
+inline constexpr SurfaceMaterial kGlass{rf::Decibels{8.0}, "glass"};
+inline constexpr SurfaceMaterial kMetal{rf::Decibels{1.5}, "metal"};
+
+/// A volumetric blocker (body part, furniture) a beam may pass through.
+struct BlockerMaterial {
+  /// Power lost when the beam passes through the blocker, dB (positive).
+  rf::Decibels insertion_loss{15.0};
+  const char* name{"blocker"};
+};
+
+// Calibrated to the paper's measured SNR drops (Fig. 3).
+inline constexpr BlockerMaterial kHand{rf::Decibels{15.0}, "hand"};
+inline constexpr BlockerMaterial kHead{rf::Decibels{22.0}, "head"};
+inline constexpr BlockerMaterial kBody{rf::Decibels{25.0}, "body"};
+inline constexpr BlockerMaterial kFurniture{rf::Decibels{30.0}, "furniture"};
+
+}  // namespace movr::channel

@@ -1,0 +1,51 @@
+#include <channel/obstacle.hpp>
+
+#include <algorithm>
+
+namespace movr::channel {
+
+rf::Decibels Obstacle::attenuation(const geom::Segment& leg,
+                                   double fresnel_margin_m) const {
+  const double chord = geom::chord_length(shape, leg);
+  if (chord > 0.0) {
+    return material.insertion_loss;
+  }
+  const double gap = geom::clearance(shape, leg) - shape.radius;
+  if (gap < fresnel_margin_m) {
+    // Grazing: linear ramp from ~6 dB shadowing at touch to 0 at the margin.
+    const double fraction = 1.0 - std::max(gap, 0.0) / fresnel_margin_m;
+    return rf::Decibels{6.0 * fraction};
+  }
+  return rf::Decibels{0.0};
+}
+
+rf::Decibels total_obstruction(const std::vector<Obstacle>& obstacles,
+                               const geom::Segment& leg) {
+  rf::Decibels total{0.0};
+  for (const Obstacle& obstacle : obstacles) {
+    total += obstacle.attenuation(leg);
+  }
+  return total;
+}
+
+Obstacle make_hand(geom::Vec2 headset_position, geom::Vec2 toward_ap) {
+  const geom::Vec2 dir = toward_ap.normalized();
+  // A hand held ~25 cm in front of the face, ~9 cm effective diameter.
+  return Obstacle{geom::Circle{headset_position + dir * 0.25, 0.045}, kHand,
+                  "hand"};
+}
+
+Obstacle make_head(geom::Vec2 headset_position, geom::Vec2 toward_ap) {
+  const geom::Vec2 dir = toward_ap.normalized();
+  // Player turned away: her head (radius ~9 cm) sits between the headset
+  // receiver and the AP.
+  return Obstacle{geom::Circle{headset_position + dir * 0.12, 0.09}, kHead,
+                  "head"};
+}
+
+Obstacle make_person(geom::Vec2 position) {
+  // Torso seen from above: ~40 cm wide.
+  return Obstacle{geom::Circle{position, 0.20}, kBody, "person"};
+}
+
+}  // namespace movr::channel

@@ -1,0 +1,45 @@
+// Blockers in the room: hands, heads, bodies, furniture — convex
+// obstructions modelled as circles in the plane.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <channel/material.hpp>
+#include <geom/circle.hpp>
+#include <geom/segment.hpp>
+#include <rf/units.hpp>
+
+namespace movr::channel {
+
+struct Obstacle {
+  geom::Circle shape;
+  BlockerMaterial material{kBody};
+  std::string label;
+
+  /// Attenuation this obstacle applies to a propagation leg.
+  ///
+  /// Through-blocker legs pay the full insertion loss. Legs that miss but
+  /// graze within a Fresnel-zone margin pay a partial shadowing loss that
+  /// ramps to zero with clearance — at mmWave a beam that misses a torso by
+  /// a centimetre is still partially shadowed.
+  rf::Decibels attenuation(const geom::Segment& leg,
+                           double fresnel_margin_m = 0.03) const;
+};
+
+/// Sum of attenuations from all obstacles crossing (or grazing) a leg.
+rf::Decibels total_obstruction(const std::vector<Obstacle>& obstacles,
+                               const geom::Segment& leg);
+
+// ---- canonical blockers used by the experiment scenarios ----
+
+/// A hand raised in front of the headset: ~9 cm disc just off the headset.
+Obstacle make_hand(geom::Vec2 headset_position, geom::Vec2 toward_ap);
+
+/// The player's own head between AP and receiver (player turned around).
+Obstacle make_head(geom::Vec2 headset_position, geom::Vec2 toward_ap);
+
+/// Another person standing between AP and headset.
+Obstacle make_person(geom::Vec2 position);
+
+}  // namespace movr::channel

@@ -1,0 +1,38 @@
+// A resolved propagation path between two points in the room.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <geom/vec2.hpp>
+#include <rf/units.hpp>
+
+namespace movr::channel {
+
+struct Path {
+  /// Azimuth (global frame, radians) at which the path leaves the source.
+  double departure_azimuth{0.0};
+  /// Azimuth (global frame, radians) at which the path arrives — pointing
+  /// *back along* the incoming ray, i.e. the direction the receiver should
+  /// steer toward.
+  double arrival_azimuth{0.0};
+  /// Total geometric length, metres.
+  double length_m{0.0};
+  /// Total loss: free-space + reflection losses + obstruction losses (dB,
+  /// positive).
+  rf::Decibels loss{0.0};
+  /// Number of specular bounces (0 = LOS).
+  int bounces{0};
+  /// Obstruction component of `loss` — lets experiments ask "was the LOS
+  /// actually blocked?".
+  rf::Decibels obstruction{0.0};
+  /// Vertices: source, bounce points..., destination.
+  std::vector<geom::Vec2> vertices;
+
+  bool is_los() const { return bounces == 0; }
+  bool is_blocked(double threshold_db = 3.0) const {
+    return obstruction.value() > threshold_db;
+  }
+};
+
+}  // namespace movr::channel

@@ -1,0 +1,49 @@
+// Image-method specular ray tracer.
+//
+// mmWave propagation indoors is quasi-optical: the energy that matters
+// arrives over the LOS ray and a handful of specular wall bounces; diffuse
+// scattering is tens of dB down. The tracer enumerates the LOS path and all
+// first- and second-order wall images, validates each bounce point against
+// the wall extents, and charges free-space loss over the unfolded length,
+// reflection loss per bounce and obstruction loss per leg.
+#pragma once
+
+#include <vector>
+
+#include <channel/path.hpp>
+#include <channel/room.hpp>
+#include <rf/units.hpp>
+
+namespace movr::channel {
+
+class RayTracer {
+ public:
+  struct Config {
+    double carrier_hz{24.0e9};
+    int max_bounces{2};
+    /// Paths weaker than (strongest - dynamic_range) are dropped.
+    rf::Decibels dynamic_range{60.0};
+  };
+
+  explicit RayTracer(const Room& room) : RayTracer{room, Config{}} {}
+  RayTracer(const Room& room, Config config);
+
+  const Config& config() const { return config_; }
+  const Room& room() const { return room_; }
+
+  /// All propagation paths from `source` to `destination`, strongest first.
+  std::vector<Path> trace(geom::Vec2 source, geom::Vec2 destination) const;
+
+  /// Just the LOS path (present even when obstructed — its `obstruction`
+  /// field says by how much).
+  Path line_of_sight(geom::Vec2 source, geom::Vec2 destination) const;
+
+ private:
+  const Room& room_;
+  Config config_;
+
+  void add_reflections(std::vector<Path>& out, geom::Vec2 source,
+                       geom::Vec2 destination) const;
+};
+
+}  // namespace movr::channel

@@ -1,0 +1,166 @@
+#include <core/angle_search.hpp>
+
+#include <utility>
+
+#include <rf/codebook.hpp>
+
+namespace movr::core {
+
+AngleSearchConfig make_search_config(double step_deg) {
+  AngleSearchConfig config;
+  config.reflector_codebook = rf::paper_sector_codebook(step_deg);
+  config.ap_codebook = rf::paper_sector_codebook(step_deg);
+  return config;
+}
+
+// ---------------------------------------------------------------------
+// IncidenceSearch
+// ---------------------------------------------------------------------
+
+IncidenceSearch::IncidenceSearch(sim::Simulator& simulator,
+                                 sim::ControlChannel& control, Scene& scene,
+                                 MovrReflector& reflector,
+                                 AngleSearchConfig config,
+                                 std::mt19937_64 rng)
+    : simulator_{simulator},
+      control_{control},
+      scene_{scene},
+      reflector_{reflector},
+      config_{std::move(config)},
+      rng_{rng} {}
+
+void IncidenceSearch::start(Callback done) {
+  done_ = std::move(done);
+  started_ = simulator_.now();
+  restore_gain_code_ = reflector_.front_end().gain_code();
+
+  // Arm the reflector: conservative gain, modulation on.
+  control_.send(reflector_.control_name(),
+                {"gain_code", static_cast<double>(config_.search_gain_code), 0});
+  control_.send(reflector_.control_name(), {"modulate", 1.0, 0});
+  result_.bt_commands += 2;
+  simulator_.after(config_.command_wait, [this] { step(0); });
+}
+
+void IncidenceSearch::step(std::size_t reflector_index) {
+  if (reflector_index >= config_.reflector_codebook.size()) {
+    finish();
+    return;
+  }
+  const double theta1 = config_.reflector_codebook[reflector_index];
+  control_.send(reflector_.control_name(), {"both_angles", theta1, 0});
+  ++result_.bt_commands;
+
+  // After the command settles, the AP sweeps its own beam electronically
+  // and measures the f1+f2 backscatter at each angle. The sweep is fast
+  // (microseconds per angle); its full cost is charged before moving on.
+  simulator_.after(config_.command_wait, [this, reflector_index, theta1] {
+    for (const double theta2 : config_.ap_codebook) {
+      scene_.ap().node().array().steer(theta2);
+      const rf::DbmPower reading = scene_.ap().measure_backscatter(
+          scene_.backscatter_at_ap(reflector_), rng_);
+      ++result_.measurements;
+      if (reading > result_.best_power) {
+        result_.best_power = reading;
+        // Record what the protocol *commanded*, not the (possibly stale)
+        // state of the reflector: a dropped Bluetooth message degrades the
+        // measurement, exactly as it would in hardware.
+        result_.reflector_angle = theta1;
+        result_.ap_angle = theta2;
+      }
+    }
+    const auto sweep_cost =
+        (config_.steer_settle + config_.tone_dwell) *
+        static_cast<std::int64_t>(config_.ap_codebook.size());
+    simulator_.after(sweep_cost,
+                     [this, reflector_index] { step(reflector_index + 1); });
+  });
+}
+
+void IncidenceSearch::finish() {
+  // Disarm and lock in the winners.
+  control_.send(reflector_.control_name(), {"modulate", 0.0, 0});
+  control_.send(reflector_.control_name(),
+                {"gain_code", static_cast<double>(restore_gain_code_), 0});
+  control_.send(reflector_.control_name(),
+                {"rx_angle", result_.reflector_angle, 0});
+  result_.bt_commands += 3;
+  scene_.ap().node().array().steer(result_.ap_angle);
+
+  simulator_.after(config_.command_wait, [this] {
+    result_.duration = simulator_.now() - started_;
+    result_.completed = true;
+    if (done_) {
+      done_(result_);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------
+// ReflectionSearch
+// ---------------------------------------------------------------------
+
+ReflectionSearch::ReflectionSearch(sim::Simulator& simulator,
+                                   sim::ControlChannel& control, Scene& scene,
+                                   MovrReflector& reflector,
+                                   AngleSearchConfig config,
+                                   std::mt19937_64 rng)
+    : simulator_{simulator},
+      control_{control},
+      scene_{scene},
+      reflector_{reflector},
+      config_{std::move(config)},
+      rng_{rng} {}
+
+void ReflectionSearch::start(Callback done) {
+  done_ = std::move(done);
+  started_ = simulator_.now();
+  // Arm a conservative, always-stable gain so the relayed signal is audible
+  // at the headset for every candidate angle; the gain controller
+  // re-optimises once the beam is locked.
+  restore_gain_code_ = reflector_.front_end().gain_code();
+  control_.send(reflector_.control_name(),
+                {"gain_code", static_cast<double>(config_.search_gain_code), 0});
+  ++result_.bt_commands;
+  simulator_.after(config_.command_wait, [this] { step(0); });
+}
+
+void ReflectionSearch::step(std::size_t index) {
+  if (index >= config_.reflector_codebook.size()) {
+    finish();
+    return;
+  }
+  const double theta = config_.reflector_codebook[index];
+  control_.send(reflector_.control_name(), {"tx_angle", theta, 0});
+  ++result_.bt_commands;
+
+  simulator_.after(config_.command_wait + config_.snr_report_time,
+                   [this, index, theta] {
+                     const auto via = scene_.via_snr(reflector_);
+                     const rf::Decibels estimate =
+                         scene_.headset().observe(via.snr, rng_);
+                     ++result_.measurements;
+                     if (estimate > result_.best_snr) {
+                       result_.best_snr = estimate;
+                       result_.reflector_tx_angle = theta;
+                     }
+                     step(index + 1);
+                   });
+}
+
+void ReflectionSearch::finish() {
+  control_.send(reflector_.control_name(),
+                {"tx_angle", result_.reflector_tx_angle, 0});
+  control_.send(reflector_.control_name(),
+                {"gain_code", static_cast<double>(restore_gain_code_), 0});
+  result_.bt_commands += 2;
+  simulator_.after(config_.command_wait, [this] {
+    result_.duration = simulator_.now() - started_;
+    result_.completed = true;
+    if (done_) {
+      done_(result_);
+    }
+  });
+}
+
+}  // namespace movr::core

@@ -1,0 +1,133 @@
+// Backscatter beam-alignment protocol (paper Section 4.1).
+//
+// The reflector can neither transmit nor receive, so the AP measures for
+// it. Incidence phase: the reflector sets BOTH beams to a candidate angle
+// theta1 and on-off-modulates its amplifier at f2; the AP transmits a tone
+// at f1, sweeps its own beam theta2, and measures the power coming back at
+// f1 + f2 (separable from its self-leakage, which stays at f1). The
+// (theta1, theta2) argmax aligns AP and reflector. Reflection phase: with
+// the incidence side locked, the reflector sweeps its TX beam while the
+// headset reports SNR estimates; the argmax points the reflector at the
+// headset.
+//
+// Both phases run event-driven over the simulator: every reflector
+// reconfiguration is a Bluetooth exchange (milliseconds), every AP-side
+// re-steer is electronic (sub-microsecond), so the protocol's running time
+// — the quantity Section 6 worries about — falls out of the simulation.
+#pragma once
+
+#include <functional>
+#include <random>
+#include <vector>
+
+#include <core/scene.hpp>
+#include <rf/units.hpp>
+#include <sim/control_channel.hpp>
+#include <sim/simulator.hpp>
+
+namespace movr::core {
+
+struct AngleSearchConfig {
+  /// Candidate reflector angles (array-local radians). Default: the paper's
+  /// 40..140 degree sector at 1 degree steps.
+  std::vector<double> reflector_codebook;
+  /// Candidate AP angles for the incidence phase.
+  std::vector<double> ap_codebook;
+  /// Conservative gain code used while searching: ~40 dB on the default
+  /// front end, ~10 dB below the worst-case isolation of the leakage model,
+  /// so the loop is stable at every beam combination while the backscatter
+  /// sideband stays well above the AP's residual self-leakage. The gain
+  /// controller re-optimises the gain after alignment.
+  std::uint32_t search_gain_code{170};
+  /// Wait after each Bluetooth command before trusting the new state
+  /// (covers latency + jitter + link-layer retries).
+  sim::Duration command_wait{std::chrono::milliseconds{10}};
+  /// AP-side electronic re-steer settle time.
+  sim::Duration steer_settle{std::chrono::microseconds{1}};
+  /// Tone dwell per backscatter power measurement.
+  sim::Duration tone_dwell{std::chrono::microseconds{10}};
+  /// Dwell + report latency per headset SNR estimate (reflection phase).
+  sim::Duration snr_report_time{std::chrono::milliseconds{1}};
+};
+
+struct IncidenceResult {
+  double reflector_angle{0.0};  // theta1*, array-local radians
+  double ap_angle{0.0};         // theta2*, array-local radians
+  rf::DbmPower best_power{};
+  sim::Duration duration{0};
+  int bt_commands{0};
+  int measurements{0};
+  bool completed{false};
+};
+
+struct ReflectionResult {
+  double reflector_tx_angle{0.0};  // array-local radians
+  rf::Decibels best_snr{-300.0};
+  sim::Duration duration{0};
+  int bt_commands{0};
+  int measurements{0};
+  bool completed{false};
+};
+
+/// Phase 1: finds the AP<->reflector alignment. Leaves the reflector's RX
+/// beam and the AP's beam at the winning angles, modulation off, and the
+/// gain restored to its pre-search code.
+class IncidenceSearch {
+ public:
+  using Callback = std::function<void(const IncidenceResult&)>;
+
+  IncidenceSearch(sim::Simulator& simulator, sim::ControlChannel& control,
+                  Scene& scene, MovrReflector& reflector,
+                  AngleSearchConfig config, std::mt19937_64 rng);
+
+  /// Begins the search; `done` fires (via the simulator) on completion.
+  void start(Callback done);
+
+ private:
+  void step(std::size_t reflector_index);
+  void finish();
+
+  sim::Simulator& simulator_;
+  sim::ControlChannel& control_;
+  Scene& scene_;
+  MovrReflector& reflector_;
+  AngleSearchConfig config_;
+  std::mt19937_64 rng_;
+  Callback done_;
+  IncidenceResult result_;
+  std::uint32_t restore_gain_code_{0};
+  sim::TimePoint started_{};
+};
+
+/// Phase 2: points the reflector's TX beam at the headset. Precondition:
+/// incidence alignment done (AP illuminating the reflector).
+class ReflectionSearch {
+ public:
+  using Callback = std::function<void(const ReflectionResult&)>;
+
+  ReflectionSearch(sim::Simulator& simulator, sim::ControlChannel& control,
+                   Scene& scene, MovrReflector& reflector,
+                   AngleSearchConfig config, std::mt19937_64 rng);
+
+  void start(Callback done);
+
+ private:
+  void step(std::size_t index);
+  void finish();
+
+  sim::Simulator& simulator_;
+  sim::ControlChannel& control_;
+  Scene& scene_;
+  MovrReflector& reflector_;
+  AngleSearchConfig config_;
+  std::mt19937_64 rng_;
+  Callback done_;
+  ReflectionResult result_;
+  std::uint32_t restore_gain_code_{0};
+  sim::TimePoint started_{};
+};
+
+/// Default codebooks: the paper's sector sweep at `step_deg` resolution.
+AngleSearchConfig make_search_config(double step_deg = 1.0);
+
+}  // namespace movr::core

@@ -1,0 +1,29 @@
+#include <core/ap.hpp>
+
+#include <rf/measurement.hpp>
+#include <rf/noise.hpp>
+
+namespace movr::core {
+
+ApRadio::ApRadio(geom::Vec2 position, double orientation_rad, Config config)
+    : node_{position, orientation_rad, config.array, config.tx_power},
+      config_{config} {}
+
+rf::DbmPower ApRadio::measurement_floor() const {
+  return rf::noise_floor(config_.measurement_bandwidth_hz,
+                         config_.measurement_noise_figure);
+}
+
+rf::DbmPower ApRadio::residual_leakage() const {
+  return config_.tx_power - config_.self_isolation - config_.filter_rejection;
+}
+
+rf::DbmPower ApRadio::measure_backscatter(rf::DbmPower sideband_at_rx,
+                                          std::mt19937_64& rng) const {
+  const rf::DbmPower composite = rf::power_sum(
+      rf::power_sum(sideband_at_rx, residual_leakage()), measurement_floor());
+  return rf::measure_power(composite, config_.measurement_sigma_db,
+                           measurement_floor(), rng);
+}
+
+}  // namespace movr::core

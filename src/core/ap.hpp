@@ -1,0 +1,63 @@
+// The mmWave access point attached to the game PC.
+//
+// Besides streaming VR frames, the AP is the measuring instrument of the
+// angle-search protocol (Section 4.1): it transmits a tone at f1 while
+// *simultaneously* listening for the reflector's modulated backscatter at
+// f1 + f2. Its own TX leaks into its RX (it is not full-duplex), so the
+// receive path runs the arriving signal through a bandpass filter centred
+// on f1 + f2: the reflected sideband passes, the self-leakage at f1 is
+// rejected by the filter's stopband attenuation.
+#pragma once
+
+#include <random>
+
+#include <phy/radio.hpp>
+#include <rf/units.hpp>
+
+namespace movr::core {
+
+class ApRadio {
+ public:
+  struct Config {
+    rf::PhasedArray::Config array{};
+    rf::DbmPower tx_power{0.0};
+    /// TX->RX antenna isolation at the AP (it transmits and receives at
+    /// the same time during backscatter measurement).
+    rf::Decibels self_isolation{30.0};
+    /// Stopband rejection of the f1+f2 measurement filter at f1. The
+    /// offset f2 can be chosen megahertz away from f1, so a narrowband
+    /// measurement filter achieves deep rejection.
+    rf::Decibels filter_rejection{70.0};
+    /// Measurement bandwidth around f1+f2 (narrow: the backscatter tone).
+    double measurement_bandwidth_hz{1.0e6};
+    rf::Decibels measurement_noise_figure{7.0};
+    /// rms error of one power reading, dB.
+    double measurement_sigma_db{0.5};
+  };
+
+  ApRadio(geom::Vec2 position, double orientation_rad)
+      : ApRadio{position, orientation_rad, Config{}} {}
+  ApRadio(geom::Vec2 position, double orientation_rad, Config config);
+
+  phy::RadioNode& node() { return node_; }
+  const phy::RadioNode& node() const { return node_; }
+  const Config& config() const { return config_; }
+
+  /// Noise floor of the narrowband backscatter measurement.
+  rf::DbmPower measurement_floor() const;
+
+  /// Residual self-leakage power that survives the f1+f2 filter.
+  rf::DbmPower residual_leakage() const;
+
+  /// One reading of the backscatter detector given the true sideband power
+  /// arriving at the RX connector: sideband + residual leakage + noise,
+  /// with measurement error.
+  rf::DbmPower measure_backscatter(rf::DbmPower sideband_at_rx,
+                                   std::mt19937_64& rng) const;
+
+ private:
+  phy::RadioNode node_;
+  Config config_;
+};
+
+}  // namespace movr::core

@@ -1,0 +1,30 @@
+// Battery sizing for the untethered headset (paper Section 6).
+//
+// Cutting the HDMI cable still leaves the USB power cable; the paper argues
+// a pocket battery replaces it: the HTC Vive draws at most 1500 mA, so a
+// 5200 mAh pack runs it for 4-5 h. This model reproduces that arithmetic
+// and lets the latency-budget bench include the reflector's own power draw.
+#pragma once
+
+namespace movr::core {
+
+struct BatteryModel {
+  double capacity_mah{5200.0};   // Anker Astro class pack
+  double peak_load_ma{1500.0};   // HTC Vive maximum draw
+  /// Sustained draw during play: the display peaks at 1.5 A but averages
+  /// well below it — this is what the paper's "4-5 hours" arithmetic uses.
+  double average_load_ma{1100.0};
+  /// Usable fraction of rated capacity (conversion + cutoff losses).
+  double efficiency{0.9};
+
+  double runtime_hours() const {
+    return capacity_mah * efficiency / average_load_ma;
+  }
+
+  /// Worst-case runtime at the peak draw.
+  double worst_case_hours() const {
+    return capacity_mah * efficiency / peak_load_ma;
+  }
+};
+
+}  // namespace movr::core

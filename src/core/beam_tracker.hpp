@@ -1,0 +1,54 @@
+// Pose-aided fast beam tracking (paper Section 6).
+//
+// A full angle sweep costs on the order of a second — far beyond the 10 ms
+// frame budget. But "the VR system constantly tracks the headset's
+// position" (Section 4.1), so once the reflector's pose is calibrated, the
+// TX angle toward the headset is just geometry: one Bluetooth command
+// instead of a sweep. Tracking noise (millimetres) maps to a fraction of a
+// degree at room scale — negligible against a ~10 degree beam.
+#pragma once
+
+#include <random>
+
+#include <core/scene.hpp>
+#include <rf/units.hpp>
+#include <sim/time.hpp>
+
+namespace movr::core {
+
+class BeamTracker {
+ public:
+  struct Config {
+    /// rms positional error of the VR tracking system, metres per axis.
+    double tracking_noise_m{0.005};
+    /// Optional local refinement: try +/- span around the geometric angle
+    /// using headset SNR reports (costs extra Bluetooth rounds).
+    bool refine{false};
+    double refine_span_deg{2.0};
+    double refine_step_deg{1.0};
+    /// Cost of one reflector command over Bluetooth.
+    sim::Duration command_wait{std::chrono::milliseconds{10}};
+    /// Cost of one headset SNR report (refinement only).
+    sim::Duration snr_report_time{std::chrono::milliseconds{1}};
+  };
+
+  struct Result {
+    double reflector_tx_angle{0.0};  // array-local radians, as commanded
+    rf::Decibels snr{-300.0};        // via-reflector SNR after retargeting
+    sim::Duration duration{0};
+    int bt_commands{0};
+  };
+
+  /// Re-aims `reflector`'s TX beam at the headset's *tracked* position.
+  /// Steers the front end directly and charges the Bluetooth cost to the
+  /// returned duration (callers running on a simulator schedule around it).
+  static Result retarget(Scene& scene, MovrReflector& reflector,
+                         std::mt19937_64& rng, const Config& config);
+
+  static Result retarget(Scene& scene, MovrReflector& reflector,
+                         std::mt19937_64& rng) {
+    return retarget(scene, reflector, rng, Config{});
+  }
+};
+
+}  // namespace movr::core

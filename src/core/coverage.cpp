@@ -1,0 +1,98 @@
+#include <core/coverage.hpp>
+
+#include <algorithm>
+#include <string>
+
+namespace movr::core {
+
+double CoverageMap::covered_fraction(rf::Decibels threshold) const {
+  if (cells.empty()) {
+    return 0.0;
+  }
+  const auto covered = std::count_if(
+      cells.begin(), cells.end(), [threshold](const CoverageCell& c) {
+        return std::max(c.direct_snr, c.via_snr) >= threshold;
+      });
+  return static_cast<double>(covered) / static_cast<double>(cells.size());
+}
+
+double CoverageMap::reflector_covered_fraction(rf::Decibels threshold) const {
+  if (cells.empty()) {
+    return 0.0;
+  }
+  const auto covered = std::count_if(
+      cells.begin(), cells.end(),
+      [threshold](const CoverageCell& c) { return c.via_snr >= threshold; });
+  return static_cast<double>(covered) / static_cast<double>(cells.size());
+}
+
+CoverageMap compute_coverage(Scene& scene, double resolution_m,
+                             double wall_margin_m) {
+  CoverageMap map;
+  const double w = scene.room().width();
+  const double d = scene.room().depth();
+  const geom::Vec2 saved_pos = scene.headset().node().position();
+  const double saved_orient = scene.headset().node().orientation();
+  const double saved_ap_steer = scene.ap().node().array().steering();
+
+  map.cells_x = static_cast<int>((w - 2.0 * wall_margin_m) / resolution_m) + 1;
+  map.cells_y = static_cast<int>((d - 2.0 * wall_margin_m) / resolution_m) + 1;
+  map.cells.reserve(static_cast<std::size_t>(map.cells_x) *
+                    static_cast<std::size_t>(map.cells_y));
+
+  for (int iy = 0; iy < map.cells_y; ++iy) {
+    for (int ix = 0; ix < map.cells_x; ++ix) {
+      CoverageCell cell;
+      cell.position = {wall_margin_m + ix * resolution_m,
+                       wall_margin_m + iy * resolution_m};
+      scene.headset().node().set_position(cell.position);
+
+      // Direct link, both ends aimed.
+      scene.ap().node().steer_toward(cell.position);
+      scene.headset().node().face_toward(scene.ap().node().position());
+      cell.direct_snr = scene.direct_snr();
+
+      // Best reflector, re-aimed at the cell.
+      for (std::size_t r = 0; r < scene.reflector_count(); ++r) {
+        auto& reflector = scene.reflector(r);
+        scene.ap().node().steer_toward(reflector.position());
+        scene.headset().node().face_toward(reflector.position());
+        reflector.front_end().steer_tx(
+            scene.true_reflector_angle_to_headset(reflector));
+        const auto via = scene.via_snr(reflector);
+        if (via.usable && via.snr > cell.via_snr) {
+          cell.via_snr = via.snr;
+          cell.best_reflector = static_cast<int>(r);
+        }
+      }
+      map.cells.push_back(cell);
+    }
+  }
+
+  scene.headset().node().set_position(saved_pos);
+  scene.headset().node().set_orientation(saved_orient);
+  scene.ap().node().array().steer(saved_ap_steer);
+  return map;
+}
+
+std::string render_coverage(const CoverageMap& map, rf::Decibels threshold) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(map.cells_y) *
+              (static_cast<std::size_t>(map.cells_x) + 1));
+  for (int iy = map.cells_y - 1; iy >= 0; --iy) {  // north up
+    for (int ix = 0; ix < map.cells_x; ++ix) {
+      const CoverageCell& cell = map.at(ix, iy);
+      if (cell.direct_snr >= threshold) {
+        out += '#';
+      } else if (cell.via_snr >= threshold) {
+        out += '+';
+      } else {
+        out += '.';
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace movr::core

@@ -1,0 +1,55 @@
+// Coverage maps: link quality over a grid of headset positions.
+//
+// The deployment-facing view of the whole system: for every point the
+// player could stand, what SNR does the direct beam deliver, what does the
+// best reflector deliver, and does the room meet the VR requirement when
+// blockage strikes? Feeds the placement planner's intuition, the ASCII
+// coverage example, and the placement tests.
+#pragma once
+
+#include <vector>
+
+#include <core/scene.hpp>
+#include <rf/units.hpp>
+
+namespace movr::core {
+
+struct CoverageCell {
+  geom::Vec2 position;
+  rf::Decibels direct_snr{-300.0};
+  /// Best via-reflector SNR over all deployed reflectors (reflectors are
+  /// re-aimed at the cell, as the live system would).
+  rf::Decibels via_snr{-300.0};
+  int best_reflector{-1};  // -1 = none deployed / none usable
+};
+
+struct CoverageMap {
+  int cells_x{0};
+  int cells_y{0};
+  std::vector<CoverageCell> cells;  // row-major, y outer
+
+  const CoverageCell& at(int ix, int iy) const {
+    return cells[static_cast<std::size_t>(iy) * static_cast<std::size_t>(cells_x) +
+                 static_cast<std::size_t>(ix)];
+  }
+
+  /// Fraction of cells where max(direct, via) >= threshold.
+  double covered_fraction(rf::Decibels threshold) const;
+
+  /// Fraction of cells where the *reflector* path alone meets the
+  /// threshold — the blockage-resilient share of the room.
+  double reflector_covered_fraction(rf::Decibels threshold) const;
+};
+
+/// Evaluates the scene over a grid with `resolution_m` spacing, a margin
+/// from the walls. The scene's headset is moved during evaluation and
+/// restored afterwards; reflector TX beams are left pointing at the last
+/// cell (re-aim before use).
+CoverageMap compute_coverage(Scene& scene, double resolution_m = 0.25,
+                             double wall_margin_m = 0.5);
+
+/// Renders `map` as ASCII art: '#' covered by direct, '+' covered only via
+/// a reflector, '.' below threshold. One row per grid line, north up.
+std::string render_coverage(const CoverageMap& map, rf::Decibels threshold);
+
+}  // namespace movr::core

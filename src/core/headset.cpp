@@ -1,0 +1,45 @@
+#include <core/headset.hpp>
+
+#include <numeric>
+
+#include <rf/measurement.hpp>
+
+namespace movr::core {
+
+HeadsetRadio::HeadsetRadio(geom::Vec2 position, double orientation_rad,
+                           Config config)
+    : node_{position, orientation_rad, config.array}, config_{config} {}
+
+rf::Decibels HeadsetRadio::observe(rf::Decibels true_snr,
+                                   std::mt19937_64& rng) {
+  const rf::Decibels estimate =
+      rf::estimate_snr(true_snr, config_.estimation_symbols, rng);
+  history_.push_back(estimate.value());
+  while (history_.size() > static_cast<std::size_t>(config_.smoothing_window)) {
+    history_.pop_front();
+  }
+  const rf::Decibels smooth = smoothed();
+  if (degraded_) {
+    if (smooth >= config_.recover_threshold) {
+      degraded_ = false;
+    }
+  } else if (smooth < config_.degrade_threshold) {
+    degraded_ = true;
+  }
+  return estimate;
+}
+
+rf::Decibels HeadsetRadio::smoothed() const {
+  if (history_.empty()) {
+    return rf::Decibels{0.0};
+  }
+  const double sum = std::accumulate(history_.begin(), history_.end(), 0.0);
+  return rf::Decibels{sum / static_cast<double>(history_.size())};
+}
+
+void HeadsetRadio::reset() {
+  history_.clear();
+  degraded_ = false;
+}
+
+}  // namespace movr::core

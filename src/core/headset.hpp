@@ -1,0 +1,63 @@
+// The headset-mounted mmWave receiver.
+//
+// The headset estimates SNR from received OFDM symbols (Section 5.2) and —
+// per Section 4.1 — "tracks the SNR and can trigger a new measurement if
+// the SNR begins to degrade". The degradation detector here is that
+// trigger: a short moving average crossing a threshold, with hysteresis so
+// a single noisy estimate cannot flap the link.
+#pragma once
+
+#include <deque>
+#include <random>
+
+#include <phy/radio.hpp>
+#include <rf/units.hpp>
+
+namespace movr::core {
+
+class HeadsetRadio {
+ public:
+  struct Config {
+    rf::PhasedArray::Config array{};
+    /// Symbols averaged per SNR estimate.
+    int estimation_symbols{16};
+    /// SNR below which the headset reports degradation. Sits just above
+    /// the SNR needed to sustain the Vive's raw rate (MCS 23, ~19 dB), so
+    /// the trigger fires before frames start glitching.
+    rf::Decibels degrade_threshold{20.0};
+    /// SNR above which it reports recovery (hysteresis gap).
+    rf::Decibels recover_threshold{22.0};
+    /// Estimates averaged by the degradation detector.
+    int smoothing_window{3};
+  };
+
+  HeadsetRadio(geom::Vec2 position, double orientation_rad)
+      : HeadsetRadio{position, orientation_rad, Config{}} {}
+  HeadsetRadio(geom::Vec2 position, double orientation_rad, Config config);
+
+  phy::RadioNode& node() { return node_; }
+  const phy::RadioNode& node() const { return node_; }
+  const Config& config() const { return config_; }
+
+  /// Feeds one true SNR observation; returns the headset's noisy estimate
+  /// and updates the degradation state.
+  rf::Decibels observe(rf::Decibels true_snr, std::mt19937_64& rng);
+
+  /// Smoothed SNR over the last `smoothing_window` estimates.
+  rf::Decibels smoothed() const;
+
+  /// True while the smoothed SNR sits below the degrade threshold and has
+  /// not yet recovered above the recover threshold.
+  bool degraded() const { return degraded_; }
+
+  /// Forgets history (used across teleports/scene changes in tests).
+  void reset();
+
+ private:
+  phy::RadioNode node_;
+  Config config_;
+  std::deque<double> history_;
+  bool degraded_{false};
+};
+
+}  // namespace movr::core

@@ -1,0 +1,113 @@
+#include <core/link_manager.hpp>
+
+#include <geom/angle.hpp>
+
+namespace movr::core {
+
+LinkManager::LinkManager(sim::Simulator& simulator, Scene& scene,
+                         std::mt19937_64 rng, Config config)
+    : simulator_{simulator}, scene_{scene}, rng_{rng}, config_{config} {}
+
+void LinkManager::steer_for_direct() {
+  scene_.ap().node().steer_toward(scene_.headset().node().position());
+  scene_.headset().node().face_toward(scene_.ap().node().position());
+}
+
+std::size_t LinkManager::best_reflector() const {
+  // Pick the reflector with the strongest illumination from the AP's
+  // perspective; with one reflector this is trivially reflector 0.
+  std::size_t best = 0;
+  double best_snr = -1e9;
+  for (std::size_t i = 0; i < scene_.reflector_count(); ++i) {
+    const double snr = scene_.via_snr(scene_.reflector(i)).snr.value();
+    if (snr > best_snr) {
+      best_snr = snr;
+      best = i;
+    }
+  }
+  return best;
+}
+
+rf::Decibels LinkManager::current_true_snr() {
+  if (mode_ == Mode::kDirect) {
+    steer_for_direct();
+    return scene_.direct_snr();
+  }
+  auto& reflector = scene_.reflector(active_reflector_);
+  // AP illuminates the reflector; headset listens toward it.
+  scene_.ap().node().steer_toward(reflector.position());
+  scene_.headset().node().face_toward(reflector.position());
+  // Re-aim the reflector's TX beam if the player walked out of it.
+  const double tracked = scene_.true_reflector_angle_to_headset(reflector);
+  const double current = reflector.front_end().tx_array().steering();
+  if (geom::angular_distance(tracked, current) > config_.retarget_threshold &&
+      !handover_in_progress_) {
+    const auto retarget =
+        BeamTracker::retarget(scene_, reflector, rng_, config_.tracker);
+    ++stats_.retargets;
+    (void)retarget;  // steering applied; cost is one BT exchange in flight
+  }
+  return scene_.via_snr(reflector).snr;
+}
+
+void LinkManager::begin_handover_to_reflector() {
+  if (scene_.reflector_count() == 0) {
+    return;
+  }
+  handover_in_progress_ = true;
+  const std::size_t target = best_reflector();
+  simulator_.after(config_.bt_wait, [this, target] {
+    active_reflector_ = target;
+    auto& reflector = scene_.reflector(active_reflector_);
+    scene_.ap().node().steer_toward(reflector.position());
+    BeamTracker::retarget(scene_, reflector, rng_, config_.tracker);
+    scene_.headset().node().face_toward(reflector.position());
+    mode_ = Mode::kViaReflector;
+    handover_in_progress_ = false;
+    good_probes_ = 0;
+    reflector_since_ = simulator_.now();
+    ++stats_.handovers_to_reflector;
+  });
+}
+
+void LinkManager::probe_direct_path() {
+  // Hypothetical direct-link quality if both ends steered at each other.
+  // Evaluated without disturbing the live steering: save and restore.
+  const double ap_steer = scene_.ap().node().array().steering();
+  const double hs_steer = scene_.headset().node().array().steering();
+  steer_for_direct();
+  const rf::Decibels direct = scene_.direct_snr();
+  scene_.ap().node().array().steer(ap_steer);
+  scene_.headset().node().array().steer(hs_steer);
+
+  if (direct >= scene_.headset().config().recover_threshold) {
+    ++good_probes_;
+  } else {
+    good_probes_ = 0;
+  }
+  if (good_probes_ >= config_.probes_to_recover) {
+    // Switching back is all-electronic: AP and headset re-steer in
+    // microseconds; the reflector can stay configured as a hot spare.
+    mode_ = Mode::kDirect;
+    stats_.time_on_reflector += simulator_.now() - reflector_since_;
+    ++stats_.handovers_to_direct;
+    good_probes_ = 0;
+  }
+}
+
+rf::Decibels LinkManager::on_frame() {
+  const rf::Decibels true_snr = current_true_snr();
+  scene_.headset().observe(true_snr, rng_);
+
+  if (mode_ == Mode::kDirect && scene_.headset().degraded() &&
+      !handover_in_progress_) {
+    begin_handover_to_reflector();
+  } else if (mode_ == Mode::kViaReflector &&
+             simulator_.now() - last_probe_ >= config_.probe_interval) {
+    last_probe_ = simulator_.now();
+    probe_direct_path();
+  }
+  return true_snr;
+}
+
+}  // namespace movr::core

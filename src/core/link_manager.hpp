@@ -1,0 +1,80 @@
+// Runtime link management: direct beam vs via-reflector, and back.
+//
+// This is the control loop that turns MoVR's pieces into an unbroken VR
+// link (paper Fig. 5): the headset tracks its SNR; when it degrades (a hand
+// went up, the head turned), the AP steers its beam to a reflector and the
+// reflector's TX beam is pose-aimed at the headset; when probing shows the
+// direct path healthy again, the link switches back. Handover latency is
+// dominated by one Bluetooth exchange — inside a frame budget or two.
+#pragma once
+
+#include <random>
+
+#include <core/beam_tracker.hpp>
+#include <core/scene.hpp>
+#include <sim/control_channel.hpp>
+#include <sim/simulator.hpp>
+
+namespace movr::core {
+
+class LinkManager {
+ public:
+  enum class Mode { kDirect, kViaReflector };
+
+  struct Config {
+    BeamTracker::Config tracker{};
+    /// While on a reflector, the direct path is probed at this cadence
+    /// (one beam-training slot, negligible airtime).
+    sim::Duration probe_interval{std::chrono::milliseconds{100}};
+    /// Probed direct SNR must exceed the headset's recovery threshold this
+    /// many times in a row before switching back.
+    int probes_to_recover{3};
+    /// Reflector TX beam is re-aimed when the tracked headset drifts more
+    /// than this off the current beam (radians). ~ beamwidth / 4.
+    double retarget_threshold{0.04};
+    /// One Bluetooth exchange: the handover's dominant cost.
+    sim::Duration bt_wait{std::chrono::milliseconds{10}};
+  };
+
+  LinkManager(sim::Simulator& simulator, Scene& scene, std::mt19937_64 rng)
+      : LinkManager{simulator, scene, rng, Config{}} {}
+  LinkManager(sim::Simulator& simulator, Scene& scene, std::mt19937_64 rng,
+              Config config);
+
+  /// Per-frame tick: maintains steering for the current mode, feeds the
+  /// headset's SNR tracker, and drives handovers. Returns the true SNR the
+  /// headset experienced this frame (before estimation noise).
+  rf::Decibels on_frame();
+
+  Mode mode() const { return mode_; }
+  bool handover_in_progress() const { return handover_in_progress_; }
+
+  struct Stats {
+    int handovers_to_reflector{0};
+    int handovers_to_direct{0};
+    int retargets{0};
+    sim::Duration time_on_reflector{0};
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void steer_for_direct();
+  rf::Decibels current_true_snr();
+  void begin_handover_to_reflector();
+  void probe_direct_path();
+  std::size_t best_reflector() const;
+
+  sim::Simulator& simulator_;
+  Scene& scene_;
+  std::mt19937_64 rng_;
+  Config config_;
+  Mode mode_{Mode::kDirect};
+  bool handover_in_progress_{false};
+  std::size_t active_reflector_{0};
+  int good_probes_{0};
+  sim::TimePoint last_probe_{};
+  sim::TimePoint reflector_since_{};
+  Stats stats_;
+};
+
+}  // namespace movr::core

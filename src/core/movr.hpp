@@ -1,0 +1,18 @@
+// Umbrella header: the full MoVR public API.
+//
+//   #include <core/movr.hpp>
+//
+// pulls in the scene (world model), the reflector device, both calibration
+// protocols (angle search, gain control), the pose-aided beam tracker and
+// the runtime link manager — plus the substrate headers they expose.
+#pragma once
+
+#include <core/angle_search.hpp>
+#include <core/ap.hpp>
+#include <core/battery.hpp>
+#include <core/beam_tracker.hpp>
+#include <core/gain_control.hpp>
+#include <core/headset.hpp>
+#include <core/link_manager.hpp>
+#include <core/reflector.hpp>
+#include <core/scene.hpp>

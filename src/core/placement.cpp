@@ -1,0 +1,136 @@
+#include <core/placement.hpp>
+
+#include <algorithm>
+
+#include <core/gain_control.hpp>
+#include <geom/angle.hpp>
+
+namespace movr::core {
+
+std::vector<PlacementCandidate> PlacementPlanner::candidates(
+    const channel::Room& room, geom::Vec2 ap_position) const {
+  std::vector<PlacementCandidate> result;
+  const double w = room.width();
+  const double d = room.depth();
+  const double margin = config_.corner_margin_m;
+  const double step = config_.mount_spacing_m;
+  const double inset = 0.2;  // mounts sit just off the wall surface
+
+  const auto add_wall = [&](geom::Vec2 from, geom::Vec2 to, double facing) {
+    const double len = geom::distance(from, to);
+    for (double s = margin; s <= len - margin; s += step) {
+      const geom::Vec2 pos = from + (to - from).normalized() * s;
+      // Skip mounts that sit on top of the AP or inside furniture.
+      if (geom::distance(pos, ap_position) < 1.0) {
+        continue;
+      }
+      const bool clear = std::none_of(
+          room.obstacles().begin(), room.obstacles().end(),
+          [&](const channel::Obstacle& o) {
+            return geom::distance(pos, o.shape.center) <
+                   o.shape.radius + 0.25;
+          });
+      if (clear) {
+        result.push_back({pos, facing});
+      }
+    }
+  };
+
+  add_wall({inset, inset}, {w - inset, inset}, geom::deg_to_rad(90.0));
+  add_wall({w - inset, inset}, {w - inset, d - inset}, geom::deg_to_rad(180.0));
+  add_wall({w - inset, d - inset}, {inset, d - inset}, geom::deg_to_rad(270.0));
+  add_wall({inset, d - inset}, {inset, inset}, geom::deg_to_rad(0.0));
+  return result;
+}
+
+double PlacementPlanner::evaluate(
+    const channel::Room& room, geom::Vec2 ap_position,
+    const std::vector<PlacementCandidate>& mounts) const {
+  std::mt19937_64 rng{seed_};
+  int outages = 0;
+  for (int trial = 0; trial < config_.trials; ++trial) {
+    Scene scene{channel::Room{room}, ApRadio{ap_position, 0.0},
+                HeadsetRadio{{room.width() / 2.0, room.depth() / 2.0}, 0.0}};
+    std::vector<MovrReflector*> reflectors;
+    for (const PlacementCandidate& mount : mounts) {
+      reflectors.push_back(&scene.add_reflector(mount.position,
+                                                mount.orientation));
+    }
+    const geom::Vec2 pos = scene.room().random_interior_point(rng, 0.8);
+    scene.headset().node().set_position(pos);
+    scene.ap().node().set_orientation((pos - ap_position).heading());
+
+    for (auto* r : reflectors) {
+      r->front_end().steer_rx(scene.true_reflector_angle_to_ap(*r));
+      r->front_end().steer_tx(scene.true_reflector_angle_to_headset(*r));
+      scene.ap().node().steer_toward(r->position());
+      GainController::run(r->front_end(), scene.reflector_input(*r), rng);
+    }
+
+    const geom::Vec2 ap = scene.ap().node().position();
+    std::uniform_int_distribution<int> kind{0, 2};
+    switch (kind(rng)) {
+      case 0:
+        scene.room().add_obstacle(channel::make_hand(pos, ap - pos));
+        break;
+      case 1:
+        scene.room().add_obstacle(channel::make_head(pos, ap - pos));
+        break;
+      default:
+        scene.room().add_obstacle(channel::make_person(
+            pos + (ap - pos).normalized() *
+                      std::uniform_real_distribution<double>{0.6, 2.0}(rng)));
+    }
+
+    scene.ap().node().steer_toward(pos);
+    scene.headset().node().face_toward(ap);
+    double best = scene.direct_snr().value();
+    for (auto* r : reflectors) {
+      scene.ap().node().steer_toward(r->position());
+      scene.headset().node().face_toward(r->position());
+      r->front_end().steer_tx(scene.true_reflector_angle_to_headset(*r));
+      best = std::max(best, scene.via_snr(*r).snr.value());
+    }
+    outages += best < config_.required_snr.value();
+  }
+  return static_cast<double>(outages) / config_.trials;
+}
+
+PlacementPlan PlacementPlanner::plan(const channel::Room& room,
+                                     geom::Vec2 ap_position) const {
+  PlacementPlan result;
+  const auto all = candidates(room, ap_position);
+  result.outage_curve.push_back(evaluate(room, ap_position, {}));
+
+  std::vector<PlacementCandidate> chosen;
+  while (static_cast<int>(chosen.size()) < config_.max_reflectors &&
+         result.outage_curve.back() > config_.target_outage) {
+    double best_outage = result.outage_curve.back();
+    const PlacementCandidate* best_candidate = nullptr;
+    for (const PlacementCandidate& candidate : all) {
+      const bool already = std::any_of(
+          chosen.begin(), chosen.end(), [&](const PlacementCandidate& c) {
+            return geom::distance(c.position, candidate.position) < 1e-6;
+          });
+      if (already) {
+        continue;
+      }
+      auto trial_set = chosen;
+      trial_set.push_back(candidate);
+      const double outage = evaluate(room, ap_position, trial_set);
+      if (outage < best_outage) {
+        best_outage = outage;
+        best_candidate = &candidate;
+      }
+    }
+    if (best_candidate == nullptr) {
+      break;  // no candidate improves coverage
+    }
+    chosen.push_back(*best_candidate);
+    result.outage_curve.push_back(best_outage);
+  }
+  result.chosen = std::move(chosen);
+  return result;
+}
+
+}  // namespace movr::core

@@ -1,0 +1,62 @@
+#include <core/predictive_tracker.hpp>
+
+#include <geom/angle.hpp>
+
+namespace movr::core {
+
+geom::Vec2 PredictiveTracker::velocity() const {
+  if (samples_.size() < 2) {
+    return {0.0, 0.0};
+  }
+  // Least-squares slope of position vs time over the window: robust to the
+  // per-sample tracking jitter, unlike a first/last difference.
+  const double n = static_cast<double>(samples_.size());
+  double t_mean = 0.0;
+  geom::Vec2 p_mean{};
+  for (const Sample& s : samples_) {
+    t_mean += sim::to_seconds(s.when);
+    p_mean += s.position;
+  }
+  t_mean /= n;
+  p_mean = p_mean / n;
+  double tt = 0.0;
+  geom::Vec2 tp{};
+  for (const Sample& s : samples_) {
+    const double dt = sim::to_seconds(s.when) - t_mean;
+    tt += dt * dt;
+    tp += (s.position - p_mean) * dt;
+  }
+  if (tt < 1e-12) {
+    return {0.0, 0.0};
+  }
+  return tp / tt;
+}
+
+geom::Vec2 PredictiveTracker::predict(sim::Duration horizon) const {
+  if (samples_.empty()) {
+    return {0.0, 0.0};
+  }
+  return samples_.back().position + velocity() * sim::to_seconds(horizon);
+}
+
+std::optional<PredictiveTracker::Command> PredictiveTracker::on_pose(
+    sim::TimePoint now, geom::Vec2 position, const MovrReflector& reflector,
+    std::mt19937_64& rng) {
+  std::normal_distribution<double> jitter{0.0, config_.tracking_noise_m};
+  samples_.push_back(Sample{now, position + geom::Vec2{jitter(rng), jitter(rng)}});
+  while (samples_.size() > config_.history) {
+    samples_.pop_front();
+  }
+
+  const geom::Vec2 at_actuation = predict(config_.actuation_delay);
+  const double predicted_angle =
+      reflector.to_local((at_actuation - reflector.position()).heading());
+  const double current = reflector.front_end().tx_array().steering();
+  if (geom::angular_distance(predicted_angle, current) <
+      config_.retarget_threshold_rad) {
+    return std::nullopt;
+  }
+  return Command{predicted_angle, at_actuation};
+}
+
+}  // namespace movr::core

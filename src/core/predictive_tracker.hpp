@@ -1,0 +1,71 @@
+// Predictive pose-aided beam tracking — the paper's Section 6 future work,
+// taken one step further than BeamTracker.
+//
+// BeamTracker aims at where the headset *is*; by the time the Bluetooth
+// command reaches the reflector the player has moved on. This tracker fits
+// a velocity to the recent pose history and aims at where the headset
+// *will be* when the command lands, and it fires proactively: it compares
+// the beam against the predicted angle rather than the current one, so a
+// fast-moving player never quite reaches the beam edge.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <random>
+
+#include <core/reflector.hpp>
+#include <geom/vec2.hpp>
+#include <sim/time.hpp>
+
+namespace movr::core {
+
+class PredictiveTracker {
+ public:
+  struct Config {
+    /// Pose samples kept for the velocity fit.
+    std::size_t history{6};
+    /// Command latency to compensate (one Bluetooth exchange).
+    sim::Duration actuation_delay{std::chrono::milliseconds{10}};
+    /// rms positional error of the VR tracking system, metres per axis.
+    double tracking_noise_m{0.005};
+    /// Re-aim when the predicted angle drifts this far off the beam.
+    double retarget_threshold_rad{0.03};
+  };
+
+  PredictiveTracker() : PredictiveTracker{Config{}} {}
+  explicit PredictiveTracker(Config config) : config_{config} {}
+
+  const Config& config() const { return config_; }
+
+  struct Command {
+    double tx_local_angle{0.0};
+    geom::Vec2 predicted_position{};
+  };
+
+  /// Feeds one tracked pose sample (the VR runtime's ~90 Hz updates).
+  /// Returns a steering command when the reflector should be re-aimed;
+  /// the caller sends it (and pays the Bluetooth cost).
+  std::optional<Command> on_pose(sim::TimePoint now, geom::Vec2 position,
+                                 const MovrReflector& reflector,
+                                 std::mt19937_64& rng);
+
+  /// Predicted headset position `horizon` ahead of the newest sample,
+  /// from the fitted velocity (newest sample if history is too short).
+  geom::Vec2 predict(sim::Duration horizon) const;
+
+  /// Fitted velocity, m/s (zero until two samples arrive).
+  geom::Vec2 velocity() const;
+
+  void reset() { samples_.clear(); }
+
+ private:
+  struct Sample {
+    sim::TimePoint when;
+    geom::Vec2 position;
+  };
+
+  Config config_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace movr::core

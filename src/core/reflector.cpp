@@ -1,0 +1,31 @@
+#include <core/reflector.hpp>
+
+#include <cmath>
+
+namespace movr::core {
+
+MovrReflector::MovrReflector(geom::Vec2 position, double orientation_rad,
+                             hw::ReflectorFrontEnd::Config front_end_config)
+    : position_{position},
+      orientation_{orientation_rad},
+      front_end_{front_end_config} {}
+
+void MovrReflector::handle(const sim::ControlMessage& message) {
+  if (message.topic == "rx_angle") {
+    front_end_.steer_rx(message.value);
+  } else if (message.topic == "tx_angle") {
+    front_end_.steer_tx(message.value);
+  } else if (message.topic == "both_angles") {
+    front_end_.steer_rx(message.value);
+    front_end_.steer_tx(message.value);
+  } else if (message.topic == "gain_code") {
+    front_end_.set_gain_code(static_cast<std::uint32_t>(
+        std::max(0.0, std::round(message.value))));
+  } else if (message.topic == "modulate") {
+    front_end_.set_modulating(message.value != 0.0);
+  } else {
+    ++unknown_messages_;
+  }
+}
+
+}  // namespace movr::core

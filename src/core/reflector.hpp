@@ -1,0 +1,60 @@
+// The MoVR reflector device: the paper's contribution, as deployable unit.
+//
+// A reflector is an analog front end (two phased arrays joined by a VGA)
+// stuck to a wall, plus an Arduino-class controller reachable over the
+// Bluetooth control channel. It has NO transmit or receive chains: the
+// control surface is exactly {rx beam angle, tx beam angle, gain DAC code,
+// modulation on/off} and the only sensor is the amplifier's supply-current
+// monitor. Everything the reflector "knows" about RF it must learn through
+// the protocols in angle_search.hpp and gain_control.hpp.
+#pragma once
+
+#include <geom/angle.hpp>
+#include <geom/vec2.hpp>
+#include <hw/front_end.hpp>
+#include <sim/control_channel.hpp>
+
+namespace movr::core {
+
+class MovrReflector {
+ public:
+  MovrReflector(geom::Vec2 position, double orientation_rad,
+                hw::ReflectorFrontEnd::Config front_end_config = {});
+
+  geom::Vec2 position() const { return position_; }
+  /// Global azimuth of the arrays' boresight (pointing into the room).
+  double orientation() const { return orientation_; }
+
+  /// Global azimuth -> array-local angle (boresight = pi/2), and back.
+  double to_local(double global_azimuth) const {
+    return geom::wrap_two_pi(global_azimuth - orientation_ + geom::kPi / 2.0);
+  }
+  double to_global(double local_angle) const {
+    return geom::wrap_pi(local_angle + orientation_ - geom::kPi / 2.0);
+  }
+
+  hw::ReflectorFrontEnd& front_end() { return front_end_; }
+  const hw::ReflectorFrontEnd& front_end() const { return front_end_; }
+
+  /// Control-plane dispatch: the message vocabulary the Arduino accepts.
+  /// Topics: "rx_angle" (local radians), "tx_angle" (local radians),
+  /// "both_angles" (sets rx == tx, used during angle search),
+  /// "gain_code", "modulate" (value != 0 -> on).
+  /// Unknown topics are counted and ignored (robustness to version skew).
+  void handle(const sim::ControlMessage& message);
+
+  /// Name under which the reflector attaches to the control channel.
+  const std::string& control_name() const { return control_name_; }
+  void set_control_name(std::string name) { control_name_ = std::move(name); }
+
+  std::uint64_t unknown_messages() const { return unknown_messages_; }
+
+ private:
+  geom::Vec2 position_;
+  double orientation_;
+  hw::ReflectorFrontEnd front_end_;
+  std::string control_name_{"reflector"};
+  std::uint64_t unknown_messages_{0};
+};
+
+}  // namespace movr::core

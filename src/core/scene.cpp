@@ -1,0 +1,163 @@
+#include <core/scene.hpp>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include <rf/noise.hpp>
+#include <rf/propagation.hpp>
+
+namespace movr::core {
+
+namespace {
+
+/// Frequency-averaged power over paths with arbitrary endpoint responses.
+/// `tx_response` and `rx_response` map a global azimuth to a complex
+/// far-field factor.
+template <typename FTx, typename FRx>
+rf::DbmPower hop_power(rf::DbmPower tx_power,
+                       std::span<const channel::Path> paths, FTx&& tx_response,
+                       FRx&& rx_response, const phy::LinkConfig& link,
+                       rf::Decibels extra_loss) {
+  std::vector<phy::PathComponent> components;
+  components.reserve(paths.size());
+  for (const channel::Path& path : paths) {
+    const rf::DbmPower path_power = tx_power - path.loss;
+    const double amplitude = std::sqrt(path_power.milliwatts());
+    components.push_back({amplitude * tx_response(path.departure_azimuth) *
+                              rx_response(path.arrival_azimuth),
+                          path.length_m});
+  }
+  return phy::wideband_power(components, link, extra_loss);
+}
+
+}  // namespace
+
+Scene::Scene(channel::Room room, ApRadio ap, HeadsetRadio headset,
+             Config config)
+    : room_{std::move(room)},
+      tracer_config_{config.link.carrier_hz, 2, rf::Decibels{60.0}},
+      ap_{std::move(ap)},
+      headset_{std::move(headset)},
+      config_{config} {}
+
+MovrReflector& Scene::add_reflector(geom::Vec2 position,
+                                    double orientation_rad,
+                                    hw::ReflectorFrontEnd::Config front_end) {
+  reflectors_.push_back(
+      std::make_unique<MovrReflector>(position, orientation_rad, front_end));
+  reflectors_.back()->set_control_name("reflector" +
+                                       std::to_string(reflectors_.size() - 1));
+  return *reflectors_.back();
+}
+
+std::vector<channel::Path> Scene::paths_between(geom::Vec2 a,
+                                                geom::Vec2 b) const {
+  return channel::RayTracer{room_, tracer_config_}.trace(a, b);
+}
+
+rf::DbmPower Scene::direct_power() const {
+  const auto paths =
+      paths_between(ap_.node().position(), headset_.node().position());
+  return phy::received_power(ap_.node(), headset_.node(), paths,
+                             config_.link);
+}
+
+rf::Decibels Scene::direct_snr() const {
+  return direct_power() - phy::link_noise_floor(config_.link);
+}
+
+phy::LinkConfig Scene::hop_config(rf::Decibels loss) const {
+  phy::LinkConfig hop = config_.link;
+  hop.implementation_loss = loss;
+  return hop;
+}
+
+rf::DbmPower Scene::reflector_input(const MovrReflector& reflector) const {
+  const auto paths =
+      paths_between(ap_.node().position(), reflector.position());
+  const auto& rx_array = reflector.front_end().rx_array();
+  return hop_power(
+      ap_.node().tx_power(), paths,
+      [&](double az) { return ap_.node().response_toward(az); },
+      [&](double az) {
+        return phy::array_response(rx_array, reflector.to_local(az));
+      },
+      config_.link, config_.tx_side_loss);
+}
+
+Scene::ViaResult Scene::via_snr(const MovrReflector& reflector) const {
+  ViaResult result;
+  const rf::DbmPower input = reflector_input(reflector);
+  result.front_end = reflector.front_end().process(input);
+  result.usable = result.front_end.stable && !result.front_end.saturated;
+
+  const auto paths =
+      paths_between(reflector.position(), headset_.node().position());
+  const auto& tx_array = reflector.front_end().tx_array();
+  const rf::DbmPower relayed = hop_power(
+      result.front_end.output, paths,
+      [&](double az) {
+        return phy::array_response(tx_array, reflector.to_local(az));
+      },
+      [&](double az) { return headset_.node().response_toward(az); },
+      config_.link, config_.rx_side_loss);
+  result.at_headset = relayed;
+
+  const rf::DbmPower direct = direct_power();
+  const rf::DbmPower floor = phy::link_noise_floor(config_.link);
+
+  // The relay amplifies its own input noise (kTB + amplifier NF + closed-
+  // loop gain) and re-radiates it toward the headset with the same
+  // second-hop gain as the signal.
+  const rf::Decibels second_hop_gain = relayed - result.front_end.output;
+  const rf::DbmPower relayed_noise =
+      config_.include_relay_noise
+          ? rf::noise_floor(
+                config_.link.bandwidth_hz,
+                reflector.front_end().config().amplifier.noise_figure) +
+                result.front_end.effective_gain + second_hop_gain
+          : rf::DbmPower{};
+
+  if (result.usable) {
+    result.snr = rf::power_sum(direct, relayed) -
+                 rf::power_sum(floor, relayed_noise);
+  } else {
+    // Oscillating/compressed front end: the relayed energy arrives as
+    // garbage and acts as interference on top of the noise floor.
+    result.snr = direct - rf::power_sum(floor, relayed);
+  }
+  return result;
+}
+
+rf::DbmPower Scene::backscatter_at_ap(const MovrReflector& reflector) const {
+  const rf::DbmPower input = reflector_input(reflector);
+  const auto state = reflector.front_end().process(input);
+  if (!reflector.front_end().modulating() || !state.stable) {
+    return rf::DbmPower{};  // nothing at f1+f2
+  }
+  const auto paths =
+      paths_between(reflector.position(), ap_.node().position());
+  const auto& tx_array = reflector.front_end().tx_array();
+  return hop_power(
+      state.sideband_output, paths,
+      [&](double az) {
+        return phy::array_response(tx_array, reflector.to_local(az));
+      },
+      [&](double az) { return ap_.node().response_toward(az); },
+      config_.link, config_.rx_side_loss);
+}
+
+double Scene::true_reflector_angle_to_ap(const MovrReflector& r) const {
+  return r.to_local((ap_.node().position() - r.position()).heading());
+}
+
+double Scene::true_ap_angle_to_reflector(const MovrReflector& r) const {
+  return ap_.node().to_local((r.position() - ap_.node().position()).heading());
+}
+
+double Scene::true_reflector_angle_to_headset(const MovrReflector& r) const {
+  return r.to_local((headset_.node().position() - r.position()).heading());
+}
+
+}  // namespace movr::core

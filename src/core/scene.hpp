@@ -1,0 +1,117 @@
+// Scene: the deployed system in a room — AP, headset, reflectors — and the
+// RF physics queries every protocol and experiment is built from.
+//
+// The scene is the "world" side of the simulation: protocols (angle search,
+// gain control, link management) may only interact with it through the same
+// observables the real system has (received powers, SNR estimates, current
+// readings); the scene itself computes ground truth.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include <channel/ray_tracer.hpp>
+#include <channel/room.hpp>
+#include <core/ap.hpp>
+#include <core/headset.hpp>
+#include <core/reflector.hpp>
+#include <hw/front_end.hpp>
+#include <phy/link.hpp>
+#include <rf/units.hpp>
+
+namespace movr::core {
+
+class Scene {
+ public:
+  struct Config {
+    phy::LinkConfig link{};
+    /// The single-link implementation loss splits between the TX side and
+    /// the RX side; a via-reflector path pays tx_side on the first hop and
+    /// rx_side on the second (the reflector itself is pure analog, its
+    /// losses live inside the front-end model).
+    rf::Decibels tx_side_loss{5.5};
+    rf::Decibels rx_side_loss{5.5};
+    /// Model the noise the relay amplifies and re-radiates (kTB + amplifier
+    /// NF + closed-loop gain, re-launched toward the headset). Physically
+    /// real and non-negligible at high gain; the paper's SNR comparison
+    /// does not account for it, so benches report both views.
+    bool include_relay_noise{true};
+  };
+
+  Scene(channel::Room room, ApRadio ap, HeadsetRadio headset)
+      : Scene{std::move(room), std::move(ap), std::move(headset), Config{}} {}
+  Scene(channel::Room room, ApRadio ap, HeadsetRadio headset, Config config);
+
+  // --- world state ----------------------------------------------------
+  channel::Room& room() { return room_; }
+  const channel::Room& room() const { return room_; }
+  ApRadio& ap() { return ap_; }
+  const ApRadio& ap() const { return ap_; }
+  HeadsetRadio& headset() { return headset_; }
+  const HeadsetRadio& headset() const { return headset_; }
+  const Config& config() const { return config_; }
+  /// Toggles relay-noise modelling (benches report both views).
+  void set_include_relay_noise(bool on) { config_.include_relay_noise = on; }
+
+  MovrReflector& add_reflector(geom::Vec2 position, double orientation_rad,
+                               hw::ReflectorFrontEnd::Config front_end = {});
+  std::size_t reflector_count() const { return reflectors_.size(); }
+  MovrReflector& reflector(std::size_t i) { return *reflectors_.at(i); }
+  const MovrReflector& reflector(std::size_t i) const {
+    return *reflectors_.at(i);
+  }
+
+  // --- physics queries (ground truth) ----------------------------------
+  /// Paths between two points with the current room state (obstacles are
+  /// re-evaluated on every call, so moving a blocker takes effect
+  /// immediately).
+  std::vector<channel::Path> paths_between(geom::Vec2 a, geom::Vec2 b) const;
+
+  /// Direct AP -> headset received power / SNR with current steerings.
+  rf::DbmPower direct_power() const;
+  rf::Decibels direct_snr() const;
+
+  /// Power arriving at a reflector's RX-array connector from the AP
+  /// (first hop of the relay path), with current steerings.
+  rf::DbmPower reflector_input(const MovrReflector& reflector) const;
+
+  struct ViaResult {
+    rf::Decibels snr{-300.0};
+    rf::DbmPower at_headset{};       // power of the relayed signal alone
+    hw::ReflectorFrontEnd::State front_end{};
+    /// True when the relayed signal is clean (stable, not compressed).
+    bool usable{false};
+  };
+  /// AP -> reflector -> headset with current steerings and gain. The direct
+  /// (possibly blocked) AP->headset energy is power-summed in: the headset
+  /// hears both.
+  ViaResult via_snr(const MovrReflector& reflector) const;
+
+  /// Sideband power (f1 + f2) arriving back at the AP's RX connector when
+  /// `reflector` modulates and reflects the AP's tone — the observable of
+  /// the angle-search protocol. No measurement noise here; ApRadio adds it.
+  rf::DbmPower backscatter_at_ap(const MovrReflector& reflector) const;
+
+  // --- ground-truth geometry (for evaluation only, not for protocols) --
+  /// Array-local angle at which the AP appears from the reflector.
+  double true_reflector_angle_to_ap(const MovrReflector& reflector) const;
+  /// Array-local angle at which the reflector appears from the AP.
+  double true_ap_angle_to_reflector(const MovrReflector& reflector) const;
+  /// Array-local angle at which the headset appears from the reflector.
+  double true_reflector_angle_to_headset(const MovrReflector& reflector) const;
+
+ private:
+  channel::Room room_;
+  // The tracer is built per query: it only holds a reference to the room
+  // plus a small config, and materialising it on demand keeps Scene safely
+  // movable (a stored tracer would dangle after a move).
+  channel::RayTracer::Config tracer_config_;
+  ApRadio ap_;
+  HeadsetRadio headset_;
+  Config config_;
+  std::vector<std::unique_ptr<MovrReflector>> reflectors_;
+
+  phy::LinkConfig hop_config(rf::Decibels loss) const;
+};
+
+}  // namespace movr::core

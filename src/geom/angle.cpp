@@ -1,0 +1,36 @@
+#include <geom/angle.hpp>
+
+#include <cmath>
+
+namespace movr::geom {
+
+double wrap_two_pi(double radians) {
+  double w = std::fmod(radians, kTwoPi);
+  if (w < 0.0) {
+    w += kTwoPi;
+  }
+  // fmod of a tiny negative value can round back up to exactly 2*pi.
+  if (w >= kTwoPi) {
+    w -= kTwoPi;
+  }
+  return w;
+}
+
+double wrap_pi(double radians) {
+  const double w = wrap_two_pi(radians);
+  return w > kPi ? w - kTwoPi : w;
+}
+
+double angular_distance(double a_radians, double b_radians) {
+  return std::abs(wrap_pi(a_radians - b_radians));
+}
+
+double angular_difference(double to_radians, double from_radians) {
+  return wrap_pi(to_radians - from_radians);
+}
+
+double angular_lerp(double a_radians, double b_radians, double t) {
+  return wrap_pi(a_radians + angular_difference(b_radians, a_radians) * t);
+}
+
+}  // namespace movr::geom

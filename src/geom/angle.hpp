@@ -1,0 +1,34 @@
+// Angle arithmetic helpers.
+//
+// Beam-steering code constantly compares and wraps azimuths; getting the
+// wrap-around wrong silently mis-aims a beam by 360/-360 degrees, so all
+// wrapping lives here and is tested exhaustively.
+#pragma once
+
+#include <numbers>
+
+namespace movr::geom {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+constexpr double deg_to_rad(double degrees) { return degrees * kPi / 180.0; }
+constexpr double rad_to_deg(double radians) { return radians * 180.0 / kPi; }
+
+/// Wraps an angle to (-pi, pi].
+double wrap_pi(double radians);
+
+/// Wraps an angle to [0, 2*pi).
+double wrap_two_pi(double radians);
+
+/// Smallest absolute difference between two angles, in [0, pi].
+double angular_distance(double a_radians, double b_radians);
+
+/// Signed shortest rotation taking `from` to `to`, in (-pi, pi].
+double angular_difference(double to_radians, double from_radians);
+
+/// Linear interpolation along the shortest arc from `a` to `b`.
+/// `t` = 0 gives `a`, `t` = 1 gives `b`.
+double angular_lerp(double a_radians, double b_radians, double t);
+
+}  // namespace movr::geom

@@ -1,0 +1,53 @@
+#include <geom/circle.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+namespace movr::geom {
+
+namespace {
+
+/// Intersection parameters of the infinite line through `s` with the circle,
+/// as segment parameters (t0 <= t1); nullopt when the line misses entirely.
+std::optional<std::pair<double, double>> line_circle_params(const Circle& c,
+                                                            const Segment& s) {
+  const Vec2 d = s.direction();
+  const Vec2 f = s.a - c.center;
+  const double a = d.norm_sq();
+  if (a < 1e-24) {
+    return std::nullopt;  // degenerate segment
+  }
+  const double b = 2.0 * f.dot(d);
+  const double k = f.norm_sq() - c.radius * c.radius;
+  const double disc = b * b - 4.0 * a * k;
+  if (disc < 0.0) {
+    return std::nullopt;
+  }
+  const double sq = std::sqrt(disc);
+  return std::make_pair((-b - sq) / (2.0 * a), (-b + sq) / (2.0 * a));
+}
+
+}  // namespace
+
+double chord_length(const Circle& c, const Segment& s) {
+  const auto params = line_circle_params(c, s);
+  if (!params) {
+    return 0.0;
+  }
+  const double t0 = std::clamp(params->first, 0.0, 1.0);
+  const double t1 = std::clamp(params->second, 0.0, 1.0);
+  if (t1 <= t0) {
+    return 0.0;
+  }
+  return (t1 - t0) * s.length();
+}
+
+bool intersects(const Circle& c, const Segment& s) {
+  return chord_length(c, s) > 0.0 || c.contains(s.a) || c.contains(s.b);
+}
+
+double clearance(const Circle& c, const Segment& s) {
+  return distance_to(s, c.center);
+}
+
+}  // namespace movr::geom

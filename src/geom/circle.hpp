@@ -1,0 +1,33 @@
+// Circles model blockers: a hand, a head, or a torso seen from above is,
+// to a mmWave beam, a convex obstruction with a characteristic width.
+// What matters for the channel model is the chord length a propagation leg
+// cuts through the blocker, which sets the penetration loss.
+#pragma once
+
+#include <optional>
+
+#include <geom/segment.hpp>
+#include <geom/vec2.hpp>
+
+namespace movr::geom {
+
+struct Circle {
+  Vec2 center;
+  double radius{0.0};
+
+  bool contains(Vec2 p) const { return distance(p, center) <= radius; }
+};
+
+/// Length of the chord that segment `s` cuts through `c` (0 if it misses).
+/// Endpoints inside the circle clip the chord accordingly.
+double chord_length(const Circle& c, const Segment& s);
+
+/// True if the segment passes through (or touches) the circle.
+bool intersects(const Circle& c, const Segment& s);
+
+/// Closest approach distance between the segment and the circle's center.
+/// Used to model near-grazing diffraction: a beam that misses a blocker by
+/// millimetres still loses some power at mmWave.
+double clearance(const Circle& c, const Segment& s);
+
+}  // namespace movr::geom

@@ -1,0 +1,47 @@
+#include <geom/segment.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+namespace movr::geom {
+
+std::optional<Vec2> intersect(const Segment& s1, const Segment& s2) {
+  const Vec2 d1 = s1.direction();
+  const Vec2 d2 = s2.direction();
+  const double denom = d1.cross(d2);
+  if (std::abs(denom) < 1e-12) {
+    return std::nullopt;  // parallel or collinear
+  }
+  const Vec2 delta = s2.a - s1.a;
+  const double t = delta.cross(d2) / denom;
+  const double u = delta.cross(d1) / denom;
+  constexpr double kEps = 1e-12;
+  if (t < -kEps || t > 1.0 + kEps || u < -kEps || u > 1.0 + kEps) {
+    return std::nullopt;
+  }
+  return s1.at(std::clamp(t, 0.0, 1.0));
+}
+
+double distance_to(const Segment& s, Vec2 p) {
+  const Vec2 d = s.direction();
+  const double len_sq = d.norm_sq();
+  if (len_sq < 1e-24) {
+    return distance(p, s.a);  // degenerate segment
+  }
+  const double t = std::clamp((p - s.a).dot(d) / len_sq, 0.0, 1.0);
+  return distance(p, s.at(t));
+}
+
+Vec2 mirror_across(const Segment& s, Vec2 p) {
+  const Vec2 d = s.direction().normalized();
+  const Vec2 rel = p - s.a;
+  const Vec2 proj = d * rel.dot(d);
+  const Vec2 perp = rel - proj;
+  return p - perp * 2.0;
+}
+
+bool contains(const Segment& s, Vec2 p, double tolerance) {
+  return distance_to(s, p) <= tolerance;
+}
+
+}  // namespace movr::geom

@@ -1,0 +1,39 @@
+// Line segments: walls, and the straight legs of propagation paths.
+#pragma once
+
+#include <optional>
+
+#include <geom/vec2.hpp>
+
+namespace movr::geom {
+
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  constexpr Vec2 direction() const { return b - a; }
+  double length() const { return (b - a).norm(); }
+  constexpr Vec2 midpoint() const { return (a + b) * 0.5; }
+
+  /// Point at parameter t in [0, 1] along the segment.
+  constexpr Vec2 at(double t) const { return a + (b - a) * t; }
+};
+
+/// Proper intersection of two segments (shared endpoints count as hits).
+/// Returns the intersection point, or nullopt if they do not cross.
+/// Collinear overlapping segments return nullopt: walls in our rooms are
+/// axis-aligned and never collinear with propagation legs in practice, and
+/// a grazing ray carries no blockage semantics.
+std::optional<Vec2> intersect(const Segment& s1, const Segment& s2);
+
+/// Euclidean distance from a point to the closest point on the segment.
+double distance_to(const Segment& s, Vec2 p);
+
+/// Mirror image of point `p` across the infinite line through `s`.
+/// This is the image-source transform used by the specular ray tracer.
+Vec2 mirror_across(const Segment& s, Vec2 p);
+
+/// True if `p` lies within `tolerance` of the segment.
+bool contains(const Segment& s, Vec2 p, double tolerance = 1e-9);
+
+}  // namespace movr::geom

@@ -1,0 +1,86 @@
+// 2-D vector primitives used throughout the room/ray geometry.
+//
+// All of the paper's geometry (AP, reflector, headset, blockers, walls) lives
+// in the horizontal plane: every angle in the paper (angle of incidence,
+// angle of reflection, beam-steering angles in Figs. 7 and 8) is an azimuth.
+// A plain 2-D vector type therefore carries the whole spatial model.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace movr::geom {
+
+/// A point or displacement in the room plane, in metres.
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x{x_}, y{y_} {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  friend constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+
+  /// Signed magnitude of the 2-D cross product (z-component of a 3-D cross).
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  constexpr double norm_sq() const { return x * x + y * y; }
+  double norm() const { return std::hypot(x, y); }
+
+  /// Unit vector in the same direction. Undefined for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return {x / n, y / n};
+  }
+
+  /// Counter-clockwise rotation by `radians`.
+  Vec2 rotated(double radians) const {
+    const double c = std::cos(radians);
+    const double s = std::sin(radians);
+    return {c * x - s * y, s * x + c * y};
+  }
+
+  /// Perpendicular vector (90 degrees counter-clockwise).
+  constexpr Vec2 perp() const { return {-y, x}; }
+
+  /// Azimuth of this vector in radians, in (-pi, pi], measured CCW from +x.
+  double heading() const { return std::atan2(y, x); }
+
+  /// Unit vector with the given heading (radians CCW from +x).
+  static Vec2 from_heading(double radians) {
+    return {std::cos(radians), std::sin(radians)};
+  }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+inline std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace movr::geom

@@ -1,0 +1,51 @@
+#include <hw/amplifier.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace movr::hw {
+
+Amplifier::Amplifier(const Config& config)
+    : config_{config}, gain_{config.min_gain} {
+  if (config_.max_gain < config_.min_gain) {
+    throw std::invalid_argument{"Amplifier: max_gain below min_gain"};
+  }
+  if (config_.rapp_smoothness <= 0.0) {
+    throw std::invalid_argument{"Amplifier: rapp_smoothness must be > 0"};
+  }
+}
+
+void Amplifier::set_gain(rf::Decibels gain) {
+  gain_ = std::clamp(gain, config_.min_gain, config_.max_gain);
+}
+
+Amplifier::Operating Amplifier::drive(rf::DbmPower input) const {
+  const double ideal_out_mw = (input + gain_).milliwatts();
+  const double sat_mw = config_.saturation_power.milliwatts();
+
+  // Rapp soft limiter on power: out = in / (1 + (in/sat)^s)^(1/s).
+  const double s = config_.rapp_smoothness;
+  const double ratio = ideal_out_mw / sat_mw;
+  const double actual_out_mw = ideal_out_mw / std::pow(1.0 + std::pow(ratio, s), 1.0 / s);
+
+  Operating op;
+  op.output = rf::DbmPower::from_milliwatts(actual_out_mw);
+  op.compression_db = 10.0 * std::log10(ideal_out_mw / actual_out_mw);
+  op.saturated = op.compression_db > 1.0;
+
+  // Supply current: quiescent + load-proportional + compression knee.
+  // The knee is a logistic ramp centred at `knee_compression_db`: well below
+  // it the extra term vanishes, at/above it the full compression current
+  // flows. This is the observable Section 4.2's algorithm watches.
+  const double knee_x =
+      (op.compression_db - config_.knee_compression_db) /
+      (0.25 * config_.knee_compression_db);
+  const double knee_fraction = 1.0 / (1.0 + std::exp(-knee_x));
+  op.supply_current_a = config_.quiescent_current_a +
+                        config_.current_per_watt * actual_out_mw * 1e-3 +
+                        config_.compression_current_a * knee_fraction;
+  return op;
+}
+
+}  // namespace movr::hw

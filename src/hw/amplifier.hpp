@@ -1,0 +1,76 @@
+// Variable-gain amplifier model (HMC-C020 PA + QLW-2440 LNA + HMC712
+// attenuator in the prototype).
+//
+// Two behaviours matter to MoVR and both are modelled:
+//
+//  1. *Saturation*: output power soft-limits at the amplifier's saturated
+//     output power (Rapp model). An amplifier driven into compression emits
+//     distorted ("garbage") signal.
+//  2. *Supply current*: "amplifiers draw significantly higher current as
+//     they get close to saturation mode" (Section 4.2). The gain-control
+//     algorithm has no receive chain, so this current knee is the ONLY
+//     observable it gets.
+#pragma once
+
+#include <rf/units.hpp>
+
+namespace movr::hw {
+
+class Amplifier {
+ public:
+  struct Config {
+    rf::Decibels min_gain{0.0};
+    /// QLW-2440 LNA + HMC-C020 PA minus the attenuator's insertion loss and
+    /// the coax/connector losses of the prototype: ~45 dB usable
+    /// through-gain. The cap sits at the low edge of the leakage range
+    /// (Fig. 7: isolation ~43-80 dB), so in benign geometries the hardware
+    /// bound rules — MoVR lands "a few dB" above LOS, not tens (paper §5.2)
+    /// — while in low-isolation beam configurations the §4.2 gain
+    /// controller must back off below the leakage.
+    rf::Decibels max_gain{45.0};
+    /// Saturated output power.
+    rf::DbmPower saturation_power{20.0};
+    /// Rapp smoothness: higher = harder limiting.
+    double rapp_smoothness{2.0};
+    /// Noise figure of the chain. The LNA comes first (QLW-2440, NF ~2.5
+    /// dB) and sets the cascade per Friis' formula; the attenuator and PA
+    /// behind its ~25 dB of gain add a fraction of a dB. The relay
+    /// amplifies its input noise by this over kTB — at high gain that
+    /// re-radiated noise measurably raises the floor at the headset.
+    rf::Decibels noise_figure{3.0};
+    /// Quiescent supply current, amps.
+    double quiescent_current_a{0.350};
+    /// Current proportional to RF output power (class-AB behaviour), A/W.
+    double current_per_watt{1.5};
+    /// Extra current drawn when compressed, amps (the detectable knee).
+    double compression_current_a{0.120};
+    /// Compression depth (dB) at which half the knee current flows.
+    double knee_compression_db{0.5};
+  };
+
+  Amplifier() : Amplifier(Config{}) {}
+  explicit Amplifier(const Config& config);
+
+  const Config& config() const { return config_; }
+
+  /// Commands a gain; clamped into [min_gain, max_gain].
+  void set_gain(rf::Decibels gain);
+  rf::Decibels gain() const { return gain_; }
+
+  /// Result of driving the amplifier with a given input power.
+  struct Operating {
+    rf::DbmPower output;          // actual (compressed) output power
+    double compression_db{0.0};   // ideal-minus-actual output, dB
+    double supply_current_a{0.0};
+    bool saturated{false};        // compression beyond 1 dB: garbage signal
+  };
+
+  /// Static transfer function: no state is kept between calls.
+  Operating drive(rf::DbmPower input) const;
+
+ private:
+  Config config_;
+  rf::Decibels gain_;
+};
+
+}  // namespace movr::hw

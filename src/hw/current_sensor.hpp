@@ -1,0 +1,37 @@
+// DC current sensor (TI INA169 + ADC in the prototype).
+//
+// The gain controller reads the amplifier's supply current through this
+// sensor: a noisy, quantised view — the knee-detection threshold has to
+// clear the noise floor modelled here.
+#pragma once
+
+#include <random>
+
+namespace movr::hw {
+
+class CurrentSensor {
+ public:
+  struct Config {
+    double noise_sigma_a{0.002};    // 2 mA rms sense noise
+    double quantization_a{0.001};   // ADC step, 1 mA
+    double full_scale_a{2.0};
+  };
+
+  CurrentSensor() : CurrentSensor(Config{}) {}
+  explicit CurrentSensor(const Config& config) : config_{config} {}
+
+  const Config& config() const { return config_; }
+
+  /// One ADC reading of `true_current_a` amps.
+  double read(double true_current_a, std::mt19937_64& rng) const;
+
+  /// Averaged reading over `samples` conversions (the controller averages
+  /// a few samples per gain step to suppress noise).
+  double read_averaged(double true_current_a, int samples,
+                       std::mt19937_64& rng) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace movr::hw

@@ -1,0 +1,32 @@
+#include <hw/dac.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace movr::hw {
+
+Dac::Dac(const Config& config) : config_{config} {
+  if (config_.bits < 1 || config_.bits > 24) {
+    throw std::invalid_argument{"Dac: bits out of range"};
+  }
+  if (config_.full_scale <= 0.0) {
+    throw std::invalid_argument{"Dac: full_scale must be positive"};
+  }
+  max_code_ = (1u << config_.bits) - 1u;
+}
+
+double Dac::output(std::uint32_t code) const {
+  const std::uint32_t c = std::min(code, max_code_);
+  return config_.full_scale * static_cast<double>(c) /
+         static_cast<double>(max_code_);
+}
+
+std::uint32_t Dac::code_for(double value) const {
+  const double clamped = std::clamp(value, 0.0, config_.full_scale);
+  const double code =
+      std::round(clamped / config_.full_scale * static_cast<double>(max_code_));
+  return static_cast<std::uint32_t>(code);
+}
+
+}  // namespace movr::hw

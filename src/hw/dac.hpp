@@ -1,0 +1,38 @@
+// AD7228-class DAC: the micro-controller's only handle on analog settings.
+// Phase shifters and the gain attenuator are driven by DAC codes, so every
+// analog command in the system is quantised through this.
+#pragma once
+
+#include <cstdint>
+
+namespace movr::hw {
+
+class Dac {
+ public:
+  struct Config {
+    int bits{8};             // AD7228 is 8-bit
+    double full_scale{1.0};  // output range [0, full_scale]
+  };
+
+  Dac() : Dac(Config{}) {}
+  explicit Dac(const Config& config);
+
+  const Config& config() const { return config_; }
+  std::uint32_t max_code() const { return max_code_; }
+
+  /// Output value for a code (codes above max clamp).
+  double output(std::uint32_t code) const;
+
+  /// Nearest code producing `value` (clamped into range).
+  std::uint32_t code_for(double value) const;
+
+  /// The value actually realised when `value` is requested: quantisation
+  /// round-trip through the converter.
+  double quantize(double value) const { return output(code_for(value)); }
+
+ private:
+  Config config_;
+  std::uint32_t max_code_;
+};
+
+}  // namespace movr::hw

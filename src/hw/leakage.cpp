@@ -1,0 +1,44 @@
+#include <hw/leakage.hpp>
+
+#include <cmath>
+
+#include <geom/angle.hpp>
+
+namespace movr::hw {
+
+LeakageModel::LeakageModel(const Config& config) : config_{config} {
+  // Derive three stable ripple phases from the seed (splitmix-style).
+  std::uint64_t z = config_.ripple_seed;
+  for (double& phase : ripple_phase_) {
+    z += 0x9e3779b97f4a7c15ull;
+    std::uint64_t x = z;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    phase = static_cast<double>(x % 62832ull) * 1e-4;  // [0, 2*pi)
+  }
+}
+
+rf::Decibels LeakageModel::coupling(double theta_tx_rad,
+                                    double theta_rx_rad) const {
+  // Realised gain of each steered array toward the coupling direction.
+  rf::PhasedArray tx{config_.array};
+  rf::PhasedArray rx{config_.array};
+  tx.steer(theta_tx_rad);
+  rx.steer(theta_rx_rad);
+  const double g_tx = tx.gain(config_.tx_coupling_angle).value();
+  const double g_rx = rx.gain(config_.rx_coupling_angle).value();
+
+  // Near-field standing-wave ripple: deterministic in the two angles.
+  const double a = config_.ripple_amplitude_db;
+  const double ripple =
+      a * 0.5 * std::sin(3.1 * theta_tx_rad + 0.9 * theta_rx_rad + ripple_phase_[0]) +
+      a * 0.3 * std::sin(7.3 * theta_tx_rad - 1.7 * theta_rx_rad + ripple_phase_[1]) +
+      a * 0.2 * std::sin(11.7 * theta_tx_rad + 2.3 * theta_rx_rad + ripple_phase_[2]);
+
+  const double coupling_db = config_.board_coupling.value() +
+                             config_.pattern_scale * (g_tx + g_rx) + ripple;
+  return rf::Decibels{coupling_db};
+}
+
+}  // namespace movr::hw

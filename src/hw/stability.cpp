@@ -1,0 +1,31 @@
+#include <hw/stability.hpp>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace movr::hw {
+
+rf::Decibels loop_margin(rf::Decibels amplifier_gain, rf::Decibels isolation) {
+  return isolation - amplifier_gain;
+}
+
+bool is_loop_stable(rf::Decibels amplifier_gain, rf::Decibels isolation) {
+  return loop_margin(amplifier_gain, isolation).value() > 0.0;
+}
+
+rf::Decibels regeneration_boost(rf::Decibels amplifier_gain,
+                                rf::Decibels isolation) {
+  if (!is_loop_stable(amplifier_gain, isolation)) {
+    throw std::logic_error{"regeneration_boost: loop is unstable"};
+  }
+  const double loop_amplitude =
+      (amplifier_gain - isolation).amplitude();  // g * l < 1
+  return rf::Decibels{-20.0 * std::log10(1.0 - loop_amplitude)};
+}
+
+rf::Decibels closed_loop_gain(rf::Decibels amplifier_gain,
+                              rf::Decibels isolation) {
+  return amplifier_gain + regeneration_boost(amplifier_gain, isolation);
+}
+
+}  // namespace movr::hw

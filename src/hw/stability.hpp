@@ -1,0 +1,28 @@
+// Feedback-loop stability of the amplify-and-reflect front end.
+//
+// Signal-flow graph (paper Fig. 6b): amplifier gain G dB feeds the TX
+// antenna; leakage attenuates by L dB back into the RX antenna and the loop
+// closes. The loop is stable iff G - L < 0; as G approaches L the loop
+// regenerates (closed-loop gain exceeds G) until the amplifier saturates.
+#pragma once
+
+#include <rf/units.hpp>
+
+namespace movr::hw {
+
+/// Stability margin L - G in dB; positive = stable.
+rf::Decibels loop_margin(rf::Decibels amplifier_gain, rf::Decibels isolation);
+
+bool is_loop_stable(rf::Decibels amplifier_gain, rf::Decibels isolation);
+
+/// Closed-loop small-signal gain including regeneration:
+/// g / (1 - g*l) in amplitude terms. Precondition: the loop is stable.
+rf::Decibels closed_loop_gain(rf::Decibels amplifier_gain,
+                              rf::Decibels isolation);
+
+/// Extra input-referred boost caused by regeneration: the amplifier sees
+/// its input scaled by 1 / (1 - g*l). Used to drive the saturation model.
+rf::Decibels regeneration_boost(rf::Decibels amplifier_gain,
+                                rf::Decibels isolation);
+
+}  // namespace movr::hw

@@ -1,0 +1,32 @@
+#include <phy/airtime.hpp>
+
+namespace movr::phy {
+
+sim::Duration ppdu_airtime(const McsEntry& mcs, const AirtimeConfig& config) {
+  const double payload_bits =
+      config.ampdu_bytes * 8.0 * (1.0 + config.mac_overhead);
+  const double payload_seconds = payload_bits / (mcs.rate_mbps * 1e6);
+  return config.preamble + sim::from_seconds(payload_seconds) +
+         config.ack_exchange;
+}
+
+double goodput_mbps(const McsEntry& mcs, const AirtimeConfig& config) {
+  const sim::Duration airtime = ppdu_airtime(mcs, config);
+  const double useful_bits = config.ampdu_bytes * 8.0;
+  const double raw = useful_bits / sim::to_seconds(airtime) / 1e6;
+  return raw * (1.0 - config.packet_error_rate);
+}
+
+const McsEntry* mcs_for_goodput(double required_mbps,
+                                const AirtimeConfig& config) {
+  const McsEntry* best = nullptr;
+  for (const McsEntry& entry : mcs_table()) {
+    if (goodput_mbps(entry, config) >= required_mbps &&
+        (best == nullptr || entry.min_snr < best->min_snr)) {
+      best = &entry;
+    }
+  }
+  return best;
+}
+
+}  // namespace movr::phy

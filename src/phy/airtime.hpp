@@ -1,0 +1,40 @@
+// 802.11ad MAC-layer goodput.
+//
+// The paper needs "multiple Gbps" *delivered*; the MCS ladder quotes PHY
+// rates. Between the two sit the preamble, PHY header, MAC framing, block
+// acks and inter-frame spaces. This module computes how much of an MCS's
+// PHY rate survives as goodput with A-MPDU aggregation — the check behind
+// "MCS 24 at 6.76 Gb/s really does carry the Vive's 5.6 Gb/s stream".
+#pragma once
+
+#include <phy/mcs.hpp>
+#include <sim/time.hpp>
+
+namespace movr::phy {
+
+struct AirtimeConfig {
+  /// Short training field + channel estimation + PHY header (SC PHY).
+  sim::Duration preamble{std::chrono::nanoseconds{1891}};
+  /// Aggregated MPDU payload per PPDU, bytes (ad allows up to 262 kB).
+  double ampdu_bytes{131072.0};
+  /// Per-MPDU MAC header + delimiter overhead, fraction of payload.
+  double mac_overhead{0.02};
+  /// Block-ack exchange + SIFS per PPDU.
+  sim::Duration ack_exchange{std::chrono::microseconds{5}};
+  /// Expected retransmission overhead: effective goodput scales by
+  /// (1 - per)^(1) per MPDU burst, approximated at the PPDU level.
+  double packet_error_rate{0.001};
+};
+
+/// Time on air of one PPDU carrying `config.ampdu_bytes` at `mcs`.
+sim::Duration ppdu_airtime(const McsEntry& mcs, const AirtimeConfig& config);
+
+/// Delivered MAC goodput at `mcs`, Mbps.
+double goodput_mbps(const McsEntry& mcs, const AirtimeConfig& config);
+
+/// Lowest MCS whose *goodput* (not PHY rate) sustains `required_mbps`;
+/// nullptr when none does.
+const McsEntry* mcs_for_goodput(double required_mbps,
+                                const AirtimeConfig& config);
+
+}  // namespace movr::phy

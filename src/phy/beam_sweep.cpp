@@ -1,0 +1,128 @@
+#include <phy/beam_sweep.hpp>
+
+#include <algorithm>
+
+#include <geom/angle.hpp>
+#include <rf/codebook.hpp>
+
+namespace movr::phy {
+
+namespace {
+
+SweepResult sweep(RadioNode& tx, RadioNode& rx,
+                  std::span<const channel::Path> paths,
+                  const LinkConfig& config,
+                  std::span<const double> tx_codebook,
+                  std::span<const double> rx_codebook) {
+  SweepResult best;
+  for (const double tx_angle : tx_codebook) {
+    tx.array().steer(tx_angle);
+    for (const double rx_angle : rx_codebook) {
+      rx.array().steer(rx_angle);
+      const rf::Decibels snr = link_snr(tx, rx, paths, config);
+      ++best.combinations_tried;
+      if (snr > best.snr) {
+        best.snr = snr;
+        best.tx_local_angle = tx_angle;
+        best.rx_local_angle = rx_angle;
+      }
+    }
+  }
+  tx.array().steer(best.tx_local_angle);
+  rx.array().steer(best.rx_local_angle);
+  return best;
+}
+
+}  // namespace
+
+SweepResult sweep_best_beams(RadioNode& tx, RadioNode& rx,
+                             std::span<const channel::Path> paths,
+                             const LinkConfig& config,
+                             std::span<const double> tx_codebook,
+                             std::span<const double> rx_codebook) {
+  return sweep(tx, rx, paths, config, tx_codebook, rx_codebook);
+}
+
+SweepResult sweep_best_beams_nlos(RadioNode& tx, RadioNode& rx,
+                                  std::span<const channel::Path> paths,
+                                  const LinkConfig& config,
+                                  std::span<const double> tx_codebook,
+                                  std::span<const double> rx_codebook) {
+  std::vector<channel::Path> reflected;
+  reflected.reserve(paths.size());
+  std::copy_if(paths.begin(), paths.end(), std::back_inserter(reflected),
+               [](const channel::Path& p) { return p.bounces > 0; });
+  return sweep(tx, rx, reflected, config, tx_codebook, rx_codebook);
+}
+
+FullSweepResult sweep_all_directions(RadioNode& tx, RadioNode& rx,
+                                     std::span<const channel::Path> paths,
+                                     const LinkConfig& config, bool nlos_only,
+                                     double coarse_step_deg,
+                                     double fine_step_deg, int faces) {
+  std::vector<channel::Path> usable;
+  usable.reserve(paths.size());
+  std::copy_if(paths.begin(), paths.end(), std::back_inserter(usable),
+               [nlos_only](const channel::Path& p) {
+                 return !nlos_only || p.bounces > 0;
+               });
+
+  const double tx_home = tx.orientation();
+  const double rx_home = rx.orientation();
+  FullSweepResult best;
+
+  const auto scan = [&](double tx_orient, double rx_orient,
+                        std::span<const double> tx_angles,
+                        std::span<const double> rx_angles) {
+    tx.set_orientation(tx_orient);
+    rx.set_orientation(rx_orient);
+    for (const double ta : tx_angles) {
+      tx.array().steer(ta);
+      for (const double ra : rx_angles) {
+        rx.array().steer(ra);
+        const rf::Decibels snr = link_snr(tx, rx, usable, config);
+        ++best.combinations_tried;
+        if (snr > best.snr) {
+          best.snr = snr;
+          best.tx_orientation = tx_orient;
+          best.rx_orientation = rx_orient;
+          best.tx_local_angle = ta;
+          best.rx_local_angle = ra;
+        }
+      }
+    }
+  };
+
+  // Coarse pass over every face pair.
+  const auto coarse = rf::make_codebook(movr::geom::deg_to_rad(10.0),
+                                        movr::geom::deg_to_rad(170.0),
+                                        movr::geom::deg_to_rad(coarse_step_deg));
+  for (int fi = 0; fi < faces; ++fi) {
+    const double tx_orient =
+        tx_home + movr::geom::kTwoPi * fi / static_cast<double>(faces);
+    for (int fj = 0; fj < faces; ++fj) {
+      const double rx_orient =
+          rx_home + movr::geom::kTwoPi * fj / static_cast<double>(faces);
+      scan(tx_orient, rx_orient, coarse, coarse);
+    }
+  }
+
+  // Fine pass around the coarse winner.
+  const double span = movr::geom::deg_to_rad(coarse_step_deg);
+  const double step = movr::geom::deg_to_rad(fine_step_deg);
+  const auto fine_tx =
+      rf::make_codebook(best.tx_local_angle - span, best.tx_local_angle + span,
+                        step);
+  const auto fine_rx =
+      rf::make_codebook(best.rx_local_angle - span, best.rx_local_angle + span,
+                        step);
+  scan(best.tx_orientation, best.rx_orientation, fine_tx, fine_rx);
+
+  tx.set_orientation(best.tx_orientation);
+  rx.set_orientation(best.rx_orientation);
+  tx.array().steer(best.tx_local_angle);
+  rx.array().steer(best.rx_local_angle);
+  return best;
+}
+
+}  // namespace movr::phy

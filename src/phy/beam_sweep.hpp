@@ -1,0 +1,65 @@
+// Exhaustive beam sweeps.
+//
+// Section 3's NLOS experiment: "we try every combination of beam angle for
+// both transmitter and receiver antennas, with 1 degree increments" and take
+// the best non-line-of-sight SNR. These helpers run that sweep for any pair
+// of radios, optionally excluding the LOS direction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include <channel/path.hpp>
+#include <phy/link.hpp>
+#include <phy/radio.hpp>
+
+namespace movr::phy {
+
+struct SweepResult {
+  double tx_local_angle{0.0};  // best TX steering, array-local radians
+  double rx_local_angle{0.0};
+  rf::Decibels snr{-300.0};
+  int combinations_tried{0};
+};
+
+/// Sweeps both radios over their codebooks and returns the best SNR.
+/// Steering of both radios is left at the winning setting.
+SweepResult sweep_best_beams(RadioNode& tx, RadioNode& rx,
+                             std::span<const channel::Path> paths,
+                             const LinkConfig& config,
+                             std::span<const double> tx_codebook,
+                             std::span<const double> rx_codebook);
+
+/// Same sweep, but only over `paths` with at least one bounce — the paper's
+/// "Opt. NLOS" scenario (the blocked LOS direction is ignored).
+SweepResult sweep_best_beams_nlos(RadioNode& tx, RadioNode& rx,
+                                  std::span<const channel::Path> paths,
+                                  const LinkConfig& config,
+                                  std::span<const double> tx_codebook,
+                                  std::span<const double> rx_codebook);
+
+struct FullSweepResult {
+  double tx_orientation{0.0};  // winning mount orientation (global radians)
+  double rx_orientation{0.0};
+  double tx_local_angle{0.0};
+  double rx_local_angle{0.0};
+  rf::Decibels snr{-300.0};
+  int combinations_tried{0};
+};
+
+/// The paper's Section 3 sweep: "every combination of beam angle for both
+/// transmitter and receiver antennas ... in all directions". A single ULA
+/// face only covers a ~160 degree sector, so full-azimuth coverage re-mounts
+/// each array in `faces` orientations around the circle and sweeps the
+/// sector within each. Runs coarse (coarse_step_deg) over all face pairs,
+/// then refines +/- coarse_step at fine_step_deg around the winner. When
+/// `nlos_only`, LOS paths are excluded (the Opt. NLOS scenario).
+/// Leaves both radios mounted and steered at the winning setting.
+FullSweepResult sweep_all_directions(RadioNode& tx, RadioNode& rx,
+                                     std::span<const channel::Path> paths,
+                                     const LinkConfig& config, bool nlos_only,
+                                     double coarse_step_deg = 3.0,
+                                     double fine_step_deg = 1.0,
+                                     int faces = 4);
+
+}  // namespace movr::phy

@@ -1,0 +1,62 @@
+// Link-budget evaluation: from traced paths and steered arrays to received
+// power and SNR. This is the function every experiment in the paper reduces
+// to: "place radios, steer beams, read the SNR".
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include <channel/path.hpp>
+#include <phy/radio.hpp>
+#include <rf/units.hpp>
+
+namespace movr::phy {
+
+struct LinkConfig {
+  double carrier_hz{24.0e9};       // 24 GHz ISM band, as the prototype
+  double bandwidth_hz{2.16e9};     // one 802.11ad channel
+  rf::Decibels noise_figure{7.0};
+  /// Fixed end-to-end implementation loss (filters, pointing, polarization
+  /// mismatch). Calibrates the LOS SNR in the 5x5 m room to the paper's
+  /// measured ~25 dB mean (close-to-AP placements reach 30-35 dB, Sec. 5.2)
+  /// while keeping far-corner LOS above the max-rate threshold.
+  rf::Decibels implementation_loss{11.0};
+  /// Frequency points averaged across the channel when summing multipath.
+  /// A 2.16 GHz OFDM signal (and a swept measurement tone) sees the
+  /// *frequency-averaged* channel, not a single-tone fade: without this,
+  /// deterministic single-frequency nulls produce artifacts no wideband
+  /// radio would measure. 1 = narrowband (single tone).
+  int frequency_samples{8};
+};
+
+/// Receiver noise floor for this link configuration.
+rf::DbmPower link_noise_floor(const LinkConfig& config);
+
+/// One propagation path reduced to its band-centre complex amplitude (in
+/// sqrt-milliwatts, including antenna responses) plus its length, which
+/// sets how the phase rotates across the channel.
+struct PathComponent {
+  std::complex<double> base;
+  double length_m{0.0};
+};
+
+/// Frequency-averaged received power of a set of path components, minus
+/// `extra_loss`. The building block behind received_power and the
+/// via-reflector hops in movr::core::Scene.
+rf::DbmPower wideband_power(std::span<const PathComponent> components,
+                            const LinkConfig& config, rf::Decibels extra_loss);
+
+/// Received power at `rx` for a transmission from `tx` over `paths`,
+/// with both arrays at their current steering. Multipath is summed
+/// coherently with deterministic per-path phases from the path lengths.
+rf::DbmPower received_power(const RadioNode& tx, const RadioNode& rx,
+                            std::span<const channel::Path> paths,
+                            const LinkConfig& config);
+
+/// SNR of the same reception.
+rf::Decibels link_snr(const RadioNode& tx, const RadioNode& rx,
+                      std::span<const channel::Path> paths,
+                      const LinkConfig& config);
+
+}  // namespace movr::phy

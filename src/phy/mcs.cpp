@@ -1,0 +1,84 @@
+#include <phy/mcs.hpp>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace movr::phy {
+
+namespace {
+
+using rf::Decibels;
+
+// Rates: IEEE 802.11ad-2012 Tables 21-18 (SC) and 21-14 (OFDM).
+// SNR thresholds: receiver sensitivities (Table 21-3) referenced to a
+// -68 dBm noise floor (2.16 GHz, NF 10 dB as the standard assumes), then
+// smoothed to be monotone within each PHY.
+constexpr std::array<McsEntry, 25> kTable{{
+    {0, PhyKind::kControl, "pi/2-DBPSK", "1/2 x32", 27.5, Decibels{-12.0}},
+    {1, PhyKind::kSingleCarrier, "pi/2-BPSK", "1/2 x2", 385.0, Decibels{1.0}},
+    {2, PhyKind::kSingleCarrier, "pi/2-BPSK", "1/2", 770.0, Decibels{2.5}},
+    {3, PhyKind::kSingleCarrier, "pi/2-BPSK", "5/8", 962.5, Decibels{3.0}},
+    {4, PhyKind::kSingleCarrier, "pi/2-BPSK", "3/4", 1155.0, Decibels{4.0}},
+    {5, PhyKind::kSingleCarrier, "pi/2-BPSK", "13/16", 1251.25, Decibels{4.5}},
+    {6, PhyKind::kSingleCarrier, "pi/2-QPSK", "1/2", 1540.0, Decibels{5.5}},
+    {7, PhyKind::kSingleCarrier, "pi/2-QPSK", "5/8", 1925.0, Decibels{6.5}},
+    {8, PhyKind::kSingleCarrier, "pi/2-QPSK", "3/4", 2310.0, Decibels{7.5}},
+    {9, PhyKind::kSingleCarrier, "pi/2-QPSK", "13/16", 2502.5, Decibels{8.5}},
+    {10, PhyKind::kSingleCarrier, "pi/2-16QAM", "1/2", 3080.0, Decibels{10.5}},
+    {11, PhyKind::kSingleCarrier, "pi/2-16QAM", "5/8", 3850.0, Decibels{12.0}},
+    {12, PhyKind::kSingleCarrier, "pi/2-16QAM", "3/4", 4620.0, Decibels{13.5}},
+    {13, PhyKind::kOfdm, "SQPSK", "1/2", 693.0, Decibels{2.0}},
+    {14, PhyKind::kOfdm, "SQPSK", "5/8", 866.25, Decibels{3.5}},
+    {15, PhyKind::kOfdm, "QPSK", "1/2", 1386.0, Decibels{5.0}},
+    {16, PhyKind::kOfdm, "QPSK", "5/8", 1732.5, Decibels{6.5}},
+    {17, PhyKind::kOfdm, "QPSK", "3/4", 2079.0, Decibels{8.0}},
+    {18, PhyKind::kOfdm, "16QAM", "1/2", 2772.0, Decibels{10.5}},
+    {19, PhyKind::kOfdm, "16QAM", "5/8", 3465.0, Decibels{12.5}},
+    {20, PhyKind::kOfdm, "16QAM", "3/4", 4158.0, Decibels{14.5}},
+    {21, PhyKind::kOfdm, "16QAM", "13/16", 4504.5, Decibels{15.5}},
+    {22, PhyKind::kOfdm, "64QAM", "5/8", 5197.5, Decibels{17.5}},
+    {23, PhyKind::kOfdm, "64QAM", "3/4", 6237.0, Decibels{19.0}},
+    {24, PhyKind::kOfdm, "64QAM", "13/16", 6756.75, Decibels{20.5}},
+}};
+
+}  // namespace
+
+std::span<const McsEntry> mcs_table() { return kTable; }
+
+const McsEntry* best_mcs(rf::Decibels snr) {
+  const McsEntry* best = nullptr;
+  for (const McsEntry& entry : kTable) {
+    if (snr >= entry.min_snr &&
+        (best == nullptr || entry.rate_mbps > best->rate_mbps)) {
+      best = &entry;
+    }
+  }
+  return best;
+}
+
+double rate_mbps(rf::Decibels snr) {
+  const McsEntry* mcs = best_mcs(snr);
+  return mcs != nullptr ? mcs->rate_mbps : 0.0;
+}
+
+const McsEntry* mcs_for_rate(double required_mbps) {
+  const McsEntry* best = nullptr;
+  for (const McsEntry& entry : kTable) {
+    if (entry.rate_mbps >= required_mbps &&
+        (best == nullptr || entry.min_snr < best->min_snr)) {
+      best = &entry;
+    }
+  }
+  return best;
+}
+
+double packet_error_rate(const McsEntry& mcs, rf::Decibels snr) {
+  // Waterfall: 1% PER at threshold, one decade per dB above, saturating
+  // toward 1 below threshold over ~2 dB.
+  const double margin = (snr - mcs.min_snr).value();
+  const double log_per = -2.0 - margin;  // log10(PER)
+  return std::clamp(std::pow(10.0, log_per), 0.0, 1.0);
+}
+
+}  // namespace movr::phy

@@ -1,0 +1,48 @@
+// The IEEE 802.11ad modulation-and-coding ladder.
+//
+// The paper computes Fig. 3's data rates "by substituting the SNR
+// measurements into standard rate tables based on the 802.11ad modulation
+// and code rates" — this module is that table. Rates are the standard's
+// PHY rates for one 2.16 GHz channel; the SNR thresholds are derived from
+// the standard's receiver-sensitivity requirements referenced to the
+// channel noise floor.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include <rf/units.hpp>
+
+namespace movr::phy {
+
+enum class PhyKind : std::uint8_t { kControl, kSingleCarrier, kOfdm };
+
+struct McsEntry {
+  int index;
+  PhyKind phy;
+  std::string_view modulation;
+  std::string_view code_rate;
+  double rate_mbps;
+  /// Minimum SNR at which this MCS sustains ~1% PER.
+  rf::Decibels min_snr;
+};
+
+/// The full MCS 0..24 table, ordered by index.
+std::span<const McsEntry> mcs_table();
+
+/// Highest-rate MCS decodable at `snr`, or nullptr if even MCS0 fails.
+const McsEntry* best_mcs(rf::Decibels snr);
+
+/// PHY rate achievable at `snr`, in Mbps (0 when the link is down).
+double rate_mbps(rf::Decibels snr);
+
+/// Lowest SNR that sustains at least `required_mbps`; returns the MCS, or
+/// nullptr when no MCS is fast enough.
+const McsEntry* mcs_for_rate(double required_mbps);
+
+/// Packet error rate at `snr` for the given MCS: waterfall curve around the
+/// threshold (1% design point at min_snr, improving ~1 decade per dB).
+double packet_error_rate(const McsEntry& mcs, rf::Decibels snr);
+
+}  // namespace movr::phy

@@ -1,0 +1,55 @@
+#include <phy/rate_adapter.hpp>
+
+namespace movr::phy {
+
+void RateAdapter::reset() {
+  current_ = nullptr;
+  stable_count_ = 0;
+  stats_ = Stats{};
+}
+
+const McsEntry* RateAdapter::on_estimate(rf::Decibels estimated_snr) {
+  ++stats_.estimates;
+  const rf::Decibels backed_off = estimated_snr - config_.margin;
+  const McsEntry* safe = best_mcs(backed_off);
+
+  if (safe == nullptr) {
+    if (current_ != nullptr) {
+      ++stats_.downgrades;
+    }
+    current_ = nullptr;
+    stable_count_ = 0;
+    return current_;
+  }
+
+  if (current_ == nullptr || safe->rate_mbps < current_->rate_mbps) {
+    // Downgrades (and initial association) take effect immediately: staying
+    // too high bleeds packets.
+    if (current_ != nullptr) {
+      ++stats_.downgrades;
+    }
+    current_ = safe;
+    stable_count_ = 0;
+    return current_;
+  }
+
+  if (safe->rate_mbps == current_->rate_mbps) {
+    stable_count_ = 0;  // no headroom: sit where we are
+    return current_;
+  }
+
+  // Headroom exists. Upgrade only with hysteresis and a stability streak.
+  const McsEntry* careful = best_mcs(backed_off - config_.up_hysteresis);
+  if (careful != nullptr && careful->rate_mbps > current_->rate_mbps) {
+    if (++stable_count_ >= config_.stable_before_upgrade) {
+      current_ = careful;
+      stable_count_ = 0;
+      ++stats_.upgrades;
+    }
+  } else {
+    stable_count_ = 0;
+  }
+  return current_;
+}
+
+}  // namespace movr::phy

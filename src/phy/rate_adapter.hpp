@@ -1,0 +1,58 @@
+// Closed-loop MCS selection.
+//
+// A real 802.11ad link never reads a true SNR: it picks an MCS from noisy
+// estimates, pays packet loss when it overshoots, and upgrades carefully.
+// This adapter implements the standard pattern — margin-backed selection,
+// immediate downgrade, hysteresis-gated upgrade — so sessions can run with
+// realistic rate control instead of the oracle rate_mbps(true_snr).
+#pragma once
+
+#include <cstdint>
+
+#include <phy/mcs.hpp>
+#include <rf/units.hpp>
+
+namespace movr::phy {
+
+class RateAdapter {
+ public:
+  struct Config {
+    /// Safety margin subtracted from the SNR estimate before selection.
+    rf::Decibels margin{1.0};
+    /// Extra headroom required before stepping the rate up.
+    rf::Decibels up_hysteresis{1.5};
+    /// Consecutive clean estimates required before an upgrade.
+    int stable_before_upgrade{16};
+  };
+
+  RateAdapter() : RateAdapter{Config{}} {}
+  explicit RateAdapter(Config config) : config_{config} {}
+
+  const Config& config() const { return config_; }
+
+  /// Feeds one SNR estimate; returns the MCS to use for the next frame
+  /// (nullptr when even MCS0 is undecodable).
+  const McsEntry* on_estimate(rf::Decibels estimated_snr);
+
+  const McsEntry* current() const { return current_; }
+  double current_rate_mbps() const {
+    return current_ != nullptr ? current_->rate_mbps : 0.0;
+  }
+
+  struct Stats {
+    std::uint64_t upgrades{0};
+    std::uint64_t downgrades{0};
+    std::uint64_t estimates{0};
+  };
+  const Stats& stats() const { return stats_; }
+
+  void reset();
+
+ private:
+  Config config_;
+  const McsEntry* current_{nullptr};
+  int stable_count_{0};
+  Stats stats_;
+};
+
+}  // namespace movr::phy

@@ -1,0 +1,21 @@
+#include <phy/sls.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+namespace movr::phy {
+
+sim::Duration sls_duration(const SlsConfig& config) {
+  const auto per_sector = config.ssw_frame + config.short_ifs;
+  return per_sector * (config.initiator_sectors + config.responder_sectors) +
+         config.feedback;
+}
+
+int sectors_for_coverage(double coverage_deg, double beamwidth_deg) {
+  if (beamwidth_deg <= 0.0) {
+    return 1;
+  }
+  return std::max(1, static_cast<int>(std::ceil(coverage_deg / beamwidth_deg)));
+}
+
+}  // namespace movr::phy

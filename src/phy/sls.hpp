@@ -1,0 +1,33 @@
+// 802.11ad sector-level sweep (SLS) timing model.
+//
+// The standard's own beam-training procedure is the yardstick for every
+// search cost in this library: an initiator TX sector sweep, a responder
+// sweep, and feedback, each sector carrying one short SSW frame. MoVR's
+// backscatter search cannot use SLS (the reflector has no receiver), which
+// is why its sweep is Bluetooth-paced instead — comparing the two costs is
+// part of the Section 6 latency story.
+#pragma once
+
+#include <sim/time.hpp>
+
+namespace movr::phy {
+
+struct SlsConfig {
+  /// Sectors swept by each side (the standard allows up to 128).
+  int initiator_sectors{32};
+  int responder_sectors{32};
+  /// One SSW frame at MCS0 plus SBIFS spacing.
+  sim::Duration ssw_frame{std::chrono::microseconds{16}};
+  sim::Duration short_ifs{std::chrono::microseconds{1}};
+  /// SSW feedback + ACK exchange.
+  sim::Duration feedback{std::chrono::microseconds{50}};
+};
+
+/// Airtime of one complete SLS (both sweeps + feedback).
+sim::Duration sls_duration(const SlsConfig& config);
+
+/// Sectors needed to cover a sector of `coverage_deg` with beams of
+/// `beamwidth_deg` (ceil, at least 1).
+int sectors_for_coverage(double coverage_deg, double beamwidth_deg);
+
+}  // namespace movr::phy

@@ -1,0 +1,31 @@
+// Frequency-band presets.
+//
+// The paper's prototype works "at the 24 GHz ISM band" while its rate
+// arithmetic is 802.11ad's (60 GHz, 2.16 GHz channels). Both deployments
+// are first-class here: the whole simulator is parameterised by carrier and
+// bandwidth, so every experiment can be re-run at the band a product would
+// actually ship on (see bench/ablation_band).
+#pragma once
+
+#include <string_view>
+
+namespace movr::rf {
+
+struct Band {
+  std::string_view name;
+  double carrier_hz;
+  double bandwidth_hz;
+};
+
+/// The prototype's band: 24 GHz ISM carrier, evaluated with an
+/// 802.11ad-width channel as the paper's rate tables assume.
+inline constexpr Band k24GhzPrototype{"24 GHz ISM (prototype)", 24.125e9,
+                                      2.16e9};
+
+/// 802.11ad / WiGig channel 2 (the usual indoor default).
+inline constexpr Band k60GhzWigig{"60 GHz 802.11ad ch2", 60.48e9, 2.16e9};
+
+/// 5 GHz WiFi for the Section 1 comparison.
+inline constexpr Band k5GhzWifi{"5 GHz 802.11ac", 5.5e9, 160.0e6};
+
+}  // namespace movr::rf

@@ -1,0 +1,34 @@
+#include <rf/codebook.hpp>
+
+#include <cmath>
+#include <stdexcept>
+
+#include <geom/angle.hpp>
+
+namespace movr::rf {
+
+std::vector<double> make_codebook(double start_rad, double stop_rad,
+                                  double step_rad) {
+  if (step_rad <= 0.0) {
+    throw std::invalid_argument{"make_codebook: step must be positive"};
+  }
+  if (stop_rad < start_rad) {
+    throw std::invalid_argument{"make_codebook: stop before start"};
+  }
+  std::vector<double> angles;
+  const auto count =
+      static_cast<std::size_t>(std::floor((stop_rad - start_rad) / step_rad + 1e-9)) + 1;
+  angles.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    angles.push_back(start_rad + static_cast<double>(i) * step_rad);
+  }
+  return angles;
+}
+
+std::vector<double> paper_sector_codebook(double step_deg) {
+  using movr::geom::deg_to_rad;
+  return make_codebook(deg_to_rad(40.0), deg_to_rad(140.0),
+                       deg_to_rad(step_deg));
+}
+
+}  // namespace movr::rf

@@ -1,0 +1,17 @@
+// Beam codebooks: the discrete steering angles a radio sweeps during
+// alignment. The paper sweeps "every combination of beam angle ... with
+// 1 degree increments" (Section 3) over the array's steerable sector.
+#pragma once
+
+#include <vector>
+
+namespace movr::rf {
+
+/// Uniformly spaced steering angles over [start, stop] inclusive (radians).
+std::vector<double> make_codebook(double start_rad, double stop_rad,
+                                  double step_rad);
+
+/// The paper's sector: 40..140 degrees in `step_deg` increments, in radians.
+std::vector<double> paper_sector_codebook(double step_deg = 1.0);
+
+}  // namespace movr::rf

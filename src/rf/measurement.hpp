@@ -1,0 +1,23 @@
+// Measurement models: nothing in a real radio reads a true SNR or a true
+// power; it estimates them from finite observations. These helpers produce
+// the noisy observables the protocols in movr::core actually consume.
+#pragma once
+
+#include <random>
+
+#include <rf/units.hpp>
+
+namespace movr::rf {
+
+/// Estimates SNR from `symbols` received OFDM symbols, as the headset does
+/// in the paper's Section 5.2. The estimator error shrinks with the number
+/// of symbols and grows at low SNR (noise-on-noise). Returns the estimate.
+Decibels estimate_snr(Decibels true_snr, int symbols, std::mt19937_64& rng);
+
+/// Power-detector reading of an absolute power: the true value plus
+/// log-normal measurement error of `sigma_db`, floored at the detector's
+/// sensitivity. Models the AP's reflected-power measurement in Section 4.1.
+DbmPower measure_power(DbmPower true_power, double sigma_db,
+                       DbmPower sensitivity, std::mt19937_64& rng);
+
+}  // namespace movr::rf

@@ -1,0 +1,16 @@
+#include <rf/noise.hpp>
+
+#include <cmath>
+
+namespace movr::rf {
+
+DbmPower thermal_noise(double bandwidth_hz) {
+  // kT at 290 K is -173.98 dBm/Hz; keep the textbook -174 figure.
+  return DbmPower{-174.0 + 10.0 * std::log10(bandwidth_hz)};
+}
+
+DbmPower noise_floor(double bandwidth_hz, Decibels noise_figure) {
+  return thermal_noise(bandwidth_hz) + noise_figure;
+}
+
+}  // namespace movr::rf

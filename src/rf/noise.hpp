@@ -1,0 +1,22 @@
+// Receiver noise model: thermal floor plus noise figure.
+//
+// The SNRs in Figs. 3 and 9 are received power over this floor. At 802.11ad's
+// 2.16 GHz bandwidth the thermal floor alone is about -80.6 dBm; with a
+// consumer-grade front end (NF around 7 dB) the effective floor sits near
+// -74 dBm, which is what calibrates our link budget to the paper's 25 dB
+// LOS SNR in a 5x5 m room.
+#pragma once
+
+#include <rf/units.hpp>
+
+namespace movr::rf {
+
+/// Thermal noise power kTB at T = 290 K over `bandwidth_hz`, i.e.
+/// -174 dBm/Hz + 10*log10(B).
+DbmPower thermal_noise(double bandwidth_hz);
+
+/// Effective receiver noise floor: thermal noise degraded by the noise
+/// figure of the receive chain.
+DbmPower noise_floor(double bandwidth_hz, Decibels noise_figure);
+
+}  // namespace movr::rf

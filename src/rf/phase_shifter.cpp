@@ -1,0 +1,20 @@
+#include <rf/phase_shifter.hpp>
+
+#include <cmath>
+
+#include <geom/angle.hpp>
+
+namespace movr::rf {
+
+double PhaseShifter::realize(double commanded_radians) const {
+  const double wrapped = movr::geom::wrap_two_pi(commanded_radians);
+  if (bits_ <= 0) {
+    return wrapped;
+  }
+  const double levels = std::pow(2.0, bits_);
+  const double step = movr::geom::kTwoPi / levels;
+  const double idx = std::round(wrapped / step);
+  return movr::geom::wrap_two_pi(idx * step);
+}
+
+}  // namespace movr::rf

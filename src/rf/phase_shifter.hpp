@@ -1,0 +1,26 @@
+// Per-element phase control.
+//
+// MoVR's prototype uses Hittite HMC-933 *analog* phase shifters driven by a
+// DAC, so the achievable phase is continuous but the control word is not.
+// We model both regimes: bits == 0 means ideal/analog control, bits == n
+// quantises the commanded phase to 2^n levels over [0, 2*pi). The
+// quantisation ablation bench sweeps this knob.
+#pragma once
+
+namespace movr::rf {
+
+class PhaseShifter {
+ public:
+  /// `bits` == 0 -> analog (no quantisation). Otherwise n-bit control.
+  constexpr explicit PhaseShifter(int bits = 0) : bits_{bits} {}
+
+  constexpr int bits() const { return bits_; }
+
+  /// Maps a commanded phase (radians) to the phase the hardware realises.
+  double realize(double commanded_radians) const;
+
+ private:
+  int bits_{0};
+};
+
+}  // namespace movr::rf

@@ -1,0 +1,85 @@
+#include <rf/phased_array.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include <geom/angle.hpp>
+
+namespace movr::rf {
+
+namespace {
+constexpr double kTwoPi = movr::geom::kTwoPi;
+}
+
+PhasedArray::PhasedArray(const Config& config)
+    : config_{config}, shifter_{config.phase_bits} {
+  if (config_.elements < 1) {
+    throw std::invalid_argument{"PhasedArray: need at least one element"};
+  }
+  if (config_.spacing_wavelengths <= 0.0) {
+    throw std::invalid_argument{"PhasedArray: spacing must be positive"};
+  }
+  element_phases_.resize(static_cast<std::size_t>(config_.elements));
+  steer(steering_);
+}
+
+void PhasedArray::steer(double local_angle_rad) {
+  steering_ = movr::geom::wrap_two_pi(local_angle_rad);
+  // Progressive phase: element i is advanced so that contributions add in
+  // phase toward the steering angle. k*d in radians per element:
+  const double kd = kTwoPi * config_.spacing_wavelengths;
+  const double progressive = -kd * std::cos(steering_);
+  for (std::size_t i = 0; i < element_phases_.size(); ++i) {
+    element_phases_[i] = shifter_.realize(progressive * static_cast<double>(i));
+  }
+}
+
+std::complex<double> PhasedArray::field(double local_angle_rad) const {
+  const double kd = kTwoPi * config_.spacing_wavelengths;
+  const double psi = kd * std::cos(local_angle_rad);
+  std::complex<double> sum{0.0, 0.0};
+  for (std::size_t i = 0; i < element_phases_.size(); ++i) {
+    const double phase = psi * static_cast<double>(i) + element_phases_[i];
+    sum += std::polar(1.0, phase);
+  }
+  return sum / static_cast<double>(config_.elements);
+}
+
+double PhasedArray::element_pattern_db(double local_angle_rad) const {
+  const double a = movr::geom::wrap_two_pi(local_angle_rad);
+  const double s = std::sin(a);
+  if (s <= 0.0) {
+    // Behind the ground plane: flat back lobe.
+    return config_.element_gain.value() - config_.front_to_back.value();
+  }
+  // Angle from broadside has cosine == sin(local angle).
+  const double pattern_db = 10.0 * config_.element_exponent * std::log10(s);
+  // A single patch never nulls perfectly toward the endfire directions.
+  const double floored =
+      std::max(pattern_db, config_.scattering_floor.value());
+  return config_.element_gain.value() + floored;
+}
+
+Decibels PhasedArray::gain(double local_angle_rad) const {
+  const double af_power = std::norm(field(local_angle_rad));
+  const double af_db =
+      10.0 * std::log10(std::max(af_power, 1e-12));
+  const double af_floored = std::max(af_db, config_.scattering_floor.value());
+  const double array_db =
+      10.0 * std::log10(static_cast<double>(config_.elements));
+  return Decibels{array_db + af_floored + element_pattern_db(local_angle_rad)};
+}
+
+Decibels PhasedArray::peak_gain() const {
+  const double array_db =
+      10.0 * std::log10(static_cast<double>(config_.elements));
+  return Decibels{array_db + config_.element_gain.value()};
+}
+
+double PhasedArray::beamwidth_3db() const {
+  return 0.886 / (static_cast<double>(config_.elements) *
+                  config_.spacing_wavelengths);
+}
+
+}  // namespace movr::rf

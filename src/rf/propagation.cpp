@@ -1,0 +1,46 @@
+#include <rf/propagation.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace movr::rf {
+
+Decibels free_space_path_loss(double distance_m, double carrier_hz) {
+  const double lambda = wavelength(carrier_hz);
+  const double d = std::max(distance_m, lambda);
+  const double ratio = 4.0 * std::numbers::pi * d / lambda;
+  return Decibels{20.0 * std::log10(ratio)};
+}
+
+Decibels atmospheric_absorption(double distance_m, double carrier_hz) {
+  // Piecewise-linear fit to ITU-R P.676 sea-level specific attenuation
+  // (dB/km) around the bands this library cares about.
+  struct Point {
+    double ghz;
+    double db_per_km;
+  };
+  static constexpr Point kCurve[] = {
+      {10.0, 0.01}, {24.0, 0.10}, {38.0, 0.12}, {50.0, 0.40},
+      {55.0, 4.0},  {58.0, 12.0}, {60.0, 15.0}, {62.0, 12.0},
+      {66.0, 2.0},  {73.0, 0.40}, {90.0, 0.35},
+  };
+  const double ghz = carrier_hz / 1e9;
+  double db_per_km = kCurve[0].db_per_km;
+  if (ghz >= kCurve[std::size(kCurve) - 1].ghz) {
+    db_per_km = kCurve[std::size(kCurve) - 1].db_per_km;
+  } else {
+    for (std::size_t i = 1; i < std::size(kCurve); ++i) {
+      if (ghz < kCurve[i].ghz) {
+        const double f = (ghz - kCurve[i - 1].ghz) /
+                         (kCurve[i].ghz - kCurve[i - 1].ghz);
+        db_per_km = kCurve[i - 1].db_per_km +
+                    f * (kCurve[i].db_per_km - kCurve[i - 1].db_per_km);
+        break;
+      }
+    }
+  }
+  return Decibels{db_per_km * std::max(distance_m, 0.0) / 1000.0};
+}
+
+}  // namespace movr::rf

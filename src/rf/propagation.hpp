@@ -1,0 +1,31 @@
+// Free-space propagation at mmWave frequencies.
+#pragma once
+
+#include <rf/units.hpp>
+
+namespace movr::rf {
+
+inline constexpr double kSpeedOfLight = 299'792'458.0;  // m/s
+
+/// Carrier wavelength in metres.
+constexpr double wavelength(double carrier_hz) {
+  return kSpeedOfLight / carrier_hz;
+}
+
+/// Friis free-space path loss between isotropic antennas, as a positive dB
+/// loss. Valid for d >= wavelength (far field); shorter distances are
+/// clamped to one wavelength so degenerate geometry cannot produce gain.
+Decibels free_space_path_loss(double distance_m, double carrier_hz);
+
+/// Propagation delay over a straight leg, in seconds.
+constexpr double propagation_delay(double distance_m) {
+  return distance_m / kSpeedOfLight;
+}
+
+/// Atmospheric (oxygen) absorption over a leg, as a positive dB loss.
+/// Negligible away from the 60 GHz O2 resonance (~0.1 dB/km) but ~15 dB/km
+/// on it — microscopic at room scale, yet it belongs in a budget that
+/// claims to model the 802.11ad band.
+Decibels atmospheric_absorption(double distance_m, double carrier_hz);
+
+}  // namespace movr::rf

@@ -1,0 +1,110 @@
+// Strong types and conversions for RF power arithmetic.
+//
+// Link budgets mix three unit systems — absolute power (dBm), gains/losses
+// (dB), and linear ratios/watts. Mixing them up is the classic RF-simulator
+// bug, so absolute power and relative gain get distinct vocabulary types:
+// you can add a Decibels to a DbmPower (apply a gain) but not add two
+// DbmPowers (meaningless).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace movr::rf {
+
+/// A relative gain or loss, in dB. Positive = gain, negative = loss.
+class Decibels {
+ public:
+  constexpr Decibels() = default;
+  constexpr explicit Decibels(double db) : db_{db} {}
+
+  constexpr double value() const { return db_; }
+  double linear() const { return std::pow(10.0, db_ / 10.0); }
+
+  /// Amplitude (voltage) ratio; power ratio is amplitude squared.
+  double amplitude() const { return std::pow(10.0, db_ / 20.0); }
+
+  static Decibels from_linear(double power_ratio) {
+    return Decibels{10.0 * std::log10(power_ratio)};
+  }
+
+  constexpr Decibels operator+(Decibels o) const { return Decibels{db_ + o.db_}; }
+  constexpr Decibels operator-(Decibels o) const { return Decibels{db_ - o.db_}; }
+  constexpr Decibels operator-() const { return Decibels{-db_}; }
+  constexpr Decibels operator*(double s) const { return Decibels{db_ * s}; }
+  constexpr Decibels& operator+=(Decibels o) {
+    db_ += o.db_;
+    return *this;
+  }
+  constexpr Decibels& operator-=(Decibels o) {
+    db_ -= o.db_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Decibels, Decibels) = default;
+
+ private:
+  double db_{0.0};
+};
+
+/// An absolute power level referenced to 1 mW, in dBm.
+class DbmPower {
+ public:
+  constexpr DbmPower() = default;
+  constexpr explicit DbmPower(double dbm) : dbm_{dbm} {}
+
+  constexpr double value() const { return dbm_; }
+  double milliwatts() const { return std::pow(10.0, dbm_ / 10.0); }
+  double watts() const { return milliwatts() * 1e-3; }
+
+  static DbmPower from_milliwatts(double mw) {
+    return DbmPower{10.0 * std::log10(mw)};
+  }
+  static DbmPower from_watts(double w) { return from_milliwatts(w * 1e3); }
+
+  /// Applying a gain/loss to an absolute power yields an absolute power.
+  constexpr DbmPower operator+(Decibels g) const { return DbmPower{dbm_ + g.value()}; }
+  constexpr DbmPower operator-(Decibels g) const { return DbmPower{dbm_ - g.value()}; }
+  constexpr DbmPower& operator+=(Decibels g) {
+    dbm_ += g.value();
+    return *this;
+  }
+
+  /// The ratio of two absolute powers is a relative gain — this is how an
+  /// SNR (signal dBm minus noise dBm) is formed.
+  constexpr Decibels operator-(DbmPower o) const { return Decibels{dbm_ - o.dbm_}; }
+
+  friend constexpr auto operator<=>(DbmPower, DbmPower) = default;
+
+ private:
+  double dbm_{-300.0};  // "no signal": 1e-30 mW, far below any noise floor
+};
+
+/// Sum of two absolute powers (e.g. combining incoherent multipath energy).
+inline DbmPower power_sum(DbmPower a, DbmPower b) {
+  return DbmPower::from_milliwatts(a.milliwatts() + b.milliwatts());
+}
+
+inline std::ostream& operator<<(std::ostream& os, Decibels d) {
+  return os << d.value() << " dB";
+}
+inline std::ostream& operator<<(std::ostream& os, DbmPower p) {
+  return os << p.value() << " dBm";
+}
+
+namespace literals {
+constexpr Decibels operator""_dB(long double v) {
+  return Decibels{static_cast<double>(v)};
+}
+constexpr Decibels operator""_dB(unsigned long long v) {
+  return Decibels{static_cast<double>(v)};
+}
+constexpr DbmPower operator""_dBm(long double v) {
+  return DbmPower{static_cast<double>(v)};
+}
+constexpr DbmPower operator""_dBm(unsigned long long v) {
+  return DbmPower{static_cast<double>(v)};
+}
+}  // namespace literals
+
+}  // namespace movr::rf

@@ -1,0 +1,56 @@
+#include <sim/control_channel.hpp>
+
+#include <utility>
+
+namespace movr::sim {
+
+ControlChannel::ControlChannel(Simulator& simulator, Config config,
+                               std::mt19937_64 rng)
+    : simulator_{simulator}, config_{config}, rng_{std::move(rng)} {}
+
+void ControlChannel::attach(const std::string& endpoint_name,
+                            Endpoint endpoint) {
+  endpoints_[endpoint_name] = std::move(endpoint);
+}
+
+void ControlChannel::send(const std::string& to, ControlMessage message) {
+  ++stats_.sent;
+  deliver(to, message, 0);
+}
+
+void ControlChannel::deliver(const std::string& to,
+                             const ControlMessage& message, int attempt) {
+  std::uniform_real_distribution<double> coin{0.0, 1.0};
+  std::uniform_real_distribution<double> jitter{
+      -to_seconds(config_.jitter), to_seconds(config_.jitter)};
+
+  const bool lost = coin(rng_) < config_.loss_probability;
+  if (lost) {
+    if (attempt >= config_.max_retries) {
+      ++stats_.dropped;
+      return;
+    }
+    ++stats_.retransmitted;
+    simulator_.after(config_.retry_timeout,
+                     [this, to, message, attempt] {
+                       deliver(to, message, attempt + 1);
+                     });
+    return;
+  }
+
+  Duration delay = config_.latency + from_seconds(jitter(rng_));
+  if (delay < Duration::zero()) {
+    delay = Duration::zero();
+  }
+  simulator_.after(delay, [this, to, message] {
+    const auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      ++stats_.undeliverable;
+      return;
+    }
+    ++stats_.delivered;
+    it->second(message);
+  });
+}
+
+}  // namespace movr::sim

@@ -1,0 +1,71 @@
+// The Bluetooth-class control link between the AP and each MoVR reflector.
+//
+// The paper's reflector "has a bluetooth link with the AP to exchange
+// control information" (Section 4). Control messages are tiny but not free:
+// a BLE connection-event exchange costs milliseconds and can drop. The
+// angle-search protocol's running time (part of the latency budget in
+// Section 6) is dominated by these exchanges, so the channel models latency,
+// jitter and loss explicitly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+#include <sim/simulator.hpp>
+#include <sim/time.hpp>
+
+namespace movr::sim {
+
+struct ControlMessage {
+  std::string topic;      // e.g. "set_rx_angle", "modulate_on"
+  double value{0.0};      // numeric payload (angle, gain code, ...)
+  std::uint64_t tag{0};   // correlates request/response pairs
+};
+
+class ControlChannel {
+ public:
+  struct Config {
+    Duration latency{sim::Duration{3'000'000}};  // 3 ms BLE connection event
+    Duration jitter{sim::Duration{500'000}};     // +/- 0.5 ms uniform
+    double loss_probability{0.0};
+    /// Lost messages are retransmitted after this timeout (BLE link-layer
+    /// retry, surfaced here as extra latency rather than loss).
+    Duration retry_timeout{sim::Duration{7'500'000}};
+    int max_retries{3};
+  };
+
+  using Endpoint = std::function<void(const ControlMessage&)>;
+
+  ControlChannel(Simulator& simulator, Config config, std::mt19937_64 rng);
+
+  /// Registers a receiver. Messages to an unknown endpoint are dropped and
+  /// counted (visible in stats()).
+  void attach(const std::string& endpoint_name, Endpoint endpoint);
+
+  /// Sends a message; delivery is asynchronous via the simulator.
+  void send(const std::string& to, ControlMessage message);
+
+  struct Stats {
+    std::uint64_t sent{0};
+    std::uint64_t delivered{0};
+    std::uint64_t dropped{0};       // lost after all retries
+    std::uint64_t retransmitted{0};
+    std::uint64_t undeliverable{0};  // no such endpoint
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void deliver(const std::string& to, const ControlMessage& message,
+               int attempt);
+
+  Simulator& simulator_;
+  Config config_;
+  std::mt19937_64 rng_;
+  std::unordered_map<std::string, Endpoint> endpoints_;
+  Stats stats_;
+};
+
+}  // namespace movr::sim

@@ -1,0 +1,70 @@
+#include <sim/event_queue.hpp>
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace movr::sim {
+
+EventQueue::EventId EventQueue::schedule(TimePoint when, Handler handler) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(handler)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::is_cancelled(EventId id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) {
+    return;
+  }
+  if (!is_cancelled(id)) {
+    cancelled_.push_back(id);
+    if (live_count_ > 0) {
+      --live_count_;
+    }
+  }
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && is_cancelled(heap_.top().id)) {
+    const EventId id = heap_.top().id;
+    cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), id),
+                     cancelled_.end());
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  // live_count_ already excludes cancelled-but-not-popped entries.
+  return live_count_ == 0;
+}
+
+TimePoint EventQueue::next_time() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled();
+  if (heap_.empty()) {
+    throw std::logic_error{"EventQueue::next_time on empty queue"};
+  }
+  return heap_.top().when;
+}
+
+TimePoint EventQueue::run_next() {
+  drop_cancelled();
+  if (heap_.empty()) {
+    throw std::logic_error{"EventQueue::run_next on empty queue"};
+  }
+  // Move the handler out before popping: the handler may schedule new
+  // events, which mutates the heap.
+  Entry top = heap_.top();
+  heap_.pop();
+  --live_count_;
+  top.handler();
+  return top.when;
+}
+
+}  // namespace movr::sim

@@ -1,0 +1,65 @@
+// The discrete-event core: a time-ordered queue of callbacks.
+//
+// Ties are broken by insertion order so runs are deterministic — identical
+// seeds replay identical event sequences, which the replay property tests
+// assert.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include <sim/time.hpp>
+
+namespace movr::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Identifies a scheduled event so it can be cancelled.
+  using EventId = std::uint64_t;
+
+  /// Schedules `handler` to run at absolute time `when`.
+  EventId schedule(TimePoint when, Handler handler);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is
+  /// a no-op (the common race: an SNR-recovered event cancelling a timeout).
+  void cancel(EventId id);
+
+  bool empty() const;
+  std::size_t pending() const { return live_count_; }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  TimePoint next_time() const;
+
+  /// Pops and runs the earliest event; returns its timestamp.
+  /// Precondition: !empty().
+  TimePoint run_next();
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    EventId id;
+    Handler handler;
+
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<EventId> cancelled_;
+  std::uint64_t next_seq_{0};
+  EventId next_id_{1};
+  std::size_t live_count_{0};
+
+  bool is_cancelled(EventId id) const;
+};
+
+}  // namespace movr::sim

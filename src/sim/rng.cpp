@@ -1,0 +1,33 @@
+#include <sim/rng.hpp>
+
+namespace movr::sim {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+namespace {
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  // splitmix64 finalizer over the combined value.
+  std::uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+std::mt19937_64 RngRegistry::stream(std::string_view name) const {
+  return std::mt19937_64{mix(master_seed_, fnv1a(name))};
+}
+
+std::mt19937_64 RngRegistry::stream(std::string_view name,
+                                    std::uint64_t index) const {
+  return std::mt19937_64{mix(mix(master_seed_, fnv1a(name)), index)};
+}
+
+}  // namespace movr::sim

@@ -1,0 +1,34 @@
+// Deterministic, named random streams.
+//
+// Every stochastic component (measurement noise, blocker motion, placement
+// draws) pulls from its own stream derived from a master seed and a name, so
+// adding randomness to one component never perturbs another — experiment
+// runs stay reproducible and diffable.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace movr::sim {
+
+class RngRegistry {
+ public:
+  explicit RngRegistry(std::uint64_t master_seed) : master_seed_{master_seed} {}
+
+  /// A generator seeded from (master_seed, name). Same inputs, same stream.
+  std::mt19937_64 stream(std::string_view name) const;
+
+  /// A generator for run `index` of the named experiment.
+  std::mt19937_64 stream(std::string_view name, std::uint64_t index) const;
+
+  std::uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  std::uint64_t master_seed_;
+};
+
+/// FNV-1a, used to fold stream names into seeds (stable across platforms).
+std::uint64_t fnv1a(std::string_view s);
+
+}  // namespace movr::sim

@@ -1,0 +1,49 @@
+#include <sim/simulator.hpp>
+
+#include <stdexcept>
+#include <utility>
+
+namespace movr::sim {
+
+EventQueue::EventId Simulator::after(Duration delay,
+                                     EventQueue::Handler handler) {
+  if (delay < Duration::zero()) {
+    throw std::invalid_argument{"Simulator::after: negative delay"};
+  }
+  return queue_.schedule(now_ + delay, std::move(handler));
+}
+
+EventQueue::EventId Simulator::at(TimePoint when,
+                                  EventQueue::Handler handler) {
+  if (when < now_) {
+    throw std::invalid_argument{"Simulator::at: time in the past"};
+  }
+  return queue_.schedule(when, std::move(handler));
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // Advance the clock BEFORE dispatching, so the handler observes its own
+  // scheduled time through now().
+  now_ = queue_.next_time();
+  queue_.run_next();
+  return true;
+}
+
+}  // namespace movr::sim

@@ -1,0 +1,40 @@
+// The simulator: an event queue plus a clock, with convenience scheduling.
+#pragma once
+
+#include <functional>
+
+#include <sim/event_queue.hpp>
+#include <sim/time.hpp>
+
+namespace movr::sim {
+
+class Simulator {
+ public:
+  TimePoint now() const { return now_; }
+
+  /// Schedules `handler` to run `delay` from now.
+  EventQueue::EventId after(Duration delay, EventQueue::Handler handler);
+
+  /// Schedules `handler` at absolute time `when` (must not be in the past).
+  EventQueue::EventId at(TimePoint when, EventQueue::Handler handler);
+
+  void cancel(EventQueue::EventId id) { queue_.cancel(id); }
+
+  /// Runs events until the queue drains.
+  void run();
+
+  /// Runs events with timestamps <= `deadline`, then sets the clock to
+  /// `deadline`. Events scheduled beyond the deadline stay pending.
+  void run_until(TimePoint deadline);
+
+  /// Runs exactly one event if any is pending; returns false when drained.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.pending(); }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_{Duration::zero()};
+};
+
+}  // namespace movr::sim

@@ -1,0 +1,35 @@
+// Simulation time as strong chrono types.
+//
+// VR timing spans nine orders of magnitude in one system — sub-microsecond
+// beam steering, millisecond Bluetooth exchanges, 11.1 ms frame budgets,
+// multi-minute sessions — so time is integer nanoseconds, never double
+// seconds, to keep event ordering exact.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace movr::sim {
+
+using Duration = std::chrono::nanoseconds;
+using TimePoint = Duration;  // nanoseconds since simulation start
+
+using namespace std::chrono_literals;
+
+constexpr Duration from_seconds(double s) {
+  return Duration{static_cast<std::int64_t>(s * 1e9)};
+}
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) * 1e-9;
+}
+
+constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d.count()) * 1e-6;
+}
+
+constexpr double to_microseconds(Duration d) {
+  return static_cast<double>(d.count()) * 1e-3;
+}
+
+}  // namespace movr::sim

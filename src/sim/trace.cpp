@@ -1,0 +1,40 @@
+#include <sim/trace.hpp>
+
+#include <stdexcept>
+
+namespace movr::sim {
+
+TraceWriter::TraceWriter(const std::string& path,
+                         const std::vector<std::string>& columns)
+    : out_{path}, columns_{columns.size()} {
+  if (!out_) {
+    throw std::runtime_error{"TraceWriter: cannot open " + path};
+  }
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out_ << columns[i] << (i + 1 < columns.size() ? "," : "\n");
+  }
+}
+
+void TraceWriter::row(const std::vector<double>& values) {
+  if (values.size() != columns_) {
+    throw std::invalid_argument{"TraceWriter: column count mismatch"};
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out_ << values[i] << (i + 1 < values.size() ? "," : "\n");
+  }
+  ++rows_;
+}
+
+void TraceWriter::row(const std::string& label,
+                      const std::vector<double>& values) {
+  if (values.size() + 1 != columns_) {
+    throw std::invalid_argument{"TraceWriter: column count mismatch"};
+  }
+  out_ << label << ',';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out_ << values[i] << (i + 1 < values.size() ? "," : "\n");
+  }
+  ++rows_;
+}
+
+}  // namespace movr::sim

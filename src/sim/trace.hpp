@@ -1,0 +1,33 @@
+// CSV trace sink for experiment output.
+//
+// Every bench prints human-readable tables; for plotting, the same series
+// can be dumped as CSV. A TraceWriter owns one file, writes a header once,
+// and escapes nothing exotic — columns are numbers and plain labels.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace movr::sim {
+
+class TraceWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  TraceWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Writes one row; the value count must match the header.
+  void row(const std::vector<double>& values);
+
+  /// Writes one row with a leading string label column.
+  void row(const std::string& label, const std::vector<double>& values);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_{0};
+};
+
+}  // namespace movr::sim

@@ -1,0 +1,86 @@
+#include <vr/motion.hpp>
+
+#include <algorithm>
+
+#include <channel/obstacle.hpp>
+
+namespace movr::vr {
+
+PlayerMotion::PlayerMotion(const channel::Room& room, geom::Vec2 start,
+                           std::uint64_t seed, Config config)
+    : room_{room}, config_{config}, rng_{seed}, from_{start}, to_{start} {
+  plan_next_leg();
+}
+
+void PlayerMotion::plan_next_leg() {
+  from_ = to_;
+  to_ = room_.random_interior_point(rng_, config_.wall_margin_m);
+  const double dist = geom::distance(from_, to_);
+  leg_travel_ = sim::from_seconds(dist / config_.speed_mps);
+  leg_total_ = leg_travel_ + config_.pause;
+}
+
+geom::Vec2 PlayerMotion::position_at(sim::TimePoint t) {
+  while (t - leg_start_ >= leg_total_) {
+    leg_start_ += leg_total_;
+    plan_next_leg();
+  }
+  const sim::Duration into = t - leg_start_;
+  if (into >= leg_travel_ || leg_travel_.count() == 0) {
+    return to_;  // pausing at the waypoint
+  }
+  const double f = static_cast<double>(into.count()) /
+                   static_cast<double>(leg_travel_.count());
+  return from_ + (to_ - from_) * f;
+}
+
+bool BlockageScript::active_at(sim::TimePoint t) const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [t](const BlockageEvent& e) {
+                       return t >= e.start && t < e.start + e.duration;
+                     });
+}
+
+void BlockageScript::apply(channel::Room& room, sim::TimePoint t,
+                           geom::Vec2 headset, geom::Vec2 ap) const {
+  room.remove_obstacles("hand");
+  room.remove_obstacles("head");
+  room.remove_obstacles("person");
+  for (const BlockageEvent& event : events_) {
+    if (t < event.start || t >= event.start + event.duration) {
+      continue;
+    }
+    switch (event.kind) {
+      case BlockageEvent::Kind::kHand:
+        room.add_obstacle(channel::make_hand(headset, ap - headset));
+        break;
+      case BlockageEvent::Kind::kHead:
+        room.add_obstacle(channel::make_head(headset, ap - headset));
+        break;
+      case BlockageEvent::Kind::kPersonCrossing: {
+        const double f = static_cast<double>((t - event.start).count()) /
+                         static_cast<double>(event.duration.count());
+        const geom::Vec2 pos =
+            event.path_from + (event.path_to - event.path_from) * f;
+        room.add_obstacle(channel::make_person(pos));
+        break;
+      }
+    }
+  }
+}
+
+BlockageScript periodic_hand_raises(sim::TimePoint first, sim::Duration up,
+                                    sim::Duration period,
+                                    sim::TimePoint end) {
+  std::vector<BlockageEvent> events;
+  for (sim::TimePoint t = first; t < end; t += period) {
+    BlockageEvent event;
+    event.kind = BlockageEvent::Kind::kHand;
+    event.start = t;
+    event.duration = up;
+    events.push_back(event);
+  }
+  return BlockageScript{std::move(events)};
+}
+
+}  // namespace movr::vr

@@ -1,0 +1,88 @@
+// Player motion and scripted blockage events.
+//
+// The channel only changes when the world does: the player walks (headset
+// moves), raises a hand, turns her head, or someone walks through the room.
+// Sessions replay a deterministic motion model plus a blockage script, so a
+// MoVR run and a baseline run see *exactly* the same world.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include <channel/room.hpp>
+#include <geom/vec2.hpp>
+#include <sim/time.hpp>
+
+namespace movr::vr {
+
+/// Random-waypoint walking inside the play area: pick a point, walk to it
+/// at walking speed, pause, repeat. Deterministic given the seed.
+class PlayerMotion {
+ public:
+  struct Config {
+    double speed_mps{0.6};
+    double wall_margin_m{0.8};
+    sim::Duration pause{std::chrono::seconds{2}};
+  };
+
+  PlayerMotion(const channel::Room& room, geom::Vec2 start,
+               std::uint64_t seed)
+      : PlayerMotion{room, start, seed, Config{}} {}
+  PlayerMotion(const channel::Room& room, geom::Vec2 start,
+               std::uint64_t seed, Config config);
+
+  /// Position at simulation time `t` (monotone queries expected).
+  geom::Vec2 position_at(sim::TimePoint t);
+
+ private:
+  void plan_next_leg();
+
+  const channel::Room& room_;
+  Config config_;
+  std::mt19937_64 rng_;
+  geom::Vec2 from_;
+  geom::Vec2 to_;
+  sim::TimePoint leg_start_{};
+  sim::Duration leg_travel_{};
+  sim::Duration leg_total_{};
+};
+
+/// A scripted blockage: a blocker that exists during [start, start+duration).
+struct BlockageEvent {
+  enum class Kind { kHand, kHead, kPersonCrossing };
+  Kind kind{Kind::kHand};
+  sim::TimePoint start{};
+  sim::Duration duration{};
+  /// kPersonCrossing: the person walks from `path_from` to `path_to` over
+  /// the event duration.
+  geom::Vec2 path_from{};
+  geom::Vec2 path_to{};
+};
+
+/// Applies a blockage script to the room at time `t`: inserts, moves and
+/// removes the scripted obstacles. Call once per frame before evaluating
+/// the channel. Hand/head blockers are placed relative to the current
+/// headset position, shadowing the AP direction.
+class BlockageScript {
+ public:
+  explicit BlockageScript(std::vector<BlockageEvent> events)
+      : events_{std::move(events)} {}
+
+  const std::vector<BlockageEvent>& events() const { return events_; }
+
+  void apply(channel::Room& room, sim::TimePoint t, geom::Vec2 headset,
+             geom::Vec2 ap) const;
+
+  /// True if any scripted blocker is active at `t`.
+  bool active_at(sim::TimePoint t) const;
+
+ private:
+  std::vector<BlockageEvent> events_;
+};
+
+/// A repeating hand-raise script: raise for `up` every `period`, starting
+/// at `first` — the paper's canonical blockage (Fig. 2 left).
+BlockageScript periodic_hand_raises(sim::TimePoint first, sim::Duration up,
+                                    sim::Duration period, sim::TimePoint end);
+
+}  // namespace movr::vr

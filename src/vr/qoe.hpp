@@ -1,0 +1,36 @@
+// Quality-of-experience accounting for a VR session.
+//
+// VR traffic is non-elastic: every frame either arrives in full at the
+// required rate or the player sees a glitch. QoE is therefore counted in
+// frames, not in average throughput.
+#pragma once
+
+#include <cstdint>
+
+#include <sim/time.hpp>
+
+namespace movr::vr {
+
+struct QoeReport {
+  std::uint64_t frames{0};
+  std::uint64_t glitched_frames{0};
+
+  double mean_snr_db{0.0};
+  double min_snr_db{0.0};
+  double mean_rate_mbps{0.0};
+
+  /// Runs of consecutive glitched frames.
+  std::uint64_t stall_events{0};
+  sim::Duration longest_stall{0};
+
+  double glitch_fraction() const {
+    return frames == 0 ? 0.0
+                       : static_cast<double>(glitched_frames) /
+                             static_cast<double>(frames);
+  }
+
+  /// A session is "clean" when fewer than 1 frame in 10k glitches.
+  bool clean() const { return glitch_fraction() < 1e-4; }
+};
+
+}  // namespace movr::vr

@@ -1,0 +1,44 @@
+// What a PC-grade VR headset demands of its link.
+//
+// The HTC Vive panel is 2160x1200 at 90 Hz, 24 bit RGB. The stream is raw:
+// "the strict latency constraints on VR systems (about 10 ms) preclude the
+// use of compression/decompression" (paper Section 1) — so the link must
+// carry the full pixel rate, every frame, with no elasticity.
+#pragma once
+
+#include <sim/time.hpp>
+
+namespace movr::vr {
+
+struct DisplayRequirements {
+  int width_px{2160};
+  int height_px{1200};
+  double refresh_hz{90.0};
+  int bits_per_pixel{24};
+
+  /// Raw pixel rate the link must sustain, Mbit/s (~5600 for the Vive).
+  double required_mbps() const {
+    return static_cast<double>(width_px) * height_px * bits_per_pixel *
+           refresh_hz / 1e6;
+  }
+
+  /// Bits in one frame.
+  double bits_per_frame() const {
+    return static_cast<double>(width_px) * height_px * bits_per_pixel;
+  }
+
+  /// Frame interval (11.1 ms at 90 Hz).
+  sim::Duration frame_interval() const {
+    return sim::from_seconds(1.0 / refresh_hz);
+  }
+
+  /// Motion-to-photon budget: the display updates every ~10 ms and a frame
+  /// that misses it is a visible glitch.
+  sim::Duration latency_budget() const {
+    return sim::Duration{std::chrono::milliseconds{10}};
+  }
+};
+
+inline constexpr DisplayRequirements kHtcVive{};
+
+}  // namespace movr::vr

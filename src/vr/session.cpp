@@ -1,0 +1,108 @@
+#include <vr/session.hpp>
+
+#include <algorithm>
+#include <utility>
+
+#include <phy/mcs.hpp>
+#include <rf/measurement.hpp>
+
+namespace movr::vr {
+
+Session::Session(sim::Simulator& simulator, core::Scene& scene,
+                 LinkStrategy& strategy, PlayerMotion* motion,
+                 const BlockageScript* script, Config config)
+    : simulator_{simulator},
+      scene_{scene},
+      strategy_{strategy},
+      motion_{motion},
+      script_{script},
+      config_{config},
+      rate_rng_{config.rate_control_seed} {
+  report_.min_snr_db = 1e9;
+}
+
+std::pair<double, bool> Session::rate_frame(rf::Decibels true_snr) {
+  if (!config_.realistic_rate_control) {
+    const double rate = phy::rate_mbps(true_snr);
+    return {rate, rate >= config_.display.required_mbps()};
+  }
+  // Closed loop: the adapter sees a noisy estimate; the chosen MCS then
+  // faces the *true* channel. A frame spans many PHY packets, so even a
+  // modest packet error rate costs the frame.
+  const rf::Decibels estimate =
+      rf::estimate_snr(true_snr, /*symbols=*/16, rate_rng_);
+  const phy::McsEntry* mcs = adapter_.on_estimate(estimate);
+  if (mcs == nullptr) {
+    return {0.0, false};
+  }
+  const double per = phy::packet_error_rate(*mcs, true_snr);
+  const double frame_loss = std::min(1.0, per * 20.0);
+  std::uniform_real_distribution<double> coin{0.0, 1.0};
+  const bool survives = coin(rate_rng_) >= frame_loss;
+  return {mcs->rate_mbps,
+          survives && mcs->rate_mbps >= config_.display.required_mbps()};
+}
+
+void Session::close_stall() {
+  if (current_stall_ > 0) {
+    ++report_.stall_events;
+    const auto stall_time =
+        config_.display.frame_interval() *
+        static_cast<std::int64_t>(current_stall_);
+    report_.longest_stall = std::max(report_.longest_stall, stall_time);
+    current_stall_ = 0;
+  }
+}
+
+void Session::tick() {
+  const sim::TimePoint now = simulator_.now();
+  const sim::TimePoint session_time = now - start_;
+
+  // 1. The world moves.
+  if (motion_ != nullptr) {
+    scene_.headset().node().set_position(motion_->position_at(session_time));
+  }
+  if (script_ != nullptr) {
+    script_->apply(scene_.room(), session_time,
+                   scene_.headset().node().position(),
+                   scene_.ap().node().position());
+  }
+
+  // 2. The link strategy reacts and the frame is sent.
+  const rf::Decibels snr = strategy_.on_frame();
+  const auto [rate, delivered] = rate_frame(snr);
+
+  // 3. QoE accounting.
+  ++report_.frames;
+  snr_sum_ += snr.value();
+  rate_sum_ += rate;
+  report_.min_snr_db = std::min(report_.min_snr_db, snr.value());
+  if (delivered) {
+    close_stall();
+  } else {
+    ++report_.glitched_frames;
+    ++current_stall_;
+  }
+
+  if (report_.frames < target_frames_) {
+    simulator_.at(now + config_.display.frame_interval(), [this] { tick(); });
+  }
+}
+
+QoeReport Session::run() {
+  start_ = simulator_.now();
+  target_frames_ = static_cast<std::uint64_t>(
+      config_.duration.count() / config_.display.frame_interval().count());
+  simulator_.after(sim::Duration::zero(), [this] { tick(); });
+  simulator_.run_until(start_ + config_.duration);
+  close_stall();
+  if (report_.frames > 0) {
+    report_.mean_snr_db = snr_sum_ / static_cast<double>(report_.frames);
+    report_.mean_rate_mbps = rate_sum_ / static_cast<double>(report_.frames);
+  } else {
+    report_.min_snr_db = 0.0;
+  }
+  return report_;
+}
+
+}  // namespace movr::vr

@@ -1,0 +1,98 @@
+// A VR play session: frames at 90 Hz over a live mmWave link, with player
+// motion and scripted blockages, under a pluggable link strategy.
+//
+// The strategy abstraction is what lets the benches replay the *same*
+// session under MoVR and under the baselines (fixed beam, NLOS beam
+// switching) and compare glitch counts frame-for-frame.
+#pragma once
+
+#include <memory>
+#include <random>
+#include <string_view>
+#include <utility>
+
+#include <core/link_manager.hpp>
+#include <core/scene.hpp>
+#include <phy/rate_adapter.hpp>
+#include <rf/units.hpp>
+#include <sim/simulator.hpp>
+#include <vr/motion.hpp>
+#include <vr/qoe.hpp>
+#include <vr/requirements.hpp>
+
+namespace movr::vr {
+
+/// Decides, each frame, how the link is steered; returns the true SNR the
+/// headset sees that frame.
+class LinkStrategy {
+ public:
+  virtual ~LinkStrategy() = default;
+  virtual rf::Decibels on_frame() = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// The full MoVR system: headset SNR tracking, handover to reflectors on
+/// blockage, pose-aided retargeting, fallback to direct when clear.
+class MovrStrategy final : public LinkStrategy {
+ public:
+  MovrStrategy(sim::Simulator& simulator, core::Scene& scene,
+               std::mt19937_64 rng)
+      : manager_{simulator, scene, rng} {}
+  MovrStrategy(sim::Simulator& simulator, core::Scene& scene,
+               std::mt19937_64 rng, core::LinkManager::Config config)
+      : manager_{simulator, scene, rng, config} {}
+
+  rf::Decibels on_frame() override { return manager_.on_frame(); }
+  std::string_view name() const override { return "movr"; }
+
+  const core::LinkManager& manager() const { return manager_; }
+
+ private:
+  core::LinkManager manager_;
+};
+
+class Session {
+ public:
+  struct Config {
+    sim::Duration duration{std::chrono::seconds{10}};
+    DisplayRequirements display{kHtcVive};
+    /// When true, frames are rated by a closed-loop 802.11ad rate adapter
+    /// fed with noisy SNR estimates (and pay packet loss when it lags or
+    /// overshoots) instead of the oracle rate-at-true-SNR mapping.
+    bool realistic_rate_control{false};
+    std::uint64_t rate_control_seed{1};
+  };
+
+  /// `motion` and `script` may be null (static player / no blockage).
+  Session(sim::Simulator& simulator, core::Scene& scene,
+          LinkStrategy& strategy, PlayerMotion* motion,
+          const BlockageScript* script, Config config);
+
+  /// Runs the whole session on the simulator and returns the QoE report.
+  QoeReport run();
+
+ private:
+  void tick();
+
+  sim::Simulator& simulator_;
+  core::Scene& scene_;
+  LinkStrategy& strategy_;
+  PlayerMotion* motion_;
+  const BlockageScript* script_;
+  Config config_;
+
+  QoeReport report_;
+  sim::TimePoint start_{};
+  std::uint64_t target_frames_{0};
+  double snr_sum_{0.0};
+  double rate_sum_{0.0};
+  std::uint64_t current_stall_{0};
+  phy::RateAdapter adapter_;
+  std::mt19937_64 rate_rng_;
+
+  void close_stall();
+  /// Frame outcome under the configured rate-control model.
+  std::pair<double, bool> rate_frame(rf::Decibels true_snr);
+};
+
+}  // namespace movr::vr

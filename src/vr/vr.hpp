@@ -1,0 +1,14 @@
+// Umbrella header for the VR session layer:
+//
+//   #include <vr/vr.hpp>
+//
+// brings in the deployment facade, session player, motion/blockage models,
+// QoE reporting and display requirements (and, transitively, the whole
+// core API).
+#pragma once
+
+#include <vr/deployment.hpp>
+#include <vr/motion.hpp>
+#include <vr/qoe.hpp>
+#include <vr/requirements.hpp>
+#include <vr/session.hpp>

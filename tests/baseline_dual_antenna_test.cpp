@@ -1,0 +1,74 @@
+#include <baseline/dual_antenna.hpp>
+
+#include <gtest/gtest.h>
+
+#include <geom/angle.hpp>
+
+namespace movr::baseline {
+namespace {
+
+using geom::Vec2;
+using geom::deg_to_rad;
+
+core::Scene make_scene() {
+  return core::Scene{channel::Room{5.0, 5.0},
+                     core::ApRadio{{0.4, 0.4}, deg_to_rad(45.0)},
+                     core::HeadsetRadio{{3.0, 2.0}, 0.0}};
+}
+
+TEST(DualAntenna, ClearLosPrefersFront) {
+  auto scene = make_scene();
+  DualAntennaStrategy strategy{scene};
+  const double snr = strategy.on_frame().value();
+  EXPECT_GT(snr, 18.0);
+  EXPECT_GE(strategy.front_selected(), 1);
+}
+
+TEST(DualAntenna, RescuesSelfHeadBlockage) {
+  // The player turns away: her head sits between the (front) receiver and
+  // the AP. The back aperture is on the AP side of the head — exactly the
+  // case a second antenna CAN fix.
+  auto scene = make_scene();
+  DualAntennaStrategy strategy{scene};
+  const Vec2 pos = scene.headset().node().position();
+  const Vec2 ap = scene.ap().node().position();
+  scene.room().add_obstacle(channel::make_head(pos, ap - pos));
+  const double snr = strategy.on_frame().value();
+  EXPECT_GT(snr, 18.0);  // back antenna sees over the head
+  EXPECT_GE(strategy.back_selected(), 1);
+}
+
+TEST(DualAntenna, HandBlocksBothApertures) {
+  // The paper's counterargument: a raised hand shadows both antennas. The
+  // hand sits 25 cm out with the apertures 24 cm apart — both rays to the
+  // AP pass through or right next to it.
+  auto scene = make_scene();
+  DualAntennaStrategy strategy{scene};
+  const Vec2 pos = scene.headset().node().position();
+  const Vec2 ap = scene.ap().node().position();
+  scene.room().add_obstacle(channel::make_hand(pos, ap - pos));
+  const double snr = strategy.on_frame().value();
+  EXPECT_LT(snr, 19.0);  // below the VR threshold: the link is dead
+}
+
+TEST(DualAntenna, PersonBlocksBothApertures) {
+  auto scene = make_scene();
+  DualAntennaStrategy strategy{scene};
+  const Vec2 pos = scene.headset().node().position();
+  const Vec2 ap = scene.ap().node().position();
+  scene.room().add_obstacle(
+      channel::make_person(pos + (ap - pos).normalized() * 1.2));
+  const double snr = strategy.on_frame().value();
+  EXPECT_LT(snr, 19.0);
+}
+
+TEST(DualAntenna, RestoresTrackedPose) {
+  auto scene = make_scene();
+  DualAntennaStrategy strategy{scene};
+  const Vec2 before = scene.headset().node().position();
+  strategy.on_frame();
+  EXPECT_EQ(scene.headset().node().position(), before);
+}
+
+}  // namespace
+}  // namespace movr::baseline

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <baseline/multi_ap.hpp>
+#include <baseline/strategies.hpp>
+#include <baseline/wifi.hpp>
+#include <geom/angle.hpp>
+#include <vr/requirements.hpp>
+#include <vr/session.hpp>
+
+namespace movr::baseline {
+namespace {
+
+using movr::geom::Vec2;
+using movr::geom::deg_to_rad;
+
+TEST(Wifi, RatesFollowSnr) {
+  EXPECT_EQ(wifi_rate_mbps(rf::Decibels{-5.0}), 0.0);
+  EXPECT_GT(wifi_rate_mbps(rf::Decibels{15.0}), 0.0);
+  EXPECT_LT(wifi_rate_mbps(rf::Decibels{15.0}),
+            wifi_rate_mbps(rf::Decibels{35.0}));
+}
+
+TEST(Wifi, EvenMaxRateCannotCarryVr) {
+  // The paper's premise: WiFi cannot support VR's multi-Gbps stream.
+  EXPECT_LT(wifi_max_rate_mbps(), vr::kHtcVive.required_mbps());
+}
+
+TEST(Wifi, ScalesWithWidthAndStreams) {
+  const double base = wifi_rate_mbps(rf::Decibels{35.0}, {80.0, 1});
+  EXPECT_NEAR(wifi_rate_mbps(rf::Decibels{35.0}, {160.0, 1}), base * 2.0,
+              1e-9);
+  EXPECT_NEAR(wifi_rate_mbps(rf::Decibels{35.0}, {80.0, 4}), base * 4.0,
+              1e-9);
+}
+
+core::Scene make_scene() {
+  return core::Scene{channel::Room{5.0, 5.0},
+                     core::ApRadio{{0.4, 0.4}, deg_to_rad(45.0)},
+                     core::HeadsetRadio{{3.0, 2.0}, 0.0}};
+}
+
+TEST(FixedBeam, WorksUntilPlayerMoves) {
+  core::Scene scene = make_scene();
+  FixedBeamStrategy strategy{scene};
+  const double at_setup = strategy.on_frame().value();
+  EXPECT_GT(at_setup, 18.0);
+  // Player strafes 1.5 m: the frozen beams miss.
+  scene.headset().node().set_position({3.0, 3.5});
+  const double after_move = strategy.on_frame().value();
+  EXPECT_LT(after_move, at_setup - 10.0);
+}
+
+TEST(DirectTracking, FollowsPlayer) {
+  core::Scene scene = make_scene();
+  DirectTrackingStrategy strategy{scene};
+  const double before = strategy.on_frame().value();
+  scene.headset().node().set_position({2.0, 3.5});
+  const double after = strategy.on_frame().value();
+  EXPECT_GT(before, 18.0);
+  EXPECT_GT(after, 18.0);  // tracking keeps the link up while LOS is clear
+}
+
+TEST(NlosSweep, InitialAssociationThenSteady) {
+  core::Scene scene = make_scene();
+  sim::Simulator simulator;
+  NlosSweepStrategy strategy{simulator, scene};
+  strategy.on_frame();
+  EXPECT_EQ(strategy.sweeps_performed(), 1);
+  // Let the initial sweep complete.
+  simulator.run();
+  const double snr = strategy.on_frame().value();
+  EXPECT_GT(snr, 18.0);  // clear LOS: the sweep found the direct path
+  EXPECT_EQ(strategy.sweeps_performed(), 1);
+}
+
+TEST(NlosSweep, SweepCostIsRealAirtime) {
+  core::Scene scene = make_scene();
+  sim::Simulator simulator;
+  NlosSweepStrategy strategy{simulator, scene};
+  // 161 x 161 combos at 11 us each: ~280 ms of dead air per sweep.
+  EXPECT_GT(sim::to_milliseconds(strategy.sweep_cost()), 100.0);
+}
+
+TEST(NlosSweep, ReactsToBlockageButLandsOnWeakPath) {
+  core::Scene scene = make_scene();
+  sim::Simulator simulator;
+  NlosSweepStrategy::Config config;
+  config.step_deg = 2.0;  // keep the test fast
+  NlosSweepStrategy strategy{simulator, scene, config};
+  strategy.on_frame();
+  simulator.run();  // initial association
+  // Let the post-association cooldown expire before the blockage hits.
+  simulator.run_until(simulator.now() + sim::from_seconds(1.0));
+  const double clear = strategy.on_frame().value();
+
+  // Hand goes up and STAYS up.
+  scene.room().add_obstacle(channel::make_hand(
+      scene.headset().node().position(),
+      scene.ap().node().position() - scene.headset().node().position()));
+  strategy.on_frame();             // detects the drop, starts a sweep
+  EXPECT_EQ(strategy.sweeps_performed(), 2);
+  simulator.run();                 // sweep completes against blocked world
+  const double after = strategy.on_frame().value();
+  // The best it can find avoids the hand via a wall, many dB below LOS.
+  EXPECT_LT(after, clear - 8.0);
+  EXPECT_GT(after, clear - 40.0);
+}
+
+TEST(SlsTracking, TracksWithoutPoseOracle) {
+  core::Scene scene = make_scene();
+  sim::Simulator simulator;
+  SlsTrackingStrategy strategy{simulator, scene};
+  EXPECT_GT(strategy.on_frame().value(), 19.0);  // trained on first frame
+  EXPECT_EQ(strategy.sweeps_performed(), 1);
+  // The player walks; after the next training interval the link is back.
+  scene.headset().node().set_position({1.8, 3.4});
+  simulator.run_until(simulator.now() + sim::from_seconds(0.2));
+  EXPECT_GT(strategy.on_frame().value(), 19.0);
+  EXPECT_EQ(strategy.sweeps_performed(), 2);
+}
+
+TEST(SlsTracking, TrainingAirtimeTiny) {
+  core::Scene scene = make_scene();
+  sim::Simulator simulator;
+  SlsTrackingStrategy strategy{simulator, scene};
+  EXPECT_LT(sim::to_milliseconds(strategy.training_airtime()), 3.0);
+}
+
+TEST(SlsTracking, BlockageStillFatal) {
+  core::Scene scene = make_scene();
+  sim::Simulator simulator;
+  SlsTrackingStrategy strategy{simulator, scene};
+  strategy.on_frame();
+  scene.room().add_obstacle(channel::make_hand(
+      scene.headset().node().position(),
+      scene.ap().node().position() - scene.headset().node().position()));
+  simulator.run_until(simulator.now() + sim::from_seconds(0.2));
+  // Retrained onto the best available (reflected) sector: below VR grade.
+  const double snr = strategy.on_frame().value();
+  EXPECT_LT(snr, 19.0);
+}
+
+TEST(MultiAp, MoreApsNeverWorse) {
+  core::Scene scene = make_scene();
+  scene.room().add_obstacle(channel::make_person({1.7, 1.2}));
+  const Vec2 headset{3.0, 2.0};
+  double prev = -1e9;
+  for (int n = 1; n <= 4; ++n) {
+    const auto deployment = corner_deployment(5.0, 5.0, n);
+    const double snr = deployment.best_snr(scene, headset).value();
+    EXPECT_GE(snr, prev - 1e-9) << n << " APs";
+    prev = snr;
+  }
+}
+
+TEST(MultiAp, CablingGrowsWithCount) {
+  const Vec2 pc{0.4, 0.4};
+  double prev = 0.0;
+  for (int n = 1; n <= 6; ++n) {
+    const double cable = corner_deployment(5.0, 5.0, n).cabling_metres(pc);
+    EXPECT_GT(cable, prev);
+    prev = cable;
+  }
+  // Four corner APs in a 5 x 5 room: already ~15+ metres of HDMI.
+  EXPECT_GT(corner_deployment(5.0, 5.0, 4).cabling_metres(pc), 12.0);
+}
+
+TEST(MultiAp, CountClamped) {
+  EXPECT_EQ(corner_deployment(5.0, 5.0, 100).ap_positions.size(), 8u);
+  EXPECT_TRUE(corner_deployment(5.0, 5.0, 0).ap_positions.empty());
+}
+
+}  // namespace
+}  // namespace movr::baseline

@@ -1,0 +1,84 @@
+#include <channel/obstacle.hpp>
+
+#include <gtest/gtest.h>
+
+#include <channel/material.hpp>
+
+namespace movr::channel {
+namespace {
+
+TEST(Obstacle, FullInsertionLossWhenCrossed) {
+  const Obstacle hand{geom::Circle{{1.0, 0.0}, 0.05}, kHand, "hand"};
+  const geom::Segment through{{0.0, 0.0}, {2.0, 0.0}};
+  EXPECT_DOUBLE_EQ(hand.attenuation(through).value(),
+                   kHand.insertion_loss.value());
+}
+
+TEST(Obstacle, ZeroLossWhenFarAway) {
+  const Obstacle hand{geom::Circle{{1.0, 5.0}, 0.05}, kHand, "hand"};
+  const geom::Segment leg{{0.0, 0.0}, {2.0, 0.0}};
+  EXPECT_DOUBLE_EQ(hand.attenuation(leg).value(), 0.0);
+}
+
+TEST(Obstacle, GrazingLossBetweenZeroAndSix) {
+  // Leg passes 1 cm from the blocker edge, inside the 3 cm Fresnel margin.
+  const Obstacle hand{geom::Circle{{1.0, 0.06}, 0.05}, kHand, "hand"};
+  const geom::Segment leg{{0.0, 0.0}, {2.0, 0.0}};
+  const double loss = hand.attenuation(leg).value();
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, 6.0);
+}
+
+TEST(Obstacle, GrazingLossDecaysWithClearance) {
+  const geom::Segment leg{{0.0, 0.0}, {2.0, 0.0}};
+  const Obstacle close{geom::Circle{{1.0, 0.055}, 0.05}, kHand, "h"};
+  const Obstacle far{geom::Circle{{1.0, 0.075}, 0.05}, kHand, "h"};
+  EXPECT_GT(close.attenuation(leg).value(), far.attenuation(leg).value());
+}
+
+TEST(Obstacle, MaterialsOrderedByLoss) {
+  // Calibration sanity: hand < head < body < furniture (paper Fig. 3).
+  EXPECT_LT(kHand.insertion_loss.value(), kHead.insertion_loss.value());
+  EXPECT_LT(kHead.insertion_loss.value(), kBody.insertion_loss.value());
+  EXPECT_LT(kBody.insertion_loss.value(), kFurniture.insertion_loss.value());
+}
+
+TEST(Obstacle, TotalObstructionSums) {
+  std::vector<Obstacle> obstacles{
+      {geom::Circle{{0.5, 0.0}, 0.05}, kHand, "hand"},
+      {geom::Circle{{1.5, 0.0}, 0.09}, kHead, "head"},
+  };
+  const geom::Segment leg{{0.0, 0.0}, {2.0, 0.0}};
+  EXPECT_DOUBLE_EQ(total_obstruction(obstacles, leg).value(),
+                   kHand.insertion_loss.value() + kHead.insertion_loss.value());
+}
+
+TEST(Obstacle, MakeHandSitsInFrontOfHeadset) {
+  const geom::Vec2 headset{2.0, 2.0};
+  const geom::Vec2 ap{0.0, 2.0};
+  const Obstacle hand = make_hand(headset, ap - headset);
+  // 25 cm toward the AP.
+  EXPECT_NEAR(hand.shape.center.x, 1.75, 1e-9);
+  EXPECT_NEAR(hand.shape.center.y, 2.0, 1e-9);
+  // It blocks the headset->AP leg...
+  EXPECT_GT(hand.attenuation({headset, ap}).value(), 10.0);
+  // ...but not a leg in the opposite direction.
+  EXPECT_DOUBLE_EQ(hand.attenuation({headset, {4.0, 2.0}}).value(), 0.0);
+}
+
+TEST(Obstacle, MakeHeadLargerThanHand) {
+  const geom::Vec2 headset{2.0, 2.0};
+  const geom::Vec2 toward{-1.0, 0.0};
+  EXPECT_GT(make_head(headset, toward).shape.radius,
+            make_hand(headset, toward).shape.radius);
+}
+
+TEST(Obstacle, MakePersonAtPosition) {
+  const Obstacle person = make_person({3.0, 1.0});
+  EXPECT_EQ(person.label, "person");
+  EXPECT_EQ(person.shape.center, geom::Vec2(3.0, 1.0));
+  EXPECT_NEAR(person.shape.radius, 0.20, 1e-12);
+}
+
+}  // namespace
+}  // namespace movr::channel

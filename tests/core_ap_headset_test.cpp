@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <core/ap.hpp>
+#include <core/headset.hpp>
+#include <geom/angle.hpp>
+
+namespace movr::core {
+namespace {
+
+using geom::deg_to_rad;
+
+TEST(ApRadio, MeasurementFloorIsNarrowband) {
+  const ApRadio ap{{0.0, 0.0}, 0.0};
+  // 1 MHz + NF 7: -174 + 60 + 7 = -107 dBm.
+  EXPECT_NEAR(ap.measurement_floor().value(), -107.0, 0.1);
+}
+
+TEST(ApRadio, ResidualLeakageArithmetic) {
+  ApRadio::Config config;
+  config.tx_power = rf::DbmPower{0.0};
+  config.self_isolation = rf::Decibels{30.0};
+  config.filter_rejection = rf::Decibels{70.0};
+  const ApRadio ap{{0.0, 0.0}, 0.0, config};
+  EXPECT_NEAR(ap.residual_leakage().value(), -100.0, 1e-9);
+}
+
+TEST(ApRadio, StrongSidebandReadsNearTruth) {
+  const ApRadio ap{{0.0, 0.0}, 0.0};
+  std::mt19937_64 rng{1};
+  double sum = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    sum += ap.measure_backscatter(rf::DbmPower{-60.0}, rng).value();
+  }
+  EXPECT_NEAR(sum / n, -60.0, 0.5);
+}
+
+TEST(ApRadio, NoSidebandReadsNearResidual) {
+  const ApRadio ap{{0.0, 0.0}, 0.0};
+  std::mt19937_64 rng{2};
+  const double reading =
+      ap.measure_backscatter(rf::DbmPower{}, rng).value();
+  EXPECT_LT(reading, -95.0);
+  EXPECT_GE(reading, -107.5);  // never below the detector floor
+}
+
+TEST(ApRadio, WeakSidebandBuriedUnderLeakage) {
+  // A sideband 20 dB below the residual leakage is invisible: readings are
+  // leakage-dominated and carry no angle information.
+  const ApRadio ap{{0.0, 0.0}, 0.0};
+  std::mt19937_64 rng{3};
+  double with_signal = 0.0;
+  double without = 0.0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    with_signal += ap.measure_backscatter(rf::DbmPower{-120.0}, rng).value();
+    without += ap.measure_backscatter(rf::DbmPower{}, rng).value();
+  }
+  EXPECT_NEAR(with_signal / n, without / n, 0.2);
+}
+
+TEST(Headset, EstimateTracksTruth) {
+  HeadsetRadio headset{{0.0, 0.0}, 0.0};
+  std::mt19937_64 rng{4};
+  double sum = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    sum += headset.observe(rf::Decibels{22.0}, rng).value();
+  }
+  EXPECT_NEAR(sum / n, 22.0, 0.2);
+}
+
+TEST(Headset, DegradationTriggerFiresOnDrop) {
+  HeadsetRadio headset{{0.0, 0.0}, 0.0};
+  std::mt19937_64 rng{5};
+  for (int i = 0; i < 10; ++i) {
+    headset.observe(rf::Decibels{25.0}, rng);
+  }
+  EXPECT_FALSE(headset.degraded());
+  // SNR collapses (hand up): within the smoothing window the flag trips.
+  for (int i = 0; i < 4; ++i) {
+    headset.observe(rf::Decibels{9.0}, rng);
+  }
+  EXPECT_TRUE(headset.degraded());
+}
+
+TEST(Headset, HysteresisHoldsBetweenThresholds) {
+  HeadsetRadio headset{{0.0, 0.0}, 0.0};
+  std::mt19937_64 rng{6};
+  for (int i = 0; i < 6; ++i) {
+    headset.observe(rf::Decibels{9.0}, rng);
+  }
+  ASSERT_TRUE(headset.degraded());
+  // Recovery to 21 dB: above degrade (20) but below recover (22): the flag
+  // must hold (no flapping in the dead band).
+  for (int i = 0; i < 20; ++i) {
+    headset.observe(rf::Decibels{21.0}, rng);
+  }
+  EXPECT_TRUE(headset.degraded());
+  // Full recovery clears it.
+  for (int i = 0; i < 10; ++i) {
+    headset.observe(rf::Decibels{26.0}, rng);
+  }
+  EXPECT_FALSE(headset.degraded());
+}
+
+TEST(Headset, SmoothedIsWindowAverage) {
+  HeadsetRadio::Config config;
+  config.smoothing_window = 3;
+  config.estimation_symbols = 100000;  // nearly noiseless
+  HeadsetRadio headset{{0.0, 0.0}, 0.0, config};
+  std::mt19937_64 rng{7};
+  headset.observe(rf::Decibels{10.0}, rng);
+  headset.observe(rf::Decibels{20.0}, rng);
+  headset.observe(rf::Decibels{30.0}, rng);
+  EXPECT_NEAR(headset.smoothed().value(), 20.0, 0.2);
+  // Window slides.
+  headset.observe(rf::Decibels{30.0}, rng);
+  EXPECT_NEAR(headset.smoothed().value(), 26.7, 0.3);
+}
+
+TEST(Headset, ResetClearsStateAndHistory) {
+  HeadsetRadio headset{{0.0, 0.0}, 0.0};
+  std::mt19937_64 rng{8};
+  for (int i = 0; i < 6; ++i) {
+    headset.observe(rf::Decibels{5.0}, rng);
+  }
+  ASSERT_TRUE(headset.degraded());
+  headset.reset();
+  EXPECT_FALSE(headset.degraded());
+  EXPECT_EQ(headset.smoothed().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace movr::core

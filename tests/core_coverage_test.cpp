@@ -1,0 +1,100 @@
+#include <core/coverage.hpp>
+
+#include <gtest/gtest.h>
+
+#include <core/gain_control.hpp>
+#include <geom/angle.hpp>
+
+namespace movr::core {
+namespace {
+
+using geom::deg_to_rad;
+
+Scene make_scene(bool with_reflector) {
+  Scene scene{channel::Room{5.0, 5.0},
+              ApRadio{{0.4, 0.4}, deg_to_rad(45.0)},
+              HeadsetRadio{{2.5, 2.5}, 0.0}};
+  if (with_reflector) {
+    auto& reflector = scene.add_reflector({4.6, 4.6}, deg_to_rad(225.0));
+    reflector.front_end().steer_rx(
+        scene.true_reflector_angle_to_ap(reflector));
+    scene.ap().node().steer_toward(reflector.position());
+    std::mt19937_64 rng{1};
+    GainController::run(reflector.front_end(), scene.reflector_input(reflector),
+                        rng);
+  }
+  return scene;
+}
+
+TEST(Coverage, GridDimensions) {
+  Scene scene = make_scene(false);
+  const auto map = compute_coverage(scene, 0.5, 0.5);
+  EXPECT_EQ(map.cells_x, 9);
+  EXPECT_EQ(map.cells_y, 9);
+  EXPECT_EQ(map.cells.size(), 81u);
+}
+
+TEST(Coverage, DirectCoversOpenRoom) {
+  Scene scene = make_scene(false);
+  const auto map = compute_coverage(scene, 0.5);
+  EXPECT_GT(map.covered_fraction(rf::Decibels{19.0}), 0.9);
+  // No reflectors: the via layer is empty.
+  EXPECT_EQ(map.reflector_covered_fraction(rf::Decibels{19.0}), 0.0);
+  for (const auto& cell : map.cells) {
+    EXPECT_EQ(cell.best_reflector, -1);
+  }
+}
+
+TEST(Coverage, ReflectorAddsResilientLayer) {
+  Scene scene = make_scene(true);
+  const auto map = compute_coverage(scene, 0.5);
+  // A good chunk of the room is reachable via the reflector alone.
+  EXPECT_GT(map.reflector_covered_fraction(rf::Decibels{19.0}), 0.4);
+}
+
+TEST(Coverage, RestoresSceneState) {
+  Scene scene = make_scene(true);
+  const geom::Vec2 pos = scene.headset().node().position();
+  const double orient = scene.headset().node().orientation();
+  const double steer = scene.ap().node().array().steering();
+  compute_coverage(scene, 0.5);
+  EXPECT_EQ(scene.headset().node().position(), pos);
+  EXPECT_EQ(scene.headset().node().orientation(), orient);
+  EXPECT_EQ(scene.ap().node().array().steering(), steer);
+}
+
+TEST(Coverage, RenderShape) {
+  Scene scene = make_scene(true);
+  const auto map = compute_coverage(scene, 0.5);
+  const std::string art = render_coverage(map, rf::Decibels{19.0});
+  // cells_y lines of cells_x characters.
+  std::size_t lines = 0;
+  std::size_t line_length = 0;
+  for (const char c : art) {
+    if (c == '\n') {
+      ++lines;
+      EXPECT_EQ(line_length, static_cast<std::size_t>(map.cells_x));
+      line_length = 0;
+    } else {
+      EXPECT_TRUE(c == '#' || c == '+' || c == '.') << c;
+      ++line_length;
+    }
+  }
+  EXPECT_EQ(lines, static_cast<std::size_t>(map.cells_y));
+  // With a far-corner reflector the map contains all three glyphs... at
+  // least direct coverage must appear.
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Coverage, ObstaclesCarveHoles) {
+  Scene scene = make_scene(false);
+  const auto before = compute_coverage(scene, 0.5);
+  scene.room().add_obstacle(
+      {geom::Circle{{2.5, 2.5}, 0.5}, channel::kFurniture, "pillar"});
+  const auto after = compute_coverage(scene, 0.5);
+  EXPECT_LT(after.covered_fraction(rf::Decibels{19.0}),
+            before.covered_fraction(rf::Decibels{19.0}));
+}
+
+}  // namespace
+}  // namespace movr::core

@@ -1,0 +1,183 @@
+#include <core/link_manager.hpp>
+
+#include <gtest/gtest.h>
+
+#include <core/beam_tracker.hpp>
+#include <core/gain_control.hpp>
+#include <geom/angle.hpp>
+
+namespace movr::core {
+namespace {
+
+using movr::geom::Vec2;
+using movr::geom::deg_to_rad;
+
+struct Fixture {
+  Scene scene;
+  MovrReflector& reflector;
+  sim::Simulator simulator;
+
+  Fixture()
+      : scene{channel::Room{5.0, 5.0},
+              ApRadio{{0.4, 0.4}, deg_to_rad(45.0)},
+              HeadsetRadio{{3.0, 2.0}, 0.0}},
+        reflector{scene.add_reflector({4.6, 4.6}, deg_to_rad(225.0))} {
+    // Reflector calibrated (as angle search + gain control would leave it).
+    calibrate(reflector);
+  }
+
+  void calibrate(MovrReflector& r) {
+    r.front_end().steer_rx(scene.true_reflector_angle_to_ap(r));
+    r.front_end().steer_tx(scene.true_reflector_angle_to_headset(r));
+    scene.ap().node().steer_toward(r.position());
+    std::mt19937_64 rng{99};
+    GainController::run(r.front_end(), scene.reflector_input(r), rng);
+  }
+
+  void block_direct() {
+    scene.room().add_obstacle(channel::make_hand(
+        scene.headset().node().position(),
+        scene.ap().node().position() - scene.headset().node().position()));
+  }
+  void unblock() { scene.room().remove_obstacles("hand"); }
+
+  /// Runs `frames` at 90 Hz through the manager; returns last true SNR.
+  rf::Decibels run_frames(LinkManager& manager, int frames) {
+    rf::Decibels last{0.0};
+    for (int i = 0; i < frames; ++i) {
+      last = manager.on_frame();
+      simulator.run_until(simulator.now() + sim::Duration{11'111'111});
+    }
+    return last;
+  }
+};
+
+TEST(BeamTracker, AimsWithinADegree) {
+  Fixture f;
+  std::mt19937_64 rng{1};
+  f.reflector.front_end().steer_tx(deg_to_rad(40.0));  // badly off
+  const auto result = BeamTracker::retarget(f.scene, f.reflector, rng);
+  const double truth = f.scene.true_reflector_angle_to_headset(f.reflector);
+  EXPECT_LE(movr::geom::rad_to_deg(
+                movr::geom::angular_distance(result.reflector_tx_angle, truth)),
+            1.0);
+  EXPECT_EQ(result.bt_commands, 1);
+  EXPECT_LT(sim::to_milliseconds(result.duration), 15.0);
+}
+
+TEST(BeamTracker, RefinementNeverWorse) {
+  Fixture f;
+  f.scene.ap().node().steer_toward(f.reflector.position());
+  f.scene.headset().node().face_toward(f.reflector.position());
+  std::mt19937_64 rng1{2};
+  std::mt19937_64 rng2{2};
+  BeamTracker::Config plain;
+  BeamTracker::Config refined;
+  refined.refine = true;
+  const auto p = BeamTracker::retarget(f.scene, f.reflector, rng1, plain);
+  const auto r = BeamTracker::retarget(f.scene, f.reflector, rng2, refined);
+  EXPECT_GE(r.snr.value(), p.snr.value() - 0.5);
+  EXPECT_GT(r.bt_commands, p.bt_commands);
+}
+
+TEST(LinkManager, StaysDirectWhenClear) {
+  Fixture f;
+  LinkManager manager{f.simulator, f.scene, std::mt19937_64{3}};
+  const rf::Decibels snr = f.run_frames(manager, 30);
+  EXPECT_EQ(manager.mode(), LinkManager::Mode::kDirect);
+  EXPECT_EQ(manager.stats().handovers_to_reflector, 0);
+  EXPECT_GT(snr.value(), 18.0);
+}
+
+TEST(LinkManager, HandsOverOnBlockage) {
+  Fixture f;
+  LinkManager manager{f.simulator, f.scene, std::mt19937_64{4}};
+  f.run_frames(manager, 10);
+  ASSERT_EQ(manager.mode(), LinkManager::Mode::kDirect);
+  f.block_direct();
+  const rf::Decibels after = f.run_frames(manager, 20);
+  EXPECT_EQ(manager.mode(), LinkManager::Mode::kViaReflector);
+  EXPECT_EQ(manager.stats().handovers_to_reflector, 1);
+  // Via the reflector the SNR is back to VR-grade despite the hand.
+  EXPECT_GT(after.value(), 18.0);
+}
+
+TEST(LinkManager, RecoversToDirect) {
+  Fixture f;
+  LinkManager manager{f.simulator, f.scene, std::mt19937_64{5}};
+  f.run_frames(manager, 5);
+  f.block_direct();
+  f.run_frames(manager, 20);
+  ASSERT_EQ(manager.mode(), LinkManager::Mode::kViaReflector);
+  f.unblock();
+  f.run_frames(manager, 60);  // probes run at 100 ms cadence
+  EXPECT_EQ(manager.mode(), LinkManager::Mode::kDirect);
+  EXPECT_EQ(manager.stats().handovers_to_direct, 1);
+  EXPECT_GT(manager.stats().time_on_reflector, sim::Duration::zero());
+}
+
+TEST(LinkManager, HandoverWithinAFewFrames) {
+  Fixture f;
+  LinkManager manager{f.simulator, f.scene, std::mt19937_64{6}};
+  f.run_frames(manager, 5);
+  f.block_direct();
+  int frames_to_recover = 0;
+  for (int i = 0; i < 30; ++i) {
+    const rf::Decibels snr = manager.on_frame();
+    f.simulator.run_until(f.simulator.now() + sim::Duration{11'111'111});
+    ++frames_to_recover;
+    if (snr.value() > 18.0) {
+      break;
+    }
+  }
+  // Degradation detection (2-3 frames) + one BT exchange (~1 frame).
+  EXPECT_LE(frames_to_recover, 8);
+}
+
+TEST(LinkManager, RetargetsWhenPlayerWalks) {
+  Fixture f;
+  LinkManager manager{f.simulator, f.scene, std::mt19937_64{7}};
+  f.run_frames(manager, 5);
+  f.block_direct();
+  f.run_frames(manager, 15);
+  ASSERT_EQ(manager.mode(), LinkManager::Mode::kViaReflector);
+  // Walk far enough that the reflector's ~10 degree beam misses.
+  f.unblock();  // hand stays down while walking...
+  f.block_direct();  // ...but re-block relative to the new position below
+  f.scene.headset().node().set_position({1.5, 3.5});
+  f.run_frames(manager, 10);
+  EXPECT_GT(manager.stats().retargets, 0);
+}
+
+TEST(LinkManager, NoReflectorMeansNoHandover) {
+  Scene scene{channel::Room{5.0, 5.0}, ApRadio{{0.4, 0.4}, deg_to_rad(45.0)},
+              HeadsetRadio{{3.0, 2.0}, 0.0}};
+  sim::Simulator simulator;
+  LinkManager manager{simulator, scene, std::mt19937_64{8}};
+  scene.room().add_obstacle(channel::make_hand(
+      scene.headset().node().position(),
+      scene.ap().node().position() - scene.headset().node().position()));
+  for (int i = 0; i < 20; ++i) {
+    manager.on_frame();
+    simulator.run_until(simulator.now() + sim::Duration{11'111'111});
+  }
+  EXPECT_EQ(manager.mode(), LinkManager::Mode::kDirect);
+  EXPECT_EQ(manager.stats().handovers_to_reflector, 0);
+}
+
+TEST(LinkManager, PicksBestOfTwoReflectors) {
+  Fixture f;
+  // A second reflector much closer to the action.
+  auto& near_reflector = f.scene.add_reflector({4.6, 0.4}, deg_to_rad(135.0));
+  f.calibrate(near_reflector);
+
+  LinkManager manager{f.simulator, f.scene, std::mt19937_64{9}};
+  f.run_frames(manager, 5);
+  f.block_direct();
+  const rf::Decibels snr = f.run_frames(manager, 20);
+  EXPECT_EQ(manager.mode(), LinkManager::Mode::kViaReflector);
+  EXPECT_GT(snr.value(), 18.0);
+}
+
+}  // namespace
+}  // namespace movr::core

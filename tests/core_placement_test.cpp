@@ -1,0 +1,78 @@
+#include <core/placement.hpp>
+
+#include <gtest/gtest.h>
+
+#include <geom/angle.hpp>
+
+namespace movr::core {
+namespace {
+
+PlacementPlanner::Config fast_config() {
+  PlacementPlanner::Config config;
+  config.trials = 30;
+  config.mount_spacing_m = 1.6;
+  config.max_reflectors = 2;
+  return config;
+}
+
+TEST(Placement, CandidatesLineTheWalls) {
+  const PlacementPlanner planner{fast_config(), 1};
+  const channel::Room room{5.0, 5.0};
+  const auto candidates = planner.candidates(room, {0.4, 0.4});
+  EXPECT_GT(candidates.size(), 4u);
+  for (const auto& c : candidates) {
+    // On (just off) a wall...
+    const bool near_wall = c.position.x < 0.3 || c.position.x > 4.7 ||
+                           c.position.y < 0.3 || c.position.y > 4.7;
+    EXPECT_TRUE(near_wall) << c.position;
+    // ...and not on top of the AP.
+    EXPECT_GT(geom::distance(c.position, {0.4, 0.4}), 1.0);
+  }
+}
+
+TEST(Placement, CandidatesAvoidFurniture) {
+  const PlacementPlanner planner{fast_config(), 1};
+  const auto room = channel::Room::paper_office();
+  const auto candidates = planner.candidates(room, {0.4, 0.4});
+  for (const auto& c : candidates) {
+    for (const auto& obstacle : room.obstacles()) {
+      EXPECT_GT(geom::distance(c.position, obstacle.shape.center),
+                obstacle.shape.radius);
+    }
+  }
+}
+
+TEST(Placement, OutageCurveDecreases) {
+  const PlacementPlanner planner{fast_config(), 7};
+  const channel::Room room{5.0, 5.0};
+  const auto plan = planner.plan(room, {0.4, 0.4});
+  ASSERT_GE(plan.outage_curve.size(), 2u);
+  // Blockage with no reflectors is near-certain outage...
+  EXPECT_GT(plan.outage_curve.front(), 0.5);
+  // ...and each greedy addition strictly improved coverage.
+  for (std::size_t i = 1; i < plan.outage_curve.size(); ++i) {
+    EXPECT_LT(plan.outage_curve[i], plan.outage_curve[i - 1]);
+  }
+  EXPECT_EQ(plan.chosen.size() + 1, plan.outage_curve.size());
+}
+
+TEST(Placement, FirstReflectorDoesTheHeavyLifting) {
+  const PlacementPlanner planner{fast_config(), 7};
+  const channel::Room room{5.0, 5.0};
+  const auto plan = planner.plan(room, {0.4, 0.4});
+  ASSERT_GE(plan.outage_curve.size(), 2u);
+  EXPECT_LT(plan.outage_curve[1], 0.35);
+}
+
+TEST(Placement, DeterministicPerSeed) {
+  const channel::Room room{5.0, 5.0};
+  const auto a = PlacementPlanner{fast_config(), 9}.plan(room, {0.4, 0.4});
+  const auto b = PlacementPlanner{fast_config(), 9}.plan(room, {0.4, 0.4});
+  ASSERT_EQ(a.chosen.size(), b.chosen.size());
+  for (std::size_t i = 0; i < a.chosen.size(); ++i) {
+    EXPECT_EQ(a.chosen[i].position, b.chosen[i].position);
+  }
+}
+
+}  // namespace
+}  // namespace movr::core

@@ -1,0 +1,152 @@
+#include <core/predictive_tracker.hpp>
+
+#include <gtest/gtest.h>
+
+#include <geom/angle.hpp>
+
+namespace movr::core {
+namespace {
+
+using geom::Vec2;
+using geom::deg_to_rad;
+
+PredictiveTracker::Config noiseless() {
+  PredictiveTracker::Config config;
+  config.tracking_noise_m = 0.0;
+  return config;
+}
+
+TEST(PredictiveTracker, VelocityFromLinearMotion) {
+  PredictiveTracker tracker{noiseless()};
+  MovrReflector reflector{{4.6, 4.6}, deg_to_rad(225.0)};
+  std::mt19937_64 rng{1};
+  for (int i = 0; i < 6; ++i) {
+    const auto t = sim::from_seconds(i * 0.0111);
+    tracker.on_pose(t, Vec2{1.0 + 0.5 * sim::to_seconds(t), 2.0}, reflector,
+                    rng);
+  }
+  const Vec2 v = tracker.velocity();
+  EXPECT_NEAR(v.x, 0.5, 1e-6);
+  EXPECT_NEAR(v.y, 0.0, 1e-6);
+}
+
+TEST(PredictiveTracker, PredictExtrapolates) {
+  PredictiveTracker tracker{noiseless()};
+  MovrReflector reflector{{4.6, 4.6}, deg_to_rad(225.0)};
+  std::mt19937_64 rng{1};
+  for (int i = 0; i < 6; ++i) {
+    tracker.on_pose(sim::from_seconds(i * 0.01), Vec2{1.0 + i * 0.01, 2.0},
+                    reflector, rng);
+  }
+  // 1 m/s along x; 100 ms ahead is +0.1 m.
+  const Vec2 predicted = tracker.predict(sim::from_seconds(0.1));
+  EXPECT_NEAR(predicted.x, 1.05 + 0.1, 1e-6);
+  EXPECT_NEAR(predicted.y, 2.0, 1e-6);
+}
+
+TEST(PredictiveTracker, StationaryPlayerNoCommands) {
+  PredictiveTracker tracker{noiseless()};
+  MovrReflector reflector{{4.6, 4.6}, deg_to_rad(225.0)};
+  // Beam already on target.
+  reflector.front_end().steer_tx(
+      reflector.to_local((Vec2{2.0, 2.0} - reflector.position()).heading()));
+  std::mt19937_64 rng{1};
+  int commands = 0;
+  for (int i = 0; i < 90; ++i) {
+    if (tracker.on_pose(sim::from_seconds(i * 0.0111), {2.0, 2.0}, reflector,
+                        rng)) {
+      ++commands;
+    }
+  }
+  EXPECT_EQ(commands, 0);
+}
+
+TEST(PredictiveTracker, CommandsWhenBeamDrifts) {
+  PredictiveTracker tracker{noiseless()};
+  MovrReflector reflector{{4.6, 4.6}, deg_to_rad(225.0)};
+  reflector.front_end().steer_tx(
+      reflector.to_local((Vec2{2.0, 2.0} - reflector.position()).heading()));
+  std::mt19937_64 rng{1};
+  bool commanded = false;
+  for (int i = 0; i < 180 && !commanded; ++i) {
+    const double t = i * 0.0111;
+    const auto cmd = tracker.on_pose(sim::from_seconds(t),
+                                     Vec2{2.0 + t * 1.0, 2.0}, reflector, rng);
+    if (cmd) {
+      commanded = true;
+      // The command leads the current position toward the motion.
+      reflector.front_end().steer_tx(cmd->tx_local_angle);
+    }
+  }
+  EXPECT_TRUE(commanded);
+}
+
+TEST(PredictiveTracker, LeadsAMovingTarget) {
+  // With a fast player, the predictive command lands closer to where the
+  // player is at actuation time than a command aimed at the current pose.
+  PredictiveTracker::Config config = noiseless();
+  config.actuation_delay = sim::from_seconds(0.05);
+  PredictiveTracker tracker{config};
+  MovrReflector reflector{{4.6, 4.6}, deg_to_rad(225.0)};
+  reflector.front_end().steer_tx(deg_to_rad(40.0));  // badly off
+  std::mt19937_64 rng{1};
+  const double speed = 2.0;  // fast strafe
+  // Apply every command; judge the LAST one, issued with a warm velocity
+  // fit (the first command fires before any velocity is known).
+  std::optional<PredictiveTracker::Command> cmd;
+  int commands = 0;
+  double t = 0.0;
+  double cmd_time = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    t = i * 0.0111;
+    const auto c = tracker.on_pose(sim::from_seconds(t),
+                                   Vec2{1.0 + speed * t, 2.0}, reflector, rng);
+    if (c) {
+      ++commands;
+      cmd = c;
+      cmd_time = t;
+      reflector.front_end().steer_tx(c->tx_local_angle);
+    }
+  }
+  ASSERT_TRUE(cmd.has_value());
+  ASSERT_GE(commands, 2);
+  t = cmd_time;
+  const Vec2 at_actuation{1.0 + speed * (t + 0.05), 2.0};
+  const double ideal =
+      reflector.to_local((at_actuation - reflector.position()).heading());
+  const double naive =
+      reflector.to_local((Vec2{1.0 + speed * t, 2.0} - reflector.position())
+                             .heading());
+  EXPECT_LT(geom::angular_distance(cmd->tx_local_angle, ideal),
+            geom::angular_distance(naive, ideal));
+}
+
+TEST(PredictiveTracker, NoisyTrackingStillConverges) {
+  PredictiveTracker tracker;  // default 5 mm noise
+  MovrReflector reflector{{4.6, 4.6}, deg_to_rad(225.0)};
+  std::mt19937_64 rng{7};
+  for (int i = 0; i < 20; ++i) {
+    tracker.on_pose(sim::from_seconds(i * 0.0111),
+                    Vec2{1.0 + 0.6 * i * 0.0111, 2.0}, reflector, rng);
+  }
+  const Vec2 v = tracker.velocity();
+  // 5 mm tracking jitter over a ~60 ms window is a lot of velocity noise;
+  // the fit only needs to get the direction and magnitude roughly right.
+  EXPECT_NEAR(v.x, 0.6, 0.4);
+  EXPECT_NEAR(v.y, 0.0, 0.4);
+}
+
+TEST(PredictiveTracker, ResetForgetsHistory) {
+  PredictiveTracker tracker{noiseless()};
+  MovrReflector reflector{{4.6, 4.6}, deg_to_rad(225.0)};
+  std::mt19937_64 rng{1};
+  for (int i = 0; i < 6; ++i) {
+    tracker.on_pose(sim::from_seconds(i * 0.01), Vec2{1.0 + i * 0.05, 2.0},
+                    reflector, rng);
+  }
+  tracker.reset();
+  EXPECT_EQ(tracker.velocity(), Vec2(0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace movr::core

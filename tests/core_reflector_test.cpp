@@ -1,0 +1,83 @@
+#include <core/reflector.hpp>
+
+#include <gtest/gtest.h>
+
+#include <geom/angle.hpp>
+
+namespace movr::core {
+namespace {
+
+using movr::geom::deg_to_rad;
+
+TEST(Reflector, LocalGlobalRoundTrip) {
+  const MovrReflector reflector{{4.6, 4.6}, deg_to_rad(225.0)};
+  for (double local = 0.3; local < 3.0; local += 0.3) {
+    EXPECT_NEAR(movr::geom::angular_distance(
+                    reflector.to_local(reflector.to_global(local)), local),
+                0.0, 1e-9);
+  }
+}
+
+TEST(Reflector, BoresightMapsToLocal90) {
+  const MovrReflector reflector{{1.0, 1.0}, deg_to_rad(30.0)};
+  EXPECT_NEAR(reflector.to_local(deg_to_rad(30.0)), deg_to_rad(90.0), 1e-12);
+}
+
+TEST(Reflector, HandlesRxAngleMessage) {
+  MovrReflector reflector{{0.0, 0.0}, 0.0};
+  reflector.handle({"rx_angle", 1.2, 0});
+  EXPECT_NEAR(reflector.front_end().rx_array().steering(), 1.2, 1e-12);
+}
+
+TEST(Reflector, HandlesTxAngleMessage) {
+  MovrReflector reflector{{0.0, 0.0}, 0.0};
+  reflector.handle({"tx_angle", 2.1, 0});
+  EXPECT_NEAR(reflector.front_end().tx_array().steering(), 2.1, 1e-12);
+}
+
+TEST(Reflector, HandlesBothAnglesMessage) {
+  MovrReflector reflector{{0.0, 0.0}, 0.0};
+  reflector.handle({"both_angles", 1.7, 0});
+  EXPECT_NEAR(reflector.front_end().rx_array().steering(), 1.7, 1e-12);
+  EXPECT_NEAR(reflector.front_end().tx_array().steering(), 1.7, 1e-12);
+}
+
+TEST(Reflector, HandlesGainCodeMessage) {
+  MovrReflector reflector{{0.0, 0.0}, 0.0};
+  reflector.handle({"gain_code", 128.0, 0});
+  EXPECT_EQ(reflector.front_end().gain_code(), 128u);
+  // Negative values clamp to zero rather than wrapping.
+  reflector.handle({"gain_code", -5.0, 0});
+  EXPECT_EQ(reflector.front_end().gain_code(), 0u);
+  // Overrange clamps to the DAC maximum.
+  reflector.handle({"gain_code", 9999.0, 0});
+  EXPECT_EQ(reflector.front_end().gain_code(),
+            reflector.front_end().max_gain_code());
+}
+
+TEST(Reflector, HandlesModulateMessage) {
+  MovrReflector reflector{{0.0, 0.0}, 0.0};
+  EXPECT_FALSE(reflector.front_end().modulating());
+  reflector.handle({"modulate", 1.0, 0});
+  EXPECT_TRUE(reflector.front_end().modulating());
+  reflector.handle({"modulate", 0.0, 0});
+  EXPECT_FALSE(reflector.front_end().modulating());
+}
+
+TEST(Reflector, UnknownTopicsCountedNotFatal) {
+  MovrReflector reflector{{0.0, 0.0}, 0.0};
+  reflector.handle({"set_flux_capacitor", 88.0, 0});
+  reflector.handle({"", 0.0, 0});
+  EXPECT_EQ(reflector.unknown_messages(), 2u);
+  // State untouched.
+  EXPECT_EQ(reflector.front_end().gain_code(), 0u);
+}
+
+TEST(Reflector, ControlNameSettable) {
+  MovrReflector reflector{{0.0, 0.0}, 0.0};
+  reflector.set_control_name("wall-unit-3");
+  EXPECT_EQ(reflector.control_name(), "wall-unit-3");
+}
+
+}  // namespace
+}  // namespace movr::core

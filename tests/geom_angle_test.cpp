@@ -1,0 +1,95 @@
+#include <geom/angle.hpp>
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace movr::geom {
+namespace {
+
+TEST(Angle, Conversions) {
+  EXPECT_DOUBLE_EQ(deg_to_rad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(rad_to_deg(kPi), 180.0);
+  EXPECT_DOUBLE_EQ(deg_to_rad(rad_to_deg(1.234)), 1.234);
+}
+
+TEST(Angle, WrapTwoPiBasics) {
+  EXPECT_NEAR(wrap_two_pi(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(kTwoPi), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(-0.1), kTwoPi - 0.1, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(kTwoPi + 0.1), 0.1, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(-5.0 * kTwoPi - 0.25), kTwoPi - 0.25, 1e-9);
+}
+
+TEST(Angle, WrapPiBasics) {
+  EXPECT_NEAR(wrap_pi(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_pi(kPi), kPi, 1e-12);       // pi maps to +pi
+  EXPECT_NEAR(wrap_pi(-kPi), kPi, 1e-12);      // -pi maps to +pi too
+  EXPECT_NEAR(wrap_pi(kPi + 0.1), -kPi + 0.1, 1e-12);
+  EXPECT_NEAR(wrap_pi(3.0 * kPi), kPi, 1e-9);
+}
+
+// Property sweep: wrapping is idempotent and stays in range.
+class AngleWrapProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(AngleWrapProperty, TwoPiRangeAndIdempotence) {
+  const double a = GetParam();
+  const double w = wrap_two_pi(a);
+  EXPECT_GE(w, 0.0);
+  EXPECT_LT(w, kTwoPi);
+  EXPECT_NEAR(wrap_two_pi(w), w, 1e-12);
+  // Wrapping preserves the angle modulo 2*pi.
+  EXPECT_NEAR(std::remainder(a - w, kTwoPi), 0.0, 1e-9);
+}
+
+TEST_P(AngleWrapProperty, PiRangeAndIdempotence) {
+  const double a = GetParam();
+  const double w = wrap_pi(a);
+  EXPECT_GT(w, -kPi);
+  EXPECT_LE(w, kPi);
+  EXPECT_NEAR(wrap_pi(w), w, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AngleWrapProperty,
+                         ::testing::Values(-100.0, -7.5, -kTwoPi, -kPi, -1.0,
+                                           -1e-9, 0.0, 1e-9, 1.0, kPi, 4.0,
+                                           kTwoPi, 7.5, 100.0, 1e6));
+
+TEST(Angle, AngularDistance) {
+  EXPECT_NEAR(angular_distance(0.1, 0.2), 0.1, 1e-12);
+  EXPECT_NEAR(angular_distance(0.0, kTwoPi), 0.0, 1e-12);
+  // Across the wrap point: 359 deg vs 1 deg is 2 deg apart.
+  EXPECT_NEAR(angular_distance(deg_to_rad(359.0), deg_to_rad(1.0)),
+              deg_to_rad(2.0), 1e-12);
+  EXPECT_NEAR(angular_distance(0.0, kPi), kPi, 1e-12);
+}
+
+TEST(Angle, AngularDistanceSymmetric) {
+  for (double a = 0.0; a < kTwoPi; a += 0.7) {
+    for (double b = 0.0; b < kTwoPi; b += 0.9) {
+      EXPECT_NEAR(angular_distance(a, b), angular_distance(b, a), 1e-12);
+      EXPECT_LE(angular_distance(a, b), kPi + 1e-12);
+    }
+  }
+}
+
+TEST(Angle, AngularDifferenceSign) {
+  // Rotating from 10 deg to 20 deg is +10 deg.
+  EXPECT_NEAR(angular_difference(deg_to_rad(20.0), deg_to_rad(10.0)),
+              deg_to_rad(10.0), 1e-12);
+  // From 1 deg back to 359 deg is -2 deg (short way).
+  EXPECT_NEAR(angular_difference(deg_to_rad(359.0), deg_to_rad(1.0)),
+              deg_to_rad(-2.0), 1e-12);
+}
+
+TEST(Angle, AngularLerpEndpoints) {
+  const double a = deg_to_rad(350.0);
+  const double b = deg_to_rad(10.0);
+  EXPECT_NEAR(angular_distance(angular_lerp(a, b, 0.0), a), 0.0, 1e-12);
+  EXPECT_NEAR(angular_distance(angular_lerp(a, b, 1.0), b), 0.0, 1e-12);
+  // Midpoint across the wrap is 0 deg, not 180.
+  EXPECT_NEAR(angular_distance(angular_lerp(a, b, 0.5), 0.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace movr::geom

@@ -1,0 +1,97 @@
+#include <geom/circle.hpp>
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace movr::geom {
+namespace {
+
+TEST(Circle, Contains) {
+  const Circle c{{1.0, 1.0}, 0.5};
+  EXPECT_TRUE(c.contains({1.0, 1.0}));
+  EXPECT_TRUE(c.contains({1.5, 1.0}));  // boundary
+  EXPECT_FALSE(c.contains({1.6, 1.0}));
+}
+
+TEST(Circle, ChordThroughCenterIsDiameter) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  const Segment s{{-5.0, 0.0}, {5.0, 0.0}};
+  EXPECT_NEAR(chord_length(c, s), 2.0, 1e-12);
+}
+
+TEST(Circle, ChordOffCenter) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  // Line y = 0.6 cuts a chord of length 2*sqrt(1 - 0.36) = 1.6.
+  const Segment s{{-5.0, 0.6}, {5.0, 0.6}};
+  EXPECT_NEAR(chord_length(c, s), 1.6, 1e-12);
+}
+
+TEST(Circle, MissingSegmentHasZeroChord) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  EXPECT_EQ(chord_length(c, {{-5.0, 2.0}, {5.0, 2.0}}), 0.0);
+  EXPECT_FALSE(intersects(c, {{-5.0, 2.0}, {5.0, 2.0}}));
+}
+
+TEST(Circle, TangentSegmentHasZeroChord) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  EXPECT_NEAR(chord_length(c, {{-5.0, 1.0}, {5.0, 1.0}}), 0.0, 1e-6);
+}
+
+TEST(Circle, EndpointInsideClipsChord) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  // Starts at the center, exits at (1, 0): half a diameter.
+  const Segment s{{0.0, 0.0}, {5.0, 0.0}};
+  EXPECT_NEAR(chord_length(c, s), 1.0, 1e-12);
+}
+
+TEST(Circle, SegmentEntirelyInside) {
+  const Circle c{{0.0, 0.0}, 2.0};
+  const Segment s{{-0.5, 0.0}, {0.5, 0.0}};
+  EXPECT_NEAR(chord_length(c, s), 1.0, 1e-12);
+  EXPECT_TRUE(intersects(c, s));
+}
+
+TEST(Circle, SegmentShorterThanReachDoesNotTouch) {
+  const Circle c{{10.0, 0.0}, 1.0};
+  const Segment s{{0.0, 0.0}, {5.0, 0.0}};  // stops short of the circle
+  EXPECT_EQ(chord_length(c, s), 0.0);
+  EXPECT_FALSE(intersects(c, s));
+}
+
+TEST(Circle, IntersectsWhenEndpointInside) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  EXPECT_TRUE(intersects(c, {{0.2, 0.2}, {0.3, 0.3}}));
+}
+
+TEST(Circle, Clearance) {
+  const Circle c{{0.0, 3.0}, 1.0};
+  const Segment s{{-5.0, 0.0}, {5.0, 0.0}};
+  EXPECT_NEAR(clearance(c, s), 3.0, 1e-12);
+}
+
+TEST(Circle, DegenerateSegmentChordIsZero) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  const Segment point{{0.0, 0.0}, {0.0, 0.0}};
+  EXPECT_EQ(chord_length(c, point), 0.0);
+}
+
+// Property: chord length never exceeds the diameter or the segment length.
+class ChordProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChordProperty, Bounds) {
+  const double offset = GetParam();
+  const Circle c{{0.0, offset}, 0.7};
+  const Segment s{{-3.0, 0.0}, {3.0, 0.0}};
+  const double chord = chord_length(c, s);
+  EXPECT_GE(chord, 0.0);
+  EXPECT_LE(chord, 2.0 * c.radius + 1e-12);
+  EXPECT_LE(chord, s.length() + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(OffsetSweep, ChordProperty,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.69, 0.7,
+                                           0.71, 1.0, 5.0));
+
+}  // namespace
+}  // namespace movr::geom

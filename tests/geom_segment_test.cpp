@@ -1,0 +1,96 @@
+#include <geom/segment.hpp>
+
+#include <gtest/gtest.h>
+
+namespace movr::geom {
+namespace {
+
+TEST(Segment, BasicProperties) {
+  const Segment s{{0.0, 0.0}, {4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(s.length(), 4.0);
+  EXPECT_EQ(s.midpoint(), Vec2(2.0, 0.0));
+  EXPECT_EQ(s.at(0.25), Vec2(1.0, 0.0));
+}
+
+TEST(Segment, CrossingIntersection) {
+  const Segment a{{0.0, 0.0}, {2.0, 2.0}};
+  const Segment b{{0.0, 2.0}, {2.0, 0.0}};
+  const auto hit = intersect(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 1.0, 1e-12);
+  EXPECT_NEAR(hit->y, 1.0, 1e-12);
+}
+
+TEST(Segment, NonCrossingReturnsNullopt) {
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{0.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(Segment, ParallelReturnsNullopt) {
+  const Segment a{{0.0, 0.0}, {2.0, 2.0}};
+  const Segment b{{1.0, 0.0}, {3.0, 2.0}};
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(Segment, TouchingAtEndpointCounts) {
+  const Segment a{{0.0, 0.0}, {1.0, 1.0}};
+  const Segment b{{1.0, 1.0}, {2.0, 0.0}};
+  const auto hit = intersect(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 1.0, 1e-9);
+}
+
+TEST(Segment, NearMissOutsideRange) {
+  // The infinite lines cross at (3, 0), beyond segment a's extent.
+  const Segment a{{0.0, 0.0}, {2.0, 0.0}};
+  const Segment b{{3.0, -1.0}, {3.0, 1.0}};
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(Segment, DistanceToInteriorAndEndpoints) {
+  const Segment s{{0.0, 0.0}, {4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(distance_to(s, {2.0, 3.0}), 3.0);   // above interior
+  EXPECT_DOUBLE_EQ(distance_to(s, {-3.0, 4.0}), 5.0);  // beyond endpoint a
+  EXPECT_DOUBLE_EQ(distance_to(s, {7.0, 4.0}), 5.0);   // beyond endpoint b
+  EXPECT_DOUBLE_EQ(distance_to(s, {1.0, 0.0}), 0.0);   // on the segment
+}
+
+TEST(Segment, DistanceToDegenerateSegment) {
+  const Segment point{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(distance_to(point, {4.0, 5.0}), 5.0);
+}
+
+TEST(Segment, MirrorAcrossHorizontalLine) {
+  const Segment wall{{0.0, 2.0}, {10.0, 2.0}};
+  const Vec2 image = mirror_across(wall, {3.0, 0.0});
+  EXPECT_NEAR(image.x, 3.0, 1e-12);
+  EXPECT_NEAR(image.y, 4.0, 1e-12);
+}
+
+TEST(Segment, MirrorIsInvolution) {
+  const Segment wall{{0.0, 0.0}, {3.0, 5.0}};
+  const Vec2 p{2.0, -1.0};
+  const Vec2 twice = mirror_across(wall, mirror_across(wall, p));
+  EXPECT_NEAR(twice.x, p.x, 1e-12);
+  EXPECT_NEAR(twice.y, p.y, 1e-12);
+}
+
+TEST(Segment, MirrorFixesPointsOnLine) {
+  const Segment wall{{0.0, 0.0}, {4.0, 4.0}};
+  const Vec2 on_line{2.0, 2.0};
+  const Vec2 image = mirror_across(wall, on_line);
+  EXPECT_NEAR(image.x, 2.0, 1e-12);
+  EXPECT_NEAR(image.y, 2.0, 1e-12);
+}
+
+TEST(Segment, Contains) {
+  const Segment s{{0.0, 0.0}, {2.0, 0.0}};
+  EXPECT_TRUE(contains(s, {1.0, 0.0}));
+  EXPECT_TRUE(contains(s, {0.0, 0.0}));
+  EXPECT_FALSE(contains(s, {1.0, 0.1}));
+  EXPECT_TRUE(contains(s, {1.0, 0.05}, 0.1));
+}
+
+}  // namespace
+}  // namespace movr::geom

@@ -1,0 +1,98 @@
+#include <geom/vec2.hpp>
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include <geom/angle.hpp>
+
+namespace movr::geom {
+namespace {
+
+TEST(Vec2, DefaultIsOrigin) {
+  constexpr Vec2 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, Arithmetic) {
+  constexpr Vec2 a{1.0, 2.0};
+  constexpr Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += Vec2{2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= Vec2{1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2, DotAndCross) {
+  constexpr Vec2 a{1.0, 0.0};
+  constexpr Vec2 b{0.0, 1.0};
+  EXPECT_EQ(a.dot(b), 0.0);
+  EXPECT_EQ(a.cross(b), 1.0);
+  EXPECT_EQ(b.cross(a), -1.0);
+  EXPECT_EQ(a.dot(a), 1.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, v), 5.0);
+}
+
+TEST(Vec2, Normalized) {
+  const Vec2 v = Vec2{10.0, 0.0}.normalized();
+  EXPECT_DOUBLE_EQ(v.x, 1.0);
+  EXPECT_DOUBLE_EQ(v.y, 0.0);
+  const Vec2 d = Vec2{3.0, 4.0}.normalized();
+  EXPECT_NEAR(d.norm(), 1.0, 1e-12);
+}
+
+TEST(Vec2, RotatedQuarterTurn) {
+  const Vec2 v = Vec2{1.0, 0.0}.rotated(kPi / 2.0);
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{2.0, -3.0};
+  for (double a = -6.0; a <= 6.0; a += 0.37) {
+    EXPECT_NEAR(v.rotated(a).norm(), v.norm(), 1e-12) << "angle " << a;
+  }
+}
+
+TEST(Vec2, PerpIsOrthogonal) {
+  constexpr Vec2 v{2.0, 5.0};
+  EXPECT_EQ(v.dot(v.perp()), 0.0);
+  EXPECT_GT(v.cross(v.perp()), 0.0);  // CCW
+}
+
+TEST(Vec2, HeadingRoundTrip) {
+  for (double a = -3.0; a <= 3.0; a += 0.173) {
+    const Vec2 v = Vec2::from_heading(a);
+    EXPECT_NEAR(v.heading(), a, 1e-12) << "angle " << a;
+    EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(Vec2, HeadingOfAxes) {
+  EXPECT_NEAR(Vec2(1.0, 0.0).heading(), 0.0, 1e-12);
+  EXPECT_NEAR(Vec2(0.0, 1.0).heading(), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(Vec2(-1.0, 0.0).heading(), kPi, 1e-12);
+  EXPECT_NEAR(Vec2(0.0, -1.0).heading(), -kPi / 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace movr::geom

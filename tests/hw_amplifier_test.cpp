@@ -1,0 +1,123 @@
+#include <hw/amplifier.hpp>
+
+#include <gtest/gtest.h>
+
+namespace movr::hw {
+namespace {
+
+using rf::DbmPower;
+using rf::Decibels;
+
+TEST(Amplifier, RejectsBadConfig) {
+  Amplifier::Config inverted;
+  inverted.min_gain = Decibels{10.0};
+  inverted.max_gain = Decibels{5.0};
+  EXPECT_THROW(Amplifier{inverted}, std::invalid_argument);
+  Amplifier::Config bad_rapp;
+  bad_rapp.rapp_smoothness = 0.0;
+  EXPECT_THROW(Amplifier{bad_rapp}, std::invalid_argument);
+}
+
+TEST(Amplifier, GainClampsToRange) {
+  Amplifier amp;
+  amp.set_gain(Decibels{1000.0});
+  EXPECT_EQ(amp.gain(), amp.config().max_gain);
+  amp.set_gain(Decibels{-1000.0});
+  EXPECT_EQ(amp.gain(), amp.config().min_gain);
+}
+
+TEST(Amplifier, LinearRegionAppliesGainExactly) {
+  Amplifier amp;
+  amp.set_gain(Decibels{30.0});
+  const auto op = amp.drive(DbmPower{-60.0});
+  // -30 dBm out, 50 dB below saturation: negligible compression.
+  EXPECT_NEAR(op.output.value(), -30.0, 0.01);
+  EXPECT_LT(op.compression_db, 0.01);
+  EXPECT_FALSE(op.saturated);
+}
+
+TEST(Amplifier, OutputNeverExceedsSaturation) {
+  Amplifier amp;
+  amp.set_gain(amp.config().max_gain);
+  for (double in = -80.0; in <= 10.0; in += 2.0) {
+    const auto op = amp.drive(DbmPower{in});
+    EXPECT_LE(op.output.value(), amp.config().saturation_power.value() + 0.01)
+        << "input " << in;
+  }
+}
+
+TEST(Amplifier, CompressionGrowsWithDrive) {
+  Amplifier amp;
+  amp.set_gain(Decibels{50.0});
+  double prev = -1.0;
+  for (double in = -60.0; in <= -10.0; in += 5.0) {
+    const auto op = amp.drive(DbmPower{in});
+    EXPECT_GE(op.compression_db, prev);
+    prev = op.compression_db;
+  }
+}
+
+TEST(Amplifier, SaturatedFlagBeyondOneDb) {
+  Amplifier amp;
+  amp.set_gain(Decibels{50.0});
+  // Drive hard: ideal output +40 dBm, 20 above saturation.
+  const auto op = amp.drive(DbmPower{-10.0});
+  EXPECT_TRUE(op.saturated);
+  EXPECT_GT(op.compression_db, 1.0);
+}
+
+TEST(Amplifier, QuiescentCurrentAtIdle) {
+  Amplifier amp;
+  amp.set_gain(Decibels{0.0});
+  const auto op = amp.drive(DbmPower{-100.0});
+  EXPECT_NEAR(op.supply_current_a, amp.config().quiescent_current_a, 0.005);
+}
+
+TEST(Amplifier, CurrentJumpsNearSaturation) {
+  Amplifier amp;
+  amp.set_gain(Decibels{50.0});
+  const auto linear = amp.drive(DbmPower{-60.0});   // -10 dBm out
+  const auto compressed = amp.drive(DbmPower{-28.0});  // ~sat
+  EXPECT_GT(compressed.supply_current_a,
+            linear.supply_current_a + 0.5 * amp.config().compression_current_a);
+}
+
+TEST(Amplifier, CurrentMonotoneInDrive) {
+  Amplifier amp;
+  amp.set_gain(Decibels{45.0});
+  double prev = 0.0;
+  for (double in = -80.0; in <= 0.0; in += 1.0) {
+    const auto op = amp.drive(DbmPower{in});
+    EXPECT_GE(op.supply_current_a, prev - 1e-9) << "input " << in;
+    prev = op.supply_current_a;
+  }
+}
+
+// Property: for any gain setting, the knee in supply current happens where
+// compression crosses the configured knee depth.
+class AmplifierKneeProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(AmplifierKneeProperty, KneeAlignedWithCompression) {
+  Amplifier amp;
+  amp.set_gain(Decibels{GetParam()});
+  double knee_input = 0.0;
+  for (double in = -90.0; in <= 20.0; in += 0.25) {
+    const auto op = amp.drive(DbmPower{in});
+    if (op.compression_db >= amp.config().knee_compression_db) {
+      knee_input = in;
+      break;
+    }
+  }
+  // At the knee input, the extra current is about half the compression
+  // current (logistic midpoint).
+  const auto at_knee = amp.drive(DbmPower{knee_input});
+  const auto well_below = amp.drive(DbmPower{knee_input - 20.0});
+  const double extra = at_knee.supply_current_a - well_below.supply_current_a;
+  EXPECT_GT(extra, 0.3 * amp.config().compression_current_a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gains, AmplifierKneeProperty,
+                         ::testing::Values(20.0, 30.0, 40.0, 50.0));
+
+}  // namespace
+}  // namespace movr::hw

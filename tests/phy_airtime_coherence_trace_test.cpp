@@ -1,0 +1,139 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include <channel/coherence.hpp>
+#include <geom/angle.hpp>
+#include <phy/airtime.hpp>
+#include <sim/trace.hpp>
+#include <vr/requirements.hpp>
+
+namespace movr {
+namespace {
+
+TEST(Airtime, GoodputBelowPhyRate) {
+  const phy::AirtimeConfig config;
+  for (const phy::McsEntry& mcs : phy::mcs_table()) {
+    const double goodput = phy::goodput_mbps(mcs, config);
+    EXPECT_LT(goodput, mcs.rate_mbps) << "MCS " << mcs.index;
+    EXPECT_GT(goodput, 0.0) << "MCS " << mcs.index;
+  }
+}
+
+TEST(Airtime, AggregationKeepsEfficiencyHigh) {
+  // With 128 kB A-MPDUs the top MCS keeps >90% of its PHY rate...
+  const phy::AirtimeConfig big;
+  const phy::McsEntry& top = phy::mcs_table().back();
+  EXPECT_GT(phy::goodput_mbps(top, big) / top.rate_mbps, 0.90);
+  // ...while 4 kB PPDUs burn most of the air in preamble + ack at 6.7 Gb/s.
+  phy::AirtimeConfig small = big;
+  small.ampdu_bytes = 4096.0;
+  EXPECT_LT(phy::goodput_mbps(top, small) / top.rate_mbps, 0.60);
+}
+
+TEST(Airtime, ViveStreamActuallyFits) {
+  // The load-bearing check: the Vive's raw stream fits the top MCS's
+  // *goodput*, not just its PHY rate.
+  const phy::AirtimeConfig config;
+  const phy::McsEntry* needed =
+      phy::mcs_for_goodput(vr::kHtcVive.required_mbps(), config);
+  ASSERT_NE(needed, nullptr);
+  EXPECT_LE(needed->min_snr.value(), 25.0);  // reachable at paper-LOS SNR
+}
+
+TEST(Airtime, PerScalesGoodput) {
+  phy::AirtimeConfig clean;
+  clean.packet_error_rate = 0.0;
+  phy::AirtimeConfig lossy = clean;
+  lossy.packet_error_rate = 0.1;
+  const phy::McsEntry& mcs = phy::mcs_table()[20];
+  EXPECT_NEAR(phy::goodput_mbps(mcs, lossy),
+              phy::goodput_mbps(mcs, clean) * 0.9, 1.0);
+}
+
+TEST(Airtime, PpduAirtimeScalesWithRate) {
+  const phy::AirtimeConfig config;
+  const auto slow = phy::ppdu_airtime(phy::mcs_table()[1], config);
+  const auto fast = phy::ppdu_airtime(phy::mcs_table()[24], config);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Coherence, DopplerAtWalkingSpeed) {
+  // 1 m/s at 24 GHz: ~80 Hz; at 60 GHz: ~200 Hz.
+  EXPECT_NEAR(channel::doppler_shift(1.0, 24.0e9), 80.0, 1.0);
+  EXPECT_NEAR(channel::doppler_shift(1.0, 60.0e9), 200.0, 3.0);
+}
+
+TEST(Coherence, CoherenceTimeMilliseconds) {
+  const double tc = channel::coherence_time(1.0, 24.0e9);
+  EXPECT_GT(tc, 1e-3);
+  EXPECT_LT(tc, 20e-3);
+  EXPECT_GT(channel::coherence_time(0.0, 24.0e9), 1e6);
+}
+
+TEST(Coherence, BeamCoherenceDistanceIsGenerous) {
+  // A 10-degree beam at 3 m: the player can move ~0.5 m before leaving it —
+  // many frames at walking speed, which is what makes per-frame retargeting
+  // sufficient.
+  const double d = channel::beam_coherence_distance(
+      movr::geom::deg_to_rad(10.0), 3.0);
+  EXPECT_GT(d, 0.4);
+  EXPECT_LT(d, 0.7);
+}
+
+TEST(Trace, WritesCsv) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "movr_trace_test.csv")
+          .string();
+  {
+    sim::TraceWriter writer{path, {"x", "y"}};
+    writer.row({1.0, 2.0});
+    writer.row({3.0, 4.5});
+    EXPECT_EQ(writer.rows_written(), 2u);
+  }
+  std::ifstream in{path};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4.5");
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, LabelledRows) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "movr_trace_test2.csv")
+          .string();
+  {
+    sim::TraceWriter writer{path, {"scenario", "snr"}};
+    writer.row("los", {25.0});
+  }
+  std::ifstream in{path};
+  std::string line;
+  std::getline(in, line);
+  std::getline(in, line);
+  EXPECT_EQ(line, "los,25");
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, ColumnMismatchThrows) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "movr_trace_test3.csv")
+          .string();
+  sim::TraceWriter writer{path, {"a", "b"}};
+  EXPECT_THROW(writer.row({1.0}), std::invalid_argument);
+  EXPECT_THROW(writer.row("x", {1.0, 2.0}), std::invalid_argument);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, UnwritablePathThrows) {
+  EXPECT_THROW(sim::TraceWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace movr

@@ -1,0 +1,116 @@
+#include <phy/mcs.hpp>
+
+#include <gtest/gtest.h>
+
+namespace movr::phy {
+namespace {
+
+using rf::Decibels;
+
+TEST(Mcs, TableShape) {
+  const auto table = mcs_table();
+  ASSERT_EQ(table.size(), 25u);
+  EXPECT_EQ(table.front().index, 0);
+  EXPECT_EQ(table.back().index, 24);
+  EXPECT_EQ(table.front().phy, PhyKind::kControl);
+  EXPECT_EQ(table.back().phy, PhyKind::kOfdm);
+}
+
+TEST(Mcs, TopRateIsStandardMaximum) {
+  EXPECT_NEAR(mcs_table().back().rate_mbps, 6756.75, 1e-6);
+}
+
+TEST(Mcs, MonotoneWithinEachPhy) {
+  const auto table = mcs_table();
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    if (table[i].phy == table[i - 1].phy) {
+      EXPECT_GT(table[i].rate_mbps, table[i - 1].rate_mbps) << "MCS " << i;
+      EXPECT_GT(table[i].min_snr.value(), table[i - 1].min_snr.value())
+          << "MCS " << i;
+    }
+  }
+}
+
+TEST(Mcs, NoLinkBelowControlThreshold) {
+  EXPECT_EQ(best_mcs(Decibels{-20.0}), nullptr);
+  EXPECT_EQ(rate_mbps(Decibels{-20.0}), 0.0);
+}
+
+TEST(Mcs, ControlPhyOnlyAtVeryLowSnr) {
+  const McsEntry* mcs = best_mcs(Decibels{-5.0});
+  ASSERT_NE(mcs, nullptr);
+  EXPECT_EQ(mcs->index, 0);
+  EXPECT_NEAR(rate_mbps(Decibels{-5.0}), 27.5, 1e-9);
+}
+
+TEST(Mcs, FullRateAtPaperLosSnr) {
+  // ~25 dB LOS -> "almost 7 Gb/s" (paper Section 3).
+  EXPECT_NEAR(rate_mbps(Decibels{25.0}), 6756.75, 1e-6);
+}
+
+TEST(Mcs, TwentyDbGivesMaxRate) {
+  // "the 20 dB needed for the maximum data rate" (paper Section 5.2).
+  EXPECT_NEAR(rate_mbps(Decibels{20.5}), 6756.75, 1e-6);
+  EXPECT_LT(rate_mbps(Decibels{19.9}), 6756.75);
+}
+
+TEST(Mcs, HandBlockageDropsBelowVrRate) {
+  // 25 dB LOS minus ~15 dB hand loss: ~10 dB -> around 2 Gb/s, far below
+  // the Vive's ~5.6 Gb/s requirement (paper Fig. 3).
+  const double rate = rate_mbps(Decibels{10.0});
+  EXPECT_GT(rate, 1000.0);
+  EXPECT_LT(rate, 5600.0);
+}
+
+TEST(Mcs, McsForRateFindsCheapestSufficient) {
+  const McsEntry* mcs = mcs_for_rate(5600.0);
+  ASSERT_NE(mcs, nullptr);
+  EXPECT_GE(mcs->rate_mbps, 5600.0);
+  // Everything faster must not have a lower threshold.
+  for (const McsEntry& e : mcs_table()) {
+    if (e.rate_mbps >= 5600.0) {
+      EXPECT_GE(e.min_snr.value(), mcs->min_snr.value());
+    }
+  }
+}
+
+TEST(Mcs, McsForImpossibleRate) {
+  EXPECT_EQ(mcs_for_rate(10'000.0), nullptr);
+}
+
+// Property: rate_mbps is a non-decreasing step function of SNR.
+class RateMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateMonotone, NonDecreasing) {
+  const double snr = GetParam();
+  EXPECT_LE(rate_mbps(Decibels{snr}), rate_mbps(Decibels{snr + 0.5}));
+  EXPECT_LE(rate_mbps(Decibels{snr}), rate_mbps(Decibels{snr + 5.0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(SnrSweep, RateMonotone,
+                         ::testing::Range(-15.0, 30.0, 1.0));
+
+TEST(Mcs, PerWaterfall) {
+  const McsEntry& mcs = mcs_table()[20];
+  // 1% at threshold.
+  EXPECT_NEAR(packet_error_rate(mcs, mcs.min_snr), 0.01, 1e-9);
+  // A decade per dB above.
+  EXPECT_NEAR(packet_error_rate(mcs, mcs.min_snr + rf::Decibels{1.0}), 0.001,
+              1e-9);
+  // Saturates at 1 far below.
+  EXPECT_DOUBLE_EQ(
+      packet_error_rate(mcs, mcs.min_snr - rf::Decibels{10.0}), 1.0);
+}
+
+TEST(Mcs, PerMonotoneInSnr) {
+  const McsEntry& mcs = mcs_table()[15];
+  double prev = 1.1;
+  for (double snr = -5.0; snr < 25.0; snr += 0.5) {
+    const double per = packet_error_rate(mcs, Decibels{snr});
+    EXPECT_LE(per, prev);
+    prev = per;
+  }
+}
+
+}  // namespace
+}  // namespace movr::phy

@@ -1,0 +1,84 @@
+#include <phy/radio.hpp>
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include <geom/angle.hpp>
+
+namespace movr::phy {
+namespace {
+
+using geom::Vec2;
+using geom::deg_to_rad;
+using geom::kPi;
+
+TEST(RadioNode, LocalGlobalRoundTrip) {
+  const RadioNode node{{1.0, 2.0}, deg_to_rad(30.0)};
+  for (double local = 0.2; local < 6.0; local += 0.4) {
+    EXPECT_NEAR(geom::angular_distance(node.to_local(node.to_global(local)),
+                                       local),
+                0.0, 1e-9);
+  }
+}
+
+TEST(RadioNode, BoresightIsLocalNinety) {
+  const RadioNode node{{0.0, 0.0}, deg_to_rad(45.0)};
+  EXPECT_NEAR(node.to_local(deg_to_rad(45.0)), kPi / 2.0, 1e-12);
+}
+
+TEST(RadioNode, SteerTowardAimsAtTarget) {
+  RadioNode node{{1.0, 1.0}, deg_to_rad(45.0)};
+  node.steer_toward({4.0, 4.0});  // along the boresight
+  EXPECT_NEAR(node.array().steering(), kPi / 2.0, 1e-9);
+  EXPECT_NEAR(geom::angular_distance(node.steering_global(), deg_to_rad(45.0)),
+              0.0, 1e-9);
+}
+
+TEST(RadioNode, FaceTowardSelectsFace) {
+  RadioNode node{{2.0, 2.0}, 0.0};
+  node.face_toward({2.0, 5.0});  // due north
+  EXPECT_NEAR(node.orientation(), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(node.array().steering(), kPi / 2.0, 1e-12);
+  // Peak gain toward the target, regardless of original mounting.
+  EXPECT_NEAR(node.gain_toward(kPi / 2.0).value(),
+              node.array().peak_gain().value(), 0.05);
+}
+
+TEST(RadioNode, GainDropsOffBoresight) {
+  RadioNode node{{0.0, 0.0}, 0.0};
+  node.steer_global(0.0);
+  const double on = node.gain_toward(0.0).value();
+  const double off = node.gain_toward(deg_to_rad(30.0)).value();
+  EXPECT_GT(on - off, 10.0);
+}
+
+TEST(RadioNode, ResponseMagnitudeMatchesGain) {
+  RadioNode node{{0.0, 0.0}, 0.7};
+  node.steer_global(0.9);
+  for (double az = 0.0; az < 6.2; az += 0.37) {
+    const double from_response = 20.0 * std::log10(
+        std::abs(node.response_toward(az)));
+    EXPECT_NEAR(from_response, node.gain_toward(az).value(), 1e-6)
+        << "azimuth " << az;
+  }
+}
+
+TEST(RadioNode, ArrayResponseFreeFunctionAgrees) {
+  rf::PhasedArray array;
+  array.steer(deg_to_rad(75.0));
+  for (double local = 0.3; local < 3.0; local += 0.3) {
+    EXPECT_NEAR(20.0 * std::log10(std::abs(array_response(array, local))),
+                array.gain(local).value(), 1e-6);
+  }
+}
+
+TEST(RadioNode, TxPowerStored) {
+  RadioNode node{{0.0, 0.0}, 0.0, {}, rf::DbmPower{7.0}};
+  EXPECT_EQ(node.tx_power().value(), 7.0);
+  node.set_tx_power(rf::DbmPower{-3.0});
+  EXPECT_EQ(node.tx_power().value(), -3.0);
+}
+
+}  // namespace
+}  // namespace movr::phy

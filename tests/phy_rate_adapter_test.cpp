@@ -1,0 +1,119 @@
+#include <phy/rate_adapter.hpp>
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include <rf/measurement.hpp>
+
+namespace movr::phy {
+namespace {
+
+using rf::Decibels;
+
+TEST(RateAdapter, StartsUnassociated) {
+  RateAdapter adapter;
+  EXPECT_EQ(adapter.current(), nullptr);
+  EXPECT_EQ(adapter.current_rate_mbps(), 0.0);
+}
+
+TEST(RateAdapter, AssociatesOnFirstEstimate) {
+  RateAdapter adapter;
+  const McsEntry* mcs = adapter.on_estimate(Decibels{25.0});
+  ASSERT_NE(mcs, nullptr);
+  // Margin-backed: selected for 24 dB, which still yields MCS24.
+  EXPECT_EQ(mcs->index, 24);
+}
+
+TEST(RateAdapter, NoLinkAtVeryLowSnr) {
+  RateAdapter adapter;
+  EXPECT_EQ(adapter.on_estimate(Decibels{-20.0}), nullptr);
+}
+
+TEST(RateAdapter, DowngradesImmediately) {
+  RateAdapter adapter;
+  adapter.on_estimate(Decibels{25.0});
+  const McsEntry* after_drop = adapter.on_estimate(Decibels{10.0});
+  ASSERT_NE(after_drop, nullptr);
+  EXPECT_LT(after_drop->rate_mbps, 6756.0);
+  EXPECT_EQ(adapter.stats().downgrades, 1u);
+}
+
+TEST(RateAdapter, UpgradeNeedsStability) {
+  RateAdapter::Config config;
+  config.stable_before_upgrade = 8;
+  RateAdapter adapter{config};
+  adapter.on_estimate(Decibels{10.0});
+  const double low_rate = adapter.current_rate_mbps();
+  // SNR recovers; the adapter must not jump on the first good estimate.
+  adapter.on_estimate(Decibels{25.0});
+  EXPECT_EQ(adapter.current_rate_mbps(), low_rate);
+  for (int i = 0; i < 10; ++i) {
+    adapter.on_estimate(Decibels{25.0});
+  }
+  EXPECT_GT(adapter.current_rate_mbps(), low_rate);
+  EXPECT_GE(adapter.stats().upgrades, 1u);
+}
+
+TEST(RateAdapter, InterruptedStreakDoesNotUpgrade) {
+  RateAdapter::Config config;
+  config.stable_before_upgrade = 8;
+  RateAdapter adapter{config};
+  adapter.on_estimate(Decibels{10.0});
+  const double low_rate = adapter.current_rate_mbps();
+  for (int i = 0; i < 50; ++i) {
+    // Alternating good/bad estimates never build a streak.
+    adapter.on_estimate(Decibels{i % 2 == 0 ? 25.0 : 10.0});
+  }
+  EXPECT_EQ(adapter.current_rate_mbps(), low_rate);
+}
+
+TEST(RateAdapter, NoFlappingUnderNoise) {
+  // A steady channel with estimator noise: the adapter should settle, not
+  // oscillate every frame.
+  RateAdapter adapter;
+  std::mt19937_64 rng{3};
+  for (int i = 0; i < 50; ++i) {  // warm-up
+    adapter.on_estimate(rf::estimate_snr(Decibels{22.0}, 16, rng));
+  }
+  const auto before = adapter.stats();
+  for (int i = 0; i < 500; ++i) {
+    adapter.on_estimate(rf::estimate_snr(Decibels{22.0}, 16, rng));
+  }
+  const auto after = adapter.stats();
+  const auto churn = (after.upgrades - before.upgrades) +
+                     (after.downgrades - before.downgrades);
+  EXPECT_LT(churn, 25u);  // < 5% of frames change rate
+}
+
+TEST(RateAdapter, SelectionIsSafeAgainstTruth) {
+  // Property: with a 1 dB margin and unbiased estimates, the selected MCS's
+  // threshold should rarely exceed the true SNR.
+  RateAdapter adapter;
+  std::mt19937_64 rng{5};
+  int unsafe = 0;
+  int total = 0;
+  for (double truth = 5.0; truth <= 25.0; truth += 2.5) {
+    adapter.reset();
+    for (int i = 0; i < 200; ++i) {
+      const McsEntry* mcs =
+          adapter.on_estimate(rf::estimate_snr(Decibels{truth}, 16, rng));
+      if (mcs != nullptr) {
+        ++total;
+        unsafe += mcs->min_snr.value() > truth;
+      }
+    }
+  }
+  EXPECT_LT(static_cast<double>(unsafe) / total, 0.10);
+}
+
+TEST(RateAdapter, ResetClearsState) {
+  RateAdapter adapter;
+  adapter.on_estimate(Decibels{20.0});
+  adapter.reset();
+  EXPECT_EQ(adapter.current(), nullptr);
+  EXPECT_EQ(adapter.stats().estimates, 0u);
+}
+
+}  // namespace
+}  // namespace movr::phy

@@ -1,0 +1,104 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include <geom/angle.hpp>
+#include <rf/codebook.hpp>
+#include <rf/measurement.hpp>
+
+namespace movr::rf {
+namespace {
+
+using movr::geom::deg_to_rad;
+
+TEST(Codebook, UniformSpacing) {
+  const auto angles = make_codebook(0.0, 1.0, 0.25);
+  ASSERT_EQ(angles.size(), 5u);
+  EXPECT_DOUBLE_EQ(angles.front(), 0.0);
+  EXPECT_DOUBLE_EQ(angles.back(), 1.0);
+  for (std::size_t i = 1; i < angles.size(); ++i) {
+    EXPECT_NEAR(angles[i] - angles[i - 1], 0.25, 1e-12);
+  }
+}
+
+TEST(Codebook, PaperSectorHas101EntriesAtOneDegree) {
+  const auto angles = paper_sector_codebook(1.0);
+  EXPECT_EQ(angles.size(), 101u);  // 40..140 inclusive
+  EXPECT_NEAR(angles.front(), deg_to_rad(40.0), 1e-12);
+  EXPECT_NEAR(angles.back(), deg_to_rad(140.0), 1e-9);
+}
+
+TEST(Codebook, CoarserStepFewerEntries) {
+  EXPECT_EQ(paper_sector_codebook(5.0).size(), 21u);
+  EXPECT_EQ(paper_sector_codebook(10.0).size(), 11u);
+}
+
+TEST(Codebook, RejectsBadArguments) {
+  EXPECT_THROW(make_codebook(0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_codebook(0.0, 1.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(make_codebook(1.0, 0.0, 0.1), std::invalid_argument);
+}
+
+TEST(Codebook, SinglePointRange) {
+  const auto angles = make_codebook(0.5, 0.5, 0.1);
+  ASSERT_EQ(angles.size(), 1u);
+  EXPECT_DOUBLE_EQ(angles.front(), 0.5);
+}
+
+TEST(Measurement, SnrEstimateUnbiasedAndConcentrating) {
+  std::mt19937_64 rng{11};
+  const Decibels truth{20.0};
+  double sum1 = 0.0;
+  double sum64 = 0.0;
+  double sq1 = 0.0;
+  double sq64 = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const double e1 = estimate_snr(truth, 1, rng).value() - truth.value();
+    const double e64 = estimate_snr(truth, 64, rng).value() - truth.value();
+    sum1 += e1;
+    sum64 += e64;
+    sq1 += e1 * e1;
+    sq64 += e64 * e64;
+  }
+  EXPECT_NEAR(sum1 / n, 0.0, 0.15);
+  EXPECT_NEAR(sum64 / n, 0.0, 0.05);
+  // More symbols -> smaller spread, by about sqrt(64).
+  const double std1 = std::sqrt(sq1 / n);
+  const double std64 = std::sqrt(sq64 / n);
+  EXPECT_GT(std1 / std64, 4.0);
+}
+
+TEST(Measurement, LowSnrEstimatesNoisier) {
+  std::mt19937_64 rng{13};
+  double sq_high = 0.0;
+  double sq_low = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double eh = estimate_snr(Decibels{25.0}, 4, rng).value() - 25.0;
+    const double el = estimate_snr(Decibels{-10.0}, 4, rng).value() + 10.0;
+    sq_high += eh * eh;
+    sq_low += el * el;
+  }
+  EXPECT_GT(sq_low, sq_high * 1.5);
+}
+
+TEST(Measurement, PowerReadingFlooredAtSensitivity) {
+  std::mt19937_64 rng{5};
+  const DbmPower reading = measure_power(DbmPower{-150.0}, 0.5,
+                                         DbmPower{-107.0}, rng);
+  EXPECT_GE(reading.value(), -107.0);
+}
+
+TEST(Measurement, PowerReadingTracksTruth) {
+  std::mt19937_64 rng{5};
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    sum += measure_power(DbmPower{-60.0}, 0.5, DbmPower{-107.0}, rng).value();
+  }
+  EXPECT_NEAR(sum / n, -60.0, 0.1);
+}
+
+}  // namespace
+}  // namespace movr::rf

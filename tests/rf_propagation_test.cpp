@@ -1,0 +1,70 @@
+#include <rf/propagation.hpp>
+
+#include <gtest/gtest.h>
+
+#include <rf/noise.hpp>
+
+namespace movr::rf {
+namespace {
+
+TEST(Propagation, WavelengthAt24GHz) {
+  EXPECT_NEAR(wavelength(24.0e9), 0.01249, 1e-4);
+}
+
+TEST(Propagation, FsplTextbookValue) {
+  // FSPL(1 m, 24 GHz) = 20 log10(4*pi*1/0.012491) ~= 60.05 dB.
+  EXPECT_NEAR(free_space_path_loss(1.0, 24.0e9).value(), 60.05, 0.05);
+  // Doubling the distance adds 6.02 dB.
+  const double d1 = free_space_path_loss(2.0, 24.0e9).value();
+  const double d2 = free_space_path_loss(4.0, 24.0e9).value();
+  EXPECT_NEAR(d2 - d1, 6.0206, 1e-3);
+}
+
+TEST(Propagation, FsplIncreasesWithFrequency) {
+  EXPECT_GT(free_space_path_loss(3.0, 60.0e9).value(),
+            free_space_path_loss(3.0, 24.0e9).value());
+  // 60 GHz vs 24 GHz: 20*log10(60/24) ~= 7.96 dB.
+  EXPECT_NEAR(free_space_path_loss(3.0, 60.0e9).value() -
+                  free_space_path_loss(3.0, 24.0e9).value(),
+              7.96, 0.01);
+}
+
+TEST(Propagation, NearFieldClampNeverAmplifies) {
+  // Distances below one wavelength clamp: loss stays at the 1-lambda value.
+  const Decibels at_zero = free_space_path_loss(0.0, 24.0e9);
+  EXPECT_GT(at_zero.value(), 0.0);
+  EXPECT_NEAR(at_zero.value(), 21.98, 0.05);  // 20 log10(4*pi)
+}
+
+TEST(Propagation, FsplMonotoneInDistance) {
+  double prev = 0.0;
+  for (double d = 0.5; d < 20.0; d += 0.5) {
+    const double loss = free_space_path_loss(d, 24.0e9).value();
+    EXPECT_GT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(Propagation, DelayAtLightSpeed) {
+  EXPECT_NEAR(propagation_delay(299'792'458.0), 1.0, 1e-12);
+  EXPECT_NEAR(propagation_delay(3.0), 1.0007e-8, 1e-11);
+}
+
+TEST(Noise, ThermalFloor) {
+  // kTB over 1 Hz is -174 dBm.
+  EXPECT_NEAR(thermal_noise(1.0).value(), -174.0, 1e-9);
+  // 802.11ad channel: -174 + 10 log10(2.16e9) ~= -80.7 dBm.
+  EXPECT_NEAR(thermal_noise(2.16e9).value(), -80.65, 0.05);
+}
+
+TEST(Noise, NoiseFigureAdds) {
+  const DbmPower floor = noise_floor(2.16e9, Decibels{7.0});
+  EXPECT_NEAR(floor.value(), -73.65, 0.05);
+}
+
+TEST(Noise, WiderBandwidthMoreNoise) {
+  EXPECT_GT(thermal_noise(2.16e9).value(), thermal_noise(20.0e6).value());
+}
+
+}  // namespace
+}  // namespace movr::rf

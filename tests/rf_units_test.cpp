@@ -1,0 +1,84 @@
+#include <rf/units.hpp>
+
+#include <gtest/gtest.h>
+
+namespace movr::rf {
+namespace {
+
+using namespace movr::rf::literals;
+
+TEST(Units, DecibelLinearRoundTrip) {
+  EXPECT_NEAR(Decibels{10.0}.linear(), 10.0, 1e-12);
+  EXPECT_NEAR(Decibels{3.0}.linear(), 1.9952623, 1e-6);
+  EXPECT_NEAR(Decibels::from_linear(100.0).value(), 20.0, 1e-12);
+  EXPECT_NEAR(Decibels::from_linear(Decibels{7.3}.linear()).value(), 7.3,
+              1e-12);
+}
+
+TEST(Units, AmplitudeIsHalfPowerInDb) {
+  EXPECT_NEAR(Decibels{20.0}.amplitude(), 10.0, 1e-12);
+  EXPECT_NEAR(Decibels{6.0}.amplitude() * Decibels{6.0}.amplitude(),
+              Decibels{6.0}.linear(), 1e-12);
+}
+
+TEST(Units, DecibelArithmetic) {
+  EXPECT_EQ((Decibels{3.0} + Decibels{4.0}).value(), 7.0);
+  EXPECT_EQ((Decibels{3.0} - Decibels{4.0}).value(), -1.0);
+  EXPECT_EQ((-Decibels{3.0}).value(), -3.0);
+  EXPECT_EQ((Decibels{3.0} * 2.0).value(), 6.0);
+  Decibels d{1.0};
+  d += Decibels{2.0};
+  d -= Decibels{0.5};
+  EXPECT_EQ(d.value(), 2.5);
+}
+
+TEST(Units, DbmPowerConversions) {
+  EXPECT_NEAR(DbmPower{0.0}.milliwatts(), 1.0, 1e-12);
+  EXPECT_NEAR(DbmPower{30.0}.watts(), 1.0, 1e-12);
+  EXPECT_NEAR(DbmPower::from_milliwatts(100.0).value(), 20.0, 1e-12);
+  EXPECT_NEAR(DbmPower::from_watts(0.001).value(), 0.0, 1e-12);
+}
+
+TEST(Units, GainAppliesToPower) {
+  const DbmPower p = DbmPower{-40.0} + Decibels{15.0};
+  EXPECT_EQ(p.value(), -25.0);
+  const DbmPower q = p - Decibels{5.0};
+  EXPECT_EQ(q.value(), -30.0);
+}
+
+TEST(Units, PowerDifferenceIsGain) {
+  const Decibels snr = DbmPower{-50.0} - DbmPower{-74.0};
+  EXPECT_EQ(snr.value(), 24.0);
+}
+
+TEST(Units, PowerSum) {
+  // Two equal powers add 3 dB.
+  const DbmPower sum = power_sum(DbmPower{-30.0}, DbmPower{-30.0});
+  EXPECT_NEAR(sum.value(), -26.9897, 1e-3);
+  // A much weaker contribution changes nothing measurable.
+  const DbmPower dominated = power_sum(DbmPower{-30.0}, DbmPower{-90.0});
+  EXPECT_NEAR(dominated.value(), -30.0, 1e-4);
+}
+
+TEST(Units, DefaultDbmIsNoSignal) {
+  const DbmPower none{};
+  EXPECT_LT(none.value(), -250.0);
+  // Summing "no signal" is an identity.
+  EXPECT_NEAR(power_sum(DbmPower{-40.0}, none).value(), -40.0, 1e-9);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Decibels{1.0}, Decibels{2.0});
+  EXPECT_GT(DbmPower{-30.0}, DbmPower{-40.0});
+  EXPECT_EQ(Decibels{1.0}, Decibels{1.0});
+}
+
+TEST(Units, Literals) {
+  EXPECT_EQ((3.5_dB).value(), 3.5);
+  EXPECT_EQ((20_dB).value(), 20.0);
+  EXPECT_EQ(DbmPower{-12.5}.value(), -12.5);
+  EXPECT_EQ((0_dBm).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace movr::rf

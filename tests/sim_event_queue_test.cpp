@@ -1,0 +1,115 @@
+#include <sim/event_queue.hpp>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace movr::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint{30}, [&] { order.push_back(3); });
+  q.schedule(TimePoint{10}, [&] { order.push_back(1); });
+  q.schedule(TimePoint{20}, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.run_next();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint{5}, [&] { order.push_back(1); });
+  q.schedule(TimePoint{5}, [&] { order.push_back(2); });
+  q.schedule(TimePoint{5}, [&] { order.push_back(3); });
+  while (!q.empty()) {
+    q.run_next();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunNextReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(TimePoint{42}, [] {});
+  EXPECT_EQ(q.next_time(), TimePoint{42});
+  EXPECT_EQ(q.run_next(), TimePoint{42});
+}
+
+TEST(EventQueue, HandlerMayScheduleMore) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint{1}, [&] {
+    order.push_back(1);
+    q.schedule(TimePoint{2}, [&] { order.push_back(2); });
+  });
+  while (!q.empty()) {
+    q.run_next();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule(TimePoint{1}, [&] { fired = true; });
+  q.schedule(TimePoint{2}, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.pending(), 1u);
+  while (!q.empty()) {
+    q.run_next();
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.schedule(TimePoint{1}, [] {});
+  q.cancel(9999);
+  q.cancel(0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, DoubleCancelCountsOnce) {
+  EventQueue q;
+  const auto id = q.schedule(TimePoint{1}, [] {});
+  q.schedule(TimePoint{2}, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, EmptyAfterCancellingEverything) {
+  EventQueue q;
+  const auto a = q.schedule(TimePoint{1}, [] {});
+  const auto b = q.schedule(TimePoint{2}, [] {});
+  q.cancel(a);
+  q.cancel(b);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunNextOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.run_next(), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const auto id = q.schedule(TimePoint{1}, [] {});
+  q.schedule(TimePoint{7}, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), TimePoint{7});
+}
+
+}  // namespace
+}  // namespace movr::sim

@@ -1,0 +1,103 @@
+#include <sim/simulator.hpp>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace movr::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), TimePoint{0});
+}
+
+TEST(Simulator, AfterAdvancesClock) {
+  Simulator s;
+  TimePoint seen{};
+  s.after(Duration{100}, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, TimePoint{100});
+  EXPECT_EQ(s.now(), TimePoint{100});
+}
+
+TEST(Simulator, NestedSchedulingAccumulates) {
+  Simulator s;
+  std::vector<std::int64_t> times;
+  s.after(Duration{10}, [&] {
+    times.push_back(s.now().count());
+    s.after(Duration{5}, [&] { times.push_back(s.now().count()); });
+  });
+  s.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{10, 15}));
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator s;
+  EXPECT_THROW(s.after(Duration{-1}, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, AtInThePastThrows) {
+  Simulator s;
+  s.after(Duration{10}, [] {});
+  s.run();
+  EXPECT_THROW(s.at(TimePoint{5}, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.after(Duration{10}, [&] { ++fired; });
+  s.after(Duration{20}, [&] { ++fired; });
+  s.after(Duration{30}, [&] { ++fired; });
+  s.run_until(TimePoint{20});
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), TimePoint{20});
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWhenIdle) {
+  Simulator s;
+  s.run_until(TimePoint{1000});
+  EXPECT_EQ(s.now(), TimePoint{1000});
+}
+
+TEST(Simulator, StepRunsOneEvent) {
+  Simulator s;
+  int fired = 0;
+  s.after(Duration{1}, [&] { ++fired; });
+  s.after(Duration{2}, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPending) {
+  Simulator s;
+  bool fired = false;
+  const auto id = s.after(Duration{5}, [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, DeterministicReplay) {
+  // The same schedule produces the same execution trace, twice.
+  const auto trace = [] {
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 20; ++i) {
+      s.after(Duration{(i * 7) % 13}, [&order, i] { order.push_back(i); });
+    }
+    s.run();
+    return order;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+}  // namespace
+}  // namespace movr::sim

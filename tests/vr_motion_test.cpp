@@ -1,0 +1,133 @@
+#include <vr/motion.hpp>
+
+#include <gtest/gtest.h>
+
+#include <vr/requirements.hpp>
+
+namespace movr::vr {
+namespace {
+
+using movr::geom::Vec2;
+using namespace std::chrono_literals;
+
+TEST(Requirements, VivePixelRate) {
+  // 2160 x 1200 x 24 bit x 90 Hz ~= 5.6 Gb/s.
+  EXPECT_NEAR(kHtcVive.required_mbps(), 5598.7, 1.0);
+  EXPECT_NEAR(kHtcVive.bits_per_frame(), 62.2e6, 0.1e6);
+  EXPECT_NEAR(sim::to_milliseconds(kHtcVive.frame_interval()), 11.11, 0.01);
+  EXPECT_EQ(kHtcVive.latency_budget(), sim::Duration{10ms});
+}
+
+TEST(PlayerMotion, StaysInsideMargins) {
+  const channel::Room room{5.0, 5.0};
+  PlayerMotion motion{room, {2.5, 2.5}, 7};
+  for (int i = 0; i <= 3000; ++i) {
+    const Vec2 p = motion.position_at(sim::from_seconds(i * 0.1));
+    EXPECT_GE(p.x, 0.8 - 1e-9);
+    EXPECT_LE(p.x, 4.2 + 1e-9);
+    EXPECT_GE(p.y, 0.8 - 1e-9);
+    EXPECT_LE(p.y, 4.2 + 1e-9);
+  }
+}
+
+TEST(PlayerMotion, MovesAtWalkingSpeed) {
+  const channel::Room room{5.0, 5.0};
+  PlayerMotion motion{room, {2.5, 2.5}, 7};
+  Vec2 prev = motion.position_at(sim::Duration::zero());
+  for (int i = 1; i <= 600; ++i) {
+    const Vec2 p = motion.position_at(sim::from_seconds(i * 0.1));
+    const double speed = geom::distance(p, prev) / 0.1;
+    EXPECT_LE(speed, 0.6 + 1e-6);
+    prev = p;
+  }
+}
+
+TEST(PlayerMotion, DeterministicPerSeed) {
+  const channel::Room room{5.0, 5.0};
+  PlayerMotion a{room, {2.5, 2.5}, 42};
+  PlayerMotion b{room, {2.5, 2.5}, 42};
+  for (int i = 0; i < 100; ++i) {
+    const auto t = sim::from_seconds(i * 0.5);
+    EXPECT_EQ(a.position_at(t), b.position_at(t));
+  }
+}
+
+TEST(PlayerMotion, DifferentSeedsDiverge) {
+  const channel::Room room{5.0, 5.0};
+  PlayerMotion a{room, {2.5, 2.5}, 1};
+  PlayerMotion b{room, {2.5, 2.5}, 2};
+  bool diverged = false;
+  for (int i = 0; i < 100 && !diverged; ++i) {
+    const auto t = sim::from_seconds(i * 0.5);
+    diverged = !(a.position_at(t) == b.position_at(t));
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BlockageScript, HandAppearsAndDisappears) {
+  channel::Room room{5.0, 5.0};
+  std::vector<BlockageEvent> events;
+  BlockageEvent e;
+  e.kind = BlockageEvent::Kind::kHand;
+  e.start = sim::from_seconds(1.0);
+  e.duration = sim::from_seconds(0.5);
+  events.push_back(e);
+  const BlockageScript script{events};
+
+  const Vec2 headset{3.0, 3.0};
+  const Vec2 ap{0.0, 0.0};
+  script.apply(room, sim::from_seconds(0.5), headset, ap);
+  EXPECT_TRUE(room.obstacles().empty());
+  EXPECT_FALSE(script.active_at(sim::from_seconds(0.5)));
+
+  script.apply(room, sim::from_seconds(1.2), headset, ap);
+  ASSERT_EQ(room.obstacles().size(), 1u);
+  EXPECT_EQ(room.obstacles().front().label, "hand");
+  EXPECT_TRUE(script.active_at(sim::from_seconds(1.2)));
+
+  script.apply(room, sim::from_seconds(1.6), headset, ap);
+  EXPECT_TRUE(room.obstacles().empty());
+}
+
+TEST(BlockageScript, PersonWalksAlongPath) {
+  channel::Room room{5.0, 5.0};
+  std::vector<BlockageEvent> events;
+  BlockageEvent e;
+  e.kind = BlockageEvent::Kind::kPersonCrossing;
+  e.start = sim::Duration::zero();
+  e.duration = sim::from_seconds(10.0);
+  e.path_from = {0.0, 2.0};
+  e.path_to = {4.0, 2.0};
+  events.push_back(e);
+  const BlockageScript script{events};
+
+  script.apply(room, sim::from_seconds(5.0), {9.0, 9.0}, {0.0, 0.0});
+  ASSERT_EQ(room.obstacles().size(), 1u);
+  EXPECT_NEAR(room.obstacles().front().shape.center.x, 2.0, 1e-9);
+  script.apply(room, sim::from_seconds(7.5), {9.0, 9.0}, {0.0, 0.0});
+  EXPECT_NEAR(room.obstacles().front().shape.center.x, 3.0, 1e-9);
+}
+
+TEST(BlockageScript, DoesNotDisturbForeignObstacles) {
+  channel::Room room{5.0, 5.0};
+  room.add_obstacle({geom::Circle{{1.0, 1.0}, 0.3}, channel::kFurniture,
+                     "desk"});
+  const BlockageScript script{{}};
+  script.apply(room, sim::Duration::zero(), {3.0, 3.0}, {0.0, 0.0});
+  EXPECT_EQ(room.obstacles().size(), 1u);
+  EXPECT_EQ(room.obstacles().front().label, "desk");
+}
+
+TEST(BlockageScript, PeriodicHandRaises) {
+  const auto script =
+      periodic_hand_raises(sim::from_seconds(1.0), sim::from_seconds(0.5),
+                           sim::from_seconds(2.0), sim::from_seconds(9.0));
+  EXPECT_EQ(script.events().size(), 4u);  // at 1, 3, 5, 7
+  EXPECT_TRUE(script.active_at(sim::from_seconds(1.2)));
+  EXPECT_FALSE(script.active_at(sim::from_seconds(1.8)));
+  EXPECT_TRUE(script.active_at(sim::from_seconds(7.4)));
+  EXPECT_FALSE(script.active_at(sim::from_seconds(8.2)));
+}
+
+}  // namespace
+}  // namespace movr::vr

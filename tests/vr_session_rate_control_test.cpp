@@ -1,0 +1,93 @@
+// Sessions under closed-loop rate control (noisy estimates + PER) versus
+// the oracle mapping: the realistic mode must cost a little, not change the
+// story.
+#include <gtest/gtest.h>
+
+#include <baseline/strategies.hpp>
+#include <core/battery.hpp>
+#include <geom/angle.hpp>
+#include <vr/session.hpp>
+
+namespace movr::vr {
+namespace {
+
+using geom::deg_to_rad;
+
+core::Scene make_scene() {
+  return core::Scene{channel::Room{5.0, 5.0},
+                     core::ApRadio{{0.4, 0.4}, deg_to_rad(45.0)},
+                     core::HeadsetRadio{{3.0, 2.0}, 0.0}};
+}
+
+TEST(SessionRateControl, CleanChannelStaysClean) {
+  core::Scene scene = make_scene();
+  sim::Simulator simulator;
+  baseline::DirectTrackingStrategy strategy{scene};
+  Session::Config config;
+  config.duration = sim::from_seconds(3.0);
+  config.realistic_rate_control = true;
+  Session session{simulator, scene, strategy, nullptr, nullptr, config};
+  const QoeReport report = session.run();
+  // Adapter association + occasional conservative frames: a few percent at
+  // most, nowhere near a broken link.
+  EXPECT_LT(report.glitch_fraction(), 0.05);
+}
+
+TEST(SessionRateControl, RealismCostsAtMostALittle) {
+  const auto run = [](bool realistic) {
+    core::Scene scene = make_scene();
+    sim::Simulator simulator;
+    baseline::DirectTrackingStrategy strategy{scene};
+    Session::Config config;
+    config.duration = sim::from_seconds(3.0);
+    config.realistic_rate_control = realistic;
+    Session session{simulator, scene, strategy, nullptr, nullptr, config};
+    return session.run();
+  };
+  const QoeReport oracle = run(false);
+  const QoeReport realistic = run(true);
+  EXPECT_EQ(oracle.glitched_frames, 0u);
+  EXPECT_GE(realistic.glitched_frames, oracle.glitched_frames);
+  EXPECT_LE(realistic.mean_rate_mbps, oracle.mean_rate_mbps + 1e-9);
+}
+
+TEST(SessionRateControl, BlockageStillDominates) {
+  const auto script =
+      periodic_hand_raises(sim::from_seconds(0.5), sim::from_seconds(0.5),
+                           sim::from_seconds(1.0), sim::from_seconds(3.0));
+  core::Scene scene = make_scene();
+  sim::Simulator simulator;
+  baseline::DirectTrackingStrategy strategy{scene};
+  Session::Config config;
+  config.duration = sim::from_seconds(3.0);
+  config.realistic_rate_control = true;
+  Session session{simulator, scene, strategy, nullptr, &script, config};
+  const QoeReport report = session.run();
+  EXPECT_GT(report.glitch_fraction(), 0.3);
+}
+
+TEST(SessionRateControl, DeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    core::Scene scene = make_scene();
+    sim::Simulator simulator;
+    baseline::DirectTrackingStrategy strategy{scene};
+    Session::Config config;
+    config.duration = sim::from_seconds(2.0);
+    config.realistic_rate_control = true;
+    config.rate_control_seed = seed;
+    Session session{simulator, scene, strategy, nullptr, nullptr, config};
+    return session.run().glitched_frames;
+  };
+  EXPECT_EQ(run(11), run(11));
+}
+
+TEST(Battery, PaperArithmetic) {
+  const core::BatteryModel battery{};
+  EXPECT_GE(battery.runtime_hours(), 4.0);
+  EXPECT_LE(battery.runtime_hours(), 5.0);
+  EXPECT_GT(battery.worst_case_hours(), 2.5);
+  EXPECT_LT(battery.worst_case_hours(), battery.runtime_hours());
+}
+
+}  // namespace
+}  // namespace movr::vr
