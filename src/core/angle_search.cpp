@@ -29,32 +29,80 @@ IncidenceSearch::IncidenceSearch(sim::Simulator& simulator,
       config_{std::move(config)},
       rng_{rng} {}
 
+void IncidenceSearch::send_command(sim::ControlMessage message) {
+  ++result_.bt_commands;
+  control_.send(reflector_.control_name(), std::move(message),
+                [this](bool delivered) {
+                  if (delivered) {
+                    consecutive_failed_commands_ = 0;
+                  } else {
+                    ++consecutive_failed_commands_;
+                  }
+                });
+}
+
+void IncidenceSearch::complete() {
+  if (done_fired_) {
+    return;
+  }
+  done_fired_ = true;
+  simulator_.cancel(watchdog_id_);
+  result_.duration = simulator_.now() - started_;
+  if (done_) {
+    done_(result_);
+  }
+}
+
+void IncidenceSearch::fail(const std::string& reason) {
+  if (done_fired_) {
+    return;
+  }
+  result_.completed = false;
+  result_.failure_reason = reason;
+  complete();
+}
+
 void IncidenceSearch::start(Callback done) {
   done_ = std::move(done);
   started_ = simulator_.now();
   restore_gain_code_ = reflector_.front_end().gain_code();
+  // Hard deadline: whatever happens to the control plane, the caller gets
+  // its callback, so the simulator is never left idle mid-protocol.
+  watchdog_id_ = simulator_.after(config_.watchdog, [this] {
+    fail("watchdog deadline expired before the sweep finished");
+  });
 
   // Arm the reflector: conservative gain, modulation on.
-  control_.send(reflector_.control_name(),
-                {"gain_code", static_cast<double>(config_.search_gain_code), 0});
-  control_.send(reflector_.control_name(), {"modulate", 1.0, 0});
-  result_.bt_commands += 2;
+  send_command(
+      {"gain_code", static_cast<double>(config_.search_gain_code), 0});
+  send_command({"modulate", 1.0, 0});
   simulator_.after(config_.command_wait, [this] { step(0); });
 }
 
 void IncidenceSearch::step(std::size_t reflector_index) {
+  if (done_fired_) {
+    return;
+  }
+  if (consecutive_failed_commands_ >= config_.abort_after_failed_commands) {
+    fail("control channel down: " +
+         std::to_string(consecutive_failed_commands_) +
+         " consecutive commands unacked");
+    return;
+  }
   if (reflector_index >= config_.reflector_codebook.size()) {
     finish();
     return;
   }
   const double theta1 = config_.reflector_codebook[reflector_index];
-  control_.send(reflector_.control_name(), {"both_angles", theta1, 0});
-  ++result_.bt_commands;
+  send_command({"both_angles", theta1, 0});
 
   // After the command settles, the AP sweeps its own beam electronically
   // and measures the f1+f2 backscatter at each angle. The sweep is fast
   // (microseconds per angle); its full cost is charged before moving on.
   simulator_.after(config_.command_wait, [this, reflector_index, theta1] {
+    if (done_fired_) {
+      return;
+    }
     for (const double theta2 : config_.ap_codebook) {
       scene_.ap().node().array().steer(theta2);
       const rf::DbmPower reading = scene_.ap().measure_backscatter(
@@ -79,20 +127,14 @@ void IncidenceSearch::step(std::size_t reflector_index) {
 
 void IncidenceSearch::finish() {
   // Disarm and lock in the winners.
-  control_.send(reflector_.control_name(), {"modulate", 0.0, 0});
-  control_.send(reflector_.control_name(),
-                {"gain_code", static_cast<double>(restore_gain_code_), 0});
-  control_.send(reflector_.control_name(),
-                {"rx_angle", result_.reflector_angle, 0});
-  result_.bt_commands += 3;
+  send_command({"modulate", 0.0, 0});
+  send_command({"gain_code", static_cast<double>(restore_gain_code_), 0});
+  send_command({"rx_angle", result_.reflector_angle, 0});
   scene_.ap().node().array().steer(result_.ap_angle);
 
   simulator_.after(config_.command_wait, [this] {
-    result_.duration = simulator_.now() - started_;
     result_.completed = true;
-    if (done_) {
-      done_(result_);
-    }
+    complete();
   });
 }
 
@@ -112,30 +154,76 @@ ReflectionSearch::ReflectionSearch(sim::Simulator& simulator,
       config_{std::move(config)},
       rng_{rng} {}
 
+void ReflectionSearch::send_command(sim::ControlMessage message) {
+  ++result_.bt_commands;
+  control_.send(reflector_.control_name(), std::move(message),
+                [this](bool delivered) {
+                  if (delivered) {
+                    consecutive_failed_commands_ = 0;
+                  } else {
+                    ++consecutive_failed_commands_;
+                  }
+                });
+}
+
+void ReflectionSearch::complete() {
+  if (done_fired_) {
+    return;
+  }
+  done_fired_ = true;
+  simulator_.cancel(watchdog_id_);
+  result_.duration = simulator_.now() - started_;
+  if (done_) {
+    done_(result_);
+  }
+}
+
+void ReflectionSearch::fail(const std::string& reason) {
+  if (done_fired_) {
+    return;
+  }
+  result_.completed = false;
+  result_.failure_reason = reason;
+  complete();
+}
+
 void ReflectionSearch::start(Callback done) {
   done_ = std::move(done);
   started_ = simulator_.now();
+  watchdog_id_ = simulator_.after(config_.watchdog, [this] {
+    fail("watchdog deadline expired before the sweep finished");
+  });
   // Arm a conservative, always-stable gain so the relayed signal is audible
   // at the headset for every candidate angle; the gain controller
   // re-optimises once the beam is locked.
   restore_gain_code_ = reflector_.front_end().gain_code();
-  control_.send(reflector_.control_name(),
-                {"gain_code", static_cast<double>(config_.search_gain_code), 0});
-  ++result_.bt_commands;
+  send_command(
+      {"gain_code", static_cast<double>(config_.search_gain_code), 0});
   simulator_.after(config_.command_wait, [this] { step(0); });
 }
 
 void ReflectionSearch::step(std::size_t index) {
+  if (done_fired_) {
+    return;
+  }
+  if (consecutive_failed_commands_ >= config_.abort_after_failed_commands) {
+    fail("control channel down: " +
+         std::to_string(consecutive_failed_commands_) +
+         " consecutive commands unacked");
+    return;
+  }
   if (index >= config_.reflector_codebook.size()) {
     finish();
     return;
   }
   const double theta = config_.reflector_codebook[index];
-  control_.send(reflector_.control_name(), {"tx_angle", theta, 0});
-  ++result_.bt_commands;
+  send_command({"tx_angle", theta, 0});
 
   simulator_.after(config_.command_wait + config_.snr_report_time,
                    [this, index, theta] {
+                     if (done_fired_) {
+                       return;
+                     }
                      const auto via = scene_.via_snr(reflector_);
                      const rf::Decibels estimate =
                          scene_.headset().observe(via.snr, rng_);
@@ -149,17 +237,11 @@ void ReflectionSearch::step(std::size_t index) {
 }
 
 void ReflectionSearch::finish() {
-  control_.send(reflector_.control_name(),
-                {"tx_angle", result_.reflector_tx_angle, 0});
-  control_.send(reflector_.control_name(),
-                {"gain_code", static_cast<double>(restore_gain_code_), 0});
-  result_.bt_commands += 2;
+  send_command({"tx_angle", result_.reflector_tx_angle, 0});
+  send_command({"gain_code", static_cast<double>(restore_gain_code_), 0});
   simulator_.after(config_.command_wait, [this] {
-    result_.duration = simulator_.now() - started_;
     result_.completed = true;
-    if (done_) {
-      done_(result_);
-    }
+    complete();
   });
 }
 

@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <random>
+#include <string>
 #include <vector>
 
 #include <core/scene.hpp>
@@ -48,6 +49,13 @@ struct AngleSearchConfig {
   sim::Duration tone_dwell{std::chrono::microseconds{10}};
   /// Dwell + report latency per headset SNR estimate (reflection phase).
   sim::Duration snr_report_time{std::chrono::milliseconds{1}};
+  /// Hard deadline: the search ALWAYS completes by now + watchdog, with
+  /// completed=false and a reason if it had to give up. Keeps a wedged
+  /// control plane from leaving the simulator idle forever.
+  sim::Duration watchdog{std::chrono::seconds{30}};
+  /// Consecutive unacked Bluetooth commands before the search concludes
+  /// the control channel is down and aborts early (completed=false).
+  int abort_after_failed_commands{5};
 };
 
 struct IncidenceResult {
@@ -58,6 +66,8 @@ struct IncidenceResult {
   int bt_commands{0};
   int measurements{0};
   bool completed{false};
+  /// Why the search gave up, when completed == false.
+  std::string failure_reason;
 };
 
 struct ReflectionResult {
@@ -67,6 +77,8 @@ struct ReflectionResult {
   int bt_commands{0};
   int measurements{0};
   bool completed{false};
+  /// Why the search gave up, when completed == false.
+  std::string failure_reason;
 };
 
 /// Phase 1: finds the AP<->reflector alignment. Leaves the reflector's RX
@@ -86,6 +98,9 @@ class IncidenceSearch {
  private:
   void step(std::size_t reflector_index);
   void finish();
+  void fail(const std::string& reason);
+  void send_command(sim::ControlMessage message);
+  void complete();
 
   sim::Simulator& simulator_;
   sim::ControlChannel& control_;
@@ -97,6 +112,9 @@ class IncidenceSearch {
   IncidenceResult result_;
   std::uint32_t restore_gain_code_{0};
   sim::TimePoint started_{};
+  sim::EventQueue::EventId watchdog_id_{0};
+  int consecutive_failed_commands_{0};
+  bool done_fired_{false};
 };
 
 /// Phase 2: points the reflector's TX beam at the headset. Precondition:
@@ -114,6 +132,9 @@ class ReflectionSearch {
  private:
   void step(std::size_t index);
   void finish();
+  void fail(const std::string& reason);
+  void send_command(sim::ControlMessage message);
+  void complete();
 
   sim::Simulator& simulator_;
   sim::ControlChannel& control_;
@@ -125,6 +146,9 @@ class ReflectionSearch {
   ReflectionResult result_;
   std::uint32_t restore_gain_code_{0};
   sim::TimePoint started_{};
+  sim::EventQueue::EventId watchdog_id_{0};
+  int consecutive_failed_commands_{0};
+  bool done_fired_{false};
 };
 
 /// Default codebooks: the paper's sector sweep at `step_deg` resolution.

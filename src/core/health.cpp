@@ -1,0 +1,108 @@
+#include <core/health.hpp>
+
+#include <algorithm>
+
+namespace movr::core {
+
+void HealthMonitor::track(std::size_t n) {
+  if (entries_.size() < n) {
+    entries_.resize(n);
+  }
+}
+
+void HealthMonitor::note_good(std::size_t i) {
+  track(i + 1);
+  Entry& e = entries_[i];
+  if (e.state == State::kHealthy) {
+    e.consecutive_bad = 0;
+  }
+}
+
+void HealthMonitor::enter_quarantine(Entry& e, sim::TimePoint now,
+                                     const std::string& reason,
+                                     bool extend_backoff) {
+  if (e.state == State::kQuarantined && extend_backoff) {
+    const auto grown = std::chrono::duration_cast<sim::Duration>(
+        e.backoff * config_.backoff_multiplier);
+    e.backoff = std::min(grown, config_.backoff_max);
+  } else if (e.state == State::kHealthy || e.backoff == sim::Duration::zero()) {
+    e.backoff = config_.backoff_initial;
+    ++stats_.quarantines;
+  }
+  e.state = State::kQuarantined;
+  e.quarantined_until = now + e.backoff;
+  e.consecutive_bad = 0;
+  e.last_reason = reason;
+}
+
+void HealthMonitor::note_bad(std::size_t i, sim::TimePoint now,
+                             const std::string& reason) {
+  track(i + 1);
+  Entry& e = entries_[i];
+  if (e.state == State::kQuarantined) {
+    return;  // already benched; re-probe outcomes go via note_probe_result
+  }
+  ++e.consecutive_bad;
+  if (e.consecutive_bad >= config_.bad_to_quarantine) {
+    enter_quarantine(e, now, reason, /*extend_backoff=*/false);
+  }
+}
+
+void HealthMonitor::quarantine(std::size_t i, sim::TimePoint now,
+                               const std::string& reason) {
+  track(i + 1);
+  enter_quarantine(entries_[i], now, reason, /*extend_backoff=*/false);
+}
+
+bool HealthMonitor::quarantined(std::size_t i) const {
+  return i < entries_.size() && entries_[i].state == State::kQuarantined;
+}
+
+bool HealthMonitor::probe_due(std::size_t i, sim::TimePoint now) const {
+  return quarantined(i) && now >= entries_[i].quarantined_until;
+}
+
+bool HealthMonitor::usable(std::size_t i, sim::TimePoint now) const {
+  if (i >= entries_.size()) {
+    return true;  // untracked: assume healthy
+  }
+  return entries_[i].state == State::kHealthy || probe_due(i, now);
+}
+
+void HealthMonitor::note_probe_result(std::size_t i, sim::TimePoint now,
+                                      bool good) {
+  track(i + 1);
+  Entry& e = entries_[i];
+  ++stats_.reprobes;
+  if (good) {
+    e.state = State::kHealthy;
+    e.consecutive_bad = 0;
+    e.backoff = sim::Duration::zero();
+    e.last_reason.clear();
+    ++stats_.restored;
+    return;
+  }
+  enter_quarantine(e, now, e.last_reason.empty() ? "re-probe failed"
+                                                 : e.last_reason,
+                   /*extend_backoff=*/true);
+}
+
+void HealthMonitor::note_reboot(std::size_t i, sim::TimePoint now) {
+  track(i + 1);
+  ++stats_.reboots_detected;
+  entries_[i].needs_recalibration = true;
+  enter_quarantine(entries_[i], now, "reboot detected (epoch mismatch)",
+                   /*extend_backoff=*/false);
+}
+
+bool HealthMonitor::needs_recalibration(std::size_t i) const {
+  return i < entries_.size() && entries_[i].needs_recalibration;
+}
+
+void HealthMonitor::note_recalibrated(std::size_t i) {
+  track(i + 1);
+  entries_[i].needs_recalibration = false;
+  ++stats_.recalibrations;
+}
+
+}  // namespace movr::core

@@ -1,0 +1,107 @@
+// Per-reflector health supervision: quarantine, backoff re-probes, and
+// reboot-triggered recalibration.
+//
+// The paper treats reflectors as passive infrastructure that is simply
+// there; a deployed system cannot. A reflector can relay garbage (unstable
+// loop, blocked relay path), vanish (power loss), or come back amnesiac (a
+// reboot wipes its beam/gain registers). Without supervision the link
+// manager will re-pick a known-bad reflector forever. This monitor keeps a
+// tiny state machine per reflector:
+//
+//   Healthy --repeated bad probes--> Quarantined --backoff expires--> probe
+//      ^                                  |  ^
+//      +------- probe succeeds ----------+  +--- probe fails (backoff x2)
+//
+// Reboots are detected as a calibration-epoch mismatch (the AP remembers
+// the boot epoch it calibrated against; the reflector reports its current
+// epoch over Bluetooth). A rebooted reflector is quarantined AND marked for
+// recalibration — its stored calibration must be replayed before the next
+// probe can succeed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <sim/time.hpp>
+
+namespace movr::core {
+
+class HealthMonitor {
+ public:
+  struct Config {
+    /// Consecutive bad in-service observations before quarantine.
+    int bad_to_quarantine{3};
+    /// First quarantine window; doubles per failed re-probe.
+    sim::Duration backoff_initial{std::chrono::milliseconds{200}};
+    double backoff_multiplier{2.0};
+    sim::Duration backoff_max{std::chrono::seconds{5}};
+  };
+
+  enum class State { kHealthy, kQuarantined };
+
+  struct Entry {
+    State state{State::kHealthy};
+    int consecutive_bad{0};
+    sim::Duration backoff{};
+    sim::TimePoint quarantined_until{};
+    bool needs_recalibration{false};
+    std::string last_reason;
+  };
+
+  struct Stats {
+    int quarantines{0};
+    int reprobes{0};
+    int restored{0};
+    int reboots_detected{0};
+    int recalibrations{0};
+  };
+
+  HealthMonitor() : HealthMonitor{Config{}} {}
+  explicit HealthMonitor(Config config) : config_{config} {}
+
+  const Config& config() const { return config_; }
+
+  /// Ensures entries exist for reflector indices [0, n).
+  void track(std::size_t n);
+  std::size_t tracked() const { return entries_.size(); }
+
+  // --- in-service observations ----------------------------------------
+  void note_good(std::size_t i);
+  /// A bad observation while in service; quarantines after
+  /// `bad_to_quarantine` consecutive ones.
+  void note_bad(std::size_t i, sim::TimePoint now, const std::string& reason);
+  /// Immediate quarantine (handover timeout, detected reboot).
+  void quarantine(std::size_t i, sim::TimePoint now,
+                  const std::string& reason);
+
+  // --- quarantine lifecycle -------------------------------------------
+  bool quarantined(std::size_t i) const;
+  /// The quarantine backoff has expired: one probe attempt is allowed.
+  bool probe_due(std::size_t i, sim::TimePoint now) const;
+  /// Healthy, or quarantined with the backoff expired (probe allowed).
+  bool usable(std::size_t i, sim::TimePoint now) const;
+  /// Result of a re-probe: success restores Healthy and resets the
+  /// backoff; failure doubles the backoff and re-quarantines.
+  void note_probe_result(std::size_t i, sim::TimePoint now, bool good);
+
+  // --- reboot / recalibration -----------------------------------------
+  /// A calibration-epoch mismatch was observed: quarantine + mark for
+  /// recalibration.
+  void note_reboot(std::size_t i, sim::TimePoint now);
+  bool needs_recalibration(std::size_t i) const;
+  void note_recalibrated(std::size_t i);
+
+  const Entry& entry(std::size_t i) const { return entries_.at(i); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void enter_quarantine(Entry& entry, sim::TimePoint now,
+                        const std::string& reason, bool extend_backoff);
+
+  Config config_;
+  std::vector<Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace movr::core

@@ -6,19 +6,64 @@ namespace movr::core {
 
 LinkManager::LinkManager(sim::Simulator& simulator, Scene& scene,
                          std::mt19937_64 rng, Config config)
-    : simulator_{simulator}, scene_{scene}, rng_{rng}, config_{config} {}
+    : simulator_{simulator},
+      scene_{scene},
+      rng_{rng},
+      config_{config},
+      health_{config.health} {
+  ensure_records();
+}
+
+void LinkManager::ensure_records() {
+  const std::size_t n = scene_.reflector_count();
+  if (records_.size() < n) {
+    records_.resize(n);
+  }
+  health_.track(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!records_[i].captured) {
+      capture_calibration(i);
+    }
+  }
+}
+
+void LinkManager::capture_calibration(std::size_t index) {
+  const auto& fe = scene_.reflector(index).front_end();
+  CalibrationRecord& record = records_[index];
+  record.rx_angle = fe.rx_array().steering();
+  record.gain_code = fe.gain_code();
+  record.boot_epoch = scene_.reflector(index).boot_epoch();
+  record.captured = true;
+}
+
+void LinkManager::recalibrate(std::size_t index) {
+  // Replay the stored calibration over the control plane. The RX beam and
+  // gain code come from the AP's record; the TX beam is re-derived from the
+  // tracked headset pose at commit time (BeamTracker), so only the parts
+  // the reflector cannot rediscover on its own are replayed here.
+  auto& reflector = scene_.reflector(index);
+  const CalibrationRecord& record = records_[index];
+  reflector.front_end().steer_rx(record.rx_angle);
+  reflector.front_end().set_gain_code(record.gain_code);
+  records_[index].boot_epoch = reflector.boot_epoch();
+  health_.note_recalibrated(index);
+}
 
 void LinkManager::steer_for_direct() {
   scene_.ap().node().steer_toward(scene_.headset().node().position());
   scene_.headset().node().face_toward(scene_.ap().node().position());
 }
 
-std::size_t LinkManager::best_reflector() const {
-  // Pick the reflector with the strongest illumination from the AP's
-  // perspective; with one reflector this is trivially reflector 0.
-  std::size_t best = 0;
+std::optional<std::size_t> LinkManager::best_usable_reflector() {
+  ensure_records();
+  // Strongest illumination among reflectors the health monitor will let us
+  // touch (healthy, or quarantined with the backoff expired = probe due).
+  std::optional<std::size_t> best;
   double best_snr = -1e9;
   for (std::size_t i = 0; i < scene_.reflector_count(); ++i) {
+    if (!health_.usable(i, simulator_.now())) {
+      continue;
+    }
     const double snr = scene_.via_snr(scene_.reflector(i)).snr.value();
     if (snr > best_snr) {
       best_snr = snr;
@@ -29,7 +74,10 @@ std::size_t LinkManager::best_reflector() const {
 }
 
 rf::Decibels LinkManager::current_true_snr() {
-  if (mode_ == Mode::kDirect) {
+  if (mode_ != Mode::kViaReflector) {
+    // kDirect, kDegraded, and kHandoverPending all ride the direct beam:
+    // a pending handover has not moved any hardware yet, and degraded mode
+    // is best-effort on whatever the direct path still carries.
     steer_for_direct();
     return scene_.direct_snr();
   }
@@ -40,8 +88,7 @@ rf::Decibels LinkManager::current_true_snr() {
   // Re-aim the reflector's TX beam if the player walked out of it.
   const double tracked = scene_.true_reflector_angle_to_headset(reflector);
   const double current = reflector.front_end().tx_array().steering();
-  if (geom::angular_distance(tracked, current) > config_.retarget_threshold &&
-      !handover_in_progress_) {
+  if (geom::angular_distance(tracked, current) > config_.retarget_threshold) {
     const auto retarget =
         BeamTracker::retarget(scene_, reflector, rng_, config_.tracker);
     ++stats_.retargets;
@@ -50,24 +97,100 @@ rf::Decibels LinkManager::current_true_snr() {
   return scene_.via_snr(reflector).snr;
 }
 
-void LinkManager::begin_handover_to_reflector() {
-  if (scene_.reflector_count() == 0) {
+void LinkManager::enter_degraded() {
+  if (mode_ == Mode::kDegraded) {
     return;
   }
-  handover_in_progress_ = true;
-  const std::size_t target = best_reflector();
-  simulator_.after(config_.bt_wait, [this, target] {
-    active_reflector_ = target;
-    auto& reflector = scene_.reflector(active_reflector_);
-    scene_.ap().node().steer_toward(reflector.position());
-    BeamTracker::retarget(scene_, reflector, rng_, config_.tracker);
-    scene_.headset().node().face_toward(reflector.position());
-    mode_ = Mode::kViaReflector;
-    handover_in_progress_ = false;
-    good_probes_ = 0;
-    reflector_since_ = simulator_.now();
-    ++stats_.handovers_to_reflector;
-  });
+  mode_ = Mode::kDegraded;
+  ++stats_.degraded_entries;
+  good_probes_ = 0;
+}
+
+void LinkManager::handover_failed(std::size_t target,
+                                  const std::string& reason) {
+  ++stats_.failed_handovers;
+  if (health_.quarantined(target)) {
+    // This attempt WAS the re-probe; its failure doubles the backoff.
+    health_.note_probe_result(target, simulator_.now(), /*good=*/false);
+  } else {
+    health_.quarantine(target, simulator_.now(), reason);
+  }
+  // Back to the direct path; the next frame decides whether another
+  // reflector is worth trying or the link is plain degraded.
+  mode_ = Mode::kDirect;
+}
+
+void LinkManager::begin_handover_to_reflector() {
+  if (scene_.reflector_count() == 0) {
+    return;  // nothing to fall back to — and nothing to be degraded FROM
+  }
+  const auto target = best_usable_reflector();
+  if (!target) {
+    enter_degraded();
+    return;
+  }
+  mode_ = Mode::kHandoverPending;
+  active_reflector_ = *target;
+  const std::uint64_t seq = ++pending_seq_;
+  commit_event_ = simulator_.after(
+      config_.bt_wait, [this, t = *target, seq] { commit_handover(t, seq); });
+  timeout_event_ =
+      simulator_.after(config_.handover_timeout,
+                       [this, t = *target, seq] { abandon_handover(t, seq); });
+}
+
+void LinkManager::commit_handover(std::size_t target, std::uint64_t seq) {
+  if (seq != pending_seq_ || mode_ != Mode::kHandoverPending) {
+    return;  // stale: a newer attempt superseded this one
+  }
+  simulator_.cancel(timeout_event_);
+  ++pending_seq_;
+
+  auto& reflector = scene_.reflector(target);
+  if (health_.needs_recalibration(target)) {
+    recalibrate(target);
+  } else if (reflector.boot_epoch() != records_[target].boot_epoch) {
+    // The reflector answered, but as a newborn: its registers are wiped.
+    // Quarantine + schedule recalibration; the post-backoff re-probe
+    // replays the stored calibration and tries again.
+    health_.note_reboot(target, simulator_.now());
+    ++stats_.failed_handovers;
+    mode_ = Mode::kDirect;
+    return;
+  }
+
+  scene_.ap().node().steer_toward(reflector.position());
+  BeamTracker::retarget(scene_, reflector, rng_, config_.tracker);
+  scene_.headset().node().face_toward(reflector.position());
+
+  const auto via = scene_.via_snr(reflector);
+  if (!via.usable || via.snr < config_.min_usable_snr) {
+    handover_failed(target, "via-link below usable SNR at commit");
+    return;
+  }
+  if (health_.quarantined(target)) {
+    health_.note_probe_result(target, simulator_.now(), /*good=*/true);
+  } else {
+    health_.note_good(target);
+  }
+  active_reflector_ = target;
+  mode_ = Mode::kViaReflector;
+  good_probes_ = 0;
+  reflector_since_ = simulator_.now();
+  ++stats_.handovers_to_reflector;
+}
+
+void LinkManager::abandon_handover(std::size_t target, std::uint64_t seq) {
+  if (seq != pending_seq_ || mode_ != Mode::kHandoverPending) {
+    return;
+  }
+  simulator_.cancel(commit_event_);
+  ++pending_seq_;
+  handover_failed(target, "handover commit timed out");
+}
+
+void LinkManager::leave_reflector() {
+  stats_.time_on_reflector += simulator_.now() - reflector_since_;
 }
 
 void LinkManager::probe_direct_path() {
@@ -88,24 +211,69 @@ void LinkManager::probe_direct_path() {
   if (good_probes_ >= config_.probes_to_recover) {
     // Switching back is all-electronic: AP and headset re-steer in
     // microseconds; the reflector can stay configured as a hot spare.
+    if (mode_ == Mode::kViaReflector) {
+      leave_reflector();
+      ++stats_.handovers_to_direct;
+    }
     mode_ = Mode::kDirect;
-    stats_.time_on_reflector += simulator_.now() - reflector_since_;
-    ++stats_.handovers_to_direct;
     good_probes_ = 0;
   }
 }
 
+void LinkManager::degraded_tick() {
+  if (simulator_.now() - last_probe_ < config_.probe_interval) {
+    return;
+  }
+  last_probe_ = simulator_.now();
+  probe_direct_path();  // may promote straight back to kDirect
+  if (mode_ != Mode::kDegraded) {
+    return;
+  }
+  if (best_usable_reflector()) {
+    // A quarantine backoff expired (or a new reflector appeared): the
+    // handover attempt doubles as the re-probe.
+    begin_handover_to_reflector();
+  }
+}
+
 rf::Decibels LinkManager::on_frame() {
+  ensure_records();
   const rf::Decibels true_snr = current_true_snr();
   scene_.headset().observe(true_snr, rng_);
 
-  if (mode_ == Mode::kDirect && scene_.headset().degraded() &&
-      !handover_in_progress_) {
-    begin_handover_to_reflector();
-  } else if (mode_ == Mode::kViaReflector &&
-             simulator_.now() - last_probe_ >= config_.probe_interval) {
-    last_probe_ = simulator_.now();
-    probe_direct_path();
+  switch (mode_) {
+    case Mode::kDirect:
+      if (scene_.headset().degraded()) {
+        begin_handover_to_reflector();
+      }
+      break;
+    case Mode::kHandoverPending:
+      break;  // waiting on the commit or timeout event
+    case Mode::kViaReflector: {
+      if (true_snr < config_.min_usable_snr) {
+        health_.note_bad(active_reflector_, simulator_.now(),
+                         "in-service via-SNR below usable");
+        if (health_.quarantined(active_reflector_)) {
+          leave_reflector();
+          mode_ = Mode::kDirect;
+          begin_handover_to_reflector();  // next reflector, or kDegraded
+          break;
+        }
+      } else {
+        health_.note_good(active_reflector_);
+      }
+      if (simulator_.now() - last_probe_ >= config_.probe_interval) {
+        last_probe_ = simulator_.now();
+        probe_direct_path();
+        if (mode_ == Mode::kDirect) {
+          break;
+        }
+      }
+      break;
+    }
+    case Mode::kDegraded:
+      degraded_tick();
+      break;
   }
   return true_snr;
 }

@@ -6,11 +6,36 @@
 // reflector's TX beam is pose-aimed at the headset; when probing shows the
 // direct path healthy again, the link switches back. Handover latency is
 // dominated by one Bluetooth exchange — inside a frame budget or two.
+//
+// The manager is an explicit state machine:
+//
+//   kDirect --headset degraded, usable reflector--> kHandoverPending
+//   kHandoverPending --commit lands--> kViaReflector
+//   kHandoverPending --timeout / bad via-SNR--> kDirect (+ quarantine)
+//   kViaReflector --direct probes recover--> kDirect
+//   kViaReflector --reflector goes bad--> next reflector, or kDegraded
+//   kDirect/kViaReflector --degraded, nothing usable--> kDegraded
+//   kDegraded --direct recovers--> kDirect;  --reflector probe due-->
+//   kHandoverPending
+//
+// kDegraded means: reflectors exist but none is currently usable and the
+// direct path is below par. The link stays up best-effort on the direct
+// beam; rate control is expected to pin the lowest MCS (see
+// LinkStrategy::pin_lowest_rate). A scene with zero reflectors never
+// enters kDegraded — there is nothing to fall back FROM.
+//
+// Reflector supervision (quarantine, backoff re-probes, reboot detection
+// via boot-epoch mismatch, calibration replay) lives in core::HealthMonitor;
+// the manager holds the per-reflector calibration records it replays.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <random>
+#include <vector>
 
 #include <core/beam_tracker.hpp>
+#include <core/health.hpp>
 #include <core/scene.hpp>
 #include <sim/control_channel.hpp>
 #include <sim/simulator.hpp>
@@ -19,12 +44,12 @@ namespace movr::core {
 
 class LinkManager {
  public:
-  enum class Mode { kDirect, kViaReflector };
+  enum class Mode { kDirect, kHandoverPending, kViaReflector, kDegraded };
 
   struct Config {
     BeamTracker::Config tracker{};
-    /// While on a reflector, the direct path is probed at this cadence
-    /// (one beam-training slot, negligible airtime).
+    /// While on a reflector (or degraded), the direct path is probed at
+    /// this cadence (one beam-training slot, negligible airtime).
     sim::Duration probe_interval{std::chrono::milliseconds{100}};
     /// Probed direct SNR must exceed the headset's recovery threshold this
     /// many times in a row before switching back.
@@ -34,6 +59,13 @@ class LinkManager {
     double retarget_threshold{0.04};
     /// One Bluetooth exchange: the handover's dominant cost.
     sim::Duration bt_wait{std::chrono::milliseconds{10}};
+    /// A pending handover that has not committed by now + handover_timeout
+    /// is abandoned: back to kDirect, target quarantined.
+    sim::Duration handover_timeout{std::chrono::milliseconds{40}};
+    /// A committed or in-service via-link below this SNR counts as a bad
+    /// observation against the reflector.
+    rf::Decibels min_usable_snr{10.0};
+    HealthMonitor::Config health{};
   };
 
   LinkManager(sim::Simulator& simulator, Scene& scene, std::mt19937_64 rng)
@@ -47,33 +79,65 @@ class LinkManager {
   rf::Decibels on_frame();
 
   Mode mode() const { return mode_; }
-  bool handover_in_progress() const { return handover_in_progress_; }
+  bool handover_in_progress() const { return mode_ == Mode::kHandoverPending; }
+  bool degraded() const { return mode_ == Mode::kDegraded; }
+  std::size_t active_reflector() const { return active_reflector_; }
+
+  HealthMonitor& health() { return health_; }
+  const HealthMonitor& health() const { return health_; }
 
   struct Stats {
     int handovers_to_reflector{0};
     int handovers_to_direct{0};
     int retargets{0};
+    int failed_handovers{0};
+    int degraded_entries{0};
     sim::Duration time_on_reflector{0};
   };
   const Stats& stats() const { return stats_; }
 
  private:
+  /// The AP-side memory of how a reflector was calibrated. Replayed over
+  /// Bluetooth when the reflector reboots (its own registers are wiped;
+  /// ours are not).
+  struct CalibrationRecord {
+    double rx_angle{0.0};
+    std::uint32_t gain_code{0};
+    std::uint32_t boot_epoch{0};
+    bool captured{false};
+  };
+
   void steer_for_direct();
   rf::Decibels current_true_snr();
   void begin_handover_to_reflector();
+  void commit_handover(std::size_t target, std::uint64_t seq);
+  void abandon_handover(std::size_t target, std::uint64_t seq);
+  void handover_failed(std::size_t target, const std::string& reason);
+  void leave_reflector();
   void probe_direct_path();
-  std::size_t best_reflector() const;
+  void degraded_tick();
+  void enter_degraded();
+  void recalibrate(std::size_t index);
+  void capture_calibration(std::size_t index);
+  void ensure_records();
+  std::optional<std::size_t> best_usable_reflector();
 
   sim::Simulator& simulator_;
   Scene& scene_;
   std::mt19937_64 rng_;
   Config config_;
   Mode mode_{Mode::kDirect};
-  bool handover_in_progress_{false};
   std::size_t active_reflector_{0};
   int good_probes_{0};
   sim::TimePoint last_probe_{};
   sim::TimePoint reflector_since_{};
+  HealthMonitor health_;
+  std::vector<CalibrationRecord> records_;
+  /// Monotonic handover sequence number: bumping it invalidates any
+  /// commit/timeout events still in flight for an older attempt.
+  std::uint64_t pending_seq_{0};
+  sim::EventQueue::EventId commit_event_{0};
+  sim::EventQueue::EventId timeout_event_{0};
   Stats stats_;
 };
 

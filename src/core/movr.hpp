@@ -13,6 +13,7 @@
 #include <core/beam_tracker.hpp>
 #include <core/gain_control.hpp>
 #include <core/headset.hpp>
+#include <core/health.hpp>
 #include <core/link_manager.hpp>
 #include <core/reflector.hpp>
 #include <core/scene.hpp>

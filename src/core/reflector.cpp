@@ -10,6 +10,11 @@ MovrReflector::MovrReflector(geom::Vec2 position, double orientation_rad,
       orientation_{orientation_rad},
       front_end_{front_end_config} {}
 
+void MovrReflector::power_cycle() {
+  front_end_.power_cycle();
+  ++boot_epoch_;
+}
+
 void MovrReflector::handle(const sim::ControlMessage& message) {
   if (message.topic == "rx_angle") {
     front_end_.steer_rx(message.value);

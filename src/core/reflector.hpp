@@ -49,12 +49,20 @@ class MovrReflector {
 
   std::uint64_t unknown_messages() const { return unknown_messages_; }
 
+  /// Power loss + reboot: front-end registers wiped (beams, gain,
+  /// modulation), calibration gone. The boot epoch increments so the AP
+  /// side can detect the reboot as an epoch mismatch and schedule
+  /// recalibration (see core::HealthMonitor).
+  void power_cycle();
+  std::uint32_t boot_epoch() const { return boot_epoch_; }
+
  private:
   geom::Vec2 position_;
   double orientation_;
   hw::ReflectorFrontEnd front_end_;
   std::string control_name_{"reflector"};
   std::uint64_t unknown_messages_{0};
+  std::uint32_t boot_epoch_{0};
 };
 
 }  // namespace movr::core

@@ -21,7 +21,7 @@ void Amplifier::set_gain(rf::Decibels gain) {
 }
 
 Amplifier::Operating Amplifier::drive(rf::DbmPower input) const {
-  const double ideal_out_mw = (input + gain_).milliwatts();
+  const double ideal_out_mw = (input + gain()).milliwatts();
   const double sat_mw = config_.saturation_power.milliwatts();
 
   // Rapp soft limiter on power: out = in / (1 + (in/sat)^s)^(1/s).

@@ -12,6 +12,8 @@
 //     observable it gets.
 #pragma once
 
+#include <algorithm>
+
 #include <rf/units.hpp>
 
 namespace movr::hw {
@@ -55,7 +57,19 @@ class Amplifier {
 
   /// Commands a gain; clamped into [min_gain, max_gain].
   void set_gain(rf::Decibels gain);
-  rf::Decibels gain() const { return gain_; }
+  /// Delivered gain: the commanded gain minus any derating (fault-injected
+  /// aging/thermal sag), floored at min_gain.
+  rf::Decibels gain() const {
+    const double g = gain_.value() - derating_.value();
+    return rf::Decibels{std::max(g, config_.min_gain.value())};
+  }
+
+  /// Physical gain sag (aging, thermal droop): subtracted from every
+  /// commanded gain until cleared. Invisible to the controller, which still
+  /// believes its DAC code bought the full gain — exactly the failure mode
+  /// fault-injection experiments script.
+  void set_gain_derating(rf::Decibels derating) { derating_ = derating; }
+  rf::Decibels gain_derating() const { return derating_; }
 
   /// Result of driving the amplifier with a given input power.
   struct Operating {
@@ -71,6 +85,7 @@ class Amplifier {
  private:
   Config config_;
   rf::Decibels gain_;
+  rf::Decibels derating_{0.0};
 };
 
 }  // namespace movr::hw

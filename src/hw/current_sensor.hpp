@@ -30,8 +30,15 @@ class CurrentSensor {
   double read_averaged(double true_current_a, int samples,
                        std::mt19937_64& rng) const;
 
+  /// Additive measurement bias (thermal/aging drift, fault-injected): every
+  /// reading is offset by this before quantisation. The gain controller
+  /// cannot see it — that is the point.
+  void set_bias(double bias_a) { bias_a_ = bias_a; }
+  double bias() const { return bias_a_; }
+
  private:
   Config config_;
+  double bias_a_{0.0};
 };
 
 }  // namespace movr::hw

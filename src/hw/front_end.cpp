@@ -15,6 +15,19 @@ ReflectorFrontEnd::ReflectorFrontEnd(const Config& config)
   set_gain_code(0);
 }
 
+void ReflectorFrontEnd::power_cycle() {
+  rx_ = rf::PhasedArray{config_.array};
+  tx_ = rf::PhasedArray{config_.array};
+  modulating_ = false;
+  set_gain_code(0);
+}
+
+void ReflectorFrontEnd::inject_gain_sag(rf::Decibels sag) {
+  amplifier_.set_gain_derating(sag);
+  // Re-command the current code so the delivered gain reflects the sag.
+  set_gain_code(gain_code_);
+}
+
 void ReflectorFrontEnd::set_gain_code(std::uint32_t code) {
   gain_code_ = std::min(code, gain_dac_.max_code());
   // The DAC output maps linearly (in dB) onto the attenuator's range:

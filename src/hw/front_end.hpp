@@ -52,6 +52,19 @@ class ReflectorFrontEnd {
   bool modulating() const { return modulating_; }
   std::uint32_t max_gain_code() const { return gain_dac_.max_code(); }
 
+  // --- fault hooks (invisible to the controller) -----------------------
+  /// Power-cycle: wipes all controller-visible state (beams to boresight,
+  /// gain code 0, modulation off), as a brown-out or watchdog reset would.
+  /// Physical fault state (sensor bias, amplifier sag) persists — it is in
+  /// the silicon, not the registers.
+  void power_cycle();
+  /// Drifts the current sensor's reading by `bias_a` amps.
+  void inject_sensor_bias(double bias_a) { sensor_.set_bias(bias_a); }
+  double sensor_bias() const { return sensor_.bias(); }
+  /// Derates the amplifier's delivered gain by `sag` (thermal/aging droop).
+  void inject_gain_sag(rf::Decibels sag);
+  rf::Decibels gain_sag() const { return amplifier_.gain_derating(); }
+
   // --- physics (used by the channel, invisible to the controller) ----
   const rf::PhasedArray& rx_array() const { return rx_; }
   const rf::PhasedArray& tx_array() const { return tx_; }

@@ -1,5 +1,6 @@
 #include <sim/control_channel.hpp>
 
+#include <algorithm>
 #include <utility>
 
 namespace movr::sim {
@@ -14,43 +15,129 @@ void ControlChannel::attach(const std::string& endpoint_name,
 }
 
 void ControlChannel::send(const std::string& to, ControlMessage message) {
-  ++stats_.sent;
-  deliver(to, message, 0);
+  send(to, std::move(message), SendOutcome{});
 }
 
-void ControlChannel::deliver(const std::string& to,
-                             const ControlMessage& message, int attempt) {
+void ControlChannel::send(const std::string& to, ControlMessage message,
+                          SendOutcome outcome) {
+  ++stats_.sent;
+  if (message.tag == 0) {
+    message.tag = next_auto_tag_++;
+  }
+  auto transfer = std::make_shared<Transfer>();
+  transfer->to = to;
+  transfer->message = std::move(message);
+  transfer->outcome = std::move(outcome);
+  deliver(transfer);
+}
+
+void ControlChannel::apply_fault(double loss_delta,
+                                 Duration extra_latency_delta) {
+  fault_loss_ += loss_delta;
+  fault_extra_latency_ += extra_latency_delta;
+  if (fault_loss_ < 0.0) {
+    fault_loss_ = 0.0;
+  }
+  if (fault_extra_latency_ < Duration::zero()) {
+    fault_extra_latency_ = Duration::zero();
+  }
+}
+
+double ControlChannel::effective_loss() const {
+  return std::clamp(config_.loss_probability + fault_loss_, 0.0, 1.0);
+}
+
+void ControlChannel::finish(const TransferPtr& transfer, bool delivered) {
+  if (transfer->outcome_fired) {
+    return;
+  }
+  transfer->outcome_fired = true;
+  if (transfer->outcome) {
+    transfer->outcome(delivered);
+  }
+}
+
+bool ControlChannel::remember_tag(DedupWindow& window, std::uint64_t tag) {
+  if (window.seen.count(tag) != 0) {
+    return false;  // duplicate
+  }
+  window.seen.insert(tag);
+  window.order.push_back(tag);
+  while (window.order.size() > config_.dedup_window) {
+    window.seen.erase(window.order.front());
+    window.order.pop_front();
+  }
+  return true;
+}
+
+void ControlChannel::deliver(const TransferPtr& transfer) {
   std::uniform_real_distribution<double> coin{0.0, 1.0};
   std::uniform_real_distribution<double> jitter{
       -to_seconds(config_.jitter), to_seconds(config_.jitter)};
 
-  const bool lost = coin(rng_) < config_.loss_probability;
+  const bool lost = coin(rng_) < effective_loss();
   if (lost) {
-    if (attempt >= config_.max_retries) {
-      ++stats_.dropped;
+    // A "loss" is either the data frame (nothing arrives) or its ack (the
+    // data arrived, the sender just doesn't know). Either way the link
+    // layer retransmits, so an ack loss produces a duplicate downstream.
+    const bool ack_lost = coin(rng_) < config_.ack_loss_fraction;
+    if (ack_lost) {
+      Duration delay = config_.latency + fault_extra_latency_ +
+                       from_seconds(jitter(rng_));
+      delay = std::max(delay, Duration::zero());
+      simulator_.after(delay, [this, transfer] {
+        arrive(transfer);
+        finish(transfer, transfer->fate == Transfer::Fate::kDelivered);
+      });
+    }
+    if (transfer->attempt >= config_.max_retries) {
+      if (!ack_lost) {
+        if (transfer->fate == Transfer::Fate::kPending) {
+          transfer->fate = Transfer::Fate::kDropped;
+          ++stats_.dropped;
+        }
+        finish(transfer, transfer->fate == Transfer::Fate::kDelivered);
+      }
+      // ack_lost: the in-flight arrival above settles the outcome.
       return;
     }
     ++stats_.retransmitted;
+    ++transfer->attempt;
     simulator_.after(config_.retry_timeout,
-                     [this, to, message, attempt] {
-                       deliver(to, message, attempt + 1);
-                     });
+                     [this, transfer] { deliver(transfer); });
     return;
   }
 
-  Duration delay = config_.latency + from_seconds(jitter(rng_));
-  if (delay < Duration::zero()) {
-    delay = Duration::zero();
-  }
-  simulator_.after(delay, [this, to, message] {
-    const auto it = endpoints_.find(to);
-    if (it == endpoints_.end()) {
-      ++stats_.undeliverable;
-      return;
-    }
-    ++stats_.delivered;
-    it->second(message);
+  Duration delay = config_.latency + fault_extra_latency_ +
+                   from_seconds(jitter(rng_));
+  delay = std::max(delay, Duration::zero());
+  simulator_.after(delay, [this, transfer] {
+    arrive(transfer);
+    finish(transfer, transfer->fate == Transfer::Fate::kDelivered);
   });
+}
+
+void ControlChannel::arrive(const TransferPtr& transfer) {
+  const auto it = endpoints_.find(transfer->to);
+  if (it == endpoints_.end()) {
+    if (transfer->fate == Transfer::Fate::kPending) {
+      ++stats_.undeliverable;
+      transfer->fate = Transfer::Fate::kUndeliverable;
+    }
+    return;
+  }
+  // A copy arriving after the sender already gave up (fate kDropped) still
+  // reaches the endpoint — at-least-once semantics — but the stats keep the
+  // sender-side verdict, so each send counts under exactly one outcome.
+  if (transfer->fate == Transfer::Fate::kPending) {
+    transfer->fate = Transfer::Fate::kDelivered;
+    ++stats_.delivered;
+  }
+  if (!remember_tag(dedup_[transfer->to], transfer->message.tag)) {
+    ++stats_.duplicates;
+    return;  // idempotent: the endpoint never sees the duplicate
+  }
+  it->second(transfer->message);
 }
 
 }  // namespace movr::sim

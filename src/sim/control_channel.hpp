@@ -6,13 +6,21 @@
 // angle-search protocol's running time (part of the latency budget in
 // Section 6) is dominated by these exchanges, so the channel models latency,
 // jitter and loss explicitly.
+//
+// Delivery is at-least-once: the link layer retransmits until acked, and a
+// lost *ack* makes the sender retransmit a message the receiver already has.
+// Receivers therefore dedup by message tag, making delivery effectively
+// idempotent; suppressed copies are visible in Stats::duplicates.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <random>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include <sim/simulator.hpp>
 #include <sim/time.hpp>
@@ -22,7 +30,7 @@ namespace movr::sim {
 struct ControlMessage {
   std::string topic;      // e.g. "set_rx_angle", "modulate_on"
   double value{0.0};      // numeric payload (angle, gain code, ...)
-  std::uint64_t tag{0};   // correlates request/response pairs
+  std::uint64_t tag{0};   // unique message id; 0 = auto-assigned on send
 };
 
 class ControlChannel {
@@ -35,9 +43,18 @@ class ControlChannel {
     /// retry, surfaced here as extra latency rather than loss).
     Duration retry_timeout{sim::Duration{7'500'000}};
     int max_retries{3};
+    /// Fraction of loss events that are ACK losses: the data frame arrived
+    /// but the acknowledgement did not, so the sender retransmits a message
+    /// the receiver already delivered — the duplicate-delivery race.
+    double ack_loss_fraction{0.0};
+    /// Tags remembered per endpoint for duplicate suppression.
+    std::size_t dedup_window{256};
   };
 
   using Endpoint = std::function<void(const ControlMessage&)>;
+  /// Sender-side delivery outcome (the BLE link layer knows whether its
+  /// retries were acked). Fired once per send, when the fate is decided.
+  using SendOutcome = std::function<void(bool delivered)>;
 
   ControlChannel(Simulator& simulator, Config config, std::mt19937_64 rng);
 
@@ -45,27 +62,68 @@ class ControlChannel {
   /// counted (visible in stats()).
   void attach(const std::string& endpoint_name, Endpoint endpoint);
 
-  /// Sends a message; delivery is asynchronous via the simulator.
+  /// Sends a message; delivery is asynchronous via the simulator. A zero
+  /// tag is replaced with a fresh unique tag (deduplication needs one).
   void send(const std::string& to, ControlMessage message);
+  void send(const std::string& to, ControlMessage message,
+            SendOutcome outcome);
+
+  // --- fault hooks (driven by sim::FaultInjector) ---------------------
+  /// Adds (or, with negative deltas, removes) a loss/latency impairment.
+  /// Overlapping faults stack; effective loss is clamped to [0, 1].
+  void apply_fault(double loss_delta, Duration extra_latency_delta);
+  double fault_loss() const { return fault_loss_; }
+  Duration fault_extra_latency() const { return fault_extra_latency_; }
 
   struct Stats {
     std::uint64_t sent{0};
-    std::uint64_t delivered{0};
+    std::uint64_t delivered{0};     // reached the endpoint (once per send)
     std::uint64_t dropped{0};       // lost after all retries
     std::uint64_t retransmitted{0};
     std::uint64_t undeliverable{0};  // no such endpoint
+    std::uint64_t duplicates{0};     // redundant copies suppressed by dedup
   };
+  /// Invariant: sent == delivered + dropped + undeliverable — duplicates
+  /// are counted separately and never double-count a send.
   const Stats& stats() const { return stats_; }
 
  private:
-  void deliver(const std::string& to, const ControlMessage& message,
-               int attempt);
+  /// One send() in flight, shared across its retransmission attempts so a
+  /// late duplicate cannot double-count delivery or drop: each transfer is
+  /// assigned exactly one fate, the first one decided.
+  struct Transfer {
+    enum class Fate { kPending, kDelivered, kDropped, kUndeliverable };
+    std::string to;
+    ControlMessage message;
+    int attempt{0};
+    Fate fate{Fate::kPending};
+    SendOutcome outcome;
+    bool outcome_fired{false};
+  };
+  using TransferPtr = std::shared_ptr<Transfer>;
+
+  void deliver(const TransferPtr& transfer);
+  void arrive(const TransferPtr& transfer);
+  void finish(const TransferPtr& transfer, bool delivered);
+  double effective_loss() const;
+
+  /// Per-endpoint sliding window of recently seen tags.
+  struct DedupWindow {
+    std::unordered_set<std::uint64_t> seen;
+    std::deque<std::uint64_t> order;
+  };
+  bool remember_tag(DedupWindow& window, std::uint64_t tag);
 
   Simulator& simulator_;
   Config config_;
   std::mt19937_64 rng_;
   std::unordered_map<std::string, Endpoint> endpoints_;
+  std::unordered_map<std::string, DedupWindow> dedup_;
   Stats stats_;
+  double fault_loss_{0.0};
+  Duration fault_extra_latency_{Duration::zero()};
+  // Auto-assigned tags start far above any hand-written test tag.
+  std::uint64_t next_auto_tag_{std::uint64_t{1} << 32};
 };
 
 }  // namespace movr::sim

@@ -1,0 +1,110 @@
+#include <sim/fault_injector.hpp>
+
+#include <algorithm>
+#include <utility>
+
+namespace movr::sim {
+
+std::size_t FaultInjector::inject(std::string name, TimePoint start,
+                                  Duration duration, Action apply,
+                                  Action clear) {
+  const std::size_t index = timeline_.size();
+  timeline_.push_back({std::move(name), start, start + duration, false, false});
+  simulator_.at(start, [this, index, apply = std::move(apply)] {
+    timeline_[index].applied = true;
+    if (apply) {
+      apply();
+    }
+  });
+  simulator_.at(start + duration, [this, index, clear = std::move(clear)] {
+    timeline_[index].cleared = true;
+    if (clear) {
+      clear();
+    }
+  });
+  return index;
+}
+
+std::size_t FaultInjector::inject_pulse(std::string name, TimePoint at,
+                                        Action apply) {
+  const std::size_t index = timeline_.size();
+  timeline_.push_back({std::move(name), at, at, false, false});
+  simulator_.at(at, [this, index, apply = std::move(apply)] {
+    timeline_[index].applied = true;
+    timeline_[index].cleared = true;
+    if (apply) {
+      apply();
+    }
+  });
+  return index;
+}
+
+void FaultInjector::tick_sweep(std::size_t index, TimePoint start,
+                               Duration duration, Duration tick,
+                               const Sweep& update) {
+  const TimePoint now = simulator_.now();
+  const double progress =
+      duration <= Duration::zero()
+          ? 1.0
+          : std::clamp(static_cast<double>((now - start).count()) /
+                           static_cast<double>(duration.count()),
+                       0.0, 1.0);
+  update(progress);
+  const TimePoint next = now + std::max(tick, Duration{1});
+  if (next < start + duration) {
+    simulator_.at(next, [this, index, start, duration, tick, update] {
+      tick_sweep(index, start, duration, tick, update);
+    });
+  }
+}
+
+std::size_t FaultInjector::inject_sweep(std::string name, TimePoint start,
+                                        Duration duration, Duration tick,
+                                        Sweep update, Action clear) {
+  const std::size_t index = timeline_.size();
+  timeline_.push_back({std::move(name), start, start + duration, false, false});
+  simulator_.at(start, [this, index, start, duration, tick, update] {
+    timeline_[index].applied = true;
+    tick_sweep(index, start, duration, tick, update);
+  });
+  // The window end always delivers progress == 1 (the tick grid rarely
+  // lands on it exactly), then clears.
+  simulator_.at(start + duration,
+                [this, index, update = std::move(update),
+                 clear = std::move(clear)] {
+    timeline_[index].cleared = true;
+    update(1.0);
+    if (clear) {
+      clear();
+    }
+  });
+  return index;
+}
+
+std::size_t FaultInjector::inject_control_brownout(ControlChannel& channel,
+                                                   TimePoint start,
+                                                   Duration duration,
+                                                   double extra_loss,
+                                                   Duration extra_latency) {
+  return inject(
+      "control_brownout", start, duration,
+      [&channel, extra_loss, extra_latency] {
+        channel.apply_fault(extra_loss, extra_latency);
+      },
+      [&channel, extra_loss, extra_latency] {
+        channel.apply_fault(-extra_loss, -extra_latency);
+      });
+}
+
+std::size_t FaultInjector::active_count(TimePoint t) const {
+  std::size_t n = 0;
+  for (const AppliedFault& fault : timeline_) {
+    if (fault.start == fault.end ? t == fault.start
+                                 : (t >= fault.start && t < fault.end)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace movr::sim

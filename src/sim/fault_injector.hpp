@@ -1,0 +1,92 @@
+// Scriptable fault injection driven by the event queue.
+//
+// MoVR's value proposition is that the link *degrades, not breaks* when the
+// world misbehaves: blocked LOS, lossy Bluetooth, sagging amplifiers,
+// rebooting reflectors. This subsystem turns those failure modes into a
+// scripted, composable, replayable schedule — every fault is an event (or a
+// window of events) on the simulator, so experiments and tests can script
+// fault storms instead of hand-rolling one-off setups.
+//
+// The injector itself is type-agnostic: a fault is a named window with an
+// apply/clear action pair (plus an optional periodic update for faults that
+// evolve, e.g. a bias that drifts or a person that walks). Typed builders
+// for the canonical MoVR faults live next to the types they perturb
+// (vr/fault_scenarios.hpp); the one fault native to this module — a
+// control-channel brownout — gets a typed helper here.
+//
+// Every scheduled fault is recorded in an applied-fault timeline that
+// vr::Session reads to attribute glitches and measure time-to-recover.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <sim/control_channel.hpp>
+#include <sim/simulator.hpp>
+#include <sim/time.hpp>
+
+namespace movr::sim {
+
+class FaultInjector {
+ public:
+  using Action = std::function<void()>;
+  /// Evolution hook for windowed faults: progress runs 0 -> 1 over the
+  /// fault window.
+  using Sweep = std::function<void(double progress)>;
+
+  struct AppliedFault {
+    std::string name;
+    TimePoint start{};
+    TimePoint end{};  // == start for pulses
+    bool applied{false};
+    bool cleared{false};
+  };
+
+  explicit FaultInjector(Simulator& simulator) : simulator_{simulator} {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// A fault active during [start, start + duration): `apply` runs at
+  /// start, `clear` (optional) at the window end. Returns a timeline index.
+  std::size_t inject(std::string name, TimePoint start, Duration duration,
+                     Action apply, Action clear = {});
+
+  /// An instantaneous fault (e.g. a reflector power-cycle).
+  std::size_t inject_pulse(std::string name, TimePoint at, Action apply);
+
+  /// A windowed fault whose effect evolves: `update(progress)` fires at
+  /// start, then every `tick` until the window closes (progress clamped to
+  /// [0, 1]); `clear` (optional) runs at the end.
+  std::size_t inject_sweep(std::string name, TimePoint start,
+                           Duration duration, Duration tick, Sweep update,
+                           Action clear = {});
+
+  /// Timed control-channel brownout: stacks `extra_loss` probability and
+  /// `extra_latency` onto `channel` for the window, then removes them.
+  /// Overlapping brownouts compose (losses add, clamped to 1).
+  std::size_t inject_control_brownout(ControlChannel& channel,
+                                      TimePoint start, Duration duration,
+                                      double extra_loss,
+                                      Duration extra_latency);
+
+  /// Everything scheduled so far, in scheduling order, with applied/cleared
+  /// flags that flip as the simulation executes the schedule.
+  const std::vector<AppliedFault>& timeline() const { return timeline_; }
+
+  /// Faults whose window covers `t` (pulses count only at their instant).
+  std::size_t active_count(TimePoint t) const;
+
+  Simulator& simulator() { return simulator_; }
+
+ private:
+  void tick_sweep(std::size_t index, TimePoint start, Duration duration,
+                  Duration tick, const Sweep& update);
+
+  Simulator& simulator_;
+  std::vector<AppliedFault> timeline_;
+};
+
+}  // namespace movr::sim

@@ -10,6 +10,14 @@ namespace movr::sim {
 
 class Simulator {
  public:
+  /// Optional safety valve: a buggy protocol that schedules events forever
+  /// (or an injected fault timeline that never drains) trips the valve and
+  /// throws, instead of hanging run() until ctest times out. Zero = off.
+  struct SafetyValve {
+    std::uint64_t max_events{0};          // total events executed
+    Duration max_time{Duration::zero()};  // absolute simulated-clock bound
+  };
+
   TimePoint now() const { return now_; }
 
   /// Schedules `handler` to run `delay` from now.
@@ -28,13 +36,20 @@ class Simulator {
   void run_until(TimePoint deadline);
 
   /// Runs exactly one event if any is pending; returns false when drained.
+  /// Throws std::runtime_error if the safety valve limits are exceeded.
   bool step();
 
   std::size_t pending_events() const { return queue_.pending(); }
 
+  void set_safety_valve(SafetyValve valve) { valve_ = valve; }
+  const SafetyValve& safety_valve() const { return valve_; }
+  std::uint64_t events_executed() const { return events_executed_; }
+
  private:
   EventQueue queue_;
   TimePoint now_{Duration::zero()};
+  SafetyValve valve_{};
+  std::uint64_t events_executed_{0};
 };
 
 }  // namespace movr::sim

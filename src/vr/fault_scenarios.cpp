@@ -1,0 +1,78 @@
+#include <vr/fault_scenarios.hpp>
+
+#include <memory>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include <geom/vec2.hpp>
+
+namespace movr::vr {
+
+std::size_t add_obstacle_storm(sim::FaultInjector& injector,
+                               channel::Room& room,
+                               const ObstacleStormConfig& config) {
+  struct Walker {
+    geom::Vec2 from;
+    geom::Vec2 to;
+  };
+  // Seeded at schedule time so the storm is replayable; the walkers' paths
+  // are fixed straight lines, only their progress is animated by the sweep.
+  auto walkers = std::make_shared<std::vector<Walker>>();
+  std::mt19937_64 rng{config.seed};
+  for (int i = 0; i < config.people; ++i) {
+    walkers->push_back(Walker{room.random_interior_point(rng),
+                              room.random_interior_point(rng)});
+  }
+  const std::string label = config.label;
+  return injector.inject_sweep(
+      "obstacle_storm(" + std::to_string(config.people) + ")", config.start,
+      config.duration, config.tick,
+      [&room, walkers, label](double progress) {
+        room.remove_obstacles(label);
+        for (const Walker& w : *walkers) {
+          const geom::Vec2 at{w.from.x + (w.to.x - w.from.x) * progress,
+                              w.from.y + (w.to.y - w.from.y) * progress};
+          auto person = channel::make_person(at);
+          person.label = label;
+          room.add_obstacle(std::move(person));
+        }
+      },
+      [&room, label] { room.remove_obstacles(label); });
+}
+
+std::size_t add_reflector_reboot(sim::FaultInjector& injector,
+                                 core::MovrReflector& reflector,
+                                 sim::TimePoint at) {
+  return injector.inject_pulse("reflector_reboot(" + reflector.control_name() +
+                                   ")",
+                               at, [&reflector] { reflector.power_cycle(); });
+}
+
+std::size_t add_sensor_bias_drift(sim::FaultInjector& injector,
+                                  core::MovrReflector& reflector,
+                                  sim::TimePoint start, sim::Duration duration,
+                                  double peak_bias_a, sim::Duration tick) {
+  return injector.inject_sweep(
+      "sensor_bias_drift(" + reflector.control_name() + ")", start, duration,
+      tick,
+      [&reflector, peak_bias_a](double progress) {
+        reflector.front_end().inject_sensor_bias(peak_bias_a * progress);
+      },
+      [&reflector] { reflector.front_end().inject_sensor_bias(0.0); });
+}
+
+std::size_t add_gain_sag(sim::FaultInjector& injector,
+                         core::MovrReflector& reflector, sim::TimePoint start,
+                         sim::Duration duration, rf::Decibels peak_sag,
+                         sim::Duration tick) {
+  return injector.inject_sweep(
+      "gain_sag(" + reflector.control_name() + ")", start, duration, tick,
+      [&reflector, peak_sag](double progress) {
+        reflector.front_end().inject_gain_sag(
+            rf::Decibels{peak_sag.value() * progress});
+      },
+      [&reflector] { reflector.front_end().inject_gain_sag(rf::Decibels{0.0}); });
+}
+
+}  // namespace movr::vr

@@ -1,0 +1,70 @@
+// Typed fault builders for the canonical MoVR failure modes.
+//
+// sim::FaultInjector is deliberately type-agnostic (a fault is a named
+// window of actions); these helpers know the actual MoVR types and wire the
+// paper-relevant faults onto an injector:
+//
+//   - obstacle storms: seeded people wandering through channel::Room,
+//     blocking LOS and reflector paths at random
+//   - reflector power loss + reboot: registers wiped, calibration gone,
+//     boot epoch bumped (the HealthMonitor detects the mismatch)
+//   - current-sensor bias drift: skews the gain controller's only sensor
+//   - amplifier gain sag: thermal/aging droop of the delivered gain
+//
+// Control-channel brownouts are native to the sim module
+// (FaultInjector::inject_control_brownout).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include <channel/room.hpp>
+#include <core/reflector.hpp>
+#include <rf/units.hpp>
+#include <sim/fault_injector.hpp>
+
+namespace movr::vr {
+
+struct ObstacleStormConfig {
+  sim::TimePoint start{};
+  sim::Duration duration{std::chrono::seconds{2}};
+  /// Wandering people spawned for the storm.
+  int people{3};
+  /// Obstacle positions update at this cadence.
+  sim::Duration tick{std::chrono::milliseconds{50}};
+  std::uint64_t seed{1};
+  /// Obstacles carry this label prefix so the storm can clean up after
+  /// itself without touching scripted blockers.
+  std::string label{"storm_person"};
+};
+
+/// Seeded crowd of people walking straight lines across the room for the
+/// window; all spawned obstacles are removed when the window closes.
+std::size_t add_obstacle_storm(sim::FaultInjector& injector,
+                               channel::Room& room,
+                               const ObstacleStormConfig& config);
+
+/// Power loss + reboot at `at`: controller registers wiped (beams, gain,
+/// modulation), boot epoch incremented. Calibration must be replayed by the
+/// AP before the reflector is useful again.
+std::size_t add_reflector_reboot(sim::FaultInjector& injector,
+                                 core::MovrReflector& reflector,
+                                 sim::TimePoint at);
+
+/// Current-sensor bias drifting linearly 0 -> `peak_bias_a` over the
+/// window, then snapping back (e.g. a thermal transient).
+std::size_t add_sensor_bias_drift(sim::FaultInjector& injector,
+                                  core::MovrReflector& reflector,
+                                  sim::TimePoint start, sim::Duration duration,
+                                  double peak_bias_a,
+                                  sim::Duration tick = std::chrono::milliseconds{
+                                      100});
+
+/// Amplifier gain sagging linearly 0 -> `peak_sag` dB over the window, then
+/// recovering (cooling off).
+std::size_t add_gain_sag(sim::FaultInjector& injector,
+                         core::MovrReflector& reflector, sim::TimePoint start,
+                         sim::Duration duration, rf::Decibels peak_sag,
+                         sim::Duration tick = std::chrono::milliseconds{100});
+
+}  // namespace movr::vr

@@ -6,10 +6,28 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include <sim/time.hpp>
 
 namespace movr::vr {
+
+/// Per-injected-fault recovery accounting (filled in by Session when a
+/// sim::FaultInjector is attached): how many frames glitched inside the
+/// fault window, and how long from fault onset until the link was steadily
+/// delivering frames again.
+struct FaultRecovery {
+  std::string fault;       // timeline name of the injected fault
+  sim::TimePoint start{};  // fault onset
+  sim::TimePoint end{};    // window end (== start for pulses)
+  std::uint64_t glitched_frames{0};  // glitches inside [start, end)
+  /// Time from fault onset to the first run of `recovery_good_frames`
+  /// consecutive delivered frames. When the session ends first,
+  /// `recovered` is false and this holds onset -> session end.
+  sim::Duration time_to_recover{0};
+  bool recovered{false};
+};
 
 struct QoeReport {
   std::uint64_t frames{0};
@@ -22,6 +40,10 @@ struct QoeReport {
   /// Runs of consecutive glitched frames.
   std::uint64_t stall_events{0};
   sim::Duration longest_stall{0};
+
+  /// One entry per fault in the attached injector's timeline (empty when
+  /// the session ran without fault injection).
+  std::vector<FaultRecovery> fault_recovery;
 
   double glitch_fraction() const {
     return frames == 0 ? 0.0

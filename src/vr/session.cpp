@@ -22,6 +22,18 @@ Session::Session(sim::Simulator& simulator, core::Scene& scene,
 }
 
 std::pair<double, bool> Session::rate_frame(rf::Decibels true_snr) {
+  if (strategy_.pin_lowest_rate()) {
+    // Degraded mode: robustness over throughput. The most robust MCS keeps
+    // *something* flowing; the frame still glitches if even that rate is
+    // below the display's requirement — that is what "degraded" means.
+    const phy::McsEntry& lowest = phy::mcs_table().front();
+    const double per = phy::packet_error_rate(lowest, true_snr);
+    const double frame_loss = std::min(1.0, per * 20.0);
+    std::uniform_real_distribution<double> coin{0.0, 1.0};
+    const bool survives = coin(rate_rng_) >= frame_loss;
+    return {lowest.rate_mbps,
+            survives && lowest.rate_mbps >= config_.display.required_mbps()};
+  }
   if (!config_.realistic_rate_control) {
     const double rate = phy::rate_mbps(true_snr);
     return {rate, rate >= config_.display.required_mbps()};
@@ -77,6 +89,9 @@ void Session::tick() {
   snr_sum_ += snr.value();
   rate_sum_ += rate;
   report_.min_snr_db = std::min(report_.min_snr_db, snr.value());
+  if (config_.faults != nullptr) {
+    frame_log_.emplace_back(now, delivered);
+  }
   if (delivered) {
     close_stall();
   } else {
@@ -102,7 +117,50 @@ QoeReport Session::run() {
   } else {
     report_.min_snr_db = 0.0;
   }
+  if (config_.faults != nullptr) {
+    compute_fault_recovery();
+  }
   return report_;
+}
+
+void Session::compute_fault_recovery() {
+  const sim::TimePoint session_end = start_ + config_.duration;
+  for (const auto& fault : config_.faults->timeline()) {
+    FaultRecovery recovery;
+    recovery.fault = fault.name;
+    recovery.start = fault.start;
+    recovery.end = fault.end;
+
+    // Glitches attributed to the fault: frames inside its window (pulses
+    // get the frame interval as a minimal window).
+    const sim::TimePoint window_end =
+        fault.end > fault.start ? fault.end
+                                : fault.start + config_.display.frame_interval();
+    int consecutive_good = 0;
+    for (const auto& [at, delivered] : frame_log_) {
+      if (at >= fault.start && at < window_end && !delivered) {
+        ++recovery.glitched_frames;
+      }
+      if (at < fault.start || recovery.recovered) {
+        continue;
+      }
+      consecutive_good = delivered ? consecutive_good + 1 : 0;
+      if (consecutive_good >= config_.recovery_good_frames) {
+        // Recovery is dated to the first frame of the good run.
+        const sim::TimePoint recovered_at =
+            at - config_.display.frame_interval() *
+                     static_cast<std::int64_t>(config_.recovery_good_frames - 1);
+        recovery.time_to_recover =
+            recovered_at > fault.start ? recovered_at - fault.start
+                                       : sim::Duration::zero();
+        recovery.recovered = true;
+      }
+    }
+    if (!recovery.recovered) {
+      recovery.time_to_recover = session_end - fault.start;
+    }
+    report_.fault_recovery.push_back(std::move(recovery));
+  }
 }
 
 }  // namespace movr::vr

@@ -10,11 +10,13 @@
 #include <random>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include <core/link_manager.hpp>
 #include <core/scene.hpp>
 #include <phy/rate_adapter.hpp>
 #include <rf/units.hpp>
+#include <sim/fault_injector.hpp>
 #include <sim/simulator.hpp>
 #include <vr/motion.hpp>
 #include <vr/qoe.hpp>
@@ -29,6 +31,9 @@ class LinkStrategy {
   virtual ~LinkStrategy() = default;
   virtual rf::Decibels on_frame() = 0;
   virtual std::string_view name() const = 0;
+  /// When true, rate control pins the most robust (lowest) MCS this frame
+  /// instead of chasing throughput — the degraded-mode contract.
+  virtual bool pin_lowest_rate() const { return false; }
 };
 
 /// The full MoVR system: headset SNR tracking, handover to reflectors on
@@ -44,6 +49,9 @@ class MovrStrategy final : public LinkStrategy {
 
   rf::Decibels on_frame() override { return manager_.on_frame(); }
   std::string_view name() const override { return "movr"; }
+  bool pin_lowest_rate() const override {
+    return manager_.mode() == core::LinkManager::Mode::kDegraded;
+  }
 
   const core::LinkManager& manager() const { return manager_; }
 
@@ -61,6 +69,12 @@ class Session {
     /// overshoots) instead of the oracle rate-at-true-SNR mapping.
     bool realistic_rate_control{false};
     std::uint64_t rate_control_seed{1};
+    /// Optional fault schedule: when set, the report carries one
+    /// FaultRecovery entry per timeline fault (glitches inside the window,
+    /// time until the link steadily delivered again).
+    const sim::FaultInjector* faults{nullptr};
+    /// Consecutive delivered frames that count as "recovered".
+    int recovery_good_frames{3};
   };
 
   /// `motion` and `script` may be null (static player / no blockage).
@@ -89,8 +103,12 @@ class Session {
   std::uint64_t current_stall_{0};
   phy::RateAdapter adapter_;
   std::mt19937_64 rate_rng_;
+  /// (frame time, delivered) log, kept only when a fault injector is
+  /// attached; scanned once post-run to fill QoeReport::fault_recovery.
+  std::vector<std::pair<sim::TimePoint, bool>> frame_log_;
 
   void close_stall();
+  void compute_fault_recovery();
   /// Frame outcome under the configured rate-control model.
   std::pair<double, bool> rate_frame(rf::Decibels true_snr);
 };

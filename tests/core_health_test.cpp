@@ -1,0 +1,96 @@
+#include <core/health.hpp>
+
+#include <gtest/gtest.h>
+
+namespace movr::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(HealthMonitor, HealthyUntilRepeatedBadObservations) {
+  HealthMonitor health;
+  health.track(1);
+  const sim::TimePoint now{0};
+  health.note_bad(0, now, "weak");
+  health.note_bad(0, now, "weak");
+  EXPECT_FALSE(health.quarantined(0));
+  health.note_bad(0, now, "weak");  // third strike
+  EXPECT_TRUE(health.quarantined(0));
+  EXPECT_EQ(health.stats().quarantines, 1);
+  EXPECT_EQ(health.entry(0).last_reason, "weak");
+}
+
+TEST(HealthMonitor, GoodObservationResetsTheStrikeCount) {
+  HealthMonitor health;
+  health.track(1);
+  const sim::TimePoint now{0};
+  health.note_bad(0, now, "weak");
+  health.note_bad(0, now, "weak");
+  health.note_good(0);
+  health.note_bad(0, now, "weak");
+  health.note_bad(0, now, "weak");
+  EXPECT_FALSE(health.quarantined(0));
+}
+
+TEST(HealthMonitor, ProbeDueAfterBackoffExpires) {
+  HealthMonitor health;
+  health.track(1);
+  health.quarantine(0, sim::TimePoint{0}, "handover timed out");
+  const auto backoff = health.config().backoff_initial;
+  EXPECT_FALSE(health.probe_due(0, sim::TimePoint{backoff / 2}));
+  EXPECT_FALSE(health.usable(0, sim::TimePoint{backoff / 2}));
+  EXPECT_TRUE(health.probe_due(0, sim::TimePoint{backoff}));
+  EXPECT_TRUE(health.usable(0, sim::TimePoint{backoff}));
+}
+
+TEST(HealthMonitor, FailedReprobeDoublesBackoffUpToCap) {
+  HealthMonitor::Config config;
+  config.backoff_initial = 200ms;
+  config.backoff_multiplier = 2.0;
+  config.backoff_max = 1s;
+  HealthMonitor health{config};
+  health.track(1);
+  health.quarantine(0, sim::TimePoint{0}, "bad");
+  EXPECT_EQ(health.entry(0).backoff, sim::Duration{200ms});
+  health.note_probe_result(0, sim::TimePoint{200ms}, false);
+  EXPECT_EQ(health.entry(0).backoff, sim::Duration{400ms});
+  health.note_probe_result(0, sim::TimePoint{600ms}, false);
+  EXPECT_EQ(health.entry(0).backoff, sim::Duration{800ms});
+  health.note_probe_result(0, sim::TimePoint{1400ms}, false);
+  EXPECT_EQ(health.entry(0).backoff, sim::Duration{1s});  // capped
+}
+
+TEST(HealthMonitor, SuccessfulReprobeRestores) {
+  HealthMonitor health;
+  health.track(1);
+  health.quarantine(0, sim::TimePoint{0}, "bad");
+  health.note_probe_result(0, sim::TimePoint{250ms}, true);
+  EXPECT_FALSE(health.quarantined(0));
+  EXPECT_TRUE(health.usable(0, sim::TimePoint{250ms}));
+  EXPECT_EQ(health.stats().restored, 1);
+  // The next quarantine starts from the initial backoff again.
+  health.quarantine(0, sim::TimePoint{300ms}, "bad again");
+  EXPECT_EQ(health.entry(0).backoff, health.config().backoff_initial);
+}
+
+TEST(HealthMonitor, RebootMarksForRecalibration) {
+  HealthMonitor health;
+  health.track(2);
+  health.note_reboot(1, sim::TimePoint{0});
+  EXPECT_TRUE(health.quarantined(1));
+  EXPECT_TRUE(health.needs_recalibration(1));
+  EXPECT_FALSE(health.needs_recalibration(0));
+  EXPECT_EQ(health.stats().reboots_detected, 1);
+  health.note_recalibrated(1);
+  EXPECT_FALSE(health.needs_recalibration(1));
+  EXPECT_EQ(health.stats().recalibrations, 1);
+}
+
+TEST(HealthMonitor, UntrackedIndicesAreUsable) {
+  HealthMonitor health;
+  EXPECT_TRUE(health.usable(7, sim::TimePoint{0}));
+  EXPECT_FALSE(health.quarantined(7));
+}
+
+}  // namespace
+}  // namespace movr::core

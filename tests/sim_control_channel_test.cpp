@@ -115,6 +115,82 @@ TEST(ControlChannel, RetriesAddLatency) {
   EXPECT_GE(s.now(), config.retry_timeout);
 }
 
+TEST(ControlChannel, AckLossDuplicatesAreSuppressed) {
+  Simulator s;
+  auto config = lossless();
+  config.loss_probability = 0.5;
+  config.ack_loss_fraction = 1.0;  // every "loss" is really a lost ack
+  config.max_retries = 10;
+  ControlChannel chan{s, config, std::mt19937_64{11}};
+  int received = 0;
+  chan.attach("dev", [&](const ControlMessage&) { ++received; });
+  for (int i = 0; i < 100; ++i) {
+    chan.send("dev", {"x", 0.0, 0});
+  }
+  s.run();
+  // Every send reaches the endpoint exactly once: redundant copies from
+  // ack-loss retransmissions are deduplicated by tag.
+  EXPECT_EQ(received, 100);
+  EXPECT_EQ(chan.stats().delivered, 100u);
+  EXPECT_GT(chan.stats().duplicates, 0u);
+  EXPECT_GT(chan.stats().retransmitted, 0u);
+}
+
+TEST(ControlChannel, StatsInvariantHoldsUnderAckLoss) {
+  Simulator s;
+  auto config = lossless();
+  config.loss_probability = 0.6;
+  config.ack_loss_fraction = 0.5;  // mix of data loss and ack loss
+  config.max_retries = 2;
+  ControlChannel chan{s, config, std::mt19937_64{13}};
+  chan.attach("dev", [](const ControlMessage&) {});
+  for (int i = 0; i < 200; ++i) {
+    chan.send("dev", {"x", 0.0, 0});
+  }
+  chan.send("ghost", {"x", 0.0, 0});
+  s.run();
+  const auto& st = chan.stats();
+  EXPECT_EQ(st.sent, st.delivered + st.dropped + st.undeliverable);
+}
+
+TEST(ControlChannel, SendOutcomeReportsFate) {
+  Simulator s;
+  ControlChannel good{s, lossless(), std::mt19937_64{1}};
+  good.attach("dev", [](const ControlMessage&) {});
+  bool delivered_outcome = false;
+  good.send("dev", {"x", 0.0, 0},
+            [&](bool delivered) { delivered_outcome = delivered; });
+
+  auto lossy_config = lossless();
+  lossy_config.loss_probability = 1.0;
+  lossy_config.max_retries = 2;
+  ControlChannel lossy{s, lossy_config, std::mt19937_64{2}};
+  lossy.attach("dev", [](const ControlMessage&) {});
+  bool dropped_outcome = true;
+  lossy.send("dev", {"x", 0.0, 0},
+             [&](bool delivered) { dropped_outcome = delivered; });
+  s.run();
+  EXPECT_TRUE(delivered_outcome);
+  EXPECT_FALSE(dropped_outcome);
+}
+
+TEST(ControlChannel, FaultStacksAndClamps) {
+  Simulator s;
+  ControlChannel chan{s, lossless(), std::mt19937_64{1}};
+  chan.apply_fault(0.7, Duration{1'000'000});
+  chan.apply_fault(0.7, Duration{2'000'000});
+  EXPECT_EQ(chan.fault_loss(), 1.4);  // raw stack; clamped at use
+  EXPECT_EQ(chan.fault_extra_latency(), Duration{3'000'000});
+  chan.attach("dev", [](const ControlMessage&) {});
+  chan.send("dev", {"x", 0.0, 0});
+  s.run();
+  EXPECT_EQ(chan.stats().dropped, 1u);  // effective loss clamped to 1.0
+  chan.apply_fault(-0.7, Duration{-1'000'000});
+  chan.apply_fault(-0.7, Duration{-2'000'000});
+  EXPECT_EQ(chan.fault_loss(), 0.0);
+  EXPECT_EQ(chan.fault_extra_latency(), Duration::zero());
+}
+
 TEST(ControlChannel, JitterStaysBounded) {
   Simulator s;
   auto config = lossless();

@@ -1,0 +1,102 @@
+#include <sim/fault_injector.hpp>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <sim/control_channel.hpp>
+#include <sim/simulator.hpp>
+
+namespace movr::sim {
+namespace {
+
+TEST(FaultInjector, WindowAppliesAndClears) {
+  Simulator s;
+  FaultInjector injector{s};
+  bool active = false;
+  injector.inject("outage", TimePoint{100}, Duration{50},
+                  [&] { active = true; }, [&] { active = false; });
+
+  ASSERT_EQ(injector.timeline().size(), 1u);
+  EXPECT_FALSE(injector.timeline()[0].applied);
+
+  s.run_until(TimePoint{120});
+  EXPECT_TRUE(active);
+  EXPECT_TRUE(injector.timeline()[0].applied);
+  EXPECT_FALSE(injector.timeline()[0].cleared);
+  EXPECT_EQ(injector.active_count(TimePoint{120}), 1u);
+
+  s.run();
+  EXPECT_FALSE(active);
+  EXPECT_TRUE(injector.timeline()[0].cleared);
+  EXPECT_EQ(injector.timeline()[0].start, TimePoint{100});
+  EXPECT_EQ(injector.timeline()[0].end, TimePoint{150});
+}
+
+TEST(FaultInjector, PulseFiresOnce) {
+  Simulator s;
+  FaultInjector injector{s};
+  int fired = 0;
+  injector.inject_pulse("reboot", TimePoint{42}, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(injector.timeline()[0].applied);
+  EXPECT_TRUE(injector.timeline()[0].cleared);
+  EXPECT_EQ(injector.timeline()[0].end, injector.timeline()[0].start);
+}
+
+TEST(FaultInjector, SweepProgressRunsZeroToOne) {
+  Simulator s;
+  FaultInjector injector{s};
+  std::vector<double> progress;
+  bool cleared = false;
+  injector.inject_sweep("drift", TimePoint{0}, Duration{100}, Duration{25},
+                        [&](double p) { progress.push_back(p); },
+                        [&] { cleared = true; });
+  s.run();
+  ASSERT_FALSE(progress.empty());
+  EXPECT_EQ(progress.front(), 0.0);
+  EXPECT_EQ(progress.back(), 1.0);
+  for (std::size_t i = 1; i < progress.size(); ++i) {
+    EXPECT_GE(progress[i], progress[i - 1]);
+    EXPECT_LE(progress[i], 1.0);
+  }
+  EXPECT_TRUE(cleared);
+}
+
+TEST(FaultInjector, ControlBrownoutIsScopedToWindow) {
+  Simulator s;
+  ControlChannel::Config config;
+  config.jitter = Duration::zero();
+  config.loss_probability = 0.0;
+  ControlChannel chan{s, config, std::mt19937_64{5}};
+  chan.attach("dev", [](const ControlMessage&) {});
+
+  FaultInjector injector{s};
+  injector.inject_control_brownout(chan, TimePoint{10'000'000},
+                                   Duration{20'000'000},
+                                   /*extra_loss=*/1.0,
+                                   /*extra_latency=*/Duration{1'000'000});
+  s.run_until(TimePoint{15'000'000});
+  EXPECT_EQ(chan.fault_loss(), 1.0);
+  EXPECT_EQ(chan.fault_extra_latency(), Duration{1'000'000});
+  s.run();
+  // Window closed: the channel is back to its configured behaviour.
+  EXPECT_EQ(chan.fault_loss(), 0.0);
+  EXPECT_EQ(chan.fault_extra_latency(), Duration::zero());
+}
+
+TEST(FaultInjector, OverlappingFaultsCompose) {
+  Simulator s;
+  FaultInjector injector{s};
+  injector.inject("a", TimePoint{0}, Duration{100}, [] {});
+  injector.inject("b", TimePoint{50}, Duration{100}, [] {});
+  injector.inject_pulse("p", TimePoint{75}, [] {});
+  EXPECT_EQ(injector.active_count(TimePoint{60}), 2u);
+  EXPECT_EQ(injector.active_count(TimePoint{75}), 3u);
+  EXPECT_EQ(injector.active_count(TimePoint{120}), 1u);
+  EXPECT_EQ(injector.active_count(TimePoint{200}), 0u);
+}
+
+}  // namespace
+}  // namespace movr::sim

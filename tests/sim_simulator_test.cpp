@@ -1,5 +1,7 @@
 #include <sim/simulator.hpp>
 
+#include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -83,6 +85,36 @@ TEST(Simulator, CancelPending) {
   s.cancel(id);
   s.run();
   EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, SafetyValveTripsOnEventCount) {
+  Simulator s;
+  s.set_safety_valve({.max_events = 100, .max_time = Duration::zero()});
+  // A self-rescheduling event: without the valve this never drains.
+  std::function<void()> reschedule = [&] { s.after(Duration{1}, reschedule); };
+  s.after(Duration{1}, reschedule);
+  EXPECT_THROW(s.run(), std::runtime_error);
+  EXPECT_EQ(s.events_executed(), 100u);
+}
+
+TEST(Simulator, SafetyValveTripsOnSimulatedTime) {
+  Simulator s;
+  s.set_safety_valve({.max_events = 0, .max_time = Duration{1'000}});
+  std::function<void()> reschedule = [&] { s.after(Duration{100}, reschedule); };
+  s.after(Duration{100}, reschedule);
+  EXPECT_THROW(s.run(), std::runtime_error);
+  EXPECT_LE(s.now(), TimePoint{1'000});
+}
+
+TEST(Simulator, SafetyValveOffByDefault) {
+  Simulator s;
+  EXPECT_EQ(s.safety_valve().max_events, 0u);
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    s.after(Duration{i}, [&] { ++fired; });
+  }
+  s.run();
+  EXPECT_EQ(fired, 1000);
 }
 
 TEST(Simulator, DeterministicReplay) {
