@@ -3,7 +3,9 @@
 // loop built on this library could evaluate per frame.
 #include <benchmark/benchmark.h>
 
+#include <channel/path_solver.hpp>
 #include <channel/ray_tracer.hpp>
+#include <core/coverage.hpp>
 #include <core/movr.hpp>
 #include <geom/angle.hpp>
 #include <phy/beam_sweep.hpp>
@@ -51,6 +53,58 @@ void BM_RayTrace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RayTrace);
+
+// The three tiers of the path-query stack, same endpoints throughout.
+// Uncached: build the wall-image tree from scratch every call (what the
+// seed's per-cell RayTracer construction paid). Solver: images precomputed
+// once, solve per call. Cached: the scene's revisioned oracle memoises the
+// whole answer.
+void BM_PathQueryUncached(benchmark::State& state) {
+  const auto room = channel::Room::paper_office();
+  for (auto _ : state) {
+    const channel::PathSolver solver{room};
+    benchmark::DoNotOptimize(solver.solve({0.4, 0.4}, {3.3, 2.7}));
+  }
+}
+BENCHMARK(BM_PathQueryUncached);
+
+void BM_PathQuerySolver(benchmark::State& state) {
+  const auto room = channel::Room::paper_office();
+  const channel::PathSolver solver{room};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve({0.4, 0.4}, {3.3, 2.7}));
+  }
+}
+BENCHMARK(BM_PathQuerySolver);
+
+void BM_PathQueryCached(benchmark::State& state) {
+  const auto scene = make_scene();
+  scene.reset_oracle_stats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scene.paths_between({0.4, 0.4}, {3.3, 2.7}));
+  }
+  state.counters["hit_rate"] = scene.oracle_stats().hit_rate();
+}
+BENCHMARK(BM_PathQueryCached);
+
+void BM_CoverageMap(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  auto scene = make_scene();
+  auto& reflector = scene.add_reflector({4.6, 4.6}, deg_to_rad(225.0));
+  reflector.front_end().steer_rx(scene.true_reflector_angle_to_ap(reflector));
+  reflector.front_end().set_gain_code(200);
+  scene.ap().node().steer_toward(reflector.position());
+  double hit_rate = 0.0;
+  for (auto _ : state) {
+    const auto map = core::compute_coverage(scene, 0.25, 0.5, threads);
+    hit_rate = map.oracle.hit_rate();
+    benchmark::DoNotOptimize(map.cells.data());
+  }
+  state.counters["threads"] = threads;
+  state.counters["hit_rate"] = hit_rate;
+}
+BENCHMARK(BM_CoverageMap)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_LinkSnr(benchmark::State& state) {
   auto scene = make_scene();

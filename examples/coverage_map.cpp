@@ -40,12 +40,17 @@ int main() {
               "stream)\n\n",
               threshold.value(), vr::kHtcVive.required_mbps());
 
-  const auto map = core::compute_coverage(scene, 0.25);
+  // threads=0 lets the grid evaluator fan out over all hardware threads;
+  // the result is identical for any thread count.
+  const auto map = core::compute_coverage(scene, 0.25, 0.5, /*threads=*/0);
   std::printf("%s\n", core::render_coverage(map, threshold).c_str());
   std::printf("legend: '#' direct beam, '+' reflector-only, '.' uncovered\n");
   std::printf("covered: %.0f%% of the room; blockage-resilient (reflector "
               "path alone): %.0f%%\n",
               100.0 * map.covered_fraction(threshold),
               100.0 * map.reflector_covered_fraction(threshold));
+  std::printf("path oracle: %llu queries, %.0f%% served from cache\n",
+              static_cast<unsigned long long>(map.oracle.queries),
+              100.0 * map.oracle.hit_rate());
   return 0;
 }

@@ -1,0 +1,186 @@
+#include <channel/path_solver.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+#include <geom/segment.hpp>
+#include <rf/propagation.hpp>
+
+namespace movr::channel {
+
+namespace {
+
+/// Accumulated obstruction over one straight leg.
+rf::Decibels leg_obstruction(const Room& room, geom::Vec2 a, geom::Vec2 b) {
+  return total_obstruction(room.obstacles(), geom::Segment{a, b});
+}
+
+bool same_walls(const std::vector<geom::Segment>& snapshot,
+                const std::vector<Wall>& walls) {
+  if (snapshot.size() != walls.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (snapshot[i].a != walls[i].extent.a ||
+        snapshot[i].b != walls[i].extent.b) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PathSolver::PathSolver(const Room& room, Config config)
+    : room_{&room}, config_{config} {
+  build_images();
+}
+
+void PathSolver::build_images() {
+  mirrors_.clear();
+  wall_snapshot_.clear();
+  mirrors_.reserve(room_->walls().size());
+  wall_snapshot_.reserve(room_->walls().size());
+  for (const Wall& wall : room_->walls()) {
+    mirrors_.push_back(
+        Mirror{wall.extent.a, wall.extent.direction().normalized()});
+    wall_snapshot_.push_back(wall.extent);
+  }
+}
+
+void PathSolver::rebind(const Room& room) {
+  // Compare against the snapshot, not *room_: a rebind typically happens
+  // precisely because the previously bound room no longer exists.
+  const bool geometry_unchanged = same_walls(wall_snapshot_, room.walls());
+  room_ = &room;
+  if (!geometry_unchanged) {
+    build_images();
+  }
+}
+
+Path PathSolver::line_of_sight(geom::Vec2 source,
+                               geom::Vec2 destination) const {
+  Path path;
+  path.bounces = 0;
+  path.vertices = {source, destination};
+  const geom::Vec2 d = destination - source;
+  path.length_m = d.norm();
+  path.departure_azimuth = d.heading();
+  path.arrival_azimuth = (-d).heading();
+  path.obstruction = room_->obstacles().empty()
+                         ? rf::Decibels{0.0}
+                         : leg_obstruction(*room_, source, destination);
+  path.loss = rf::free_space_path_loss(path.length_m, config_.carrier_hz) +
+              rf::atmospheric_absorption(path.length_m, config_.carrier_hz) +
+              path.obstruction;
+  return path;
+}
+
+void PathSolver::add_first_order(std::vector<Path>& out, geom::Vec2 source,
+                                 geom::Vec2 destination,
+                                 bool no_obstacles) const {
+  const auto& walls = room_->walls();
+  for (std::size_t i = 0; i < walls.size(); ++i) {
+    const geom::Vec2 image = mirrors_[i].reflect(source);
+    const auto hit =
+        geom::intersect(geom::Segment{image, destination}, walls[i].extent);
+    if (!hit) {
+      continue;
+    }
+    const geom::Vec2 p = *hit;
+    Path path;
+    path.bounces = 1;
+    path.vertices = {source, p, destination};
+    path.length_m = geom::distance(source, p) + geom::distance(p, destination);
+    path.departure_azimuth = (p - source).heading();
+    path.arrival_azimuth = (p - destination).heading();
+    path.obstruction = no_obstacles
+                           ? rf::Decibels{0.0}
+                           : leg_obstruction(*room_, source, p) +
+                                 leg_obstruction(*room_, p, destination);
+    path.loss = rf::free_space_path_loss(path.length_m, config_.carrier_hz) +
+                rf::atmospheric_absorption(path.length_m, config_.carrier_hz) +
+                walls[i].material.reflection_loss + path.obstruction;
+    out.push_back(std::move(path));
+  }
+}
+
+void PathSolver::add_second_order(std::vector<Path>& out, geom::Vec2 source,
+                                  geom::Vec2 destination,
+                                  bool no_obstacles) const {
+  const auto& walls = room_->walls();
+  for (std::size_t i = 0; i < walls.size(); ++i) {
+    const geom::Vec2 image1 = mirrors_[i].reflect(source);
+    for (std::size_t j = 0; j < walls.size(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      const geom::Vec2 image2 = mirrors_[j].reflect(image1);
+      // Unfold back-to-front: last bounce on wall j.
+      const auto hit2 =
+          geom::intersect(geom::Segment{image2, destination}, walls[j].extent);
+      if (!hit2) {
+        continue;
+      }
+      const geom::Vec2 p2 = *hit2;
+      const auto hit1 =
+          geom::intersect(geom::Segment{image1, p2}, walls[i].extent);
+      if (!hit1) {
+        continue;
+      }
+      const geom::Vec2 p1 = *hit1;
+      // Degenerate unfoldings (bounce point in a corner) produce zero-length
+      // legs; skip them.
+      if (geom::distance(p1, p2) < 1e-6 ||
+          geom::distance(source, p1) < 1e-6 ||
+          geom::distance(p2, destination) < 1e-6) {
+        continue;
+      }
+      Path path;
+      path.bounces = 2;
+      path.vertices = {source, p1, p2, destination};
+      path.length_m = geom::distance(source, p1) + geom::distance(p1, p2) +
+                      geom::distance(p2, destination);
+      path.departure_azimuth = (p1 - source).heading();
+      path.arrival_azimuth = (p2 - destination).heading();
+      path.obstruction = no_obstacles
+                             ? rf::Decibels{0.0}
+                             : leg_obstruction(*room_, source, p1) +
+                                   leg_obstruction(*room_, p1, p2) +
+                                   leg_obstruction(*room_, p2, destination);
+      path.loss =
+          rf::free_space_path_loss(path.length_m, config_.carrier_hz) +
+          rf::atmospheric_absorption(path.length_m, config_.carrier_hz) +
+          walls[i].material.reflection_loss +
+          walls[j].material.reflection_loss + path.obstruction;
+      out.push_back(std::move(path));
+    }
+  }
+}
+
+std::vector<Path> PathSolver::solve(geom::Vec2 source,
+                                    geom::Vec2 destination) const {
+  const bool no_obstacles = room_->obstacles().empty();
+  std::vector<Path> paths;
+  paths.push_back(line_of_sight(source, destination));
+  if (config_.max_bounces >= 1) {
+    add_first_order(paths, source, destination, no_obstacles);
+  }
+  if (config_.max_bounces >= 2) {
+    add_second_order(paths, source, destination, no_obstacles);
+  }
+  std::sort(paths.begin(), paths.end(), [](const Path& a, const Path& b) {
+    return a.loss.value() < b.loss.value();
+  });
+  // Trim everything outside the dynamic range of the strongest path.
+  const double cutoff =
+      paths.front().loss.value() + config_.dynamic_range.value();
+  paths.erase(std::remove_if(paths.begin(), paths.end(),
+                             [cutoff](const Path& p) {
+                               return p.loss.value() > cutoff;
+                             }),
+              paths.end());
+  return paths;
+}
+
+}  // namespace movr::channel

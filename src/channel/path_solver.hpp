@@ -1,0 +1,83 @@
+// Precomputed image-method path solver.
+//
+// The specular image tree (one mirror image per wall, one composed image per
+// ordered wall pair) depends only on the wall geometry, which is fixed at
+// Room construction. The solver builds that tree once and answers
+// solve(src, dst) by unfolding the cached images against the *current*
+// obstacle set and wall materials — so moving a blocker or re-materialling a
+// wall takes effect on the very next call, with no rebuild. When the room
+// has no obstacles the per-leg obstruction checks are skipped entirely.
+//
+// Thread-safety: solve() and line_of_sight() are const and touch no mutable
+// state; any number of threads may query one solver concurrently as long as
+// nobody mutates the bound Room at the same time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include <channel/path.hpp>
+#include <channel/room.hpp>
+#include <geom/segment.hpp>
+#include <rf/units.hpp>
+
+namespace movr::channel {
+
+class PathSolver {
+ public:
+  struct Config {
+    double carrier_hz{24.0e9};
+    int max_bounces{2};
+    /// Paths weaker than (strongest - dynamic_range) are dropped.
+    rf::Decibels dynamic_range{60.0};
+  };
+
+  explicit PathSolver(const Room& room) : PathSolver{room, Config{}} {}
+  PathSolver(const Room& room, Config config);
+
+  const Room& room() const { return *room_; }
+  const Config& config() const { return config_; }
+
+  /// Rebinds the solver to `room` (e.g. after the owning object moved).
+  /// The image tree is rebuilt only when the wall geometry differs.
+  void rebind(const Room& room);
+
+  /// All propagation paths from `source` to `destination`, strongest first.
+  std::vector<Path> solve(geom::Vec2 source, geom::Vec2 destination) const;
+
+  /// Just the LOS path (present even when obstructed — its `obstruction`
+  /// field says by how much).
+  Path line_of_sight(geom::Vec2 source, geom::Vec2 destination) const;
+
+ private:
+  /// Precomputed mirror line of one wall: anchor + unit direction, so the
+  /// image-source transform costs one dot product instead of a norm.
+  /// reflect() matches geom::mirror_across bit-for-bit.
+  struct Mirror {
+    geom::Vec2 anchor;
+    geom::Vec2 direction;  // unit vector along the wall
+
+    geom::Vec2 reflect(geom::Vec2 p) const {
+      const geom::Vec2 rel = p - anchor;
+      const geom::Vec2 proj = direction * rel.dot(direction);
+      const geom::Vec2 perp = rel - proj;
+      return p - perp * 2.0;
+    }
+  };
+
+  const Room* room_;
+  Config config_;
+  std::vector<Mirror> mirrors_;  // one per wall, same indexing as walls()
+  /// Wall extents the mirrors were built from. rebind() compares against
+  /// this snapshot — never against *room_, which may already be dangling
+  /// when the rebind is cleaning up after a move of the room's owner.
+  std::vector<geom::Segment> wall_snapshot_;
+
+  void build_images();
+  void add_first_order(std::vector<Path>& out, geom::Vec2 source,
+                       geom::Vec2 destination, bool no_obstacles) const;
+  void add_second_order(std::vector<Path>& out, geom::Vec2 source,
+                        geom::Vec2 destination, bool no_obstacles) const;
+};
+
+}  // namespace movr::channel

@@ -1,18 +1,13 @@
 #include <channel/ray_tracer.hpp>
 
-#include <algorithm>
-#include <cmath>
-
-#include <geom/segment.hpp>
-#include <rf/propagation.hpp>
+#include <channel/path_solver.hpp>
 
 namespace movr::channel {
 
 namespace {
 
-/// Accumulated obstruction over one straight leg.
-rf::Decibels leg_obstruction(const Room& room, geom::Vec2 a, geom::Vec2 b) {
-  return total_obstruction(room.obstacles(), geom::Segment{a, b});
+PathSolver::Config solver_config(const RayTracer::Config& config) {
+  return {config.carrier_hz, config.max_bounces, config.dynamic_range};
 }
 
 }  // namespace
@@ -22,118 +17,13 @@ RayTracer::RayTracer(const Room& room, Config config)
 
 Path RayTracer::line_of_sight(geom::Vec2 source,
                               geom::Vec2 destination) const {
-  Path path;
-  path.bounces = 0;
-  path.vertices = {source, destination};
-  const geom::Vec2 d = destination - source;
-  path.length_m = d.norm();
-  path.departure_azimuth = d.heading();
-  path.arrival_azimuth = (-d).heading();
-  path.obstruction = leg_obstruction(room_, source, destination);
-  path.loss = rf::free_space_path_loss(path.length_m, config_.carrier_hz) +
-              rf::atmospheric_absorption(path.length_m, config_.carrier_hz) +
-              path.obstruction;
-  return path;
-}
-
-void RayTracer::add_reflections(std::vector<Path>& out, geom::Vec2 source,
-                                geom::Vec2 destination) const {
-  const auto& walls = room_.walls();
-
-  // First order: one image per wall.
-  for (const Wall& wall : walls) {
-    const geom::Vec2 image = geom::mirror_across(wall.extent, source);
-    const auto hit =
-        geom::intersect(geom::Segment{image, destination}, wall.extent);
-    if (!hit) {
-      continue;
-    }
-    const geom::Vec2 p = *hit;
-    Path path;
-    path.bounces = 1;
-    path.vertices = {source, p, destination};
-    path.length_m = geom::distance(source, p) + geom::distance(p, destination);
-    path.departure_azimuth = (p - source).heading();
-    path.arrival_azimuth = (p - destination).heading();
-    path.obstruction = leg_obstruction(room_, source, p) +
-                       leg_obstruction(room_, p, destination);
-    path.loss = rf::free_space_path_loss(path.length_m, config_.carrier_hz) +
-                rf::atmospheric_absorption(path.length_m, config_.carrier_hz) +
-                wall.material.reflection_loss + path.obstruction;
-    out.push_back(std::move(path));
-  }
-
-  if (config_.max_bounces < 2) {
-    return;
-  }
-
-  // Second order: image across wall i, then across wall j (i != j).
-  for (std::size_t i = 0; i < walls.size(); ++i) {
-    const geom::Vec2 image1 = geom::mirror_across(walls[i].extent, source);
-    for (std::size_t j = 0; j < walls.size(); ++j) {
-      if (i == j) {
-        continue;
-      }
-      const geom::Vec2 image2 = geom::mirror_across(walls[j].extent, image1);
-      // Unfold back-to-front: last bounce on wall j.
-      const auto hit2 =
-          geom::intersect(geom::Segment{image2, destination}, walls[j].extent);
-      if (!hit2) {
-        continue;
-      }
-      const geom::Vec2 p2 = *hit2;
-      const auto hit1 =
-          geom::intersect(geom::Segment{image1, p2}, walls[i].extent);
-      if (!hit1) {
-        continue;
-      }
-      const geom::Vec2 p1 = *hit1;
-      // Degenerate unfoldings (bounce point in a corner) produce zero-length
-      // legs; skip them.
-      if (geom::distance(p1, p2) < 1e-6 ||
-          geom::distance(source, p1) < 1e-6 ||
-          geom::distance(p2, destination) < 1e-6) {
-        continue;
-      }
-      Path path;
-      path.bounces = 2;
-      path.vertices = {source, p1, p2, destination};
-      path.length_m = geom::distance(source, p1) + geom::distance(p1, p2) +
-                      geom::distance(p2, destination);
-      path.departure_azimuth = (p1 - source).heading();
-      path.arrival_azimuth = (p2 - destination).heading();
-      path.obstruction = leg_obstruction(room_, source, p1) +
-                         leg_obstruction(room_, p1, p2) +
-                         leg_obstruction(room_, p2, destination);
-      path.loss =
-          rf::free_space_path_loss(path.length_m, config_.carrier_hz) +
-          rf::atmospheric_absorption(path.length_m, config_.carrier_hz) +
-          walls[i].material.reflection_loss +
-          walls[j].material.reflection_loss + path.obstruction;
-      out.push_back(std::move(path));
-    }
-  }
+  return PathSolver{room_, solver_config(config_)}.line_of_sight(source,
+                                                                 destination);
 }
 
 std::vector<Path> RayTracer::trace(geom::Vec2 source,
                                    geom::Vec2 destination) const {
-  std::vector<Path> paths;
-  paths.push_back(line_of_sight(source, destination));
-  if (config_.max_bounces >= 1) {
-    add_reflections(paths, source, destination);
-  }
-  std::sort(paths.begin(), paths.end(), [](const Path& a, const Path& b) {
-    return a.loss.value() < b.loss.value();
-  });
-  // Trim everything outside the dynamic range of the strongest path.
-  const double cutoff =
-      paths.front().loss.value() + config_.dynamic_range.value();
-  paths.erase(std::remove_if(paths.begin(), paths.end(),
-                             [cutoff](const Path& p) {
-                               return p.loss.value() > cutoff;
-                             }),
-              paths.end());
-  return paths;
+  return PathSolver{room_, solver_config(config_)}.solve(source, destination);
 }
 
 }  // namespace movr::channel

@@ -1,4 +1,4 @@
-// Image-method specular ray tracer.
+// Image-method specular ray tracer — per-call facade over PathSolver.
 //
 // mmWave propagation indoors is quasi-optical: the energy that matters
 // arrives over the LOS ray and a handful of specular wall bounces; diffuse
@@ -6,6 +6,11 @@
 // first- and second-order wall images, validates each bounce point against
 // the wall extents, and charges free-space loss over the unfolded length,
 // reflection loss per bounce and obstruction loss per leg.
+//
+// The physics lives in channel::PathSolver, which precomputes the wall-image
+// tree once per geometry; this class materialises a solver per call for
+// callers that hold only a Room reference. Repeated queries against the same
+// geometry should use a PathSolver (or core::ChannelOracle) directly.
 #pragma once
 
 #include <vector>
@@ -41,9 +46,6 @@ class RayTracer {
  private:
   const Room& room_;
   Config config_;
-
-  void add_reflections(std::vector<Path>& out, geom::Vec2 source,
-                       geom::Vec2 destination) const;
 };
 
 }  // namespace movr::channel

@@ -39,6 +39,7 @@ void Room::set_wall_material(const std::string& wall_label,
   for (Wall& wall : walls_) {
     if (wall.label == wall_label) {
       wall.material = material;
+      ++revision_;
       return;
     }
   }
@@ -47,15 +48,24 @@ void Room::set_wall_material(const std::string& wall_label,
 
 void Room::add_obstacle(Obstacle obstacle) {
   obstacles_.push_back(std::move(obstacle));
+  ++revision_;
 }
 
-void Room::clear_obstacles() { obstacles_.clear(); }
+void Room::clear_obstacles() {
+  if (!obstacles_.empty()) {
+    obstacles_.clear();
+    ++revision_;
+  }
+}
 
 void Room::remove_obstacles(const std::string& label) {
-  obstacles_.erase(
-      std::remove_if(obstacles_.begin(), obstacles_.end(),
-                     [&](const Obstacle& o) { return o.label == label; }),
-      obstacles_.end());
+  const auto removed = std::remove_if(
+      obstacles_.begin(), obstacles_.end(),
+      [&](const Obstacle& o) { return o.label == label; });
+  if (removed != obstacles_.end()) {
+    obstacles_.erase(removed, obstacles_.end());
+    ++revision_;
+  }
 }
 
 bool Room::contains(geom::Vec2 p, double margin) const {

@@ -3,6 +3,7 @@
 // furniture; Room::paper_office() reproduces it.
 #pragma once
 
+#include <cstdint>
 #include <random>
 #include <string>
 #include <vector>
@@ -35,6 +36,11 @@ class Room {
   const std::vector<Wall>& walls() const { return walls_; }
   const std::vector<Obstacle>& obstacles() const { return obstacles_; }
 
+  /// Monotonic mutation counter: every obstacle or wall-material change
+  /// bumps it. Path caches (core::ChannelOracle) key their entries on this
+  /// revision, so a stale cache can never survive a room edit.
+  std::uint64_t revision() const { return revision_; }
+
   /// Re-materials one wall ("south", "east", "north", "west") — e.g. a
   /// whiteboard or metal panel on one wall changes the NLOS story (cf. the
   /// data-center "mirror on the ceiling" the paper contrasts itself with).
@@ -62,6 +68,7 @@ class Room {
   double depth_;
   std::vector<Wall> walls_;
   std::vector<Obstacle> obstacles_;
+  std::uint64_t revision_{0};
 };
 
 }  // namespace movr::channel

@@ -1,0 +1,88 @@
+#include <core/channel_oracle.hpp>
+
+#include <cmath>
+
+namespace movr::core {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed 64-bit hash step.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ChannelOracle::ChannelOracle(const channel::Room& room, Config config)
+    : solver_{room, config.solver},
+      config_{config},
+      seen_revision_{room.revision()} {}
+
+std::size_t ChannelOracle::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = mix(static_cast<std::uint64_t>(k.ax));
+  h = mix(h ^ static_cast<std::uint64_t>(k.ay));
+  h = mix(h ^ static_cast<std::uint64_t>(k.bx));
+  h = mix(h ^ static_cast<std::uint64_t>(k.by));
+  return static_cast<std::size_t>(h);
+}
+
+ChannelOracle::Key ChannelOracle::make_key(geom::Vec2 a, geom::Vec2 b) const {
+  const double q = config_.quantum_m;
+  return Key{std::llround(a.x / q), std::llround(a.y / q),
+             std::llround(b.x / q), std::llround(b.y / q)};
+}
+
+void ChannelOracle::drop_cache_locked() const {
+  cache_.clear();
+  ++stats_.invalidations;
+}
+
+std::vector<channel::Path> ChannelOracle::paths_between(geom::Vec2 a,
+                                                        geom::Vec2 b) const {
+  const std::scoped_lock lock{mutex_};
+  ++stats_.queries;
+  const std::uint64_t revision = solver_.room().revision();
+  if (revision != seen_revision_) {
+    drop_cache_locked();
+    seen_revision_ = revision;
+  }
+  const Key key = make_key(a, b);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  if (cache_.size() >= config_.max_entries) {
+    drop_cache_locked();
+  }
+  auto paths = solver_.solve(a, b);
+  cache_.emplace(key, paths);
+  return paths;
+}
+
+void ChannelOracle::rebind(const channel::Room& room) {
+  const std::scoped_lock lock{mutex_};
+  solver_.rebind(room);
+  drop_cache_locked();
+  seen_revision_ = room.revision();
+}
+
+void ChannelOracle::invalidate() const {
+  const std::scoped_lock lock{mutex_};
+  drop_cache_locked();
+}
+
+ChannelOracle::Stats ChannelOracle::stats() const {
+  const std::scoped_lock lock{mutex_};
+  return stats_;
+}
+
+void ChannelOracle::reset_stats() const {
+  const std::scoped_lock lock{mutex_};
+  stats_ = Stats{};
+}
+
+}  // namespace movr::core

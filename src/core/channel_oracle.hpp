@@ -1,0 +1,103 @@
+// Revisioned, memoising front door to the channel solver.
+//
+// Path sets depend only on (source, destination, room state). The oracle
+// caches solved path sets keyed by the quantised endpoint pair, and stamps
+// the whole cache with the Room's revision counter: any obstacle or
+// wall-material mutation bumps the revision (see channel::Room::revision),
+// so the next query drops every stale entry before answering. Steering and
+// gain state live *above* the paths (in the SNR assembly) and never enter
+// the cache, which is why Scene can keep re-steering between queries at
+// zero cache cost.
+//
+// Thread-safety: paths_between() is const and internally synchronized (one
+// mutex around the cache); any number of threads may query one oracle
+// concurrently as long as nobody mutates the bound Room at the same time.
+// Room mutation requires the same external exclusion the Room itself needs.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include <channel/path_solver.hpp>
+#include <channel/room.hpp>
+#include <geom/vec2.hpp>
+
+namespace movr::core {
+
+class ChannelOracle {
+ public:
+  struct Config {
+    channel::PathSolver::Config solver{};
+    /// Endpoints are quantised to this grid (metres) to form cache keys.
+    /// 1 µm: far below any physical significance, far above double noise.
+    double quantum_m{1e-6};
+    /// The cache is dropped wholesale when it reaches this many entries
+    /// (bounds memory on unbounded query streams, e.g. Monte Carlo runs).
+    std::size_t max_entries{1u << 16};
+  };
+
+  explicit ChannelOracle(const channel::Room& room)
+      : ChannelOracle{room, Config{}} {}
+  ChannelOracle(const channel::Room& room, Config config);
+
+  const channel::Room& room() const { return solver_.room(); }
+  const channel::PathSolver& solver() const { return solver_; }
+  const Config& config() const { return config_; }
+
+  /// Memoised equivalent of PathSolver::solve.
+  std::vector<channel::Path> paths_between(geom::Vec2 a, geom::Vec2 b) const;
+
+  /// Rebinds to `room` (e.g. after the owning Scene moved) and drops the
+  /// cache — a different Room object shares no revision history.
+  void rebind(const channel::Room& room);
+
+  /// Drops every cached entry (counted in Stats::invalidations).
+  void invalidate() const;
+
+  struct Stats {
+    std::uint64_t queries{0};
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    /// Cache drops: revision bumps observed, rebinds, manual invalidations
+    /// and size-cap evictions.
+    std::uint64_t invalidations{0};
+
+    double hit_rate() const {
+      return queries == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(queries);
+    }
+    Stats& operator+=(const Stats& o) {
+      queries += o.queries;
+      hits += o.hits;
+      misses += o.misses;
+      invalidations += o.invalidations;
+      return *this;
+    }
+  };
+  Stats stats() const;
+  void reset_stats() const;
+
+ private:
+  struct Key {
+    std::int64_t ax, ay, bx, by;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  Key make_key(geom::Vec2 a, geom::Vec2 b) const;
+  void drop_cache_locked() const;
+
+  channel::PathSolver solver_;
+  Config config_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<Key, std::vector<channel::Path>, KeyHash> cache_;
+  mutable std::uint64_t seen_revision_;
+  mutable Stats stats_;
+};
+
+}  // namespace movr::core

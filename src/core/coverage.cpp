@@ -1,9 +1,44 @@
 #include <core/coverage.hpp>
 
 #include <algorithm>
+#include <mutex>
 #include <string>
 
+#include <core/parallel_for.hpp>
+
 namespace movr::core {
+
+namespace {
+
+/// One cell against one (worker-local) scene: aim both ends at the cell,
+/// read the direct SNR, then try every reflector re-aimed at the cell.
+CoverageCell evaluate_cell(Scene& scene, geom::Vec2 position) {
+  CoverageCell cell;
+  cell.position = position;
+  scene.headset().node().set_position(position);
+
+  // Direct link, both ends aimed.
+  scene.ap().node().steer_toward(position);
+  scene.headset().node().face_toward(scene.ap().node().position());
+  cell.direct_snr = scene.direct_snr();
+
+  // Best reflector, re-aimed at the cell.
+  for (std::size_t r = 0; r < scene.reflector_count(); ++r) {
+    auto& reflector = scene.reflector(r);
+    scene.ap().node().steer_toward(reflector.position());
+    scene.headset().node().face_toward(reflector.position());
+    reflector.front_end().steer_tx(
+        scene.true_reflector_angle_to_headset(reflector));
+    const auto via = scene.via_snr(reflector);
+    if (via.usable && via.snr > cell.via_snr) {
+      cell.via_snr = via.snr;
+      cell.best_reflector = static_cast<int>(r);
+    }
+  }
+  return cell;
+}
+
+}  // namespace
 
 double CoverageMap::covered_fraction(rf::Decibels threshold) const {
   if (cells.empty()) {
@@ -26,52 +61,32 @@ double CoverageMap::reflector_covered_fraction(rf::Decibels threshold) const {
   return static_cast<double>(covered) / static_cast<double>(cells.size());
 }
 
-CoverageMap compute_coverage(Scene& scene, double resolution_m,
-                             double wall_margin_m) {
+CoverageMap compute_coverage(const Scene& scene, double resolution_m,
+                             double wall_margin_m, unsigned threads) {
   CoverageMap map;
   const double w = scene.room().width();
   const double d = scene.room().depth();
-  const geom::Vec2 saved_pos = scene.headset().node().position();
-  const double saved_orient = scene.headset().node().orientation();
-  const double saved_ap_steer = scene.ap().node().array().steering();
-
   map.cells_x = static_cast<int>((w - 2.0 * wall_margin_m) / resolution_m) + 1;
   map.cells_y = static_cast<int>((d - 2.0 * wall_margin_m) / resolution_m) + 1;
-  map.cells.reserve(static_cast<std::size_t>(map.cells_x) *
-                    static_cast<std::size_t>(map.cells_y));
+  const std::size_t total = static_cast<std::size_t>(map.cells_x) *
+                            static_cast<std::size_t>(map.cells_y);
+  map.cells.resize(total);
 
-  for (int iy = 0; iy < map.cells_y; ++iy) {
-    for (int ix = 0; ix < map.cells_x; ++ix) {
-      CoverageCell cell;
-      cell.position = {wall_margin_m + ix * resolution_m,
-                       wall_margin_m + iy * resolution_m};
-      scene.headset().node().set_position(cell.position);
-
-      // Direct link, both ends aimed.
-      scene.ap().node().steer_toward(cell.position);
-      scene.headset().node().face_toward(scene.ap().node().position());
-      cell.direct_snr = scene.direct_snr();
-
-      // Best reflector, re-aimed at the cell.
-      for (std::size_t r = 0; r < scene.reflector_count(); ++r) {
-        auto& reflector = scene.reflector(r);
-        scene.ap().node().steer_toward(reflector.position());
-        scene.headset().node().face_toward(reflector.position());
-        reflector.front_end().steer_tx(
-            scene.true_reflector_angle_to_headset(reflector));
-        const auto via = scene.via_snr(reflector);
-        if (via.usable && via.snr > cell.via_snr) {
-          cell.via_snr = via.snr;
-          cell.best_reflector = static_cast<int>(r);
-        }
-      }
-      map.cells.push_back(cell);
+  std::mutex stats_mutex;
+  parallel_for(total, threads, [&](std::size_t begin, std::size_t end) {
+    // Each worker steers its own clone; cells are disjoint vector slots.
+    Scene local = scene.clone();
+    for (std::size_t i = begin; i < end; ++i) {
+      const int ix = static_cast<int>(i % static_cast<std::size_t>(map.cells_x));
+      const int iy = static_cast<int>(i / static_cast<std::size_t>(map.cells_x));
+      map.cells[i] = evaluate_cell(
+          local, {wall_margin_m + ix * resolution_m,
+                  wall_margin_m + iy * resolution_m});
     }
-  }
-
-  scene.headset().node().set_position(saved_pos);
-  scene.headset().node().set_orientation(saved_orient);
-  scene.ap().node().array().steer(saved_ap_steer);
+    const auto stats = local.oracle_stats();
+    const std::scoped_lock lock{stats_mutex};
+    map.oracle += stats;
+  });
   return map;
 }
 

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include <core/channel_oracle.hpp>
 #include <core/scene.hpp>
 #include <rf/units.hpp>
 
@@ -27,6 +28,9 @@ struct CoverageMap {
   int cells_x{0};
   int cells_y{0};
   std::vector<CoverageCell> cells;  // row-major, y outer
+  /// Oracle counters summed over every worker clone that evaluated cells —
+  /// the benches report the hit rate the grid workload achieved.
+  ChannelOracle::Stats oracle;
 
   const CoverageCell& at(int ix, int iy) const {
     return cells[static_cast<std::size_t>(iy) * static_cast<std::size_t>(cells_x) +
@@ -42,11 +46,13 @@ struct CoverageMap {
 };
 
 /// Evaluates the scene over a grid with `resolution_m` spacing, a margin
-/// from the walls. The scene's headset is moved during evaluation and
-/// restored afterwards; reflector TX beams are left pointing at the last
-/// cell (re-aim before use).
-CoverageMap compute_coverage(Scene& scene, double resolution_m = 0.25,
-                             double wall_margin_m = 0.5);
+/// from the walls. Cells are evaluated on per-worker Scene clones — the
+/// passed scene itself is never touched — split across `threads` workers
+/// (0 = one per hardware thread). Results are identical for every thread
+/// count: each cell's evaluation is independent and order-free.
+CoverageMap compute_coverage(const Scene& scene, double resolution_m = 0.25,
+                             double wall_margin_m = 0.5,
+                             unsigned threads = 0);
 
 /// Renders `map` as ASCII art: '#' covered by direct, '+' covered only via
 /// a reflector, '.' below threshold. One row per grid line, north up.

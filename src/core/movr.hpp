@@ -11,9 +11,11 @@
 #include <core/ap.hpp>
 #include <core/battery.hpp>
 #include <core/beam_tracker.hpp>
+#include <core/channel_oracle.hpp>
 #include <core/gain_control.hpp>
 #include <core/headset.hpp>
 #include <core/health.hpp>
 #include <core/link_manager.hpp>
+#include <core/parallel_for.hpp>
 #include <core/reflector.hpp>
 #include <core/scene.hpp>

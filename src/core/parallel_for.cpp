@@ -1,0 +1,59 @@
+#include <core/parallel_for.hpp>
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace movr::core {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t, std::size_t)>& chunk) {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t workers =
+      std::min<std::size_t>(resolve_threads(threads), count);
+  if (workers <= 1) {
+    chunk(0, count);
+    return;
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    try {
+      chunk(begin, end);
+    } catch (...) {
+      const std::scoped_lock lock{error_mutex};
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  };
+
+  // Worker w owns [w*count/workers, (w+1)*count/workers).
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    pool.emplace_back(run_range, w * count / workers,
+                      (w + 1) * count / workers);
+  }
+  run_range(0, count / workers);
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace movr::core

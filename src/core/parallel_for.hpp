@@ -1,0 +1,31 @@
+// Minimal fork-join parallelism for the grid evaluators.
+//
+// The coverage and placement workloads are embarrassingly parallel: many
+// independent cells/trials, each a few hundred microseconds of channel
+// evaluation. A static partition into one contiguous chunk per worker is
+// enough — chunk costs are uniform, and static chunks keep results
+// bit-deterministic regardless of thread count (each index always computes
+// the same value; only the interleaving changes). Threads are spawned per
+// call: at grid-evaluation granularity the spawn cost is noise, and no idle
+// pool outlives the call.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace movr::core {
+
+/// Resolves a requested worker count: 0 means "one per hardware thread"
+/// (at least 1). Nonzero values are returned unchanged.
+unsigned resolve_threads(unsigned requested);
+
+/// Partitions [0, count) into one contiguous chunk per worker and runs
+/// chunk(begin, end) on each concurrently (the caller's thread works too).
+/// Blocks until every chunk finishes; the first exception thrown by any
+/// chunk is rethrown after the join. `threads` follows resolve_threads
+/// semantics and is clamped to `count`. chunk must be safe to run
+/// concurrently on disjoint ranges.
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t, std::size_t)>& chunk);
+
+}  // namespace movr::core

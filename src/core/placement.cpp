@@ -1,9 +1,12 @@
 #include <core/placement.hpp>
 
 #include <algorithm>
+#include <atomic>
 
 #include <core/gain_control.hpp>
+#include <core/parallel_for.hpp>
 #include <geom/angle.hpp>
+#include <sim/rng.hpp>
 
 namespace movr::core {
 
@@ -46,54 +49,69 @@ std::vector<PlacementCandidate> PlacementPlanner::candidates(
 double PlacementPlanner::evaluate(
     const channel::Room& room, geom::Vec2 ap_position,
     const std::vector<PlacementCandidate>& mounts) const {
-  std::mt19937_64 rng{seed_};
-  int outages = 0;
-  for (int trial = 0; trial < config_.trials; ++trial) {
-    Scene scene{channel::Room{room}, ApRadio{ap_position, 0.0},
-                HeadsetRadio{{room.width() / 2.0, room.depth() / 2.0}, 0.0}};
-    std::vector<MovrReflector*> reflectors;
-    for (const PlacementCandidate& mount : mounts) {
-      reflectors.push_back(&scene.add_reflector(mount.position,
-                                                mount.orientation));
-    }
-    const geom::Vec2 pos = scene.room().random_interior_point(rng, 0.8);
-    scene.headset().node().set_position(pos);
-    scene.ap().node().set_orientation((pos - ap_position).heading());
+  // Every trial draws from its own (seed, trial) RNG stream: trials are
+  // independent, so the evaluation parallelises over trials and the outage
+  // estimate is identical for every thread count.
+  const sim::RngRegistry rngs{seed_};
+  std::atomic<int> outages{0};
+  parallel_for(
+      static_cast<std::size_t>(config_.trials), config_.threads,
+      [&](std::size_t begin, std::size_t end) {
+        int local_outages = 0;
+        for (std::size_t trial = begin; trial < end; ++trial) {
+          std::mt19937_64 rng = rngs.stream("placement-trial", trial);
+          Scene scene{channel::Room{room}, ApRadio{ap_position, 0.0},
+                      HeadsetRadio{{room.width() / 2.0, room.depth() / 2.0},
+                                   0.0}};
+          std::vector<MovrReflector*> reflectors;
+          for (const PlacementCandidate& mount : mounts) {
+            reflectors.push_back(
+                &scene.add_reflector(mount.position, mount.orientation));
+          }
+          const geom::Vec2 pos = scene.room().random_interior_point(rng, 0.8);
+          scene.headset().node().set_position(pos);
+          scene.ap().node().set_orientation((pos - ap_position).heading());
 
-    for (auto* r : reflectors) {
-      r->front_end().steer_rx(scene.true_reflector_angle_to_ap(*r));
-      r->front_end().steer_tx(scene.true_reflector_angle_to_headset(*r));
-      scene.ap().node().steer_toward(r->position());
-      GainController::run(r->front_end(), scene.reflector_input(*r), rng);
-    }
+          for (auto* r : reflectors) {
+            r->front_end().steer_rx(scene.true_reflector_angle_to_ap(*r));
+            r->front_end().steer_tx(
+                scene.true_reflector_angle_to_headset(*r));
+            scene.ap().node().steer_toward(r->position());
+            GainController::run(r->front_end(), scene.reflector_input(*r),
+                                rng);
+          }
 
-    const geom::Vec2 ap = scene.ap().node().position();
-    std::uniform_int_distribution<int> kind{0, 2};
-    switch (kind(rng)) {
-      case 0:
-        scene.room().add_obstacle(channel::make_hand(pos, ap - pos));
-        break;
-      case 1:
-        scene.room().add_obstacle(channel::make_head(pos, ap - pos));
-        break;
-      default:
-        scene.room().add_obstacle(channel::make_person(
-            pos + (ap - pos).normalized() *
+          const geom::Vec2 ap = scene.ap().node().position();
+          std::uniform_int_distribution<int> kind{0, 2};
+          switch (kind(rng)) {
+            case 0:
+              scene.room().add_obstacle(channel::make_hand(pos, ap - pos));
+              break;
+            case 1:
+              scene.room().add_obstacle(channel::make_head(pos, ap - pos));
+              break;
+            default:
+              scene.room().add_obstacle(channel::make_person(
+                  pos +
+                  (ap - pos).normalized() *
                       std::uniform_real_distribution<double>{0.6, 2.0}(rng)));
-    }
+          }
 
-    scene.ap().node().steer_toward(pos);
-    scene.headset().node().face_toward(ap);
-    double best = scene.direct_snr().value();
-    for (auto* r : reflectors) {
-      scene.ap().node().steer_toward(r->position());
-      scene.headset().node().face_toward(r->position());
-      r->front_end().steer_tx(scene.true_reflector_angle_to_headset(*r));
-      best = std::max(best, scene.via_snr(*r).snr.value());
-    }
-    outages += best < config_.required_snr.value();
-  }
-  return static_cast<double>(outages) / config_.trials;
+          scene.ap().node().steer_toward(pos);
+          scene.headset().node().face_toward(ap);
+          double best = scene.direct_snr().value();
+          for (auto* r : reflectors) {
+            scene.ap().node().steer_toward(r->position());
+            scene.headset().node().face_toward(r->position());
+            r->front_end().steer_tx(
+                scene.true_reflector_angle_to_headset(*r));
+            best = std::max(best, scene.via_snr(*r).snr.value());
+          }
+          local_outages += best < config_.required_snr.value();
+        }
+        outages += local_outages;
+      });
+  return static_cast<double>(outages.load()) / config_.trials;
 }
 
 PlacementPlan PlacementPlanner::plan(const channel::Room& room,

@@ -43,6 +43,10 @@ class PlacementPlanner {
     int max_reflectors{3};
     /// SNR a link must reach to count as covered.
     rf::Decibels required_snr{19.0};
+    /// Worker threads for the Monte-Carlo evaluation (0 = one per hardware
+    /// thread). Every trial draws from its own RNG stream, so plans are
+    /// identical for every thread count.
+    unsigned threads{0};
   };
 
   PlacementPlanner(const Config& config, std::uint64_t seed)

@@ -33,13 +33,40 @@ rf::DbmPower hop_power(rf::DbmPower tx_power,
 
 }  // namespace
 
+namespace {
+
+ChannelOracle::Config oracle_config(const Scene::Config& config) {
+  ChannelOracle::Config oracle;
+  oracle.solver = {config.link.carrier_hz, 2, rf::Decibels{60.0}};
+  return oracle;
+}
+
+}  // namespace
+
 Scene::Scene(channel::Room room, ApRadio ap, HeadsetRadio headset,
              Config config)
     : room_{std::move(room)},
-      tracer_config_{config.link.carrier_hz, 2, rf::Decibels{60.0}},
+      oracle_{std::make_unique<ChannelOracle>(room_, oracle_config(config))},
       ap_{std::move(ap)},
       headset_{std::move(headset)},
       config_{config} {}
+
+const ChannelOracle& Scene::oracle() const {
+  if (&oracle_->room() != &room_) {
+    oracle_->rebind(room_);  // the scene was moved; drop the stale binding
+  }
+  return *oracle_;
+}
+
+Scene Scene::clone() const {
+  Scene copy{channel::Room{room_}, ApRadio{ap_}, HeadsetRadio{headset_},
+             config_};
+  copy.reflectors_.reserve(reflectors_.size());
+  for (const auto& reflector : reflectors_) {
+    copy.reflectors_.push_back(std::make_unique<MovrReflector>(*reflector));
+  }
+  return copy;
+}
 
 MovrReflector& Scene::add_reflector(geom::Vec2 position,
                                     double orientation_rad,
@@ -53,7 +80,7 @@ MovrReflector& Scene::add_reflector(geom::Vec2 position,
 
 std::vector<channel::Path> Scene::paths_between(geom::Vec2 a,
                                                 geom::Vec2 b) const {
-  return channel::RayTracer{room_, tracer_config_}.trace(a, b);
+  return oracle().paths_between(a, b);
 }
 
 rf::DbmPower Scene::direct_power() const {

@@ -10,9 +10,9 @@
 #include <memory>
 #include <vector>
 
-#include <channel/ray_tracer.hpp>
 #include <channel/room.hpp>
 #include <core/ap.hpp>
+#include <core/channel_oracle.hpp>
 #include <core/headset.hpp>
 #include <core/reflector.hpp>
 #include <hw/front_end.hpp>
@@ -62,10 +62,25 @@ class Scene {
   }
 
   // --- physics queries (ground truth) ----------------------------------
-  /// Paths between two points with the current room state (obstacles are
-  /// re-evaluated on every call, so moving a blocker takes effect
-  /// immediately).
+  /// Paths between two points with the current room state. Served by the
+  /// memoising ChannelOracle: repeated queries against unchanged geometry
+  /// are cache hits, while any Room mutation bumps the room's revision and
+  /// invalidates the cache — so moving a blocker still takes effect
+  /// immediately.
   std::vector<channel::Path> paths_between(geom::Vec2 a, geom::Vec2 b) const;
+
+  /// The oracle serving paths_between (rebinding it to this scene's room
+  /// first if the scene was moved since the last query). Exposes the
+  /// precomputed PathSolver and the query/hit/invalidation counters.
+  const ChannelOracle& oracle() const;
+  ChannelOracle::Stats oracle_stats() const { return oracle().stats(); }
+  void reset_oracle_stats() const { oracle().reset_stats(); }
+
+  /// Deep copy: independent room, radios, reflectors (same control names
+  /// and calibration state) and a fresh, empty oracle. The parallel grid
+  /// evaluators (coverage, placement) give each worker its own clone so
+  /// per-cell steering never races.
+  Scene clone() const;
 
   /// Direct AP -> headset received power / SNR with current steerings.
   rf::DbmPower direct_power() const;
@@ -102,10 +117,11 @@ class Scene {
 
  private:
   channel::Room room_;
-  // The tracer is built per query: it only holds a reference to the room
-  // plus a small config, and materialising it on demand keeps Scene safely
-  // movable (a stored tracer would dangle after a move).
-  channel::RayTracer::Config tracer_config_;
+  // The oracle holds a pointer to room_, which relocates when the Scene is
+  // moved. oracle() compares the bound room's address against &room_ on
+  // every access and rebinds (dropping the cache) after a move, so a moved
+  // Scene keeps answering queries correctly.
+  std::unique_ptr<ChannelOracle> oracle_;
   ApRadio ap_;
   HeadsetRadio headset_;
   Config config_;

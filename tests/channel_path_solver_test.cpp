@@ -1,0 +1,137 @@
+#include <channel/path_solver.hpp>
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include <channel/ray_tracer.hpp>
+
+namespace movr::channel {
+namespace {
+
+TEST(PathSolver, MatchesRayTracerBitForBit) {
+  // The tracer facade delegates to the solver, but the solver must also
+  // reproduce the tracer's *historic* numbers: same mirror formulation,
+  // same ordering, same trims. Random endpoint pairs over the paper room.
+  const Room room = Room::paper_office();
+  const PathSolver solver{room};
+  const RayTracer tracer{room};
+  std::mt19937_64 rng{11};
+  for (int i = 0; i < 50; ++i) {
+    const geom::Vec2 a = room.random_interior_point(rng, 0.3);
+    const geom::Vec2 b = room.random_interior_point(rng, 0.3);
+    const auto solved = solver.solve(a, b);
+    const auto traced = tracer.trace(a, b);
+    ASSERT_EQ(solved.size(), traced.size());
+    for (std::size_t p = 0; p < solved.size(); ++p) {
+      EXPECT_EQ(solved[p].loss.value(), traced[p].loss.value());
+      EXPECT_EQ(solved[p].length_m, traced[p].length_m);
+      EXPECT_EQ(solved[p].departure_azimuth, traced[p].departure_azimuth);
+      EXPECT_EQ(solved[p].arrival_azimuth, traced[p].arrival_azimuth);
+      EXPECT_EQ(solved[p].bounces, traced[p].bounces);
+    }
+  }
+}
+
+TEST(PathSolver, NoObstacleShortCircuitIsExact) {
+  // An obstacle tucked in a corner, far off every leg, must attenuate
+  // nothing — the empty-room fast path and the validating slow path have
+  // to agree exactly.
+  Room empty{5.0, 5.0};
+  Room with_far_obstacle{5.0, 5.0};
+  with_far_obstacle.add_obstacle(
+      {geom::Circle{{0.05, 0.05}, 0.01}, kFurniture, "dust"});
+  const PathSolver fast{empty};
+  const PathSolver slow{with_far_obstacle};
+  const auto a = fast.solve({1.0, 2.0}, {4.0, 3.0});
+  const auto b = slow.solve({1.0, 2.0}, {4.0, 3.0});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p].loss.value(), b[p].loss.value());
+    EXPECT_EQ(a[p].obstruction.value(), 0.0);
+    EXPECT_EQ(b[p].obstruction.value(), 0.0);
+  }
+}
+
+TEST(PathSolver, ObstacleValidationUsesCurrentObstacles) {
+  Room room{5.0, 5.0};
+  const PathSolver solver{room};
+  const auto clear = solver.line_of_sight({1.0, 2.5}, {4.0, 2.5});
+  EXPECT_EQ(clear.obstruction.value(), 0.0);
+  room.add_obstacle({geom::Circle{{2.5, 2.5}, 0.3}, kBody, "person"});
+  // No rebuild, no rebind: the cached images validate against the obstacle
+  // that was added after construction.
+  const auto blocked = solver.line_of_sight({1.0, 2.5}, {4.0, 2.5});
+  EXPECT_GT(blocked.obstruction.value(), 10.0);
+}
+
+TEST(PathSolver, WallMaterialReadLiveAtSolveTime) {
+  Room room{5.0, 5.0};
+  const PathSolver solver{room};
+  const auto drywall = solver.solve({1.0, 1.0}, {4.0, 1.0});
+  room.set_wall_material("south", kMetal);
+  const auto metal = solver.solve({1.0, 1.0}, {4.0, 1.0});
+  ASSERT_EQ(drywall.size(), metal.size());
+  // The south-wall bounce got stronger; find a first-order path whose loss
+  // changed (the LOS one must not change).
+  bool some_path_changed = false;
+  for (std::size_t p = 0; p < drywall.size(); ++p) {
+    if (drywall[p].bounces == 0) {
+      EXPECT_EQ(drywall[p].loss.value(), metal[p].loss.value());
+    } else if (drywall[p].loss.value() != metal[p].loss.value()) {
+      some_path_changed = true;
+    }
+  }
+  EXPECT_TRUE(some_path_changed);
+}
+
+TEST(PathSolver, RebindToEqualGeometryKeepsAnswers) {
+  const Room original = Room::paper_office();
+  PathSolver solver{original};
+  const auto before = solver.solve({0.5, 0.5}, {4.0, 4.0});
+  const Room relocated{original};  // same walls, different address
+  solver.rebind(relocated);
+  EXPECT_EQ(&solver.room(), &relocated);
+  const auto after = solver.solve({0.5, 0.5}, {4.0, 4.0});
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t p = 0; p < before.size(); ++p) {
+    EXPECT_EQ(before[p].loss.value(), after[p].loss.value());
+  }
+}
+
+TEST(PathSolver, RebindToDifferentGeometryRebuildsImages) {
+  const Room small{4.0, 4.0};
+  const Room large{8.0, 6.0};
+  PathSolver solver{small};
+  const auto in_small = solver.solve({1.0, 1.0}, {3.0, 3.0});
+  solver.rebind(large);
+  const auto in_large = solver.solve({1.0, 1.0}, {3.0, 3.0});
+  // Same endpoints, different walls: the reflected path set must differ.
+  const PathSolver fresh{large};
+  const auto expected = fresh.solve({1.0, 1.0}, {3.0, 3.0});
+  ASSERT_EQ(in_large.size(), expected.size());
+  for (std::size_t p = 0; p < in_large.size(); ++p) {
+    EXPECT_EQ(in_large[p].loss.value(), expected[p].loss.value());
+  }
+  // And they really changed relative to the small room: walls shared by the
+  // two rooms (south/west) give identical bounces, but the relocated
+  // east/north walls must move their reflected paths.
+  std::vector<double> small_losses;
+  std::vector<double> large_losses;
+  for (const auto& path : in_small) small_losses.push_back(path.loss.value());
+  for (const auto& path : in_large) large_losses.push_back(path.loss.value());
+  EXPECT_NE(small_losses, large_losses);
+}
+
+TEST(PathSolver, MaxBouncesRespected) {
+  const Room room{5.0, 5.0};
+  const PathSolver los_only{room, {24.0e9, 0, rf::Decibels{200.0}}};
+  EXPECT_EQ(los_only.solve({1.0, 1.0}, {4.0, 4.0}).size(), 1u);
+  const PathSolver first_order{room, {24.0e9, 1, rf::Decibels{200.0}}};
+  for (const auto& path : first_order.solve({1.0, 1.0}, {4.0, 4.0})) {
+    EXPECT_LE(path.bounces, 1);
+  }
+}
+
+}  // namespace
+}  // namespace movr::channel
