@@ -5,6 +5,7 @@
 // are glitches the player sees; a strategy either bridges blockages or it
 // does not. Also covers the paper's Section 1 WiFi argument.
 #include <cstdio>
+#include <cstring>
 
 #include <baseline/dual_antenna.hpp>
 #include <baseline/strategies.hpp>
@@ -48,13 +49,27 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool with_transport = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transport") == 0) {
+      with_transport = true;
+    }
+  }
+
   sim::RngRegistry rngs{3};
   const auto duration = sim::from_seconds(20.0);
   const auto script = busy_living_room(duration);
 
   vr::Session::Config config;
   config.duration = duration;
+  if (with_transport) {
+    // Compressed stream whose keyframes fit the frame deadline, so the
+    // transport counters reflect blockage, not raw-bitrate saturation.
+    net::TransportConfig transport;
+    transport.source.target_mbps = 2000.0;
+    config.transport = transport;
+  }
 
   std::vector<Row> rows;
 
@@ -130,6 +145,19 @@ int main() {
                 static_cast<unsigned long>(row.report.stall_events),
                 sim::to_milliseconds(row.report.longest_stall),
                 row.report.mean_snr_db);
+  }
+
+  if (with_transport) {
+    std::printf("\n%-24s %10s %10s %10s %10s %8s\n", "transport", "misses",
+                "retx", "drops", "p95 ms", "p99 ms");
+    for (const Row& row : rows) {
+      const net::TransportMetrics& m = *row.report.transport;
+      std::printf("%-24s %10lu %10lu %10lu %10.2f %8.2f\n", row.name,
+                  static_cast<unsigned long>(m.deadline_misses),
+                  static_cast<unsigned long>(m.retransmits),
+                  static_cast<unsigned long>(m.packets_dropped), m.p95_ms,
+                  m.p99_ms);
+    }
   }
 
   std::printf("\nWiFi check (Section 1): best 802.11ac rate at infinite SNR "

@@ -1,11 +1,14 @@
 // ASCII coverage map of a deployed room: where does the direct beam reach,
 // where does only a reflector save you, and where are you out of luck?
 //
-//   $ ./example_coverage_map
+//   $ ./example_coverage_map [--threads N] [--seed S]
 //
 //   '#' direct LOS covers the cell      '+' only a reflector covers it
 //   '.' below the VR threshold either way
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include <core/coverage.hpp>
 #include <core/gain_control.hpp>
@@ -14,9 +17,19 @@
 #include <phy/mcs.hpp>
 #include <vr/requirements.hpp>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace movr;
   using geom::deg_to_rad;
+
+  unsigned threads = 0;  // 0 = one worker per hardware thread
+  std::uint64_t seed = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
 
   core::Scene scene{channel::Room::paper_office(),
                     core::ApRadio{{0.4, 0.4}, deg_to_rad(45.0)},
@@ -24,7 +37,7 @@ int main() {
   auto& far_corner = scene.add_reflector({4.6, 4.6}, deg_to_rad(225.0));
   auto& side_wall = scene.add_reflector({0.4, 4.6}, deg_to_rad(315.0));
 
-  std::mt19937_64 rng{4};
+  std::mt19937_64 rng{seed};
   for (auto* reflector : {&far_corner, &side_wall}) {
     reflector->front_end().steer_rx(
         scene.true_reflector_angle_to_ap(*reflector));
@@ -40,9 +53,8 @@ int main() {
               "stream)\n\n",
               threshold.value(), vr::kHtcVive.required_mbps());
 
-  // threads=0 lets the grid evaluator fan out over all hardware threads;
-  // the result is identical for any thread count.
-  const auto map = core::compute_coverage(scene, 0.25, 0.5, /*threads=*/0);
+  // The grid evaluator's result is identical for any thread count.
+  const auto map = core::compute_coverage(scene, 0.25, 0.5, threads);
   std::printf("%s\n", core::render_coverage(map, threshold).c_str());
   std::printf("legend: '#' direct beam, '+' reflector-only, '.' uncovered\n");
   std::printf("covered: %.0f%% of the room; blockage-resilient (reflector "

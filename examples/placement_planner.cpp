@@ -3,14 +3,27 @@
 // Runs the greedy coverage planner on a furnished room and prints the
 // recommended wall mounts with the outage improvement each one buys.
 //
-//   $ ./example_placement_planner
+//   $ ./example_placement_planner [--threads N] [--seed S]
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include <core/placement.hpp>
 #include <geom/angle.hpp>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace movr;
+
+  unsigned threads = 0;  // 0 = one worker per hardware thread
+  std::uint64_t seed = 2016;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
 
   // A furnished 6 x 4.5 m den: sofa, bookcase, the AP next to the TV.
   channel::Room room{6.0, 4.5};
@@ -24,7 +37,8 @@ int main() {
   config.trials = 80;
   config.mount_spacing_m = 0.8;
   config.max_reflectors = 3;
-  const core::PlacementPlanner planner{config, 2016};
+  config.threads = threads;
+  const core::PlacementPlanner planner{config, seed};
 
   std::printf("room 6.0 x 4.5 m, AP at (%.1f, %.1f); evaluating %zu candidate"
               " wall mounts...\n\n",

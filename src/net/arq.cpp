@@ -1,0 +1,56 @@
+#include <net/arq.hpp>
+
+namespace movr::net {
+
+void Arq::start(const Packet& packet, bool is_retransmit) {
+  (void)packet;
+  ++outstanding_;
+  ++counters_.transmissions;
+  if (is_retransmit) {
+    ++counters_.retransmits;
+  }
+}
+
+Arq::Verdict Arq::resolve(const Packet& packet, bool data_lost,
+                          bool ack_lost) {
+  --outstanding_;
+  if (!data_lost && !ack_lost) {
+    ++counters_.acked;
+    return Verdict::kAcked;
+  }
+  if (data_lost) {
+    ++counters_.data_losses;
+  } else {
+    ++counters_.ack_losses;
+  }
+  if (abandoned_.contains(packet.frame_id)) {
+    // The frame is already given up; a delivered-but-unacked straggler
+    // still counts as done (the receiver has the bytes).
+    return data_lost ? Verdict::kAbandonFrame : Verdict::kAcked;
+  }
+  int& used = retx_used_[packet.frame_id];
+  if (used < config_.max_retx_per_frame) {
+    ++used;
+    return Verdict::kRetransmit;
+  }
+  if (data_lost) {
+    ++counters_.frames_abandoned;
+    abandoned_.insert(packet.frame_id);
+    return Verdict::kAbandonFrame;
+  }
+  // Out of budget but the data made it: the sender wrongly books a loss,
+  // the receiver happily completes the frame.
+  ++counters_.acked;
+  return Verdict::kAcked;
+}
+
+void Arq::abandon_frame(std::uint64_t frame_id) {
+  abandoned_.insert(frame_id);
+}
+
+void Arq::forget_frame(std::uint64_t frame_id) {
+  retx_used_.erase(frame_id);
+  abandoned_.erase(frame_id);
+}
+
+}  // namespace movr::net

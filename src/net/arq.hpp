@@ -1,0 +1,86 @@
+// Stop-and-wait-window ARQ with a per-frame retransmission budget.
+//
+// The link carries one MPDU at a time (mmWave is a single beam, not a
+// bundle), but the sender does not idle waiting for acks: up to `window`
+// transmissions may be outstanding before it stalls. Losses are decided by
+// the caller (the transport rolls the coins from the PHY's PER at the true
+// SNR plus any fault-window loss) — the ARQ only encodes the *policy*:
+// failed data is retransmitted until the frame's budget runs out, at which
+// point the whole frame is abandoned; retransmitting a delivered-but-
+// unacked packet produces the duplicate the jitter buffer must absorb.
+//
+// A frame deadline is ~10 ms and a retransmission costs ~150 us of air, so
+// a small finite budget is the right policy: beyond it the frame would miss
+// the display anyway and the air is better spent on the next frame.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <net/frame.hpp>
+
+namespace movr::net {
+
+class Arq {
+ public:
+  struct Config {
+    /// Outstanding (sent, not yet acked) transmissions before the sender
+    /// stalls.
+    int window{4};
+    /// Retransmissions a single frame may consume before it is abandoned.
+    int max_retx_per_frame{8};
+  };
+
+  struct Counters {
+    std::uint64_t transmissions{0};
+    std::uint64_t retransmits{0};
+    std::uint64_t acked{0};
+    std::uint64_t data_losses{0};
+    std::uint64_t ack_losses{0};
+    std::uint64_t frames_abandoned{0};
+  };
+
+  /// What the sender should do after a transmission resolves.
+  enum class Verdict {
+    kAcked,         // done with this packet
+    kRetransmit,    // send the same packet again (budget consumed)
+    kAbandonFrame,  // budget exhausted: give up on the whole frame
+  };
+
+  Arq() : Arq{Config{}} {}
+  explicit Arq(Config config) : config_{config} {}
+
+  const Config& config() const { return config_; }
+  const Counters& counters() const { return counters_; }
+
+  bool can_send() const { return outstanding_ < config_.window; }
+  int outstanding() const { return outstanding_; }
+
+  /// Records a transmission entering the air.
+  void start(const Packet& packet, bool is_retransmit);
+
+  /// Resolves one outstanding transmission. `data_lost`: the MPDU did not
+  /// reach the receiver. `ack_lost`: it did, but the ack did not make it
+  /// back (the sender cannot tell the two apart; the receiver dedups).
+  Verdict resolve(const Packet& packet, bool data_lost, bool ack_lost);
+
+  /// External abandonment (e.g. the queue shed the frame as stale): no
+  /// further retransmissions will be granted for it.
+  void abandon_frame(std::uint64_t frame_id);
+  bool is_abandoned(std::uint64_t frame_id) const {
+    return abandoned_.contains(frame_id);
+  }
+
+  /// Drops per-frame bookkeeping once the frame has fully resolved.
+  void forget_frame(std::uint64_t frame_id);
+
+ private:
+  Config config_;
+  Counters counters_;
+  int outstanding_{0};
+  std::unordered_map<std::uint64_t, int> retx_used_;
+  std::unordered_set<std::uint64_t> abandoned_;
+};
+
+}  // namespace movr::net

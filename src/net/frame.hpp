@@ -1,0 +1,37 @@
+// The units of the transport data-plane: video frames and the MPDUs they
+// are split into.
+//
+// A frame is born at the encoder with a capture time and dies at the
+// display: either released on time at its display deadline, released late
+// (a glitch the player saw), or dropped on the way (queue overflow, gone
+// stale in the queue, or out of retransmission budget). Packets carry the
+// frame identity plus enough framing (seq / frame_packets) for the
+// headset-side jitter buffer to reassemble, deduplicate and account.
+#pragma once
+
+#include <cstdint>
+
+#include <sim/time.hpp>
+
+namespace movr::net {
+
+/// One encoded video frame as the encoder hands it to the transport.
+struct Frame {
+  std::uint64_t id{0};
+  sim::TimePoint capture{};   // when the encoder emitted it
+  sim::TimePoint deadline{};  // display deadline (capture + latency budget)
+  std::uint64_t bytes{0};     // encoded size
+  bool keyframe{false};       // I-frame (bigger, same deadline)
+};
+
+/// One MPDU of a frame, sized by the packetizer for the current MCS.
+struct Packet {
+  std::uint64_t frame_id{0};
+  std::uint32_t seq{0};            // position within the frame, 0-based
+  std::uint32_t frame_packets{0};  // total MPDUs in this frame
+  std::uint32_t payload_bytes{0};
+  sim::TimePoint capture{};   // the frame's capture time
+  sim::TimePoint deadline{};  // the frame's display deadline
+};
+
+}  // namespace movr::net

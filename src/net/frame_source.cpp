@@ -1,0 +1,33 @@
+#include <net/frame_source.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+namespace movr::net {
+
+FrameSource::FrameSource(Config config)
+    : config_{config}, rng_{config.seed} {
+  // Solve mean frame size so that (gop-1) P-frames + 1 keyframe per GOP
+  // integrate to the target bitrate.
+  const double mean_bytes = config_.target_mbps * 1e6 / config_.fps / 8.0;
+  const double gop = static_cast<double>(std::max(1, config_.gop_length));
+  p_bytes_ = mean_bytes * gop / (gop - 1.0 + config_.keyframe_ratio);
+}
+
+Frame FrameSource::next(sim::TimePoint capture) {
+  Frame frame;
+  frame.id = next_id_++;
+  frame.capture = capture;
+  frame.deadline = capture + config_.latency_budget;
+  frame.keyframe =
+      config_.gop_length > 0 &&
+      frame.id % static_cast<std::uint64_t>(config_.gop_length) == 0;
+  const double base = frame.keyframe ? keyframe_bytes() : p_frame_bytes();
+  std::uniform_real_distribution<double> wobble{-config_.size_jitter,
+                                                config_.size_jitter};
+  const double jittered = base * (1.0 + wobble(rng_));
+  frame.bytes = static_cast<std::uint64_t>(std::max(1.0, std::round(jittered)));
+  return frame;
+}
+
+}  // namespace movr::net

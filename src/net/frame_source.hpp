@@ -1,0 +1,58 @@
+// The encoder model: a 90 Hz frame stream with an I/P size cadence.
+//
+// The paper streams raw pixels, but a transport still sees *frames*: bursts
+// of bits arriving on the display clock, each with a hard display deadline.
+// This source emits one frame per tick with sizes that average to the
+// target bitrate — keyframes `keyframe_ratio` times larger than P-frames,
+// one per GOP — plus a deterministic size jitter, so the TX queue sees the
+// bursty arrival process that makes deadline scheduling interesting.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include <net/frame.hpp>
+#include <sim/time.hpp>
+
+namespace movr::net {
+
+class FrameSource {
+ public:
+  struct Config {
+    /// Frame cadence, Hz (the display's refresh rate).
+    double fps{90.0};
+    /// Long-run average bitrate the frame sizes integrate to, Mbit/s.
+    /// Zero = the owner derives it (vr::Session uses the display's
+    /// required rate).
+    double target_mbps{0.0};
+    /// Display deadline relative to capture (motion-to-photon budget).
+    sim::Duration latency_budget{std::chrono::milliseconds{10}};
+    /// Frames per group-of-pictures: one keyframe every `gop_length`.
+    int gop_length{30};
+    /// Keyframe size / P-frame size.
+    double keyframe_ratio{2.5};
+    /// Uniform per-frame size wobble, +/- this fraction of the mean.
+    double size_jitter{0.1};
+    std::uint64_t seed{7};
+  };
+
+  explicit FrameSource(Config config);
+
+  /// Emits the next frame, captured at `capture`.
+  Frame next(sim::TimePoint capture);
+
+  std::uint64_t frames_emitted() const { return next_id_; }
+  const Config& config() const { return config_; }
+
+  /// Mean P-frame / keyframe sizes implied by the config, bytes.
+  double p_frame_bytes() const { return p_bytes_; }
+  double keyframe_bytes() const { return p_bytes_ * config_.keyframe_ratio; }
+
+ private:
+  Config config_;
+  double p_bytes_;
+  std::uint64_t next_id_{0};
+  std::mt19937_64 rng_;
+};
+
+}  // namespace movr::net

@@ -1,0 +1,70 @@
+#include <net/jitter_buffer.hpp>
+
+#include <stdexcept>
+
+namespace movr::net {
+
+bool JitterBuffer::on_packet(const Packet& packet, sim::TimePoint now) {
+  FrameState& frame = frames_[packet.frame_id];
+  if (frame.have.empty()) {
+    frame.expected = packet.frame_packets;
+    frame.have.assign(packet.frame_packets, false);
+    frame.capture = packet.capture;
+  }
+  if (packet.seq >= frame.have.size() || frame.have[packet.seq]) {
+    ++counters_.duplicates;
+    return false;
+  }
+  frame.have[packet.seq] = true;
+  ++frame.received;
+  ++counters_.packets_received;
+  counters_.bytes_received += packet.payload_bytes;
+  if (frame.received == frame.expected && !frame.completed_at.has_value()) {
+    frame.completed_at = now;
+    ++counters_.frames_completed;
+    if (frame.resolved) {
+      ++counters_.late_completions;
+    }
+  }
+  return true;
+}
+
+JitterBuffer::Deadline JitterBuffer::on_deadline(std::uint64_t frame_id,
+                                                 sim::TimePoint now) {
+  (void)now;
+  FrameState& frame = frames_[frame_id];
+  if (frame.resolved) {
+    return Deadline::kAlreadyResolved;
+  }
+  frame.resolved = true;
+  if (frame.completed_at.has_value()) {
+    if (any_released_ && frame_id <= last_released_) {
+      throw std::logic_error(
+          "JitterBuffer: out-of-order release attempted");
+    }
+    frame.released = true;
+    any_released_ = true;
+    last_released_ = frame_id;
+    release_log_.push_back(frame_id);
+    ++counters_.released_on_time;
+    return Deadline::kReleasedOnTime;
+  }
+  ++counters_.deadline_misses;
+  return Deadline::kMiss;
+}
+
+bool JitterBuffer::is_complete(std::uint64_t frame_id) const {
+  const auto it = frames_.find(frame_id);
+  return it != frames_.end() && it->second.completed_at.has_value();
+}
+
+std::optional<sim::Duration> JitterBuffer::completion_latency(
+    std::uint64_t frame_id) const {
+  const auto it = frames_.find(frame_id);
+  if (it == frames_.end() || !it->second.completed_at.has_value()) {
+    return std::nullopt;
+  }
+  return *it->second.completed_at - it->second.capture;
+}
+
+}  // namespace movr::net

@@ -1,0 +1,86 @@
+// Headset-side reassembly and release buffer.
+//
+// Packets arrive out of order across retransmissions and in duplicate when
+// acks are lost; the display wants exactly one copy of each frame, in
+// order, at its deadline. This buffer reassembles frames from MPDUs,
+// absorbs duplicates, and resolves each frame exactly once at its display
+// deadline: complete by then -> released on time; otherwise a deadline
+// miss (a later completion is recorded for the latency tail but the frame
+// is never released — releasing it would reorder the display stream).
+//
+// Hard invariants (enforced here, fuzzed in tests/net_transport_property_
+// test.cpp): a frame id is never released twice, and released ids are
+// strictly increasing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include <net/frame.hpp>
+#include <sim/time.hpp>
+
+namespace movr::net {
+
+class JitterBuffer {
+ public:
+  struct Counters {
+    std::uint64_t packets_received{0};  // unique MPDUs accepted
+    std::uint64_t bytes_received{0};    // payload bytes of unique MPDUs
+    std::uint64_t duplicates{0};        // MPDUs already held, discarded
+    std::uint64_t frames_completed{0};
+    std::uint64_t released_on_time{0};
+    std::uint64_t deadline_misses{0};   // incomplete when the display asked
+    std::uint64_t late_completions{0};  // completed after their deadline
+  };
+
+  /// Resolution of a frame at its display deadline.
+  enum class Deadline {
+    kReleasedOnTime,
+    kMiss,
+    kAlreadyResolved,  // duplicate deadline event; no-op
+  };
+
+  const Counters& counters() const { return counters_; }
+
+  /// Accepts one MPDU. Returns true when the packet was new (duplicates
+  /// return false and are dropped on the floor).
+  bool on_packet(const Packet& packet, sim::TimePoint now);
+
+  /// Resolves `frame_id` at its display deadline. Must be called in frame
+  /// order (deadlines are monotone in id); an out-of-order release attempt
+  /// throws std::logic_error — it would reorder the display stream.
+  Deadline on_deadline(std::uint64_t frame_id, sim::TimePoint now);
+
+  bool is_complete(std::uint64_t frame_id) const;
+
+  /// Completion latency (completion time - capture), when the frame has
+  /// completed (possibly after its deadline).
+  std::optional<sim::Duration> completion_latency(std::uint64_t frame_id) const;
+
+  /// Released frame ids in release order — strictly increasing by
+  /// construction; exposed so property tests can audit the invariant.
+  const std::vector<std::uint64_t>& release_log() const {
+    return release_log_;
+  }
+
+ private:
+  struct FrameState {
+    std::uint32_t expected{0};
+    std::uint32_t received{0};
+    std::vector<bool> have;  // by seq
+    sim::TimePoint capture{};
+    std::optional<sim::TimePoint> completed_at;
+    bool resolved{false};  // deadline fired
+    bool released{false};
+  };
+
+  Counters counters_;
+  std::unordered_map<std::uint64_t, FrameState> frames_;
+  std::vector<std::uint64_t> release_log_;
+  bool any_released_{false};
+  std::uint64_t last_released_{0};
+};
+
+}  // namespace movr::net

@@ -1,0 +1,40 @@
+#include <net/packetizer.hpp>
+
+#include <algorithm>
+
+namespace movr::net {
+
+std::uint32_t Packetizer::mpdu_bytes_for(const phy::McsEntry& mcs) const {
+  const double bytes_on_air = mcs.rate_mbps * 1e6 *
+                              sim::to_seconds(config_.target_mpdu_airtime) /
+                              8.0;
+  const double clamped =
+      std::clamp(bytes_on_air, static_cast<double>(config_.min_mpdu_bytes),
+                 static_cast<double>(config_.max_mpdu_bytes));
+  return static_cast<std::uint32_t>(clamped);
+}
+
+std::vector<Packet> Packetizer::split(const Frame& frame,
+                                      const phy::McsEntry& mcs) const {
+  const std::uint64_t mpdu = mpdu_bytes_for(mcs);
+  const std::uint64_t count = std::max<std::uint64_t>(
+      1, (frame.bytes + mpdu - 1) / mpdu);
+
+  std::vector<Packet> packets;
+  packets.reserve(count);
+  std::uint64_t remaining = frame.bytes;
+  for (std::uint64_t seq = 0; seq < count; ++seq) {
+    Packet p;
+    p.frame_id = frame.id;
+    p.seq = static_cast<std::uint32_t>(seq);
+    p.frame_packets = static_cast<std::uint32_t>(count);
+    p.payload_bytes = static_cast<std::uint32_t>(std::min(remaining, mpdu));
+    p.capture = frame.capture;
+    p.deadline = frame.deadline;
+    packets.push_back(p);
+    remaining -= p.payload_bytes;
+  }
+  return packets;
+}
+
+}  // namespace movr::net

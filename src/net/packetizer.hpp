@@ -1,0 +1,45 @@
+// Splits frames into MPDUs sized for the current MCS.
+//
+// A fixed MPDU size is wrong at both ends of the rate ladder: at MCS 24 a
+// tiny MPDU drowns in preamble overhead, at MCS 1 a huge MPDU occupies the
+// air for milliseconds and starves the deadline scheduler. So the MPDU
+// payload is chosen per frame to hit a target time-on-air at the MCS the
+// rate adapter just picked, clamped to 802.11ad's aggregation limits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <net/frame.hpp>
+#include <phy/mcs.hpp>
+#include <sim/time.hpp>
+
+namespace movr::net {
+
+class Packetizer {
+ public:
+  struct Config {
+    /// Desired serialization time of one MPDU at the chosen MCS.
+    sim::Duration target_mpdu_airtime{std::chrono::microseconds{150}};
+    /// Clamp range for the MPDU payload, bytes (ad caps A-MPDUs at 262 kB).
+    std::uint32_t min_mpdu_bytes{4096};
+    std::uint32_t max_mpdu_bytes{262144};
+  };
+
+  Packetizer() : Packetizer{Config{}} {}
+  explicit Packetizer(Config config) : config_{config} {}
+
+  const Config& config() const { return config_; }
+
+  /// MPDU payload size targeted at `mcs`, bytes.
+  std::uint32_t mpdu_bytes_for(const phy::McsEntry& mcs) const;
+
+  /// Splits `frame` into MPDUs for `mcs`. Payload bytes sum exactly to the
+  /// frame size; every packet carries the frame's deadline.
+  std::vector<Packet> split(const Frame& frame, const phy::McsEntry& mcs) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace movr::net

@@ -1,0 +1,91 @@
+// Per-frame latency accounting and the transport's metric surface.
+//
+// The dual-beam / mmWave-VR measurement literature evaluates robustness in
+// frame-latency CDFs, not mean SNR — so the transport's primary product is
+// the per-frame end-to-end latency distribution, plus the counters that
+// explain its tail (deadline misses, retransmissions, queue drops).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace movr::net {
+
+/// Fixed-bin histogram of frame latencies in milliseconds.
+struct LatencyHistogram {
+  double bin_ms{0.5};
+  /// bins[i] counts latencies in [i * bin_ms, (i+1) * bin_ms).
+  std::vector<std::uint64_t> bins;
+  std::uint64_t overflow{0};
+
+  LatencyHistogram() : bins(40, 0) {}
+
+  void add(double ms) {
+    const auto idx = static_cast<std::size_t>(ms / bin_ms);
+    if (ms < 0.0 || idx >= bins.size()) {
+      ++overflow;
+    } else {
+      ++bins[idx];
+    }
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t n = overflow;
+    for (const std::uint64_t b : bins) {
+      n += b;
+    }
+    return n;
+  }
+};
+
+struct TransportMetrics {
+  // Frame ledger: every emitted frame ends in exactly one bucket.
+  std::uint64_t frames_emitted{0};
+  std::uint64_t frames_on_time{0};       // released at their deadline
+  std::uint64_t frames_late{0};          // completed after their deadline
+  std::uint64_t frames_dropped_queue{0}; // shed by the TX queue
+  std::uint64_t frames_dropped_arq{0};   // retransmission budget exhausted
+  std::uint64_t frames_missed{0};        // deadline passed, still in flight
+  std::uint64_t frames_unresolved{0};    // session ended mid-flight
+  /// Frames the display asked for and did not get: late + dropped.
+  std::uint64_t deadline_misses{0};
+
+  // Packet ledger (the conservation invariant).
+  std::uint64_t packets_enqueued{0};
+  std::uint64_t packets_delivered{0};  // unique arrivals at the jitter buffer
+  std::uint64_t bytes_delivered{0};    // payload bytes of those arrivals
+  std::uint64_t packets_dropped{0};    // queue sheds + ARQ abandonments
+  std::uint64_t packets_in_flight{0};  // queued / on air / awaiting ack
+  std::uint64_t retransmits{0};
+  std::uint64_t duplicates{0};  // delivered-again copies (lost acks)
+
+  // Queue backpressure.
+  std::size_t queue_max_depth_frames{0};
+  std::uint64_t queue_max_depth_bytes{0};
+
+  /// End-to-end latency of completed frames; frames that never completed
+  /// count as +infinity in the percentiles below.
+  LatencyHistogram histogram;
+  double p50_ms{0.0};
+  double p95_ms{0.0};
+  double p99_ms{0.0};
+
+  /// delivered + dropped + in-flight == enqueued — the packet ledger closes.
+  bool conserved() const {
+    return packets_enqueued ==
+           packets_delivered + packets_dropped + packets_in_flight;
+  }
+
+  double deadline_miss_fraction() const {
+    return frames_emitted == 0
+               ? 0.0
+               : static_cast<double>(deadline_misses) /
+                     static_cast<double>(frames_emitted);
+  }
+
+  static constexpr double kNeverMs = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace movr::net

@@ -1,0 +1,304 @@
+#include <net/transport.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+#include <phy/airtime.hpp>
+
+namespace movr::net {
+
+namespace {
+
+double percentile_ms(std::vector<double> sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  if (std::isinf(sorted[hi])) {
+    // Interpolating toward infinity is infinity unless we are exactly on
+    // the finite lower sample.
+    return frac == 0.0 ? sorted[lo] : sorted[hi];
+  }
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Transport::Transport(sim::Simulator& simulator, TransportConfig config)
+    : simulator_{simulator},
+      config_{config},
+      source_{config.source},
+      packetizer_{config.packetizer},
+      queue_{config.queue},
+      arq_{config.arq},
+      rng_{config.seed} {}
+
+bool Transport::coin(double probability) {
+  if (probability <= 0.0) {
+    return false;
+  }
+  if (probability >= 1.0) {
+    return true;
+  }
+  std::uniform_real_distribution<double> u{0.0, 1.0};
+  return u(rng_) < probability;
+}
+
+sim::Duration Transport::data_airtime(const Packet& packet,
+                                      const phy::McsEntry& mcs) const {
+  phy::AirtimeConfig airtime;
+  airtime.ampdu_bytes = static_cast<double>(packet.payload_bytes);
+  // The ack is modelled separately (ack_delay + loss coin), not as airtime.
+  airtime.ack_exchange = sim::Duration::zero();
+  return phy::ppdu_airtime(mcs, airtime);
+}
+
+void Transport::on_frame(ChannelState channel) {
+  channel_ = channel;
+  const sim::TimePoint now = simulator_.now();
+
+  Frame frame = source_.next(now);
+  FrameOutcome outcome;
+  outcome.id = frame.id;
+  outcome.capture = frame.capture;
+  outcomes_.push_back(outcome);
+  simulator_.at(frame.deadline,
+                [this, id = frame.id] { on_display_deadline(id); });
+
+  // Packetize for the MCS in force; when the link is down, size for the
+  // most robust MCS — the queue holds the frame either way.
+  const phy::McsEntry& sizing_mcs =
+      channel_.mcs != nullptr ? *channel_.mcs : phy::mcs_table().front();
+  const std::vector<Packet> packets = packetizer_.split(frame, sizing_mcs);
+
+  std::vector<std::uint64_t> shed;
+  queue_.push(packets, shed);
+  for (const std::uint64_t id : shed) {
+    drop_frame(id, FrameOutcome::Kind::kDroppedQueue);
+  }
+  pump();
+}
+
+void Transport::pump() {
+  std::vector<std::uint64_t> stale;
+  queue_.drop_stale(simulator_.now(), stale);
+  for (const std::uint64_t id : stale) {
+    drop_frame(id, FrameOutcome::Kind::kDroppedQueue);
+  }
+
+  if (air_busy_ || channel_.mcs == nullptr || !arq_.can_send()) {
+    return;
+  }
+
+  Packet packet;
+  bool is_retransmit = false;
+  bool already_delivered = false;
+  if (!retx_.empty()) {
+    packet = retx_.front().packet;
+    already_delivered = retx_.front().delivered;
+    if (!already_delivered) {
+      --retx_undelivered_;
+    }
+    retx_.pop_front();
+    is_retransmit = true;
+  } else if (queue_.front() != nullptr) {
+    packet = queue_.pop();
+  } else {
+    return;
+  }
+
+  const bool counted = !already_delivered;
+  if (counted) {
+    ++unacked_undelivered_;
+  }
+  arq_.start(packet, is_retransmit);
+  air_busy_ = true;
+  const double loss = channel_.loss();
+  simulator_.after(data_airtime(packet, *channel_.mcs),
+                   [this, packet, loss, counted] {
+                     on_data_done(packet, loss, counted);
+                   });
+}
+
+void Transport::on_data_done(const Packet& packet, double loss, bool counted) {
+  air_busy_ = false;
+  const bool data_lost = coin(loss);
+  bool still_counted = counted;
+  if (!data_lost) {
+    if (still_counted) {
+      --unacked_undelivered_;
+      still_counted = false;
+    }
+    jitter_.on_packet(packet, simulator_.now());
+    if (jitter_.is_complete(packet.frame_id)) {
+      on_frame_completed(packet.frame_id);
+    }
+  }
+  const bool ack_lost =
+      !data_lost && coin(loss * config_.ack_loss_factor);
+  simulator_.after(config_.ack_delay,
+                   [this, packet, data_lost, ack_lost, still_counted] {
+                     on_ack(packet, data_lost, ack_lost, still_counted);
+                   });
+  pump();
+}
+
+void Transport::on_ack(const Packet& packet, bool data_lost, bool ack_lost,
+                       bool counted) {
+  switch (arq_.resolve(packet, data_lost, ack_lost)) {
+    case Arq::Verdict::kAcked:
+      break;
+    case Arq::Verdict::kRetransmit: {
+      RetxEntry entry;
+      entry.packet = packet;
+      // `counted` is true only while no copy has reached the receiver, so
+      // its negation covers both the lost-ack case and a lost re-send of a
+      // packet some earlier copy already delivered.
+      entry.delivered = !counted;
+      if (counted) {
+        --unacked_undelivered_;
+        ++retx_undelivered_;
+      }
+      retx_.push_back(entry);
+      break;
+    }
+    case Arq::Verdict::kAbandonFrame:
+      if (counted) {
+        --unacked_undelivered_;
+        ++arq_packet_drops_;
+      }
+      drop_frame(packet.frame_id, FrameOutcome::Kind::kDroppedArq);
+      break;
+  }
+  pump();
+}
+
+void Transport::drop_frame(std::uint64_t frame_id, FrameOutcome::Kind kind) {
+  queue_.purge_frame(frame_id);
+  for (auto it = retx_.begin(); it != retx_.end();) {
+    if (it->packet.frame_id == frame_id) {
+      if (!it->delivered) {
+        --retx_undelivered_;
+        ++retx_purge_drops_;
+      }
+      it = retx_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  arq_.abandon_frame(frame_id);
+  FrameOutcome& outcome = outcomes_[frame_id];
+  if (outcome.kind == FrameOutcome::Kind::kPending ||
+      outcome.kind == FrameOutcome::Kind::kMiss) {
+    outcome.kind = kind;
+  }
+}
+
+void Transport::on_frame_completed(std::uint64_t frame_id) {
+  FrameOutcome& outcome = outcomes_[frame_id];
+  const auto latency = jitter_.completion_latency(frame_id);
+  if (latency.has_value()) {
+    outcome.latency_ms = sim::to_milliseconds(*latency);
+  }
+  if (outcome.kind == FrameOutcome::Kind::kMiss) {
+    outcome.kind = FrameOutcome::Kind::kLate;
+  }
+  arq_.forget_frame(frame_id);
+}
+
+void Transport::on_display_deadline(std::uint64_t frame_id) {
+  const JitterBuffer::Deadline verdict =
+      jitter_.on_deadline(frame_id, simulator_.now());
+  FrameOutcome& outcome = outcomes_[frame_id];
+  if (verdict == JitterBuffer::Deadline::kReleasedOnTime) {
+    outcome.kind = FrameOutcome::Kind::kOnTime;
+  } else if (verdict == JitterBuffer::Deadline::kMiss &&
+             outcome.kind == FrameOutcome::Kind::kPending) {
+    outcome.kind = FrameOutcome::Kind::kMiss;
+  }
+  pump();
+}
+
+std::uint64_t Transport::packets_enqueued() const {
+  return queue_.counters().packets_enqueued;
+}
+
+std::uint64_t Transport::packets_delivered() const {
+  return jitter_.counters().packets_received;
+}
+
+std::uint64_t Transport::packets_dropped() const {
+  const TxQueue::Counters& q = queue_.counters();
+  return q.packets_dropped_stale + q.packets_dropped_full + q.packets_purged +
+         arq_packet_drops_ + retx_purge_drops_;
+}
+
+std::uint64_t Transport::packets_in_flight() const {
+  return queue_.depth_packets() + retx_undelivered_ + unacked_undelivered_;
+}
+
+void Transport::finalize(sim::TimePoint end) {
+  (void)end;
+  metrics_ = TransportMetrics{};
+  metrics_.frames_emitted = outcomes_.size();
+
+  std::vector<double> latencies;
+  latencies.reserve(outcomes_.size());
+  for (FrameOutcome& outcome : outcomes_) {
+    if (outcome.kind == FrameOutcome::Kind::kPending) {
+      outcome.kind = jitter_.is_complete(outcome.id)
+                         ? FrameOutcome::Kind::kOnTime
+                         : FrameOutcome::Kind::kUnresolved;
+    }
+    switch (outcome.kind) {
+      case FrameOutcome::Kind::kOnTime:
+        ++metrics_.frames_on_time;
+        break;
+      case FrameOutcome::Kind::kLate:
+        ++metrics_.frames_late;
+        ++metrics_.deadline_misses;
+        break;
+      case FrameOutcome::Kind::kMiss:
+        ++metrics_.frames_missed;
+        ++metrics_.deadline_misses;
+        break;
+      case FrameOutcome::Kind::kDroppedQueue:
+        ++metrics_.frames_dropped_queue;
+        ++metrics_.deadline_misses;
+        break;
+      case FrameOutcome::Kind::kDroppedArq:
+        ++metrics_.frames_dropped_arq;
+        ++metrics_.deadline_misses;
+        break;
+      case FrameOutcome::Kind::kUnresolved:
+        ++metrics_.frames_unresolved;
+        break;
+      case FrameOutcome::Kind::kPending:
+        break;  // unreachable
+    }
+    if (std::isfinite(outcome.latency_ms)) {
+      metrics_.histogram.add(outcome.latency_ms);
+    }
+    latencies.push_back(outcome.latency_ms);
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  metrics_.p50_ms = percentile_ms(latencies, 0.50);
+  metrics_.p95_ms = percentile_ms(latencies, 0.95);
+  metrics_.p99_ms = percentile_ms(latencies, 0.99);
+
+  metrics_.packets_enqueued = packets_enqueued();
+  metrics_.packets_delivered = packets_delivered();
+  metrics_.bytes_delivered = jitter_.counters().bytes_received;
+  metrics_.packets_dropped = packets_dropped();
+  metrics_.packets_in_flight = packets_in_flight();
+  metrics_.retransmits = arq_.counters().retransmits;
+  metrics_.duplicates = jitter_.counters().duplicates;
+  metrics_.queue_max_depth_frames = queue_.counters().max_depth_frames;
+  metrics_.queue_max_depth_bytes = queue_.counters().max_depth_bytes;
+}
+
+}  // namespace movr::net

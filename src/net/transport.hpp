@@ -1,0 +1,161 @@
+// The transport data-plane conductor: encoder -> packetizer -> deadline
+// queue -> ARQ -> air -> jitter buffer, all driven off the event queue.
+//
+// One Transport instance is the full sender+receiver pipeline for a
+// session. Each 90 Hz tick the session posts the current channel state
+// (the MCS its rate adapter picked and that MCS's packet error rate at the
+// true SNR, plus any fault-window loss); the transport emits the next
+// frame, packetizes it for that MCS, and keeps the air busy: one MPDU on
+// air at a time, acks resolving `ack_delay` later, up to the ARQ window
+// outstanding. Every frame's fate is settled by events — a display-
+// deadline event releases (or misses) it, loss coins resolve transmissions
+// — so transport time interleaves exactly with the rest of the simulation.
+//
+// The packet ledger is the subsystem's conservation law: every packet that
+// enters the TX queue is eventually delivered (counted once by the jitter
+// buffer), dropped (queue shed / stale, or ARQ budget), or still in flight
+// when the session ends. tests/net_transport_property_test.cpp fuzzes this
+// equation across random loss and fault schedules.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <vector>
+
+#include <net/arq.hpp>
+#include <net/frame.hpp>
+#include <net/frame_source.hpp>
+#include <net/jitter_buffer.hpp>
+#include <net/packetizer.hpp>
+#include <net/stats.hpp>
+#include <net/tx_queue.hpp>
+#include <phy/mcs.hpp>
+#include <sim/simulator.hpp>
+#include <sim/time.hpp>
+
+namespace movr::net {
+
+/// What the link looks like this frame, as the session's rate control saw
+/// it. `packet_loss` is the per-MPDU loss probability at the chosen MCS and
+/// the true SNR; `extra_loss` stacks fault-window loss on top.
+struct ChannelState {
+  const phy::McsEntry* mcs{nullptr};  // nullptr: link down, nothing flies
+  double packet_loss{0.0};
+  double extra_loss{0.0};
+
+  double loss() const {
+    const double p = packet_loss + extra_loss;
+    return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+  }
+};
+
+struct TransportConfig {
+  FrameSource::Config source{};
+  Packetizer::Config packetizer{};
+  TxQueue::Config queue{};
+  Arq::Config arq{};
+  /// Ack resolution delay after a data MPDU leaves the air.
+  sim::Duration ack_delay{std::chrono::microseconds{5}};
+  /// Ack loss probability = `ack_loss_factor` x data loss (acks are short
+  /// and robustly modulated, but not immune) — the source of duplicates.
+  double ack_loss_factor{0.25};
+  /// Loss stacked onto the channel while a fault window is active; the
+  /// session reads this when building ChannelState.
+  double fault_extra_loss{0.5};
+  std::uint64_t seed{99};
+};
+
+class Transport {
+ public:
+  /// Every emitted frame lands in exactly one terminal kind.
+  struct FrameOutcome {
+    enum class Kind : std::uint8_t {
+      kPending,       // not yet resolved (transient)
+      kOnTime,        // released at its display deadline
+      kLate,          // completed after its deadline (player saw a glitch)
+      kMiss,          // deadline passed, never completed, never dropped
+      kDroppedQueue,  // shed by the TX queue (stale or backpressure)
+      kDroppedArq,    // retransmission budget exhausted
+      kUnresolved,    // session ended before its deadline
+    };
+
+    std::uint64_t id{0};
+    sim::TimePoint capture{};
+    Kind kind{Kind::kPending};
+    double latency_ms{TransportMetrics::kNeverMs};
+
+    bool delivered_on_time() const { return kind == Kind::kOnTime; }
+  };
+
+  Transport(sim::Simulator& simulator, TransportConfig config);
+
+  /// One display tick: emit + packetize + enqueue the next frame under
+  /// `channel`, then keep the air busy. Call once per frame interval.
+  void on_frame(ChannelState channel);
+
+  /// Settles frames whose deadline lies beyond the session end and builds
+  /// the metrics. Call once after the simulator stops.
+  void finalize(sim::TimePoint end);
+
+  /// Valid after finalize().
+  const TransportMetrics& metrics() const { return metrics_; }
+
+  /// Per-frame fates in id order (ids are dense from 0).
+  const std::vector<FrameOutcome>& outcomes() const { return outcomes_; }
+
+  // Live ledger (valid at any time; fuzzed by the property tests).
+  std::uint64_t packets_enqueued() const;
+  std::uint64_t packets_delivered() const;
+  std::uint64_t packets_dropped() const;
+  std::uint64_t packets_in_flight() const;
+
+  const TxQueue& queue() const { return queue_; }
+  const Arq& arq() const { return arq_; }
+  const JitterBuffer& jitter() const { return jitter_; }
+  const FrameSource& source() const { return source_; }
+  const TransportConfig& config() const { return config_; }
+
+ private:
+  struct RetxEntry {
+    Packet packet;
+    bool delivered;  // a lost-ack duplicate (already at the receiver)
+  };
+
+  void pump();
+  void on_data_done(const Packet& packet, double loss, bool counted);
+  void on_ack(const Packet& packet, bool data_lost, bool ack_lost,
+              bool counted);
+  void on_display_deadline(std::uint64_t frame_id);
+  void on_frame_completed(std::uint64_t frame_id);
+  void drop_frame(std::uint64_t frame_id, FrameOutcome::Kind kind);
+  sim::Duration data_airtime(const Packet& packet,
+                             const phy::McsEntry& mcs) const;
+  bool coin(double probability);
+
+  sim::Simulator& simulator_;
+  TransportConfig config_;
+  FrameSource source_;
+  Packetizer packetizer_;
+  TxQueue queue_;
+  Arq arq_;
+  JitterBuffer jitter_;
+  std::mt19937_64 rng_;
+
+  ChannelState channel_{};
+  bool air_busy_{false};
+  std::deque<RetxEntry> retx_;
+  std::size_t retx_undelivered_{0};
+  /// Transmissions outstanding (sent, unresolved) whose packet has not yet
+  /// reached the receiver.
+  std::size_t unacked_undelivered_{0};
+  /// Packets denied retransmission while undelivered (ARQ abandonment).
+  std::uint64_t arq_packet_drops_{0};
+  /// Undelivered packets purged from the retransmit line on abandonment.
+  std::uint64_t retx_purge_drops_{0};
+
+  std::vector<FrameOutcome> outcomes_;
+  TransportMetrics metrics_;
+};
+
+}  // namespace movr::net

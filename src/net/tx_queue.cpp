@@ -1,0 +1,93 @@
+#include <net/tx_queue.hpp>
+
+#include <algorithm>
+
+namespace movr::net {
+
+std::size_t TxQueue::depth_frames() const {
+  std::size_t frames = 0;
+  std::uint64_t last_id = 0;
+  bool first = true;
+  for (const Packet& p : queue_) {
+    if (first || p.frame_id != last_id) {
+      ++frames;
+      last_id = p.frame_id;
+      first = false;
+    }
+  }
+  return frames;
+}
+
+void TxQueue::note_depth() {
+  counters_.max_depth_packets =
+      std::max(counters_.max_depth_packets, queue_.size());
+  counters_.max_depth_frames =
+      std::max(counters_.max_depth_frames, depth_frames());
+  counters_.max_depth_bytes = std::max(counters_.max_depth_bytes, bytes_);
+}
+
+void TxQueue::erase_head_frame(std::uint64_t frame_id, std::uint64_t& frames,
+                               std::uint64_t& packets) {
+  ++frames;
+  while (!queue_.empty() && queue_.front().frame_id == frame_id) {
+    bytes_ -= queue_.front().payload_bytes;
+    queue_.pop_front();
+    ++packets;
+  }
+}
+
+void TxQueue::push(const std::vector<Packet>& frame,
+                   std::vector<std::uint64_t>& dropped) {
+  while (!queue_.empty() && depth_frames() >= config_.max_frames) {
+    const std::uint64_t victim = queue_.front().frame_id;
+    erase_head_frame(victim, counters_.frames_dropped_full,
+                     counters_.packets_dropped_full);
+    dropped.push_back(victim);
+  }
+  for (const Packet& p : frame) {
+    queue_.push_back(p);
+    bytes_ += p.payload_bytes;
+    ++counters_.packets_enqueued;
+  }
+  ++counters_.frames_enqueued;
+  note_depth();
+}
+
+void TxQueue::drop_stale(sim::TimePoint now,
+                         std::vector<std::uint64_t>& dropped) {
+  while (!queue_.empty() && queue_.front().deadline <= now) {
+    const std::uint64_t victim = queue_.front().frame_id;
+    erase_head_frame(victim, counters_.frames_dropped_stale,
+                     counters_.packets_dropped_stale);
+    dropped.push_back(victim);
+  }
+}
+
+const Packet* TxQueue::front() const {
+  return queue_.empty() ? nullptr : &queue_.front();
+}
+
+Packet TxQueue::pop() {
+  Packet p = queue_.front();
+  queue_.pop_front();
+  bytes_ -= p.payload_bytes;
+  ++counters_.packets_dequeued;
+  return p;
+}
+
+std::size_t TxQueue::purge_frame(std::uint64_t frame_id) {
+  std::size_t purged = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->frame_id == frame_id) {
+      bytes_ -= it->payload_bytes;
+      it = queue_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  counters_.packets_purged += purged;
+  return purged;
+}
+
+}  // namespace movr::net

@@ -1,0 +1,86 @@
+// Deadline-aware transmit queue on the AP side.
+//
+// VR traffic is not elastic: a frame that cannot reach the display by its
+// deadline is worthless, and every microsecond of air spent on it is stolen
+// from the frame behind it. The queue therefore (a) drops already-late
+// frames from the head before handing out work, (b) sheds the *oldest*
+// frame on overflow (it is the closest to its deadline, hence the least
+// likely to make it), and (c) keeps backpressure counters so the metrics
+// can distinguish "link too slow" from "link lossy".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include <net/frame.hpp>
+#include <sim/time.hpp>
+
+namespace movr::net {
+
+class TxQueue {
+ public:
+  struct Config {
+    /// Frames the queue will hold before shedding the oldest (~89 ms of
+    /// video at 90 Hz — far beyond any deadline that could still be met).
+    std::size_t max_frames{8};
+  };
+
+  struct Counters {
+    std::uint64_t frames_enqueued{0};
+    std::uint64_t packets_enqueued{0};
+    std::uint64_t packets_dequeued{0};
+    /// Head-of-line drops: the frame's deadline passed while it queued.
+    std::uint64_t frames_dropped_stale{0};
+    std::uint64_t packets_dropped_stale{0};
+    /// Backpressure drops: queue full, oldest frame shed.
+    std::uint64_t frames_dropped_full{0};
+    std::uint64_t packets_dropped_full{0};
+    /// Purges requested by ARQ frame abandonment.
+    std::uint64_t packets_purged{0};
+    /// High-water marks.
+    std::size_t max_depth_frames{0};
+    std::size_t max_depth_packets{0};
+    std::uint64_t max_depth_bytes{0};
+  };
+
+  TxQueue() : TxQueue{Config{}} {}
+  explicit TxQueue(Config config) : config_{config} {}
+
+  const Config& config() const { return config_; }
+  const Counters& counters() const { return counters_; }
+
+  /// Enqueues a packetized frame. On overflow the oldest queued frame is
+  /// shed first; ids of shed frames are appended to `dropped`.
+  void push(const std::vector<Packet>& frame,
+            std::vector<std::uint64_t>& dropped);
+
+  /// Head-of-line drop: removes leading packets whose deadline is at or
+  /// before `now`; ids of affected frames are appended to `dropped`.
+  void drop_stale(sim::TimePoint now, std::vector<std::uint64_t>& dropped);
+
+  /// Next packet to transmit, nullptr when empty.
+  const Packet* front() const;
+  Packet pop();
+
+  /// Removes every queued packet of `frame_id` (ARQ gave up on the frame).
+  /// Returns how many packets were purged.
+  std::size_t purge_frame(std::uint64_t frame_id);
+
+  std::size_t depth_packets() const { return queue_.size(); }
+  std::size_t depth_frames() const;
+  std::uint64_t depth_bytes() const { return bytes_; }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  void note_depth();
+  void erase_head_frame(std::uint64_t frame_id, std::uint64_t& frames,
+                        std::uint64_t& packets);
+
+  Config config_;
+  Counters counters_;
+  std::deque<Packet> queue_;
+  std::uint64_t bytes_{0};
+};
+
+}  // namespace movr::net

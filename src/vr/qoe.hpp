@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include <net/stats.hpp>
 #include <sim/time.hpp>
 
 namespace movr::vr {
@@ -44,6 +46,12 @@ struct QoeReport {
   /// One entry per fault in the attached injector's timeline (empty when
   /// the session ran without fault injection).
   std::vector<FaultRecovery> fault_recovery;
+
+  /// Transport-layer accounting (latency histogram + p50/p95/p99, deadline
+  /// misses, retransmit/drop counters). Present only when the session ran
+  /// with Session::Config::transport enabled; under the legacy binary
+  /// delivered/glitched model this stays nullopt.
+  std::optional<net::TransportMetrics> transport;
 
   double glitch_fraction() const {
     return frames == 0 ? 0.0

@@ -19,6 +19,32 @@ Session::Session(sim::Simulator& simulator, core::Scene& scene,
       config_{config},
       rate_rng_{config.rate_control_seed} {
   report_.min_snr_db = 1e9;
+  if (config_.transport.has_value()) {
+    net::TransportConfig transport = *config_.transport;
+    transport.source.fps = config_.display.refresh_hz;
+    transport.source.latency_budget = config_.display.latency_budget();
+    if (transport.source.target_mbps <= 0.0) {
+      transport.source.target_mbps = config_.display.required_mbps();
+    }
+    transport_ = std::make_unique<net::Transport>(simulator_, transport);
+  }
+}
+
+std::pair<const phy::McsEntry*, double> Session::select_mcs(
+    rf::Decibels true_snr) {
+  const phy::McsEntry* mcs = nullptr;
+  if (strategy_.pin_lowest_rate()) {
+    mcs = &phy::mcs_table().front();
+  } else if (!config_.realistic_rate_control) {
+    mcs = phy::best_mcs(true_snr);
+  } else {
+    const rf::Decibels estimate =
+        rf::estimate_snr(true_snr, /*symbols=*/16, rate_rng_);
+    mcs = adapter_.on_estimate(estimate);
+  }
+  const double per =
+      mcs != nullptr ? phy::packet_error_rate(*mcs, true_snr) : 1.0;
+  return {mcs, per};
 }
 
 std::pair<double, bool> Session::rate_frame(rf::Decibels true_snr) {
@@ -82,6 +108,29 @@ void Session::tick() {
 
   // 2. The link strategy reacts and the frame is sent.
   const rf::Decibels snr = strategy_.on_frame();
+
+  if (transport_ != nullptr) {
+    // Transport path: the frame enters the data-plane; whether the player
+    // saw it is settled by queueing, ARQ and the jitter buffer, and folded
+    // into the report post-run (account_transport_outcomes).
+    const auto [mcs, per] = select_mcs(snr);
+    net::ChannelState channel;
+    channel.mcs = mcs;
+    channel.packet_loss = per;
+    if (config_.faults != nullptr && config_.faults->active_count(now) > 0) {
+      channel.extra_loss = config_.transport->fault_extra_loss;
+    }
+    transport_->on_frame(channel);
+    ++report_.frames;
+    snr_sum_ += snr.value();
+    rate_sum_ += mcs != nullptr ? mcs->rate_mbps : 0.0;
+    report_.min_snr_db = std::min(report_.min_snr_db, snr.value());
+    if (report_.frames < target_frames_) {
+      simulator_.at(now + config_.display.frame_interval(), [this] { tick(); });
+    }
+    return;
+  }
+
   const auto [rate, delivered] = rate_frame(snr);
 
   // 3. QoE accounting.
@@ -110,6 +159,11 @@ QoeReport Session::run() {
       config_.duration.count() / config_.display.frame_interval().count());
   simulator_.after(sim::Duration::zero(), [this] { tick(); });
   simulator_.run_until(start_ + config_.duration);
+  if (transport_ != nullptr) {
+    transport_->finalize(start_ + config_.duration);
+    account_transport_outcomes();
+    report_.transport = transport_->metrics();
+  }
   close_stall();
   if (report_.frames > 0) {
     report_.mean_snr_db = snr_sum_ / static_cast<double>(report_.frames);
@@ -121,6 +175,25 @@ QoeReport Session::run() {
     compute_fault_recovery();
   }
   return report_;
+}
+
+void Session::account_transport_outcomes() {
+  using Kind = net::Transport::FrameOutcome::Kind;
+  for (const auto& outcome : transport_->outcomes()) {
+    // A frame still unresolved at session end is not a glitch the player
+    // saw; everything else either released on time or missed the display.
+    const bool delivered =
+        outcome.kind == Kind::kOnTime || outcome.kind == Kind::kUnresolved;
+    if (config_.faults != nullptr) {
+      frame_log_.emplace_back(outcome.capture, delivered);
+    }
+    if (delivered) {
+      close_stall();
+    } else {
+      ++report_.glitched_frames;
+      ++current_stall_;
+    }
+  }
 }
 
 void Session::compute_fault_recovery() {

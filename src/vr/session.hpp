@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <random>
 #include <string_view>
 #include <utility>
@@ -14,6 +15,7 @@
 
 #include <core/link_manager.hpp>
 #include <core/scene.hpp>
+#include <net/transport.hpp>
 #include <phy/rate_adapter.hpp>
 #include <rf/units.hpp>
 #include <sim/fault_injector.hpp>
@@ -75,6 +77,16 @@ class Session {
     const sim::FaultInjector* faults{nullptr};
     /// Consecutive delivered frames that count as "recovered".
     int recovery_good_frames{3};
+    /// Opt-in frame transport data-plane: when set, frames are packetized,
+    /// queued against their display deadlines, ARQ'd over the lossy link
+    /// and reassembled in a headset-side jitter buffer — a frame is
+    /// "delivered" when it is released at its deadline, and the report
+    /// carries net::TransportMetrics (latency percentiles, deadline
+    /// misses, retransmits, drops). When unset (the default) the legacy
+    /// binary delivered/glitched model runs, bit-identical to before.
+    /// Source fps / bitrate / latency budget fields left at zero are
+    /// filled from `display`.
+    std::optional<net::TransportConfig> transport;
   };
 
   /// `motion` and `script` may be null (static player / no blockage).
@@ -107,10 +119,17 @@ class Session {
   /// attached; scanned once post-run to fill QoeReport::fault_recovery.
   std::vector<std::pair<sim::TimePoint, bool>> frame_log_;
 
+  /// Transport pipeline, live only when config_.transport is set.
+  std::unique_ptr<net::Transport> transport_;
+
   void close_stall();
   void compute_fault_recovery();
   /// Frame outcome under the configured rate-control model.
   std::pair<double, bool> rate_frame(rf::Decibels true_snr);
+  /// MCS selection + its per-MPDU loss at the true SNR (transport path).
+  std::pair<const phy::McsEntry*, double> select_mcs(rf::Decibels true_snr);
+  /// Folds the transport's per-frame outcomes into the QoE report.
+  void account_transport_outcomes();
 };
 
 }  // namespace movr::vr

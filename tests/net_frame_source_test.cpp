@@ -1,0 +1,83 @@
+#include <net/frame_source.hpp>
+
+#include <gtest/gtest.h>
+
+namespace movr::net {
+namespace {
+
+FrameSource::Config vive_like() {
+  FrameSource::Config config;
+  config.fps = 90.0;
+  config.target_mbps = 5600.0;
+  config.latency_budget = std::chrono::milliseconds{10};
+  config.gop_length = 30;
+  config.keyframe_ratio = 2.5;
+  config.size_jitter = 0.1;
+  config.seed = 7;
+  return config;
+}
+
+TEST(FrameSource, KeyframeCadenceFollowsGop) {
+  FrameSource source{vive_like()};
+  for (int i = 0; i < 90; ++i) {
+    const Frame frame = source.next(sim::from_seconds(i / 90.0));
+    EXPECT_EQ(frame.id, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(frame.keyframe, i % 30 == 0) << "frame " << i;
+  }
+}
+
+TEST(FrameSource, DeadlineIsCapturePlusBudget) {
+  FrameSource source{vive_like()};
+  const sim::TimePoint capture = sim::from_seconds(1.234);
+  const Frame frame = source.next(capture);
+  EXPECT_EQ(frame.deadline, capture + std::chrono::milliseconds{10});
+  EXPECT_EQ(frame.capture, capture);
+}
+
+TEST(FrameSource, SizesIntegrateToTargetBitrate) {
+  auto config = vive_like();
+  FrameSource source{config};
+  const int frames = 9000;  // 100 s of video
+  double total_bits = 0.0;
+  for (int i = 0; i < frames; ++i) {
+    total_bits += 8.0 * static_cast<double>(
+                            source.next(sim::from_seconds(i / 90.0)).bytes);
+  }
+  const double seconds = frames / config.fps;
+  const double mbps = total_bits / seconds / 1e6;
+  // Size jitter is zero-mean; 100 s should land within 2% of target.
+  EXPECT_NEAR(mbps, config.target_mbps, 0.02 * config.target_mbps);
+}
+
+TEST(FrameSource, KeyframesAreBiggerByRatio) {
+  auto config = vive_like();
+  config.size_jitter = 0.0;
+  FrameSource source{config};
+  const Frame key = source.next(sim::TimePoint{});
+  const Frame p = source.next(sim::from_seconds(1.0 / 90.0));
+  ASSERT_TRUE(key.keyframe);
+  ASSERT_FALSE(p.keyframe);
+  EXPECT_NEAR(static_cast<double>(key.bytes) / static_cast<double>(p.bytes),
+              config.keyframe_ratio, 0.01);
+}
+
+TEST(FrameSource, DeterministicAcrossInstances) {
+  FrameSource a{vive_like()};
+  FrameSource b{vive_like()};
+  for (int i = 0; i < 200; ++i) {
+    const auto t = sim::from_seconds(i / 90.0);
+    EXPECT_EQ(a.next(t).bytes, b.next(t).bytes);
+  }
+}
+
+TEST(FrameSource, GopOfOneIsAllKeyframes) {
+  auto config = vive_like();
+  config.gop_length = 1;
+  FrameSource source{config};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(source.next(sim::from_seconds(i / 90.0)).keyframe);
+  }
+}
+
+}  // namespace
+}  // namespace movr::net

@@ -1,0 +1,105 @@
+#include <net/jitter_buffer.hpp>
+
+#include <gtest/gtest.h>
+
+namespace movr::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+Packet make_packet(std::uint64_t frame_id, std::uint32_t seq,
+                   std::uint32_t frame_packets,
+                   sim::TimePoint capture = sim::from_seconds(1.0)) {
+  Packet p;
+  p.frame_id = frame_id;
+  p.seq = seq;
+  p.frame_packets = frame_packets;
+  p.payload_bytes = 1000;
+  p.capture = capture;
+  p.deadline = capture + std::chrono::milliseconds{10};
+  return p;
+}
+
+TEST(JitterBuffer, AssemblesOutOfOrderAndReleasesOnTime) {
+  JitterBuffer buffer;
+  const auto t0 = sim::from_seconds(1.0);
+  EXPECT_TRUE(buffer.on_packet(make_packet(0, 2, 3, t0), t0 + 1ms));
+  EXPECT_TRUE(buffer.on_packet(make_packet(0, 0, 3, t0), t0 + 2ms));
+  EXPECT_FALSE(buffer.is_complete(0));
+  EXPECT_TRUE(buffer.on_packet(make_packet(0, 1, 3, t0), t0 + 3ms));
+  EXPECT_TRUE(buffer.is_complete(0));
+  ASSERT_TRUE(buffer.completion_latency(0).has_value());
+  EXPECT_EQ(*buffer.completion_latency(0), sim::Duration{3ms});
+
+  EXPECT_EQ(buffer.on_deadline(0, t0 + 10ms),
+            JitterBuffer::Deadline::kReleasedOnTime);
+  EXPECT_EQ(buffer.counters().released_on_time, 1u);
+  EXPECT_EQ(buffer.release_log(), (std::vector<std::uint64_t>{0}));
+}
+
+TEST(JitterBuffer, DuplicatesAreAbsorbedOnce) {
+  JitterBuffer buffer;
+  const auto t0 = sim::from_seconds(1.0);
+  EXPECT_TRUE(buffer.on_packet(make_packet(0, 0, 2, t0), t0 + 1ms));
+  EXPECT_FALSE(buffer.on_packet(make_packet(0, 0, 2, t0), t0 + 2ms));
+  EXPECT_TRUE(buffer.on_packet(make_packet(0, 1, 2, t0), t0 + 3ms));
+  EXPECT_FALSE(buffer.on_packet(make_packet(0, 1, 2, t0), t0 + 4ms));
+  EXPECT_EQ(buffer.counters().duplicates, 2u);
+  EXPECT_EQ(buffer.counters().packets_received, 2u);
+  EXPECT_TRUE(buffer.is_complete(0));
+  // Completion latency dates to the first copy that completed the frame.
+  EXPECT_EQ(*buffer.completion_latency(0), sim::Duration{3ms});
+}
+
+TEST(JitterBuffer, IncompleteFrameMissesItsDeadline) {
+  JitterBuffer buffer;
+  const auto t0 = sim::from_seconds(1.0);
+  buffer.on_packet(make_packet(0, 0, 2, t0), t0 + 1ms);
+  EXPECT_EQ(buffer.on_deadline(0, t0 + 10ms), JitterBuffer::Deadline::kMiss);
+  EXPECT_EQ(buffer.counters().deadline_misses, 1u);
+  // The straggler arrives afterwards: a late completion, never released.
+  buffer.on_packet(make_packet(0, 1, 2, t0), t0 + 15ms);
+  EXPECT_TRUE(buffer.is_complete(0));
+  EXPECT_EQ(buffer.counters().late_completions, 1u);
+  EXPECT_EQ(*buffer.completion_latency(0), sim::Duration{15ms});
+  EXPECT_TRUE(buffer.release_log().empty());
+}
+
+TEST(JitterBuffer, DeadlineResolvesExactlyOnce) {
+  JitterBuffer buffer;
+  const auto t0 = sim::from_seconds(1.0);
+  buffer.on_packet(make_packet(0, 0, 1, t0), t0 + 1ms);
+  EXPECT_EQ(buffer.on_deadline(0, t0 + 10ms),
+            JitterBuffer::Deadline::kReleasedOnTime);
+  EXPECT_EQ(buffer.on_deadline(0, t0 + 10ms),
+            JitterBuffer::Deadline::kAlreadyResolved);
+  EXPECT_EQ(buffer.counters().released_on_time, 1u);
+}
+
+TEST(JitterBuffer, OutOfOrderReleaseThrows) {
+  JitterBuffer buffer;
+  const auto t0 = sim::from_seconds(1.0);
+  buffer.on_packet(make_packet(2, 0, 1, t0), t0 + 1ms);
+  buffer.on_packet(make_packet(1, 0, 1, t0), t0 + 1ms);
+  EXPECT_EQ(buffer.on_deadline(2, t0 + 10ms),
+            JitterBuffer::Deadline::kReleasedOnTime);
+  EXPECT_THROW(buffer.on_deadline(1, t0 + 11ms), std::logic_error);
+}
+
+TEST(JitterBuffer, ReleaseLogIsStrictlyIncreasing) {
+  JitterBuffer buffer;
+  const auto t0 = sim::from_seconds(1.0);
+  for (std::uint64_t id = 0; id < 20; id += 2) {
+    buffer.on_packet(make_packet(id, 0, 1, t0 + id * 11ms), t0 + id * 11ms);
+    EXPECT_EQ(buffer.on_deadline(id, t0 + id * 11ms + 10ms),
+              JitterBuffer::Deadline::kReleasedOnTime);
+  }
+  const auto& log = buffer.release_log();
+  ASSERT_EQ(log.size(), 10u);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LT(log[i - 1], log[i]);
+  }
+}
+
+}  // namespace
+}  // namespace movr::net

@@ -1,0 +1,79 @@
+#include <net/packetizer.hpp>
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace movr::net {
+namespace {
+
+const phy::McsEntry& fastest_mcs() { return phy::mcs_table().back(); }
+const phy::McsEntry& slowest_mcs() { return phy::mcs_table().front(); }
+
+Frame make_frame(std::uint64_t bytes) {
+  Frame frame;
+  frame.id = 42;
+  frame.capture = sim::from_seconds(1.0);
+  frame.deadline = frame.capture + std::chrono::milliseconds{10};
+  frame.bytes = bytes;
+  return frame;
+}
+
+TEST(Packetizer, MpduSizeScalesWithMcsAndClamps) {
+  Packetizer packetizer;
+  const std::uint32_t fast = packetizer.mpdu_bytes_for(fastest_mcs());
+  const std::uint32_t slow = packetizer.mpdu_bytes_for(slowest_mcs());
+  EXPECT_GT(fast, slow);
+  EXPECT_GE(slow, packetizer.config().min_mpdu_bytes);
+  EXPECT_LE(fast, packetizer.config().max_mpdu_bytes);
+  // MCS 24 at 6.76 Gbps for 150 us ~ 126 kB on air.
+  EXPECT_NEAR(static_cast<double>(fast), 6756.75e6 * 150e-6 / 8.0, 1.0);
+}
+
+TEST(Packetizer, SplitConservesBytesExactly) {
+  Packetizer packetizer;
+  for (const std::uint64_t bytes :
+       {std::uint64_t{1}, std::uint64_t{4096}, std::uint64_t{100000},
+        std::uint64_t{7776000}}) {
+    const auto packets = packetizer.split(make_frame(bytes), fastest_mcs());
+    const std::uint64_t total = std::accumulate(
+        packets.begin(), packets.end(), std::uint64_t{0},
+        [](std::uint64_t sum, const Packet& p) {
+          return sum + p.payload_bytes;
+        });
+    EXPECT_EQ(total, bytes);
+  }
+}
+
+TEST(Packetizer, PacketsCarryDenseSeqAndFrameFraming) {
+  Packetizer packetizer;
+  const Frame frame = make_frame(7776000);  // one raw Vive frame
+  const auto packets = packetizer.split(frame, fastest_mcs());
+  ASSERT_GT(packets.size(), 1u);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].seq, i);
+    EXPECT_EQ(packets[i].frame_id, frame.id);
+    EXPECT_EQ(packets[i].frame_packets, packets.size());
+    EXPECT_EQ(packets[i].deadline, frame.deadline);
+    EXPECT_EQ(packets[i].capture, frame.capture);
+    EXPECT_GT(packets[i].payload_bytes, 0u);
+  }
+}
+
+TEST(Packetizer, TinyFrameIsOnePacket) {
+  Packetizer packetizer;
+  const auto packets = packetizer.split(make_frame(100), slowest_mcs());
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].payload_bytes, 100u);
+  EXPECT_EQ(packets[0].frame_packets, 1u);
+}
+
+TEST(Packetizer, LowMcsMeansMorePackets) {
+  Packetizer packetizer;
+  const Frame frame = make_frame(2000000);
+  EXPECT_GT(packetizer.split(frame, slowest_mcs()).size(),
+            packetizer.split(frame, fastest_mcs()).size());
+}
+
+}  // namespace
+}  // namespace movr::net

@@ -1,0 +1,190 @@
+// Property/fuzz suite for the transport data-plane.
+//
+// Across randomized channel schedules (random MCS, random loss, link-down
+// windows, fault-injector windows stacking extra loss) the transport must
+// uphold its two contracts:
+//   1. packet conservation — delivered + dropped + in-flight == enqueued,
+//      with every term counted by an *independent* component (jitter
+//      buffer, queue+ARQ ledgers, structural occupancy);
+//   2. display-stream sanity — a frame id is never released twice and
+//      releases are strictly increasing.
+#include <net/transport.hpp>
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include <sim/fault_injector.hpp>
+#include <sim/simulator.hpp>
+
+namespace movr::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+TransportConfig small_config(std::uint64_t seed) {
+  TransportConfig config;
+  config.source.fps = 90.0;
+  config.source.target_mbps = 2000.0;
+  config.source.latency_budget = 10ms;
+  config.source.seed = seed * 11 + 1;
+  config.seed = seed * 17 + 3;
+  return config;
+}
+
+/// Drives `ticks` frames through a transport under a randomized channel,
+/// checking conservation after every tick. Returns the transport metrics.
+TransportMetrics run_fuzz(std::uint64_t seed, int ticks,
+                          bool with_fault_windows) {
+  sim::Simulator simulator;
+  Transport transport{simulator, small_config(seed)};
+  std::mt19937_64 rng{seed};
+
+  // Fault windows: while one is active the session stacks extra loss, the
+  // same wiring vr::Session uses.
+  sim::FaultInjector faults{simulator};
+  if (with_fault_windows) {
+    std::uniform_real_distribution<double> at{0.0, ticks / 90.0};
+    for (int i = 0; i < 4; ++i) {
+      const double start = at(rng);
+      faults.inject("loss-window", sim::from_seconds(start),
+                    sim::from_seconds(0.05 + 0.1 * i), [] {});
+    }
+  }
+
+  std::uniform_real_distribution<double> u{0.0, 1.0};
+  const auto mcs_count =
+      static_cast<std::uint64_t>(phy::mcs_table().size());
+  const sim::Duration interval = sim::from_seconds(1.0 / 90.0);
+
+  for (int t = 0; t < ticks; ++t) {
+    const sim::TimePoint tick_at = interval * t;
+    simulator.run_until(tick_at);
+
+    ChannelState channel;
+    const double roll = u(rng);
+    if (roll < 0.1) {
+      channel.mcs = nullptr;  // link down
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng() % mcs_count);
+      channel.mcs = &phy::mcs_table()[idx];
+      // Mostly clean, sometimes brutal.
+      channel.packet_loss = roll < 0.3 ? 0.6 * u(rng) : 0.05 * u(rng);
+    }
+    if (faults.active_count(simulator.now()) > 0) {
+      channel.extra_loss = transport.config().fault_extra_loss;
+    }
+    transport.on_frame(channel);
+
+    const std::uint64_t enqueued = transport.packets_enqueued();
+    const std::uint64_t accounted = transport.packets_delivered() +
+                                    transport.packets_dropped() +
+                                    transport.packets_in_flight();
+    EXPECT_EQ(enqueued, accounted)
+        << "conservation broke at tick " << t << " (seed " << seed << ")";
+    if (enqueued != accounted) {
+      break;
+    }
+  }
+  const sim::TimePoint end = interval * ticks;
+  simulator.run_until(end);
+  transport.finalize(end);
+
+  const TransportMetrics& metrics = transport.metrics();
+  EXPECT_TRUE(metrics.conserved()) << "seed " << seed;
+
+  // Frame ledger closes: every emitted frame has exactly one fate.
+  EXPECT_EQ(metrics.frames_emitted,
+            metrics.frames_on_time + metrics.frames_late +
+                metrics.frames_missed + metrics.frames_dropped_queue +
+                metrics.frames_dropped_arq + metrics.frames_unresolved)
+      << "seed " << seed;
+
+  // Release stream: strictly increasing, no double release.
+  const auto& log = transport.jitter().release_log();
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_TRUE(seen.insert(log[i]).second) << "double release of " << log[i];
+    if (i > 0) {
+      EXPECT_LT(log[i - 1], log[i]) << "out-of-order release";
+    }
+  }
+  EXPECT_EQ(log.size(), metrics.frames_on_time);
+  return metrics;
+}
+
+TEST(TransportProperty, ConservationAcrossRandomLossSchedules) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    run_fuzz(seed, 180, /*with_fault_windows=*/false);
+  }
+}
+
+TEST(TransportProperty, ConservationAcrossFaultInjectorSchedules) {
+  for (std::uint64_t seed = 21; seed <= 26; ++seed) {
+    run_fuzz(seed, 180, /*with_fault_windows=*/true);
+  }
+}
+
+TEST(TransportProperty, CleanChannelDeliversEverythingOnTime) {
+  sim::Simulator simulator;
+  Transport transport{simulator, small_config(5)};
+  const sim::Duration interval = sim::from_seconds(1.0 / 90.0);
+  const int ticks = 90;
+  for (int t = 0; t < ticks; ++t) {
+    simulator.run_until(interval * t);
+    ChannelState channel;
+    channel.mcs = &phy::mcs_table().back();
+    channel.packet_loss = 0.0;
+    transport.on_frame(channel);
+  }
+  simulator.run_until(interval * ticks);
+  transport.finalize(interval * ticks);
+  const TransportMetrics& metrics = transport.metrics();
+  EXPECT_EQ(metrics.frames_emitted, static_cast<std::uint64_t>(ticks));
+  EXPECT_EQ(metrics.frames_on_time, metrics.frames_emitted);
+  EXPECT_EQ(metrics.deadline_misses, 0u);
+  EXPECT_EQ(metrics.retransmits, 0u);
+  EXPECT_TRUE(metrics.conserved());
+  EXPECT_EQ(metrics.packets_in_flight, 0u);
+  // 2 Gbps at 90 fps moves in a handful of MPDUs well inside 10 ms.
+  EXPECT_GT(metrics.p50_ms, 0.0);
+  EXPECT_LT(metrics.p99_ms, 10.0);
+}
+
+TEST(TransportProperty, TotalLossDropsOrStrandsEverything) {
+  sim::Simulator simulator;
+  Transport transport{simulator, small_config(6)};
+  const sim::Duration interval = sim::from_seconds(1.0 / 90.0);
+  const int ticks = 45;
+  for (int t = 0; t < ticks; ++t) {
+    simulator.run_until(interval * t);
+    ChannelState channel;
+    channel.mcs = &phy::mcs_table().front();
+    channel.packet_loss = 1.0;
+    transport.on_frame(channel);
+  }
+  simulator.run_until(interval * ticks);
+  transport.finalize(interval * ticks);
+  const TransportMetrics& metrics = transport.metrics();
+  EXPECT_EQ(metrics.frames_on_time, 0u);
+  EXPECT_EQ(metrics.packets_delivered, 0u);
+  EXPECT_GT(metrics.retransmits, 0u);
+  EXPECT_GT(metrics.deadline_misses, 0u);
+  EXPECT_TRUE(metrics.conserved());
+}
+
+TEST(TransportProperty, DeterministicGivenSeeds) {
+  const TransportMetrics a = run_fuzz(33, 120, true);
+  const TransportMetrics b = run_fuzz(33, 120, true);
+  EXPECT_EQ(a.frames_on_time, b.frames_on_time);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
+}
+
+}  // namespace
+}  // namespace movr::net

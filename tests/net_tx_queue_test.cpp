@@ -1,0 +1,113 @@
+#include <net/tx_queue.hpp>
+
+#include <gtest/gtest.h>
+
+namespace movr::net {
+namespace {
+
+std::vector<Packet> make_frame(std::uint64_t id, std::uint32_t packets,
+                               sim::TimePoint deadline,
+                               std::uint32_t bytes = 1000) {
+  std::vector<Packet> out;
+  for (std::uint32_t seq = 0; seq < packets; ++seq) {
+    Packet p;
+    p.frame_id = id;
+    p.seq = seq;
+    p.frame_packets = packets;
+    p.payload_bytes = bytes;
+    p.deadline = deadline;
+    out.push_back(p);
+  }
+  return out;
+}
+
+TEST(TxQueue, FifoAcrossFrames) {
+  TxQueue queue;
+  std::vector<std::uint64_t> dropped;
+  queue.push(make_frame(0, 2, sim::from_seconds(1.0)), dropped);
+  queue.push(make_frame(1, 1, sim::from_seconds(2.0)), dropped);
+  EXPECT_TRUE(dropped.empty());
+  EXPECT_EQ(queue.depth_frames(), 2u);
+  EXPECT_EQ(queue.depth_packets(), 3u);
+  EXPECT_EQ(queue.pop().frame_id, 0u);
+  EXPECT_EQ(queue.pop().frame_id, 0u);
+  EXPECT_EQ(queue.pop().frame_id, 1u);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.counters().packets_enqueued, 3u);
+  EXPECT_EQ(queue.counters().packets_dequeued, 3u);
+}
+
+TEST(TxQueue, DropStaleShedsLateHeadFrames) {
+  TxQueue queue;
+  std::vector<std::uint64_t> dropped;
+  queue.push(make_frame(0, 3, sim::from_seconds(1.0)), dropped);
+  queue.push(make_frame(1, 2, sim::from_seconds(2.0)), dropped);
+  queue.push(make_frame(2, 2, sim::from_seconds(3.0)), dropped);
+
+  queue.drop_stale(sim::from_seconds(2.0), dropped);  // 1.0 and 2.0 are late
+  EXPECT_EQ(dropped, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(queue.depth_frames(), 1u);
+  ASSERT_NE(queue.front(), nullptr);
+  EXPECT_EQ(queue.front()->frame_id, 2u);
+  EXPECT_EQ(queue.counters().frames_dropped_stale, 2u);
+  EXPECT_EQ(queue.counters().packets_dropped_stale, 5u);
+}
+
+TEST(TxQueue, OverflowShedsOldestFrame) {
+  TxQueue::Config config;
+  config.max_frames = 2;
+  TxQueue queue{config};
+  std::vector<std::uint64_t> dropped;
+  queue.push(make_frame(0, 1, sim::from_seconds(1.0)), dropped);
+  queue.push(make_frame(1, 1, sim::from_seconds(2.0)), dropped);
+  EXPECT_TRUE(dropped.empty());
+  queue.push(make_frame(2, 1, sim::from_seconds(3.0)), dropped);
+  EXPECT_EQ(dropped, (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(queue.depth_frames(), 2u);
+  EXPECT_EQ(queue.counters().frames_dropped_full, 1u);
+  EXPECT_EQ(queue.counters().packets_dropped_full, 1u);
+}
+
+TEST(TxQueue, PurgeFrameRemovesMidQueuePackets) {
+  TxQueue queue;
+  std::vector<std::uint64_t> dropped;
+  queue.push(make_frame(0, 2, sim::from_seconds(1.0)), dropped);
+  queue.push(make_frame(1, 3, sim::from_seconds(2.0)), dropped);
+  queue.push(make_frame(2, 1, sim::from_seconds(3.0)), dropped);
+  EXPECT_EQ(queue.purge_frame(1), 3u);
+  EXPECT_EQ(queue.depth_packets(), 3u);
+  EXPECT_EQ(queue.depth_frames(), 2u);
+  EXPECT_EQ(queue.counters().packets_purged, 3u);
+  // Remaining order intact.
+  EXPECT_EQ(queue.pop().frame_id, 0u);
+  EXPECT_EQ(queue.pop().frame_id, 0u);
+  EXPECT_EQ(queue.pop().frame_id, 2u);
+}
+
+TEST(TxQueue, DepthCountersTrackBytesAndHighWater) {
+  TxQueue queue;
+  std::vector<std::uint64_t> dropped;
+  queue.push(make_frame(0, 2, sim::from_seconds(1.0), 500), dropped);
+  EXPECT_EQ(queue.depth_bytes(), 1000u);
+  queue.push(make_frame(1, 1, sim::from_seconds(2.0), 2000), dropped);
+  EXPECT_EQ(queue.depth_bytes(), 3000u);
+  queue.pop();
+  EXPECT_EQ(queue.depth_bytes(), 2500u);
+  EXPECT_EQ(queue.counters().max_depth_bytes, 3000u);
+  EXPECT_EQ(queue.counters().max_depth_packets, 3u);
+  EXPECT_EQ(queue.counters().max_depth_frames, 2u);
+}
+
+TEST(TxQueue, PartiallySentFrameStillStaleDrops) {
+  TxQueue queue;
+  std::vector<std::uint64_t> dropped;
+  queue.push(make_frame(0, 3, sim::from_seconds(1.0)), dropped);
+  queue.pop();  // one packet went to the air
+  queue.drop_stale(sim::from_seconds(1.5), dropped);
+  EXPECT_EQ(dropped, (std::vector<std::uint64_t>{0}));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.counters().packets_dropped_stale, 2u);
+}
+
+}  // namespace
+}  // namespace movr::net
