@@ -1,0 +1,547 @@
+// Seed-replayable chaos soak for the hardened control plane.
+//
+// Each seed composes a full fault cocktail over a live MoVR session —
+// obstacle storms, hand blockages, control partitions, brownouts, payload
+// corruption, reordering, a reflector reboot, amplifier sag, sensor bias
+// drift, and the lossy frame transport — and checks the global safety
+// invariants every 20 ms of sim time:
+//
+//   A  gain <= leakage margin: once a control partition has outlasted the
+//      silence watchdog (plus one tick of grace), every reflector's gain
+//      code must sit at/below its provably-stable safe floor. This is the
+//      invariant a build with the watchdog disabled MUST fail.
+//   B  no sustained oscillation: the amplifier loop may go unstable
+//      transiently (an undetected-corrupt gain slipping through), but the
+//      current guard + digest replay must restore stability within 1 s.
+//   C  config divergence is reconciled within a bound (2.5 s) for every
+//      reachable reflector (partitioned ones are excluded — nothing can
+//      cross a partition).
+//   D  the control-channel ledger closes every tick (sent == delivered +
+//      dropped + undeliverable) and the transport packet ledger closes at
+//      session end.
+//   E  every angle search launched into the chaos terminates — completed,
+//      or failed with a reason — inside its watchdog budget.
+//
+// Every random draw derives from the seed via sim::RngRegistry, so a
+// failing seed replays bit-identically; on failure the bench prints the
+// exact replay command. Each row carries a fingerprint hash of the run's
+// counters so a replay can be compared against the sweep byte-for-byte.
+//
+// Usage:
+//   chaos_soak [--seeds N] [--seed S] [--duration SECONDS]
+//              [--disable-watchdog] [--expect-violation]
+//
+//   --seeds N            run seeds 1..N (default 20)
+//   --seed S             run exactly one seed (replay mode)
+//   --duration SECONDS   sim time per seed (default 60)
+//   --disable-watchdog   build-breakage tripwire: reflector silence
+//                        watchdogs off; invariant A must catch it
+//   --expect-violation   invert the exit code: succeed only if at least
+//                        one invariant violation was observed
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <core/angle_search.hpp>
+#include <core/config_epoch.hpp>
+#include <sim/fault_injector.hpp>
+#include <sim/rng.hpp>
+#include <vr/fault_scenarios.hpp>
+#include <vr/session.hpp>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace movr;
+using geom::deg_to_rad;
+using namespace std::chrono_literals;
+
+struct Violation {
+  sim::TimePoint at{};
+  std::string what;
+};
+
+struct SearchRecord {
+  sim::TimePoint started{};
+  sim::Duration took{0};
+  bool launched{false};
+  bool done{false};
+  bool completed{false};
+  std::string reason;
+};
+
+struct SeedResult {
+  std::uint64_t seed{0};
+  vr::QoeReport report;
+  sim::ControlChannel::Stats channel;
+  core::ControlPlaneIncidents incidents;
+  std::vector<Violation> violations;
+  std::size_t searches{0};
+  std::uint64_t ticks_checked{0};
+  std::uint64_t fingerprint{0};
+};
+
+double uniform(std::mt19937_64& g, double lo, double hi) {
+  return std::uniform_real_distribution<double>{lo, hi}(g);
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+SeedResult run_seed(std::uint64_t seed, double duration_s,
+                    bool watchdog_enabled) {
+  SeedResult result;
+  result.seed = seed;
+  const auto duration = sim::from_seconds(duration_s);
+  const sim::TimePoint end{duration};
+  sim::RngRegistry rngs{seed};
+  auto chaos = rngs.stream("chaos");
+
+  // --- scene: the paper office, headset position varied per seed --------
+  auto scene = bench::paper_scene(
+      {uniform(chaos, 2.2, 3.2), uniform(chaos, 1.6, 2.6)}, false);
+  bench::steer_direct(scene);
+  auto& r0 = scene.add_reflector({4.6, 4.6}, deg_to_rad(225.0));
+  auto& r1 = scene.add_reflector({3.6, 4.8}, deg_to_rad(265.0));
+  auto cal_rng = rngs.stream("cal");
+  bench::calibrate_reflector(scene, r0, cal_rng);
+  bench::calibrate_reflector(scene, r1, cal_rng);
+
+  // --- control channel: every fault axis on, severity drawn per seed ----
+  sim::Simulator simulator;
+  sim::ControlChannel::Config channel_config;
+  channel_config.loss_probability = uniform(chaos, 0.02, 0.12);
+  channel_config.ack_loss_fraction = 0.25;
+  channel_config.jitter = sim::Duration{
+      static_cast<sim::Duration::rep>(uniform(chaos, 0.5e6, 2.0e6))};
+  channel_config.corruption_probability = uniform(chaos, 0.005, 0.03);
+  channel_config.undetected_corruption_fraction = 0.1;
+  channel_config.reorder_probability = uniform(chaos, 0.02, 0.12);
+  sim::ControlChannel control{simulator, channel_config, rngs.stream("bt")};
+
+  // The manager's register writes stand for BT exchanges: gate them on the
+  // channel, so it cannot command a reflector across a partition.
+  core::LinkManager::Config manager_config;
+  manager_config.reflector_reachable = [&control](std::size_t) {
+    return !control.partitioned();
+  };
+  vr::MovrStrategy strategy{simulator, scene, rngs.stream("mgr"),
+                            manager_config};
+
+  // --- hardened control plane: one firmware agent per reflector ---------
+  core::ReflectorConfigAgent::Config agent_config;
+  agent_config.watchdog_enabled = watchdog_enabled;
+  core::ReflectorConfigAgent agent0{simulator, control, r0, agent_config,
+                                    rngs.stream("agent", 0)};
+  core::ReflectorConfigAgent agent1{simulator, control, r1, agent_config,
+                                    rngs.stream("agent", 1)};
+  agent0.set_input_probe([&] { return scene.reflector_input(r0); });
+  agent1.set_input_probe([&] { return scene.reflector_input(r1); });
+  agent0.start();
+  agent1.start();
+
+  core::ControlPlane plane{simulator, control, {}};
+  plane.bind_health(&strategy.manager().health());
+  plane.manage(0, r0, &agent0);
+  plane.manage(1, r1, &agent1);
+  plane.start();
+  const auto epoch_of = [](const core::MovrReflector& r) {
+    return core::ConfigEpoch{r.front_end().rx_array().steering(),
+                             r.front_end().tx_array().steering(),
+                             r.front_end().gain_code()};
+  };
+  plane.commit(0, epoch_of(r0));
+  plane.commit(1, epoch_of(r1));
+
+  // --- fault schedule, drawn from the seed ------------------------------
+  sim::FaultInjector injector{simulator};
+
+  // One guaranteed blockage + partition overlap: the acceptance scenario
+  // (partition while riding the reflector) happens in EVERY seed.
+  const auto add_blockage = [&](sim::TimePoint at, sim::Duration len) {
+    injector.inject(
+        "hand_blockage", at, len,
+        [&scene] {
+          scene.room().add_obstacle(channel::make_hand(
+              scene.headset().node().position(),
+              scene.ap().node().position() -
+                  scene.headset().node().position()));
+        },
+        [&scene] { scene.room().remove_obstacles("hand"); });
+  };
+  add_blockage(sim::TimePoint{4s},
+               sim::Duration{static_cast<sim::Duration::rep>(
+                   uniform(chaos, 3.5e9, 5.0e9))});
+  injector.inject_control_partition(
+      control, sim::TimePoint{5s},
+      sim::Duration{
+          static_cast<sim::Duration::rep>(uniform(chaos, 1.2e9, 2.5e9))});
+
+  // Extra partition windows, brownouts, storms and blockages spread over
+  // the rest of the run.
+  const double budget_s = duration_s - 12.0;
+  const int extra = budget_s > 0.0 ? static_cast<int>(budget_s / 12.0) : 0;
+  for (int i = 0; i < extra; ++i) {
+    const double base_s = 10.0 + 12.0 * i;
+    injector.inject_control_partition(
+        control, sim::TimePoint{sim::from_seconds(base_s + uniform(chaos, 0.0, 4.0))},
+        sim::Duration{
+            static_cast<sim::Duration::rep>(uniform(chaos, 0.6e9, 1.8e9))});
+    injector.inject_control_brownout(
+        control, sim::TimePoint{sim::from_seconds(base_s + uniform(chaos, 4.0, 8.0))},
+        sim::Duration{
+            static_cast<sim::Duration::rep>(uniform(chaos, 0.5e9, 2.0e9))},
+        /*extra_loss=*/uniform(chaos, 0.3, 0.8),
+        /*extra_latency=*/sim::Duration{static_cast<sim::Duration::rep>(
+            uniform(chaos, 2.0e6, 8.0e6))});
+    vr::ObstacleStormConfig storm;
+    storm.start = sim::TimePoint{sim::from_seconds(base_s + uniform(chaos, 0.0, 6.0))};
+    storm.duration = sim::Duration{
+        static_cast<sim::Duration::rep>(uniform(chaos, 1.5e9, 3.5e9))};
+    storm.people = 2 + static_cast<int>(uniform(chaos, 0.0, 3.0));
+    storm.seed = seed * 1000 + static_cast<std::uint64_t>(i);
+    vr::add_obstacle_storm(injector, scene.room(), storm);
+    add_blockage(sim::TimePoint{sim::from_seconds(base_s + uniform(chaos, 6.0, 9.0))},
+                 sim::Duration{static_cast<sim::Duration::rep>(
+                     uniform(chaos, 1.0e9, 3.0e9))});
+  }
+  // One reflector reboot (registers wiped, boot epoch bumped) mid-run, and
+  // slow hardware drift on top.
+  if (duration_s >= 20.0) {
+    vr::add_reflector_reboot(
+        injector, r0,
+        sim::TimePoint{sim::from_seconds(uniform(chaos, 10.0, duration_s - 6.0))});
+    vr::add_gain_sag(injector, r0,
+                     sim::TimePoint{sim::from_seconds(uniform(chaos, 10.0, 14.0))},
+                     4s, rf::Decibels{uniform(chaos, 2.0, 6.0)});
+    vr::add_sensor_bias_drift(
+        injector, r0, sim::TimePoint{sim::from_seconds(uniform(chaos, 14.0, 18.0))},
+        4s, /*peak_bias_a=*/uniform(chaos, 0.005, 0.02));
+  }
+
+  // --- angle searches launched into the chaos (invariant E) -------------
+  auto search_config = core::make_search_config(4.0);
+  search_config.watchdog = 2s;
+  search_config.abort_after_failed_commands = 8;
+  std::vector<std::unique_ptr<core::IncidenceSearch>> searches;
+  std::vector<SearchRecord> search_records;
+  for (double at_s = 8.0; at_s + 3.0 < duration_s; at_s += 17.0) {
+    const auto i = searches.size();
+    searches.push_back(std::make_unique<core::IncidenceSearch>(
+        simulator, control, scene, r1, search_config,
+        rngs.stream("search", i)));
+    search_records.emplace_back();
+    simulator.at(sim::TimePoint{sim::from_seconds(at_s)}, [&, i] {
+      search_records[i].launched = true;
+      search_records[i].started = simulator.now();
+      searches[i]->start([&, i](const core::IncidenceResult& r) {
+        search_records[i].done = true;
+        search_records[i].completed = r.completed;
+        search_records[i].reason = r.failure_reason;
+        search_records[i].took = r.duration;
+      });
+    });
+  }
+  result.searches = searches.size();
+
+  // --- the invariant checker, every 20 ms of sim time -------------------
+  const sim::Duration grace = agent_config.silence_timeout +
+                              2 * agent_config.watchdog_tick +
+                              sim::Duration{100'000'000};
+  const sim::Duration oscillation_bound{1'000'000'000};
+  const sim::Duration divergence_bound{2'500'000'000};
+  struct WatchState {
+    sim::TimePoint partition_since{};
+    bool partitioned{false};
+    sim::TimePoint unstable_since[2]{};
+    bool unstable[2]{false, false};
+  };
+  auto watch = std::make_unique<WatchState>();
+  const auto violate = [&](const std::string& what) {
+    result.violations.push_back({simulator.now(), what});
+  };
+  const auto check = [&, w = watch.get()] {
+    const auto now = simulator.now();
+    ++result.ticks_checked;
+    // A: partition outlasting the watchdog => gain at/below the safe floor.
+    if (control.partitioned()) {
+      if (!w->partitioned) {
+        w->partitioned = true;
+        w->partition_since = now;
+      }
+      if (now - w->partition_since > grace) {
+        const core::ReflectorConfigAgent* agents[2] = {&agent0, &agent1};
+        const core::MovrReflector* reflectors[2] = {&r0, &r1};
+        for (int i = 0; i < 2; ++i) {
+          if (reflectors[i]->front_end().gain_code() >
+              agents[i]->safe_gain_code()) {
+            violate("invariant A: reflector " + std::to_string(i) +
+                    " gain code " +
+                    std::to_string(reflectors[i]->front_end().gain_code()) +
+                    " above safe floor code " +
+                    std::to_string(agents[i]->safe_gain_code()) +
+                    " during a partition older than the watchdog grace"
+                    " (safe_mode=" +
+                    std::to_string(agents[i]->in_safe_mode()) +
+                    " applied_seq=" +
+                    std::to_string(agents[i]->applied_seq()) +
+                    " plane_partitioned=" +
+                    std::to_string(
+                        plane.partitioned(static_cast<std::size_t>(i))) +
+                    " partition_age_ms=" +
+                    std::to_string(
+                        sim::to_milliseconds(now - w->partition_since)) +
+                    ")");
+          }
+        }
+      }
+    } else {
+      w->partitioned = false;
+    }
+    // B: instability must not be sustained.
+    const core::MovrReflector* reflectors[2] = {&r0, &r1};
+    for (int i = 0; i < 2; ++i) {
+      const auto state =
+          reflectors[i]->front_end().process(scene.reflector_input(*reflectors[i]));
+      if (!state.stable) {
+        if (!w->unstable[i]) {
+          w->unstable[i] = true;
+          w->unstable_since[i] = now;
+        }
+        if (now - w->unstable_since[i] > oscillation_bound) {
+          violate("invariant B: reflector " + std::to_string(i) +
+                  " oscillating for more than " +
+                  std::to_string(sim::to_milliseconds(oscillation_bound)) +
+                  " ms");
+          w->unstable_since[i] = now;  // rate-limit repeat reports
+        }
+      } else {
+        w->unstable[i] = false;
+      }
+    }
+    // C: config divergence reconciled within the bound.
+    if (plane.max_divergence_age(now) > divergence_bound) {
+      std::string detail;
+      const core::ReflectorConfigAgent* cagents[2] = {&agent0, &agent1};
+      const core::MovrReflector* crefl[2] = {&r0, &r1};
+      for (int i = 0; i < 2; ++i) {
+        detail += " r" + std::to_string(i) + "(age_ms=" +
+                  std::to_string(sim::to_milliseconds(
+                      plane.divergence_age(static_cast<std::size_t>(i), now))) +
+                  " partitioned=" +
+                  std::to_string(plane.partitioned(static_cast<std::size_t>(i))) +
+                  " safe_mode=" + std::to_string(cagents[i]->in_safe_mode()) +
+                  " gain=" +
+                  std::to_string(crefl[i]->front_end().gain_code()) +
+                  " osc_trips=" +
+                  std::to_string(cagents[i]->stats().oscillation_trips) +
+                  " safe_entries=" +
+                  std::to_string(cagents[i]->stats().safe_mode_entries) +
+                  " applied=" + std::to_string(cagents[i]->applied_seq()) +
+                  ")";
+      }
+      violate("invariant C: config divergence older than " +
+              std::to_string(sim::to_milliseconds(divergence_bound)) + " ms:" +
+              detail);
+    }
+    // D: the control-channel ledger closes on every tick.
+    const auto& cs = control.stats();
+    if (cs.sent !=
+        cs.delivered + cs.dropped + cs.undeliverable + cs.in_flight) {
+      violate("invariant D: control ledger open (sent " +
+              std::to_string(cs.sent) + " != delivered " +
+              std::to_string(cs.delivered) + " + dropped " +
+              std::to_string(cs.dropped) + " + undeliverable " +
+              std::to_string(cs.undeliverable) + " + in-flight " +
+              std::to_string(cs.in_flight) + ")");
+    }
+    // E: launched searches terminate inside watchdog + slack.
+    for (std::size_t i = 0; i < search_records.size(); ++i) {
+      const auto& rec = search_records[i];
+      if (rec.launched && !rec.done &&
+          now - rec.started > search_config.watchdog + 500ms) {
+        violate("invariant E: search " + std::to_string(i) +
+                " still running past its watchdog");
+      }
+    }
+  };
+  for (sim::TimePoint t{20ms}; t < end; t += 20ms) {
+    simulator.at(t, check);
+  }
+
+  // --- the session itself: frame transport on, fault accounting on ------
+  vr::Session::Config session_config;
+  session_config.duration = duration;
+  session_config.faults = &injector;
+  session_config.control_plane = &plane;
+  net::TransportConfig transport;
+  transport.source.target_mbps = 400.0;
+  session_config.transport = transport;
+  vr::Session session{simulator, scene, strategy, nullptr, nullptr,
+                      session_config};
+  result.report = session.run();
+
+  // --- end-of-run invariants -------------------------------------------
+  if (result.report.transport && !result.report.transport->conserved()) {
+    result.violations.push_back(
+        {end, "invariant D: transport packet ledger does not close"});
+  }
+  for (std::size_t i = 0; i < search_records.size(); ++i) {
+    const auto& rec = search_records[i];
+    if (!rec.launched) {
+      continue;
+    }
+    if (!rec.done) {
+      result.violations.push_back(
+          {end, "invariant E: search " + std::to_string(i) +
+                    " never terminated"});
+    } else if (!rec.completed && rec.reason.empty()) {
+      result.violations.push_back(
+          {end, "invariant E: search " + std::to_string(i) +
+                    " failed without a reason"});
+    }
+  }
+
+  result.channel = control.stats();
+  result.incidents = plane.incidents();
+
+  // Fingerprint: a replayed seed must reproduce this hash exactly.
+  std::uint64_t h = sim::fnv1a("chaos_soak");
+  h = mix(h, seed);
+  h = mix(h, result.report.frames);
+  h = mix(h, result.report.glitched_frames);
+  h = mix(h, result.channel.sent);
+  h = mix(h, result.channel.delivered);
+  h = mix(h, result.channel.corrupted_dropped);
+  h = mix(h, result.channel.corrupted_delivered);
+  h = mix(h, result.channel.reordered);
+  h = mix(h, result.channel.partition_losses);
+  h = mix(h, result.incidents.partitions_entered);
+  h = mix(h, result.incidents.divergences_detected);
+  h = mix(h, result.incidents.reconciliations);
+  h = mix(h, result.incidents.safe_mode_entries);
+  h = mix(h, result.report.transport ? result.report.transport->packets_delivered
+                                     : 0);
+  h = mix(h, static_cast<std::uint64_t>(result.violations.size()));
+  result.fingerprint = h;
+  return result;
+}
+
+void print_usage() {
+  std::printf(
+      "chaos_soak — seeded control-plane chaos soak with per-tick "
+      "invariants\n\n"
+      "  chaos_soak [--seeds N] [--seed S] [--duration SECONDS]\n"
+      "             [--disable-watchdog] [--expect-violation]\n\n"
+      "  --seeds N            run seeds 1..N (default 20)\n"
+      "  --seed S             run exactly one seed (replay mode)\n"
+      "  --duration SECONDS   sim time per seed (default 60)\n"
+      "  --disable-watchdog   tripwire: reflector silence watchdogs off;\n"
+      "                       the gain-<=-leakage invariant must fire\n"
+      "  --expect-violation   exit 0 only if a violation WAS observed\n\n"
+      "On failure the exact single-seed replay command is printed; the\n"
+      "fingerprint column lets you compare the replay bit-for-bit.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int seeds = 20;
+  std::uint64_t single_seed = 0;
+  bool have_single_seed = false;
+  double duration_s = 60.0;
+  bool disable_watchdog = false;
+  bool expect_violation = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      single_seed = std::strtoull(argv[++i], nullptr, 10);
+      have_single_seed = true;
+    } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      duration_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--disable-watchdog") == 0) {
+      disable_watchdog = true;
+    } else if (std::strcmp(argv[i], "--expect-violation") == 0) {
+      expect_violation = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      print_usage();
+      return 2;
+    }
+  }
+
+  std::vector<std::uint64_t> seed_list;
+  if (have_single_seed) {
+    seed_list.push_back(single_seed);
+  } else {
+    for (int s = 1; s <= seeds; ++s) {
+      seed_list.push_back(static_cast<std::uint64_t>(s));
+    }
+  }
+
+  bench::print_header("Chaos soak — control-plane invariants under fire");
+  std::printf("%6s %8s %9s %6s %6s %6s %6s %6s %6s %5s %18s %5s\n", "seed",
+              "frames", "glitch%", "part", "div", "recon", "safe", "corr",
+              "reord", "srch", "fingerprint", "viol");
+
+  std::uint64_t total_violations = 0;
+  for (const std::uint64_t seed : seed_list) {
+    const SeedResult r = run_seed(seed, duration_s, !disable_watchdog);
+    std::printf(
+        "%6llu %8llu %8.2f%% %6llu %6llu %6llu %6llu %6llu %6llu %5zu "
+        "%018llx %5zu\n",
+        static_cast<unsigned long long>(r.seed),
+        static_cast<unsigned long long>(r.report.frames),
+        100.0 * r.report.glitch_fraction(),
+        static_cast<unsigned long long>(r.incidents.partitions_entered),
+        static_cast<unsigned long long>(r.incidents.divergences_detected),
+        static_cast<unsigned long long>(r.incidents.reconciliations),
+        static_cast<unsigned long long>(r.incidents.safe_mode_entries),
+        static_cast<unsigned long long>(r.channel.corrupted_dropped +
+                                        r.channel.corrupted_delivered),
+        static_cast<unsigned long long>(r.channel.reordered), r.searches,
+        static_cast<unsigned long long>(r.fingerprint),
+        r.violations.size());
+    for (const Violation& v : r.violations) {
+      std::printf("  VIOLATION t=%.3fs %s\n", sim::to_seconds(v.at),
+                  v.what.c_str());
+    }
+    if (!r.violations.empty()) {
+      std::printf("  replay: chaos_soak --seed %llu --duration %g%s\n",
+                  static_cast<unsigned long long>(r.seed), duration_s,
+                  disable_watchdog ? " --disable-watchdog" : "");
+    }
+    total_violations += r.violations.size();
+  }
+
+  if (expect_violation) {
+    if (total_violations == 0) {
+      std::printf("\nFAIL: expected at least one invariant violation, saw "
+                  "none — the tripwire did not fire\n");
+      return 1;
+    }
+    std::printf("\nOK: tripwire fired (%llu violations) as expected\n",
+                static_cast<unsigned long long>(total_violations));
+    return 0;
+  }
+  if (total_violations > 0) {
+    std::printf("\nFAIL: %llu invariant violations across %zu seeds\n",
+                static_cast<unsigned long long>(total_violations),
+                seed_list.size());
+    return 1;
+  }
+  std::printf("\nOK: %zu seeds x %.0f s clean\n", seed_list.size(),
+              duration_s);
+  return 0;
+}

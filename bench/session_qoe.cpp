@@ -10,6 +10,8 @@
 #include <baseline/dual_antenna.hpp>
 #include <baseline/strategies.hpp>
 #include <baseline/wifi.hpp>
+#include <core/config_epoch.hpp>
+#include <sim/fault_injector.hpp>
 #include <sim/rng.hpp>
 #include <vr/session.hpp>
 
@@ -51,9 +53,15 @@ struct Row {
 
 int main(int argc, char** argv) {
   bool with_transport = false;
+  bool with_control_faults = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--transport") == 0) {
       with_transport = true;
+    } else if (std::strcmp(argv[i], "--control-faults") == 0) {
+      // Runs MoVR's row with the hardened control plane attached and a
+      // 1.5 s control partition mid-session, and prints the incident
+      // counters (core::ControlPlaneIncidents) under the QoE table.
+      with_control_faults = true;
     }
   }
 
@@ -82,7 +90,27 @@ int main(int argc, char** argv) {
     sim::Simulator simulator;
     vr::MovrStrategy strategy{simulator, scene, rngs.stream("mgr")};
     vr::PlayerMotion motion{scene.room(), {3.0, 2.2}, 11};
-    vr::Session session{simulator, scene, strategy, &motion, &script, config};
+    sim::ControlChannel control{simulator, {}, rngs.stream("ctrl")};
+    core::ReflectorConfigAgent agent{simulator, control, reflector, {},
+                                     rngs.stream("agent")};
+    core::ControlPlane plane{simulator, control, {}};
+    sim::FaultInjector injector{simulator};
+    auto movr_config = config;
+    if (with_control_faults) {
+      agent.start();
+      plane.bind_health(&strategy.manager().health());
+      plane.manage(0, reflector, &agent);
+      plane.start();
+      plane.commit(0, {reflector.front_end().rx_array().steering(),
+                       reflector.front_end().tx_array().steering(),
+                       reflector.front_end().gain_code()});
+      injector.inject_control_partition(control, sim::from_seconds(6.0),
+                                        sim::from_seconds(1.5));
+      movr_config.faults = &injector;
+      movr_config.control_plane = &plane;
+    }
+    vr::Session session{simulator, scene,   strategy,
+                        &motion,   &script, movr_config};
     rows.push_back({"MoVR (1 reflector)", session.run()});
   }
   // Direct tracking, no reflector.
@@ -158,6 +186,25 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long>(m.packets_dropped), m.p95_ms,
                   m.p99_ms);
     }
+  }
+
+  for (const Row& row : rows) {
+    if (!row.report.control_plane) {
+      continue;
+    }
+    const core::ControlPlaneIncidents& cp = *row.report.control_plane;
+    std::printf(
+        "\ncontrol plane (%s): partitions %lu entered / %lu healed, "
+        "divergences %lu, reconciliations %lu, reboots %lu, "
+        "ack timeouts %lu, safe-mode entries %lu, oscillation trips %lu\n",
+        row.name, static_cast<unsigned long>(cp.partitions_entered),
+        static_cast<unsigned long>(cp.partitions_healed),
+        static_cast<unsigned long>(cp.divergences_detected),
+        static_cast<unsigned long>(cp.reconciliations),
+        static_cast<unsigned long>(cp.reboots_detected),
+        static_cast<unsigned long>(cp.ack_timeouts),
+        static_cast<unsigned long>(cp.safe_mode_entries),
+        static_cast<unsigned long>(cp.oscillation_trips));
   }
 
   std::printf("\nWiFi check (Section 1): best 802.11ac rate at infinite SNR "

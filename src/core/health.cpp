@@ -95,6 +95,14 @@ void HealthMonitor::note_reboot(std::size_t i, sim::TimePoint now) {
                    /*extend_backoff=*/false);
 }
 
+void HealthMonitor::note_divergence(std::size_t i, sim::TimePoint now,
+                                    const std::string& reason) {
+  track(i + 1);
+  ++stats_.divergences;
+  entries_[i].needs_recalibration = true;
+  enter_quarantine(entries_[i], now, reason, /*extend_backoff=*/false);
+}
+
 bool HealthMonitor::needs_recalibration(std::size_t i) const {
   return i < entries_.size() && entries_[i].needs_recalibration;
 }

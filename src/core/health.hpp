@@ -55,6 +55,7 @@ class HealthMonitor {
     int restored{0};
     int reboots_detected{0};
     int recalibrations{0};
+    int divergences{0};
   };
 
   HealthMonitor() : HealthMonitor{Config{}} {}
@@ -89,6 +90,12 @@ class HealthMonitor {
   /// A calibration-epoch mismatch was observed: quarantine + mark for
   /// recalibration.
   void note_reboot(std::size_t i, sim::TimePoint now);
+  /// The reflector's applied config diverged from what the AP committed
+  /// (state-digest mismatch: undetected corruption, missed commit, or an
+  /// autonomous safe-mode gain change). Quarantine + mark for
+  /// recalibration, same replay path as a reboot.
+  void note_divergence(std::size_t i, sim::TimePoint now,
+                       const std::string& reason);
   bool needs_recalibration(std::size_t i) const;
   void note_recalibrated(std::size_t i);
 

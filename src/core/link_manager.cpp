@@ -49,6 +49,10 @@ void LinkManager::recalibrate(std::size_t index) {
   health_.note_recalibrated(index);
 }
 
+bool LinkManager::reachable(std::size_t index) const {
+  return !config_.reflector_reachable || config_.reflector_reachable(index);
+}
+
 void LinkManager::steer_for_direct() {
   scene_.ap().node().steer_toward(scene_.headset().node().position());
   scene_.headset().node().face_toward(scene_.ap().node().position());
@@ -85,10 +89,13 @@ rf::Decibels LinkManager::current_true_snr() {
   // AP illuminates the reflector; headset listens toward it.
   scene_.ap().node().steer_toward(reflector.position());
   scene_.headset().node().face_toward(reflector.position());
-  // Re-aim the reflector's TX beam if the player walked out of it.
+  // Re-aim the reflector's TX beam if the player walked out of it — a BT
+  // exchange, so only when the reflector is reachable (the beam goes stale
+  // across a partition; the SNR decay is the honest consequence).
   const double tracked = scene_.true_reflector_angle_to_headset(reflector);
   const double current = reflector.front_end().tx_array().steering();
-  if (geom::angular_distance(tracked, current) > config_.retarget_threshold) {
+  if (reachable(active_reflector_) &&
+      geom::angular_distance(tracked, current) > config_.retarget_threshold) {
     const auto retarget =
         BeamTracker::retarget(scene_, reflector, rng_, config_.tracker);
     ++stats_.retargets;
@@ -145,6 +152,14 @@ void LinkManager::commit_handover(std::size_t target, std::uint64_t seq) {
   }
   simulator_.cancel(timeout_event_);
   ++pending_seq_;
+
+  if (!reachable(target)) {
+    // The commit exchange never crossed the control link: no reflector
+    // register moved. Fail the handover so the target is benched instead
+    // of being retried every frame.
+    handover_failed(target, "control link unreachable at commit");
+    return;
+  }
 
   auto& reflector = scene_.reflector(target);
   if (health_.needs_recalibration(target)) {
@@ -250,6 +265,15 @@ rf::Decibels LinkManager::on_frame() {
     case Mode::kHandoverPending:
       break;  // waiting on the commit or timeout event
     case Mode::kViaReflector: {
+      if (health_.quarantined(active_reflector_)) {
+        // Benched from outside mid-service (control-plane partition,
+        // config divergence): evict immediately rather than waiting for
+        // the SNR to degrade through the in-service counters.
+        leave_reflector();
+        mode_ = Mode::kDirect;
+        begin_handover_to_reflector();  // next reflector, or kDegraded
+        break;
+      }
       if (true_snr < config_.min_usable_snr) {
         health_.note_bad(active_reflector_, simulator_.now(),
                          "in-service via-SNR below usable");

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <random>
 #include <vector>
@@ -65,6 +66,14 @@ class LinkManager {
     /// A committed or in-service via-link below this SNR counts as a bad
     /// observation against the reflector.
     rf::Decibels min_usable_snr{10.0};
+    /// Models Bluetooth reachability of a reflector. Every register write
+    /// the manager performs stands for a control-link exchange; when this
+    /// hook is set and returns false, those writes fail like dropped BT
+    /// frames instead of mutating reflector state: handover commits abort
+    /// (and bench the target), in-service retargets are skipped. Wire it
+    /// to the control channel's partition state so the manager cannot
+    /// command a reflector across a partition. Unset = always reachable.
+    std::function<bool(std::size_t)> reflector_reachable;
     HealthMonitor::Config health{};
   };
 
@@ -108,6 +117,7 @@ class LinkManager {
   };
 
   void steer_for_direct();
+  bool reachable(std::size_t index) const;
   rf::Decibels current_true_snr();
   void begin_handover_to_reflector();
   void commit_handover(std::size_t target, std::uint64_t seq);

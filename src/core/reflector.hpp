@@ -48,6 +48,12 @@ class MovrReflector {
   void set_control_name(std::string name) { control_name_ = std::move(name); }
 
   std::uint64_t unknown_messages() const { return unknown_messages_; }
+  /// Payloads rejected by firmware validation (non-finite or wildly
+  /// out-of-range values, e.g. an undetectably corrupted gain command).
+  std::uint64_t rejected_messages() const { return rejected_messages_; }
+
+  /// True when `value` is acceptable as an angle command payload.
+  static bool valid_angle(double value);
 
   /// Power loss + reboot: front-end registers wiped (beams, gain,
   /// modulation), calibration gone. The boot epoch increments so the AP
@@ -62,6 +68,7 @@ class MovrReflector {
   hw::ReflectorFrontEnd front_end_;
   std::string control_name_{"reflector"};
   std::uint64_t unknown_messages_{0};
+  std::uint64_t rejected_messages_{0};
   std::uint32_t boot_epoch_{0};
 };
 

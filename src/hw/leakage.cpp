@@ -1,5 +1,6 @@
 #include <hw/leakage.hpp>
 
+#include <algorithm>
 #include <cmath>
 
 #include <geom/angle.hpp>
@@ -39,6 +40,24 @@ rf::Decibels LeakageModel::coupling(double theta_tx_rad,
   const double coupling_db = config_.board_coupling.value() +
                              config_.pattern_scale * (g_tx + g_rx) + ripple;
   return rf::Decibels{coupling_db};
+}
+
+rf::Decibels LeakageModel::worst_case_isolation(int grid) const {
+  const int n = std::max(grid, 2);
+  // The steerable sector is the open interval (0, pi); sample strictly
+  // inside it (endfire itself is not a commandable beam).
+  const double lo = 0.02;
+  const double hi = geom::kPi - 0.02;
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  double worst = 1e9;
+  for (int i = 0; i < n; ++i) {
+    const double tx = lo + step * static_cast<double>(i);
+    for (int j = 0; j < n; ++j) {
+      const double rx = lo + step * static_cast<double>(j);
+      worst = std::min(worst, isolation(tx, rx).value());
+    }
+  }
+  return rf::Decibels{worst};
 }
 
 }  // namespace movr::hw

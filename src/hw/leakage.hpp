@@ -57,6 +57,14 @@ class LeakageModel {
     return -coupling(theta_tx_rad, theta_rx_rad);
   }
 
+  /// Minimum isolation over the full (0, pi) x (0, pi) steerable sector,
+  /// scanned on a `grid` x `grid` lattice. This is a design-time property
+  /// of the hardware build: any amplifier gain below it is stable at EVERY
+  /// beam combination, which is what makes the reflector's autonomous
+  /// safe-mode floor (core/config_epoch.hpp) provably safe with no RX
+  /// chain and no knowledge of where its beams point.
+  rf::Decibels worst_case_isolation(int grid = 48) const;
+
  private:
   Config config_;
   double ripple_phase_[3]{};

@@ -1,6 +1,8 @@
 #include <sim/control_channel.hpp>
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <utility>
 
 namespace movr::sim {
@@ -21,6 +23,7 @@ void ControlChannel::send(const std::string& to, ControlMessage message) {
 void ControlChannel::send(const std::string& to, ControlMessage message,
                           SendOutcome outcome) {
   ++stats_.sent;
+  ++stats_.in_flight;
   if (message.tag == 0) {
     message.tag = next_auto_tag_++;
   }
@@ -28,6 +31,7 @@ void ControlChannel::send(const std::string& to, ControlMessage message,
   transfer->to = to;
   transfer->message = std::move(message);
   transfer->outcome = std::move(outcome);
+  transfer->send_index = ++next_send_index_;
   deliver(transfer);
 }
 
@@ -41,6 +45,10 @@ void ControlChannel::apply_fault(double loss_delta,
   if (fault_extra_latency_ < Duration::zero()) {
     fault_extra_latency_ = Duration::zero();
   }
+}
+
+void ControlChannel::apply_partition(int delta) {
+  partition_depth_ = std::max(0, partition_depth_ + delta);
 }
 
 double ControlChannel::effective_loss() const {
@@ -57,23 +65,76 @@ void ControlChannel::finish(const TransferPtr& transfer, bool delivered) {
   }
 }
 
-bool ControlChannel::remember_tag(DedupWindow& window, std::uint64_t tag) {
-  if (window.seen.count(tag) != 0) {
-    return false;  // duplicate
+bool ControlChannel::remember_tag(EndpointState& state, std::uint64_t tag) {
+  const auto it = state.seen.find(tag);
+  if (it != state.seen.end()) {
+    // Duplicate: refresh its recency so a hammered tag cannot age out of
+    // the window and be redelivered as fresh (the LRU contract).
+    state.order.splice(state.order.end(), state.order, it->second);
+    return false;
   }
-  window.seen.insert(tag);
-  window.order.push_back(tag);
-  while (window.order.size() > config_.dedup_window) {
-    window.seen.erase(window.order.front());
-    window.order.pop_front();
+  state.order.push_back(tag);
+  state.seen[tag] = std::prev(state.order.end());
+  while (state.order.size() > config_.dedup_window) {
+    state.seen.erase(state.order.front());
+    state.order.pop_front();
   }
   return true;
+}
+
+ControlMessage ControlChannel::corrupt(ControlMessage message) {
+  // A bit flip in the payload that the CRC missed. Flips stay within the
+  // mantissa and low exponent bits, so the garbled value is still a finite
+  // double — wildly wrong (up to x256 off), never NaN.
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(message.value));
+  std::memcpy(&bits, &message.value, sizeof(bits));
+  std::uniform_int_distribution<int> bit{0, 54};
+  bits ^= std::uint64_t{1} << bit(rng_);
+  double garbled = 0.0;
+  std::memcpy(&garbled, &bits, sizeof(garbled));
+  message.value = std::isfinite(garbled) ? garbled : 0.0;
+  return message;
+}
+
+void ControlChannel::retry_or_drop(const TransferPtr& transfer) {
+  if (transfer->attempt >= config_.max_retries) {
+    if (transfer->fate == Transfer::Fate::kPending) {
+      transfer->fate = Transfer::Fate::kDropped;
+      ++stats_.dropped;
+      --stats_.in_flight;
+    }
+    finish(transfer, transfer->fate == Transfer::Fate::kDelivered);
+    return;
+  }
+  ++stats_.retransmitted;
+  ++transfer->attempt;
+  simulator_.after(config_.retry_timeout,
+                   [this, transfer] { deliver(transfer); });
+}
+
+void ControlChannel::schedule_arrival(const TransferPtr& transfer,
+                                      Duration delay, bool corrupt_copy) {
+  const ControlMessage copy =
+      corrupt_copy ? corrupt(transfer->message) : transfer->message;
+  simulator_.after(delay, [this, transfer, copy] {
+    arrive(transfer, copy);
+    finish(transfer, transfer->fate == Transfer::Fate::kDelivered);
+  });
 }
 
 void ControlChannel::deliver(const TransferPtr& transfer) {
   std::uniform_real_distribution<double> coin{0.0, 1.0};
   std::uniform_real_distribution<double> jitter{
       -to_seconds(config_.jitter), to_seconds(config_.jitter)};
+
+  // A partition eats every copy in both directions: no data, no acks, so
+  // the link layer just burns its retries and gives up.
+  if (partitioned()) {
+    ++stats_.partition_losses;
+    retry_or_drop(transfer);
+    return;
+  }
 
   const bool lost = coin(rng_) < effective_loss();
   if (lost) {
@@ -85,16 +146,14 @@ void ControlChannel::deliver(const TransferPtr& transfer) {
       Duration delay = config_.latency + fault_extra_latency_ +
                        from_seconds(jitter(rng_));
       delay = std::max(delay, Duration::zero());
-      simulator_.after(delay, [this, transfer] {
-        arrive(transfer);
-        finish(transfer, transfer->fate == Transfer::Fate::kDelivered);
-      });
+      schedule_arrival(transfer, delay, /*corrupt_copy=*/false);
     }
     if (transfer->attempt >= config_.max_retries) {
       if (!ack_lost) {
         if (transfer->fate == Transfer::Fate::kPending) {
           transfer->fate = Transfer::Fate::kDropped;
           ++stats_.dropped;
+          --stats_.in_flight;
         }
         finish(transfer, transfer->fate == Transfer::Fate::kDelivered);
       }
@@ -108,21 +167,38 @@ void ControlChannel::deliver(const TransferPtr& transfer) {
     return;
   }
 
+  // The copy made it onto the air; it can still be corrupted in flight. A
+  // CRC-detected corruption looks like a data-frame loss to the link layer
+  // (drop + retransmit); an undetected one is delivered garbled.
+  bool corrupt_copy = false;
+  if (coin(rng_) < config_.corruption_probability) {
+    if (coin(rng_) < config_.undetected_corruption_fraction) {
+      corrupt_copy = true;
+      ++stats_.corrupted_delivered;
+    } else {
+      ++stats_.corrupted_dropped;
+      retry_or_drop(transfer);
+      return;
+    }
+  }
+
   Duration delay = config_.latency + fault_extra_latency_ +
                    from_seconds(jitter(rng_));
+  if (coin(rng_) < config_.reorder_probability) {
+    delay += config_.reorder_delay;
+  }
   delay = std::max(delay, Duration::zero());
-  simulator_.after(delay, [this, transfer] {
-    arrive(transfer);
-    finish(transfer, transfer->fate == Transfer::Fate::kDelivered);
-  });
+  schedule_arrival(transfer, delay, corrupt_copy);
 }
 
-void ControlChannel::arrive(const TransferPtr& transfer) {
+void ControlChannel::arrive(const TransferPtr& transfer,
+                            const ControlMessage& copy) {
   const auto it = endpoints_.find(transfer->to);
   if (it == endpoints_.end()) {
     if (transfer->fate == Transfer::Fate::kPending) {
       ++stats_.undeliverable;
       transfer->fate = Transfer::Fate::kUndeliverable;
+      --stats_.in_flight;
     }
     return;
   }
@@ -132,12 +208,19 @@ void ControlChannel::arrive(const TransferPtr& transfer) {
   if (transfer->fate == Transfer::Fate::kPending) {
     transfer->fate = Transfer::Fate::kDelivered;
     ++stats_.delivered;
+    --stats_.in_flight;
   }
-  if (!remember_tag(dedup_[transfer->to], transfer->message.tag)) {
+  EndpointState& state = receiver_state_[transfer->to];
+  if (!remember_tag(state, copy.tag)) {
     ++stats_.duplicates;
     return;  // idempotent: the endpoint never sees the duplicate
   }
-  it->second(transfer->message);
+  if (transfer->send_index < state.max_delivered_index) {
+    ++stats_.reordered;  // a later send already got through
+  } else {
+    state.max_delivered_index = transfer->send_index;
+  }
+  it->second(copy);
 }
 
 }  // namespace movr::sim

@@ -11,16 +11,31 @@
 // lost *ack* makes the sender retransmit a message the receiver already has.
 // Receivers therefore dedup by message tag, making delivery effectively
 // idempotent; suppressed copies are visible in Stats::duplicates.
+//
+// Beyond loss and duplication the channel models the three control-plane
+// failure modes a hardened deployment must survive:
+//
+//  - *Corruption*: a copy's payload is bit-flipped in flight. The CRC
+//    catches most of these (the copy is dropped and the link layer
+//    retransmits, visible as corrupted_dropped); a small fraction slips
+//    through undetected and is delivered with a garbled value
+//    (corrupted_delivered) — the failure the config-epoch digest protocol
+//    in core/config_epoch.hpp exists to catch.
+//  - *Reordering*: a copy can be held back (reorder_probability), letting a
+//    later send overtake it. Deliveries that arrive behind a later send are
+//    counted in Stats::reordered (jitter-induced overtakes count too).
+//  - *Partitions*: while partitioned (sim::FaultInjector-scripted windows,
+//    stacking like brownouts) nothing crosses in either direction; sends
+//    burn their retries and drop.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <list>
 #include <memory>
 #include <random>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 
 #include <sim/simulator.hpp>
 #include <sim/time.hpp>
@@ -31,6 +46,7 @@ struct ControlMessage {
   std::string topic;      // e.g. "set_rx_angle", "modulate_on"
   double value{0.0};      // numeric payload (angle, gain code, ...)
   std::uint64_t tag{0};   // unique message id; 0 = auto-assigned on send
+  std::uint64_t seq{0};   // config-epoch sequence number (0 = none)
 };
 
 class ControlChannel {
@@ -47,8 +63,20 @@ class ControlChannel {
     /// but the acknowledgement did not, so the sender retransmits a message
     /// the receiver already delivered — the duplicate-delivery race.
     double ack_loss_fraction{0.0};
-    /// Tags remembered per endpoint for duplicate suppression.
+    /// Tags remembered per endpoint for duplicate suppression. Eviction is
+    /// LRU: a duplicate refreshes its tag's recency, so a tag being
+    /// hammered with retransmissions cannot age out of the window and come
+    /// back as a "fresh" message.
     std::size_t dedup_window{256};
+    /// Per-copy probability that the payload is corrupted in flight.
+    double corruption_probability{0.0};
+    /// Fraction of corruptions the CRC misses: the copy is delivered with
+    /// a bit-flipped value instead of being dropped and retransmitted.
+    double undetected_corruption_fraction{0.0};
+    /// Per-copy probability of being held back by reorder_delay, letting
+    /// later sends overtake it.
+    double reorder_probability{0.0};
+    Duration reorder_delay{sim::Duration{6'000'000}};
   };
 
   using Endpoint = std::function<void(const ControlMessage&)>;
@@ -75,16 +103,29 @@ class ControlChannel {
   double fault_loss() const { return fault_loss_; }
   Duration fault_extra_latency() const { return fault_extra_latency_; }
 
+  /// Enters (+1) or leaves (-1) a partition window. Overlapping windows
+  /// stack; the channel is partitioned while the depth is positive, and
+  /// nothing crosses in either direction.
+  void apply_partition(int delta);
+  bool partitioned() const { return partition_depth_ > 0; }
+
   struct Stats {
     std::uint64_t sent{0};
     std::uint64_t delivered{0};     // reached the endpoint (once per send)
     std::uint64_t dropped{0};       // lost after all retries
+    std::uint64_t in_flight{0};     // sent, fate not yet decided
     std::uint64_t retransmitted{0};
     std::uint64_t undeliverable{0};  // no such endpoint
     std::uint64_t duplicates{0};     // redundant copies suppressed by dedup
+    std::uint64_t corrupted_dropped{0};    // CRC caught it, copy dropped
+    std::uint64_t corrupted_delivered{0};  // CRC missed it, garbled payload
+    std::uint64_t reordered{0};      // delivered behind a later send
+    std::uint64_t partition_losses{0};  // copies eaten by a partition
   };
-  /// Invariant: sent == delivered + dropped + undeliverable — duplicates
-  /// are counted separately and never double-count a send.
+  /// Invariant at EVERY instant: sent == delivered + dropped +
+  /// undeliverable + in_flight (in_flight drains to zero at quiescence) —
+  /// duplicates, corruption, reorder and partition counters are separate
+  /// axes and never double-count a send.
   const Stats& stats() const { return stats_; }
 
  private:
@@ -99,31 +140,42 @@ class ControlChannel {
     Fate fate{Fate::kPending};
     SendOutcome outcome;
     bool outcome_fired{false};
+    /// Monotonic send order, used to detect visible reordering.
+    std::uint64_t send_index{0};
   };
   using TransferPtr = std::shared_ptr<Transfer>;
 
   void deliver(const TransferPtr& transfer);
-  void arrive(const TransferPtr& transfer);
+  void schedule_arrival(const TransferPtr& transfer, Duration delay,
+                        bool corrupt_copy);
+  void arrive(const TransferPtr& transfer, const ControlMessage& copy);
   void finish(const TransferPtr& transfer, bool delivered);
+  void retry_or_drop(const TransferPtr& transfer);
   double effective_loss() const;
+  ControlMessage corrupt(ControlMessage message);
 
-  /// Per-endpoint sliding window of recently seen tags.
-  struct DedupWindow {
-    std::unordered_set<std::uint64_t> seen;
-    std::deque<std::uint64_t> order;
+  /// Per-endpoint receiver state: LRU window of recently seen tags plus
+  /// the highest send index delivered (for reorder detection).
+  struct EndpointState {
+    std::list<std::uint64_t> order;  // front = least recently seen
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        seen;
+    std::uint64_t max_delivered_index{0};
   };
-  bool remember_tag(DedupWindow& window, std::uint64_t tag);
+  bool remember_tag(EndpointState& state, std::uint64_t tag);
 
   Simulator& simulator_;
   Config config_;
   std::mt19937_64 rng_;
   std::unordered_map<std::string, Endpoint> endpoints_;
-  std::unordered_map<std::string, DedupWindow> dedup_;
+  std::unordered_map<std::string, EndpointState> receiver_state_;
   Stats stats_;
   double fault_loss_{0.0};
   Duration fault_extra_latency_{Duration::zero()};
+  int partition_depth_{0};
   // Auto-assigned tags start far above any hand-written test tag.
   std::uint64_t next_auto_tag_{std::uint64_t{1} << 32};
+  std::uint64_t next_send_index_{0};
 };
 
 }  // namespace movr::sim

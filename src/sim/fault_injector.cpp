@@ -96,6 +96,15 @@ std::size_t FaultInjector::inject_control_brownout(ControlChannel& channel,
       });
 }
 
+std::size_t FaultInjector::inject_control_partition(ControlChannel& channel,
+                                                    TimePoint start,
+                                                    Duration duration) {
+  return inject(
+      "control_partition", start, duration,
+      [&channel] { channel.apply_partition(+1); },
+      [&channel] { channel.apply_partition(-1); });
+}
+
 std::size_t FaultInjector::active_count(TimePoint t) const {
   std::size_t n = 0;
   for (const AppliedFault& fault : timeline_) {

@@ -72,6 +72,11 @@ class FaultInjector {
                                       double extra_loss,
                                       Duration extra_latency);
 
+  /// Timed control-plane partition: nothing crosses `channel` (either
+  /// direction) for the window. Overlapping partitions stack.
+  std::size_t inject_control_partition(ControlChannel& channel,
+                                       TimePoint start, Duration duration);
+
   /// Everything scheduled so far, in scheduling order, with applied/cleared
   /// flags that flip as the simulation executes the schedule.
   const std::vector<AppliedFault>& timeline() const { return timeline_; }

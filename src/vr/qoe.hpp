@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include <core/config_epoch.hpp>
 #include <net/stats.hpp>
 #include <sim/time.hpp>
 
@@ -52,6 +53,12 @@ struct QoeReport {
   /// with Session::Config::transport enabled; under the legacy binary
   /// delivered/glitched model this stays nullopt.
   std::optional<net::TransportMetrics> transport;
+
+  /// Control-plane incident counters (partitions entered/healed,
+  /// divergences caught by the state digest, reconciliation replays,
+  /// reflector safe-mode entries). Present only when the session ran with
+  /// a core::ControlPlane attached (Session::Config::control_plane).
+  std::optional<core::ControlPlaneIncidents> control_plane;
 
   double glitch_fraction() const {
     return frames == 0 ? 0.0

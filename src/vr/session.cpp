@@ -174,6 +174,9 @@ QoeReport Session::run() {
   if (config_.faults != nullptr) {
     compute_fault_recovery();
   }
+  if (config_.control_plane != nullptr) {
+    report_.control_plane = config_.control_plane->incidents();
+  }
   return report_;
 }
 

@@ -55,6 +55,7 @@ class MovrStrategy final : public LinkStrategy {
     return manager_.mode() == core::LinkManager::Mode::kDegraded;
   }
 
+  core::LinkManager& manager() { return manager_; }
   const core::LinkManager& manager() const { return manager_; }
 
  private:
@@ -87,6 +88,11 @@ class Session {
     /// Source fps / bitrate / latency budget fields left at zero are
     /// filled from `display`.
     std::optional<net::TransportConfig> transport;
+    /// Optional hardened control plane (core/config_epoch.hpp): when set,
+    /// the report carries its incident counters (partitions, divergences,
+    /// reconciliations, safe-mode entries) alongside the QoE metrics. The
+    /// session does not drive it — it runs on its own simulator events.
+    const core::ControlPlane* control_plane{nullptr};
   };
 
   /// `motion` and `script` may be null (static player / no blockage).

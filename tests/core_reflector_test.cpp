@@ -46,9 +46,11 @@ TEST(Reflector, HandlesGainCodeMessage) {
   MovrReflector reflector{{0.0, 0.0}, 0.0};
   reflector.handle({"gain_code", 128.0, 0});
   EXPECT_EQ(reflector.front_end().gain_code(), 128u);
-  // Negative values clamp to zero rather than wrapping.
+  // A negative gain is firmware-rejected (a corrupted payload must never
+  // wrap into a register write), leaving the register untouched.
   reflector.handle({"gain_code", -5.0, 0});
-  EXPECT_EQ(reflector.front_end().gain_code(), 0u);
+  EXPECT_EQ(reflector.front_end().gain_code(), 128u);
+  EXPECT_EQ(reflector.rejected_messages(), 1u);
   // Overrange clamps to the DAC maximum.
   reflector.handle({"gain_code", 9999.0, 0});
   EXPECT_EQ(reflector.front_end().gain_code(),

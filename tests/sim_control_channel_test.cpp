@@ -1,5 +1,7 @@
 #include <sim/control_channel.hpp>
 
+#include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -207,6 +209,187 @@ TEST(ControlChannel, JitterStaysBounded) {
     EXPECT_GE(t, config.latency - config.jitter);
     EXPECT_LE(t, config.latency + config.jitter);
   }
+}
+
+TEST(ControlChannel, DedupEvictionIsLruNotFifo) {
+  Simulator s;
+  auto config = lossless();
+  config.dedup_window = 2;
+  ControlChannel chan{s, config, std::mt19937_64{1}};
+  std::vector<std::uint64_t> seen_tags;
+  chan.attach("dev",
+              [&](const ControlMessage& m) { seen_tags.push_back(m.tag); });
+
+  const auto send_tag = [&](std::uint64_t tag) {
+    chan.send("dev", {"x", 0.0, tag});
+    s.run();
+  };
+
+  send_tag(1);  // window: [1]
+  send_tag(2);  // window: [1, 2]
+  // A retransmission of tag 1 is suppressed AND refreshes its recency.
+  send_tag(1);  // window: [2, 1]
+  // Tag 3 must evict the LEAST RECENTLY SEEN tag (2) — under the old FIFO
+  // eviction it would evict 1, the oldest *inserted*, and the next
+  // retransmission of 1 would leak through as a fresh message.
+  send_tag(3);  // window: [1, 3]
+  send_tag(1);  // still pinned: suppressed
+  send_tag(2);  // evicted earlier, so it comes back as fresh
+
+  EXPECT_EQ(seen_tags, (std::vector<std::uint64_t>{1, 2, 3, 2}));
+  EXPECT_EQ(chan.stats().duplicates, 2u);
+  const auto& st = chan.stats();
+  EXPECT_EQ(st.sent, st.delivered + st.dropped + st.undeliverable);
+}
+
+TEST(ControlChannel, DetectedCorruptionDropsAndRetransmits) {
+  Simulator s;
+  auto config = lossless();
+  config.corruption_probability = 1.0;  // every copy corrupted...
+  config.undetected_corruption_fraction = 0.0;  // ...and the CRC sees all
+  config.max_retries = 2;
+  ControlChannel chan{s, config, std::mt19937_64{5}};
+  int received = 0;
+  chan.attach("dev", [&](const ControlMessage&) { ++received; });
+  chan.send("dev", {"x", 1.5, 0});
+  s.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(chan.stats().corrupted_dropped, 3u);  // initial + 2 retries
+  EXPECT_EQ(chan.stats().retransmitted, 2u);
+  EXPECT_EQ(chan.stats().dropped, 1u);
+  const auto& st = chan.stats();
+  EXPECT_EQ(st.sent, st.delivered + st.dropped + st.undeliverable);
+}
+
+TEST(ControlChannel, UndetectedCorruptionDeliversGarbledValue) {
+  Simulator s;
+  auto config = lossless();
+  config.corruption_probability = 1.0;
+  config.undetected_corruption_fraction = 1.0;  // the CRC misses everything
+  ControlChannel chan{s, config, std::mt19937_64{5}};
+  std::vector<double> values;
+  chan.attach("dev",
+              [&](const ControlMessage& m) { values.push_back(m.value); });
+  for (int i = 0; i < 20; ++i) {
+    chan.send("dev", {"gain", 1.5, 0});
+  }
+  s.run();
+  ASSERT_EQ(values.size(), 20u);
+  EXPECT_EQ(chan.stats().corrupted_delivered, 20u);
+  for (const double v : values) {
+    EXPECT_TRUE(std::isfinite(v));  // a flipped bit, never NaN/inf
+    EXPECT_NE(v, 1.5);              // and never the honest payload
+  }
+  EXPECT_EQ(chan.stats().delivered, 20u);  // delivered, just garbled
+}
+
+TEST(ControlChannel, ReorderedDeliveriesAreCounted) {
+  Simulator s;
+  auto config = lossless();
+  config.reorder_probability = 0.3;
+  config.reorder_delay = Duration{6'000'000};
+  ControlChannel chan{s, config, std::mt19937_64{17}};
+  std::vector<double> order;
+  chan.attach("dev",
+              [&](const ControlMessage& m) { order.push_back(m.value); });
+  for (int i = 0; i < 100; ++i) {
+    chan.send("dev", {"v", static_cast<double>(i), 0});
+  }
+  s.run();
+  ASSERT_EQ(order.size(), 100u);
+  // Every delivery either arrived in send order or is visibly counted:
+  // the stat must equal the inversions observable at the endpoint.
+  std::uint64_t inversions = 0;
+  double max_seen = -1.0;
+  for (const double v : order) {
+    if (v < max_seen) {
+      ++inversions;
+    } else {
+      max_seen = v;
+    }
+  }
+  EXPECT_GT(inversions, 0u);  // 0.3 over 100 back-to-back sends must hit
+  EXPECT_EQ(chan.stats().reordered, inversions);
+}
+
+TEST(ControlChannel, JitterOvertakesCountAsReordered) {
+  Simulator s;
+  auto config = lossless();
+  config.jitter = Duration{2'000'000};  // bigger than the send spacing
+  ControlChannel chan{s, config, std::mt19937_64{23}};
+  std::vector<double> order;
+  chan.attach("dev",
+              [&](const ControlMessage& m) { order.push_back(m.value); });
+  for (int i = 0; i < 50; ++i) {
+    chan.send("dev", {"v", static_cast<double>(i), 0});
+  }
+  s.run();
+  std::uint64_t inversions = 0;
+  double max_seen = -1.0;
+  for (const double v : order) {
+    if (v < max_seen) {
+      ++inversions;
+    } else {
+      max_seen = v;
+    }
+  }
+  EXPECT_EQ(chan.stats().reordered, inversions);
+}
+
+TEST(ControlChannel, PartitionEatsEverythingBothWays) {
+  Simulator s;
+  auto config = lossless();
+  config.max_retries = 2;
+  ControlChannel chan{s, config, std::mt19937_64{1}};
+  int received = 0;
+  chan.attach("dev", [&](const ControlMessage&) { ++received; });
+
+  chan.apply_partition(+1);
+  EXPECT_TRUE(chan.partitioned());
+  chan.send("dev", {"x", 0.0, 0});
+  s.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(chan.stats().dropped, 1u);
+  EXPECT_EQ(chan.stats().partition_losses, 3u);  // initial + 2 retries
+
+  // Overlapping windows stack: one heal does not end the partition.
+  chan.apply_partition(+1);
+  chan.apply_partition(-1);
+  EXPECT_TRUE(chan.partitioned());
+  chan.apply_partition(-1);
+  EXPECT_FALSE(chan.partitioned());
+
+  chan.send("dev", {"x", 0.0, 0});
+  s.run();
+  EXPECT_EQ(received, 1);
+  const auto& st = chan.stats();
+  EXPECT_EQ(st.sent, st.delivered + st.dropped + st.undeliverable);
+}
+
+TEST(ControlChannel, StatsInvariantHoldsUnderAllFaultAxes) {
+  Simulator s;
+  auto config = lossless();
+  config.jitter = Duration{500'000};
+  config.loss_probability = 0.2;
+  config.ack_loss_fraction = 0.3;
+  config.corruption_probability = 0.2;
+  config.undetected_corruption_fraction = 0.3;
+  config.reorder_probability = 0.2;
+  config.max_retries = 3;
+  ControlChannel chan{s, config, std::mt19937_64{29}};
+  chan.attach("dev", [](const ControlMessage&) {});
+  // A partition window in the middle of the burst.
+  s.at(TimePoint{40'000'000}, [&] { chan.apply_partition(+1); });
+  s.at(TimePoint{90'000'000}, [&] { chan.apply_partition(-1); });
+  for (int i = 0; i < 300; ++i) {
+    s.at(TimePoint{i * 500'000}, [&] { chan.send("dev", {"x", 1.0, 0}); });
+  }
+  chan.send("ghost", {"x", 0.0, 0});
+  s.run();
+  const auto& st = chan.stats();
+  EXPECT_EQ(st.sent, 301u);
+  EXPECT_EQ(st.sent, st.delivered + st.dropped + st.undeliverable);
+  EXPECT_GT(st.partition_losses, 0u);
 }
 
 }  // namespace

@@ -86,6 +86,31 @@ TEST(FaultInjector, ControlBrownoutIsScopedToWindow) {
   EXPECT_EQ(chan.fault_extra_latency(), Duration::zero());
 }
 
+TEST(FaultInjector, ControlPartitionIsScopedToWindow) {
+  Simulator s;
+  ControlChannel::Config config;
+  config.jitter = Duration::zero();
+  ControlChannel chan{s, config, std::mt19937_64{5}};
+  int received = 0;
+  chan.attach("dev", [&](const ControlMessage&) { ++received; });
+
+  FaultInjector injector{s};
+  injector.inject_control_partition(chan, TimePoint{10'000'000},
+                                    Duration{50'000'000});
+  // Before, inside, and after the window.
+  s.at(TimePoint{1'000'000}, [&] { chan.send("dev", {"x", 0.0, 0}); });
+  s.at(TimePoint{30'000'000}, [&] { chan.send("dev", {"x", 0.0, 0}); });
+  s.at(TimePoint{70'000'000}, [&] { chan.send("dev", {"x", 0.0, 0}); });
+
+  s.run_until(TimePoint{30'000'000});
+  EXPECT_TRUE(chan.partitioned());
+  s.run();
+  EXPECT_FALSE(chan.partitioned());
+  EXPECT_EQ(received, 2);  // the mid-window send never crossed
+  EXPECT_EQ(chan.stats().dropped, 1u);
+  EXPECT_GT(chan.stats().partition_losses, 0u);
+}
+
 TEST(FaultInjector, OverlappingFaultsCompose) {
   Simulator s;
   FaultInjector injector{s};
