@@ -4,12 +4,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <numeric>
 #include <string>
 #include <vector>
 
 #include <core/movr.hpp>
 #include <geom/angle.hpp>
+#include <net/stats.hpp>
 
 namespace movr::bench {
 
@@ -75,6 +77,30 @@ inline double percentile(std::vector<double> v, double p) {
   const std::size_t hi = std::min(lo + 1, v.size() - 1);
   const double frac = idx - static_cast<double>(lo);
   return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+/// Reconstructs a latency sample set from a transport's histogram: bin
+/// centers for completed frames, +infinity for frames that never completed.
+inline std::vector<double> latency_samples(
+    const net::TransportMetrics& metrics) {
+  std::vector<double> samples;
+  const double bin = metrics.histogram.bin_ms;
+  for (std::size_t i = 0; i < metrics.histogram.bins.size(); ++i) {
+    const double center = (static_cast<double>(i) + 0.5) * bin;
+    for (std::uint64_t n = 0; n < metrics.histogram.bins[i]; ++n) {
+      samples.push_back(center);
+    }
+  }
+  const double past_end =
+      bin * static_cast<double>(metrics.histogram.bins.size());
+  for (std::uint64_t n = 0; n < metrics.histogram.overflow; ++n) {
+    samples.push_back(past_end);
+  }
+  const std::uint64_t finite = metrics.histogram.total();
+  for (std::uint64_t n = finite; n < metrics.frames_emitted; ++n) {
+    samples.push_back(std::numeric_limits<double>::infinity());
+  }
+  return samples;
 }
 
 inline void print_header(const std::string& title) {

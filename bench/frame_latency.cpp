@@ -70,29 +70,6 @@ void print_usage() {
       "misses column next to the percentiles.\n");
 }
 
-/// Reconstructs a latency sample set from the report's histogram: bin
-/// centers for completed frames, +infinity for frames that never completed.
-std::vector<double> latency_samples(const net::TransportMetrics& metrics) {
-  std::vector<double> samples;
-  const double bin = metrics.histogram.bin_ms;
-  for (std::size_t i = 0; i < metrics.histogram.bins.size(); ++i) {
-    const double center = (static_cast<double>(i) + 0.5) * bin;
-    for (std::uint64_t n = 0; n < metrics.histogram.bins[i]; ++n) {
-      samples.push_back(center);
-    }
-  }
-  const double past_end =
-      bin * static_cast<double>(metrics.histogram.bins.size());
-  for (std::uint64_t n = 0; n < metrics.histogram.overflow; ++n) {
-    samples.push_back(past_end);
-  }
-  const std::uint64_t finite = metrics.histogram.total();
-  for (std::uint64_t n = finite; n < metrics.frames_emitted; ++n) {
-    samples.push_back(std::numeric_limits<double>::infinity());
-  }
-  return samples;
-}
-
 struct Row {
   const char* name;
   vr::QoeReport report;
@@ -176,7 +153,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   for (const Row& row : rows) {
-    bench::print_cdf(row.name, latency_samples(*row.report.transport));
+    bench::print_cdf(row.name, bench::latency_samples(*row.report.transport));
   }
 
   // The bench doubles as an acceptance gate.

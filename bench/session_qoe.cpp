@@ -11,6 +11,7 @@
 #include <baseline/strategies.hpp>
 #include <baseline/wifi.hpp>
 #include <core/config_epoch.hpp>
+#include <sim/burst_channel.hpp>
 #include <sim/fault_injector.hpp>
 #include <sim/rng.hpp>
 #include <vr/session.hpp>
@@ -54,6 +55,7 @@ struct Row {
 int main(int argc, char** argv) {
   bool with_transport = false;
   bool with_control_faults = false;
+  bool with_burst_loss = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--transport") == 0) {
       with_transport = true;
@@ -62,6 +64,13 @@ int main(int argc, char** argv) {
       // 1.5 s control partition mid-session, and prints the incident
       // counters (core::ControlPlaneIncidents) under the QoE table.
       with_control_faults = true;
+    } else if (std::strcmp(argv[i], "--burst-loss") == 0) {
+      // Drives every strategy's transport through a seeded Gilbert-Elliott
+      // burst channel with the adaptive FEC/ARQ controller engaged, and
+      // prints the recovery and burst counters under the transport table.
+      // Implies --transport.
+      with_burst_loss = true;
+      with_transport = true;
     }
   }
 
@@ -76,6 +85,12 @@ int main(int argc, char** argv) {
     // transport counters reflect blockage, not raw-bitrate saturation.
     net::TransportConfig transport;
     transport.source.target_mbps = 2000.0;
+    if (with_burst_loss) {
+      transport.adaptive_fec = true;
+      sim::BurstChannel::Config burst;
+      burst.seed = rngs.stream("burst")();
+      config.burst_loss = burst;
+    }
     config.transport = transport;
   }
 
@@ -185,6 +200,21 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long>(m.retransmits),
                   static_cast<unsigned long>(m.packets_dropped), m.p95_ms,
                   m.p99_ms);
+    }
+  }
+
+  if (with_burst_loss) {
+    std::printf("\n%-24s %10s %10s %10s %10s %10s\n", "burst/FEC",
+                "protected", "parity", "recovered", "residual", "bursts");
+    for (const Row& row : rows) {
+      const net::TransportMetrics& m = *row.report.transport;
+      std::printf("%-24s %10lu %10lu %10lu %10lu %10lu\n", row.name,
+                  static_cast<unsigned long>(m.fec_frames_protected),
+                  static_cast<unsigned long>(m.parity_enqueued),
+                  static_cast<unsigned long>(m.packets_recovered),
+                  static_cast<unsigned long>(m.deadline_misses),
+                  static_cast<unsigned long>(
+                      row.report.burst ? row.report.burst->bursts : 0));
     }
   }
 

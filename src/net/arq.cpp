@@ -29,7 +29,7 @@ Arq::Verdict Arq::resolve(const Packet& packet, bool data_lost,
     return data_lost ? Verdict::kAbandonFrame : Verdict::kAcked;
   }
   int& used = retx_used_[packet.frame_id];
-  if (used < config_.max_retx_per_frame) {
+  if (used < frame_budget(packet.frame_id)) {
     ++used;
     return Verdict::kRetransmit;
   }
@@ -44,13 +44,38 @@ Arq::Verdict Arq::resolve(const Packet& packet, bool data_lost,
   return Verdict::kAcked;
 }
 
+void Arq::forgo(const Packet& packet) {
+  (void)packet;
+  --outstanding_;
+  ++counters_.forgone;
+}
+
 void Arq::abandon_frame(std::uint64_t frame_id) {
   abandoned_.insert(frame_id);
 }
 
+void Arq::set_frame_budget(std::uint64_t frame_id, int budget) {
+  budget_override_[frame_id] = budget;
+}
+
+int Arq::frame_budget(std::uint64_t frame_id) const {
+  const auto it = budget_override_.find(frame_id);
+  return it != budget_override_.end() ? it->second
+                                      : config_.max_retx_per_frame;
+}
+
 void Arq::forget_frame(std::uint64_t frame_id) {
   retx_used_.erase(frame_id);
+  budget_override_.erase(frame_id);
   abandoned_.erase(frame_id);
+}
+
+void Arq::reset() {
+  counters_ = Counters{};
+  outstanding_ = 0;
+  retx_used_.clear();
+  budget_override_.clear();
+  abandoned_.clear();
 }
 
 }  // namespace movr::net

@@ -39,6 +39,9 @@ class Arq {
     std::uint64_t data_losses{0};
     std::uint64_t ack_losses{0};
     std::uint64_t frames_abandoned{0};
+    /// Transmissions resolved as lost but deliberately not retried
+    /// (expendable MPDUs — parity never consumes retransmit budget).
+    std::uint64_t forgone{0};
   };
 
   /// What the sender should do after a transmission resolves.
@@ -65,6 +68,10 @@ class Arq {
   /// back (the sender cannot tell the two apart; the receiver dedups).
   Verdict resolve(const Packet& packet, bool data_lost, bool ack_lost);
 
+  /// Resolves one outstanding transmission as lost-and-written-off: no
+  /// retransmission, no budget charge. Used for expendable MPDUs (parity).
+  void forgo(const Packet& packet);
+
   /// External abandonment (e.g. the queue shed the frame as stale): no
   /// further retransmissions will be granted for it.
   void abandon_frame(std::uint64_t frame_id);
@@ -72,14 +79,28 @@ class Arq {
     return abandoned_.contains(frame_id);
   }
 
+  /// Overrides `max_retx_per_frame` for one frame. The redundancy
+  /// controller uses this to trade budgets: a FEC-protected frame gets a
+  /// shallower ARQ budget because parity already covers the common single
+  /// losses. Must be set before the frame's first resolve.
+  void set_frame_budget(std::uint64_t frame_id, int budget);
+
+  /// Retransmit budget in force for `frame_id`.
+  int frame_budget(std::uint64_t frame_id) const;
+
   /// Drops per-frame bookkeeping once the frame has fully resolved.
   void forget_frame(std::uint64_t frame_id);
+
+  /// Back to a freshly constructed state (same config), for reuse across
+  /// back-to-back sessions.
+  void reset();
 
  private:
   Config config_;
   Counters counters_;
   int outstanding_{0};
   std::unordered_map<std::uint64_t, int> retx_used_;
+  std::unordered_map<std::uint64_t, int> budget_override_;
   std::unordered_set<std::uint64_t> abandoned_;
 };
 

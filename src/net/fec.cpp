@@ -1,0 +1,61 @@
+#include <net/fec.hpp>
+
+#include <algorithm>
+
+namespace movr::net {
+
+std::uint32_t FecEncoder::group_count(std::uint32_t n, FecParams params) {
+  if (params.k == 0 || n == 0) {
+    return 0;
+  }
+  const std::uint32_t by_rate = (n + params.k - 1) / params.k;
+  return std::min(n,
+                  std::max(by_rate, std::max<std::uint32_t>(1, params.depth)));
+}
+
+std::uint32_t FecEncoder::group_size(std::uint32_t n, std::uint32_t groups,
+                                     std::uint32_t g) {
+  if (groups == 0 || g >= groups || g >= n) {
+    return 0;
+  }
+  // Data seq i belongs to group i % groups.
+  return (n - g + groups - 1) / groups;
+}
+
+void FecEncoder::protect(std::vector<Packet>& packets, FecParams params) {
+  const auto n = static_cast<std::uint32_t>(packets.size());
+  const std::uint32_t groups = group_count(n, params);
+  if (groups == 0) {
+    return;
+  }
+  ++counters_.frames_protected;
+
+  std::vector<std::uint32_t> parity_bytes(groups, 0);
+  for (Packet& p : packets) {
+    p.fec_groups = groups;
+    p.fec_group = p.seq % groups;
+    parity_bytes[p.fec_group] =
+        std::max(parity_bytes[p.fec_group], p.payload_bytes);
+  }
+
+  const Packet model = packets.front();  // copy: push_back below reallocates
+  packets.reserve(packets.size() + groups);
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    Packet parity;
+    parity.frame_id = model.frame_id;
+    parity.seq = n + g;  // past the data range; identified by `parity`
+    parity.frame_packets = n;
+    parity.payload_bytes = parity_bytes[g];
+    parity.capture = model.capture;
+    parity.deadline = model.deadline;
+    parity.keyframe = model.keyframe;
+    parity.parity = true;
+    parity.fec_group = g;
+    parity.fec_groups = groups;
+    packets.push_back(parity);
+    ++counters_.parity_packets;
+    counters_.parity_bytes += parity.payload_bytes;
+  }
+}
+
+}  // namespace movr::net

@@ -1,0 +1,71 @@
+// Interleaved XOR-parity FEC between the Packetizer and the TxQueue.
+//
+// ARQ recovers from loss *reactively* — one ack round-trip plus one MPDU of
+// air per loss — which is exactly the scheme a burst defeats: consecutive
+// retransmissions fall into the same bad window and the per-frame budget
+// drains with nothing delivered. Parity is the proactive complement: for
+// every group of up to `k` data MPDUs the encoder appends one XOR-parity
+// MPDU, and the receiver (JitterBuffer) reconstructs any single missing
+// group member without waiting on the sender.
+//
+// Interleaving is what makes parity burst-proof: a frame's data MPDUs are
+// dealt round-robin across `groups = max(ceil(n/k), depth)` groups, so a
+// burst of up to `groups` *consecutive* losses costs each group at most one
+// MPDU — every one recoverable. `depth` is therefore chosen to span the
+// expected burst length in MPDUs (the RedundancyController estimates it
+// from ack history; sim::BurstChannel::mean_burst_steps() is the oracle).
+//
+// The encoder only annotates and appends — payloads are not simulated, so
+// "XOR" is bookkeeping: a parity MPDU is as long as its largest member and
+// flies, queues, drops and retransmits exactly like a data MPDU.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <net/frame.hpp>
+
+namespace movr::net {
+
+/// One frame's protection parameters, chosen per frame class by the
+/// RedundancyController (or fixed by TransportConfig::fec for static FEC).
+struct FecParams {
+  /// Data MPDUs per parity group; 0 disables the layer (bit-identical
+  /// pass-through — no parity, no group annotation).
+  std::uint32_t k{0};
+  /// Minimum interleave groups: consecutive MPDUs land in distinct groups,
+  /// so `depth` consecutive losses cost each group at most one MPDU.
+  std::uint32_t depth{1};
+
+  bool enabled() const { return k > 0; }
+};
+
+class FecEncoder {
+ public:
+  struct Counters {
+    std::uint64_t frames_protected{0};
+    std::uint64_t parity_packets{0};
+    std::uint64_t parity_bytes{0};
+  };
+
+  /// Groups the frame's data MPDUs (`packets`) `groups`-ways, annotates the
+  /// FEC framing on every data MPDU and appends one parity MPDU per group.
+  /// No-op when `params.k == 0`.
+  void protect(std::vector<Packet>& packets, FecParams params);
+
+  /// Group count protect() will use for `n` data MPDUs (clamped to n).
+  static std::uint32_t group_count(std::uint32_t n, FecParams params);
+
+  /// Data MPDUs in group `g` of a frame with `n` data MPDUs dealt
+  /// round-robin over `groups` groups.
+  static std::uint32_t group_size(std::uint32_t n, std::uint32_t groups,
+                                  std::uint32_t g);
+
+  const Counters& counters() const { return counters_; }
+  void reset() { counters_ = Counters{}; }
+
+ private:
+  Counters counters_;
+};
+
+}  // namespace movr::net

@@ -25,13 +25,24 @@ struct Frame {
 };
 
 /// One MPDU of a frame, sized by the packetizer for the current MCS.
+///
+/// FEC framing (net/fec.hpp): when the frame is protected, every MPDU —
+/// data and parity — carries `fec_groups` (interleaved XOR groups in the
+/// frame) and `fec_group` (this MPDU's group). Data MPDU `seq` belongs to
+/// group `seq % fec_groups`; a parity MPDU XORs its whole group, so the
+/// receiver can reconstruct any single missing member. `fec_groups == 0`
+/// means the frame is unprotected (legacy framing, bit-identical).
 struct Packet {
   std::uint64_t frame_id{0};
   std::uint32_t seq{0};            // position within the frame, 0-based
-  std::uint32_t frame_packets{0};  // total MPDUs in this frame
+  std::uint32_t frame_packets{0};  // total *data* MPDUs in this frame
   std::uint32_t payload_bytes{0};
   sim::TimePoint capture{};   // the frame's capture time
   sim::TimePoint deadline{};  // the frame's display deadline
+  bool keyframe{false};       // the frame's class (deeper FEC for I-frames)
+  bool parity{false};         // XOR-parity MPDU appended by the FEC layer
+  std::uint32_t fec_group{0};   // interleave group of this MPDU
+  std::uint32_t fec_groups{0};  // groups in this frame; 0 = unprotected
 };
 
 }  // namespace movr::net

@@ -30,4 +30,9 @@ Frame FrameSource::next(sim::TimePoint capture) {
   return frame;
 }
 
+void FrameSource::reset() {
+  next_id_ = 0;
+  rng_.seed(config_.seed);
+}
+
 }  // namespace movr::net

@@ -44,6 +44,10 @@ class FrameSource {
   std::uint64_t frames_emitted() const { return next_id_; }
   const Config& config() const { return config_; }
 
+  /// Back to a freshly constructed state (same config, reseeded RNG), for
+  /// reuse across back-to-back sessions.
+  void reset();
+
   /// Mean P-frame / keyframe sizes implied by the config, bytes.
   double p_frame_bytes() const { return p_bytes_; }
   double keyframe_bytes() const { return p_bytes_ * config_.keyframe_ratio; }

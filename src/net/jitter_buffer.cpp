@@ -4,21 +4,44 @@
 
 namespace movr::net {
 
-bool JitterBuffer::on_packet(const Packet& packet, sim::TimePoint now) {
-  FrameState& frame = frames_[packet.frame_id];
-  if (frame.have.empty()) {
-    frame.expected = packet.frame_packets;
-    frame.have.assign(packet.frame_packets, false);
-    frame.capture = packet.capture;
+void JitterBuffer::init_frame(FrameState& frame, const Packet& packet) {
+  frame.expected = packet.frame_packets;
+  frame.have.assign(packet.frame_packets, false);
+  frame.capture = packet.capture;
+  frame.fec_groups = packet.fec_groups;
+  if (packet.fec_groups > 0) {
+    frame.parity_have.assign(packet.fec_groups, false);
+    frame.group_missing.assign(packet.fec_groups, 0);
+    // Data seq i belongs to group i % fec_groups (round-robin interleave).
+    for (std::uint32_t g = 0; g < packet.fec_groups; ++g) {
+      if (g < frame.expected) {
+        frame.group_missing[g] =
+            (frame.expected - g + packet.fec_groups - 1) / packet.fec_groups;
+      }
+    }
   }
-  if (packet.seq >= frame.have.size() || frame.have[packet.seq]) {
-    ++counters_.duplicates;
-    return false;
+}
+
+std::optional<std::uint32_t> JitterBuffer::try_recover(FrameState& frame,
+                                                       std::uint32_t group) {
+  if (group >= frame.parity_have.size() || !frame.parity_have[group] ||
+      frame.group_missing[group] != 1) {
+    return std::nullopt;
   }
-  frame.have[packet.seq] = true;
-  ++frame.received;
-  ++counters_.packets_received;
-  counters_.bytes_received += packet.payload_bytes;
+  for (std::uint32_t seq = group; seq < frame.expected;
+       seq += frame.fec_groups) {
+    if (!frame.have[seq]) {
+      frame.have[seq] = true;
+      ++frame.received;
+      frame.group_missing[group] = 0;
+      ++counters_.packets_recovered;
+      return seq;
+    }
+  }
+  return std::nullopt;
+}
+
+void JitterBuffer::check_completed(FrameState& frame, sim::TimePoint now) {
   if (frame.received == frame.expected && !frame.completed_at.has_value()) {
     frame.completed_at = now;
     ++counters_.frames_completed;
@@ -26,7 +49,48 @@ bool JitterBuffer::on_packet(const Packet& packet, sim::TimePoint now) {
       ++counters_.late_completions;
     }
   }
-  return true;
+}
+
+JitterBuffer::Arrival JitterBuffer::on_packet(const Packet& packet,
+                                              sim::TimePoint now) {
+  FrameState& frame = frames_[packet.frame_id];
+  if (frame.have.empty()) {
+    init_frame(frame, packet);
+  }
+
+  if (packet.parity) {
+    if (packet.fec_group >= frame.parity_have.size() ||
+        frame.parity_have[packet.fec_group]) {
+      ++counters_.duplicates;
+      return Arrival{};
+    }
+    frame.parity_have[packet.fec_group] = true;
+    ++counters_.packets_received;
+    ++counters_.parity_received;
+    counters_.bytes_received += packet.payload_bytes;
+    Arrival arrival{true, try_recover(frame, packet.fec_group)};
+    check_completed(frame, now);
+    return arrival;
+  }
+
+  if (packet.seq >= frame.have.size() || frame.have[packet.seq]) {
+    // Already held — a retransmitted duplicate, or the air copy of a data
+    // MPDU the FEC layer reconstructed first.
+    ++counters_.duplicates;
+    return Arrival{};
+  }
+  frame.have[packet.seq] = true;
+  ++frame.received;
+  ++counters_.packets_received;
+  counters_.bytes_received += packet.payload_bytes;
+  Arrival arrival{true, std::nullopt};
+  if (frame.fec_groups > 0) {
+    const std::uint32_t group = packet.seq % frame.fec_groups;
+    --frame.group_missing[group];
+    arrival.recovered = try_recover(frame, group);
+  }
+  check_completed(frame, now);
+  return arrival;
 }
 
 JitterBuffer::Deadline JitterBuffer::on_deadline(std::uint64_t frame_id,
@@ -65,6 +129,14 @@ std::optional<sim::Duration> JitterBuffer::completion_latency(
     return std::nullopt;
   }
   return *it->second.completed_at - it->second.capture;
+}
+
+void JitterBuffer::reset() {
+  counters_ = Counters{};
+  frames_.clear();
+  release_log_.clear();
+  any_released_ = false;
+  last_released_ = 0;
 }
 
 }  // namespace movr::net

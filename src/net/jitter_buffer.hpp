@@ -26,9 +26,11 @@ namespace movr::net {
 class JitterBuffer {
  public:
   struct Counters {
-    std::uint64_t packets_received{0};  // unique MPDUs accepted
+    std::uint64_t packets_received{0};  // unique MPDUs accepted (incl. parity)
     std::uint64_t bytes_received{0};    // payload bytes of unique MPDUs
     std::uint64_t duplicates{0};        // MPDUs already held, discarded
+    std::uint64_t parity_received{0};   // unique parity MPDUs accepted
+    std::uint64_t packets_recovered{0};  // data MPDUs rebuilt from parity
     std::uint64_t frames_completed{0};
     std::uint64_t released_on_time{0};
     std::uint64_t deadline_misses{0};   // incomplete when the display asked
@@ -42,11 +44,22 @@ class JitterBuffer {
     kAlreadyResolved,  // duplicate deadline event; no-op
   };
 
+  /// What one MPDU arrival did to the buffer.
+  struct Arrival {
+    /// The packet was new; duplicates (including the air copy of a data
+    /// MPDU already rebuilt from parity) are dropped on the floor.
+    bool fresh{false};
+    /// Data seq this arrival let the FEC layer reconstruct, if any. At
+    /// most one per arrival: an MPDU only ever completes its own group.
+    std::optional<std::uint32_t> recovered{};
+  };
+
   const Counters& counters() const { return counters_; }
 
-  /// Accepts one MPDU. Returns true when the packet was new (duplicates
-  /// return false and are dropped on the floor).
-  bool on_packet(const Packet& packet, sim::TimePoint now);
+  /// Accepts one MPDU (data or parity; see the FEC framing on Packet).
+  /// When a group's parity is held and exactly one data member is missing,
+  /// that member is reconstructed on the spot and reported in `recovered`.
+  Arrival on_packet(const Packet& packet, sim::TimePoint now);
 
   /// Resolves `frame_id` at its display deadline. Must be called in frame
   /// order (deadlines are monotone in id); an out-of-order release attempt
@@ -65,16 +78,28 @@ class JitterBuffer {
     return release_log_;
   }
 
+  /// Back to a freshly constructed state, for reuse across back-to-back
+  /// sessions (also resets the release-order watermark).
+  void reset();
+
  private:
   struct FrameState {
-    std::uint32_t expected{0};
-    std::uint32_t received{0};
-    std::vector<bool> have;  // by seq
+    std::uint32_t expected{0};  // data MPDUs (parity not counted)
+    std::uint32_t received{0};  // data MPDUs held or reconstructed
+    std::vector<bool> have;     // by data seq
+    std::uint32_t fec_groups{0};
+    std::vector<bool> parity_have;            // by group
+    std::vector<std::uint32_t> group_missing;  // data members still absent
     sim::TimePoint capture{};
     std::optional<sim::TimePoint> completed_at;
     bool resolved{false};  // deadline fired
     bool released{false};
   };
+
+  void init_frame(FrameState& frame, const Packet& packet);
+  std::optional<std::uint32_t> try_recover(FrameState& frame,
+                                           std::uint32_t group);
+  void check_completed(FrameState& frame, sim::TimePoint now);
 
   Counters counters_;
   std::unordered_map<std::uint64_t, FrameState> frames_;

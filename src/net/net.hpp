@@ -3,15 +3,18 @@
 //   #include <net/net.hpp>
 //
 // brings in the encoder model (FrameSource), MCS-aware Packetizer, the
-// deadline-aware TxQueue, stop-and-wait-window Arq, headset-side
+// deadline-aware TxQueue, stop-and-wait-window Arq, interleaved XOR-parity
+// FecEncoder with its adaptive RedundancyController, headset-side
 // JitterBuffer, the Transport conductor and its metrics.
 #pragma once
 
 #include <net/arq.hpp>
+#include <net/fec.hpp>
 #include <net/frame.hpp>
 #include <net/frame_source.hpp>
 #include <net/jitter_buffer.hpp>
 #include <net/packetizer.hpp>
+#include <net/redundancy_controller.hpp>
 #include <net/stats.hpp>
 #include <net/transport.hpp>
 #include <net/tx_queue.hpp>

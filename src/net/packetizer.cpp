@@ -31,6 +31,7 @@ std::vector<Packet> Packetizer::split(const Frame& frame,
     p.payload_bytes = static_cast<std::uint32_t>(std::min(remaining, mpdu));
     p.capture = frame.capture;
     p.deadline = frame.deadline;
+    p.keyframe = frame.keyframe;
     packets.push_back(p);
     remaining -= p.payload_bytes;
   }

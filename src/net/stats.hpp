@@ -61,6 +61,19 @@ struct TransportMetrics {
   std::uint64_t retransmits{0};
   std::uint64_t duplicates{0};  // delivered-again copies (lost acks)
 
+  // FEC layer (net/fec.hpp); all zero while the layer is disabled.
+  std::uint64_t parity_enqueued{0};   // parity MPDUs the encoder appended
+  std::uint64_t parity_delivered{0};  // unique parity arrivals
+  /// Data MPDUs the receiver rebuilt from parity (receiver's view; a
+  /// rebuilt MPDU whose frame later dropped stays in the dropped bucket).
+  std::uint64_t packets_recovered{0};
+  /// Rebuilt MPDUs credited to the ledger's recovered-as-delivered bucket.
+  std::uint64_t packets_recovered_delivered{0};
+  std::uint64_t fec_frames_protected{0};
+  std::uint64_t fec_enables{0};  // adaptive controller hysteresis turn-ons
+  double fec_loss_estimate{0.0};  // controller's final loss EWMA
+  double fec_burst_estimate_mpdus{0.0};  // controller's final burst estimate
+
   // Queue backpressure.
   std::size_t queue_max_depth_frames{0};
   std::uint64_t queue_max_depth_bytes{0};
@@ -72,10 +85,12 @@ struct TransportMetrics {
   double p95_ms{0.0};
   double p99_ms{0.0};
 
-  /// delivered + dropped + in-flight == enqueued — the packet ledger closes.
+  /// delivered + dropped + recovered-as-delivered + in-flight == enqueued —
+  /// the packet ledger closes (the recovered bucket is empty without FEC).
   bool conserved() const {
-    return packets_enqueued ==
-           packets_delivered + packets_dropped + packets_in_flight;
+    return packets_enqueued == packets_delivered + packets_dropped +
+                                   packets_recovered_delivered +
+                                   packets_in_flight;
   }
 
   double deadline_miss_fraction() const {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include <phy/airtime.hpp>
+#include <sim/rng.hpp>
 
 namespace movr::net {
 
@@ -34,9 +35,17 @@ Transport::Transport(sim::Simulator& simulator, TransportConfig config)
       packetizer_{config.packetizer},
       queue_{config.queue},
       arq_{config.arq},
-      rng_{config.seed} {}
+      controller_{config.redundancy},
+      rng_{config.seed},
+      ack_rng_{derive_stream(config.seed, "net.ack")},
+      parity_rng_{derive_stream(config.seed, "net.fec")} {}
 
-bool Transport::coin(double probability) {
+std::mt19937_64 Transport::derive_stream(std::uint64_t seed,
+                                         std::string_view name) {
+  return sim::RngRegistry{seed}.stream(name);
+}
+
+bool Transport::coin(std::mt19937_64& rng, double probability) {
   if (probability <= 0.0) {
     return false;
   }
@@ -44,7 +53,7 @@ bool Transport::coin(double probability) {
     return true;
   }
   std::uniform_real_distribution<double> u{0.0, 1.0};
-  return u(rng_) < probability;
+  return u(rng) < probability;
 }
 
 sim::Duration Transport::data_airtime(const Packet& packet,
@@ -72,7 +81,15 @@ void Transport::on_frame(ChannelState channel) {
   // most robust MCS — the queue holds the frame either way.
   const phy::McsEntry& sizing_mcs =
       channel_.mcs != nullptr ? *channel_.mcs : phy::mcs_table().front();
-  const std::vector<Packet> packets = packetizer_.split(frame, sizing_mcs);
+  std::vector<Packet> packets = packetizer_.split(frame, sizing_mcs);
+
+  FecParams fec = config_.fec;
+  if (config_.adaptive_fec) {
+    controller_.on_tick(channel_.stressed);
+    fec = controller_.plan(frame.keyframe);
+    arq_.set_frame_budget(frame.id, controller_.retx_budget(frame.keyframe));
+  }
+  fec_.protect(packets, fec);
 
   std::vector<std::uint64_t> shed;
   queue_.push(packets, shed);
@@ -96,7 +113,19 @@ void Transport::pump() {
   Packet packet;
   bool is_retransmit = false;
   bool already_delivered = false;
-  if (!retx_.empty()) {
+  bool serve_retx = !retx_.empty();
+  if (serve_retx && retx_.front().packet.fec_groups > 0) {
+    const Packet* head = queue_.front();
+    if (head != nullptr &&
+        head->frame_id == retx_.front().packet.frame_id) {
+      // FEC-first: the rest of this frame — its parity included — is still
+      // queued, and a parity MPDU may repair this hole for free. Hold the
+      // retransmit until the frame has flushed; ARQ stays the backstop for
+      // holes parity cannot close.
+      serve_retx = false;
+    }
+  }
+  if (serve_retx) {
     packet = retx_.front().packet;
     already_delivered = retx_.front().delivered;
     if (!already_delivered) {
@@ -125,20 +154,40 @@ void Transport::pump() {
 
 void Transport::on_data_done(const Packet& packet, double loss, bool counted) {
   air_busy_ = false;
-  const bool data_lost = coin(loss);
+  // Parity coins come from their own stream so enabling FEC leaves the
+  // data-loss trajectory of a seeded run untouched.
+  const bool data_lost = coin(packet.parity ? parity_rng_ : rng_, loss);
+  if (config_.adaptive_fec) {
+    controller_.on_transmission(data_lost);
+  }
   bool still_counted = counted;
   if (!data_lost) {
     if (still_counted) {
       --unacked_undelivered_;
       still_counted = false;
     }
-    jitter_.on_packet(packet, simulator_.now());
+    const JitterBuffer::Arrival arrival =
+        jitter_.on_packet(packet, simulator_.now());
+    if (counted && !arrival.fresh && !packet.parity) {
+      // The air copy of a data MPDU the receiver had already rebuilt from
+      // parity: consume the pending recovery credit. A missing credit means
+      // drop_frame wrote it off while this copy was on air — the late
+      // duplicate lands in the dropped bucket (dropped wins).
+      if (recovered_.erase({packet.frame_id, packet.seq}) > 0) {
+        ++recovered_credited_;
+      } else {
+        ++late_dup_drops_;
+      }
+    }
+    if (arrival.recovered.has_value()) {
+      on_recovered(packet.frame_id, *arrival.recovered);
+    }
     if (jitter_.is_complete(packet.frame_id)) {
       on_frame_completed(packet.frame_id);
     }
   }
   const bool ack_lost =
-      !data_lost && coin(loss * config_.ack_loss_factor);
+      !data_lost && coin(ack_rng_, loss * config_.ack_loss_factor);
   simulator_.after(config_.ack_delay,
                    [this, packet, data_lost, ack_lost, still_counted] {
                      on_ack(packet, data_lost, ack_lost, still_counted);
@@ -146,8 +195,51 @@ void Transport::on_data_done(const Packet& packet, double loss, bool counted) {
   pump();
 }
 
+void Transport::on_recovered(std::uint64_t frame_id, std::uint32_t seq) {
+  // The receiver now holds `seq` without a counted arrival. If the
+  // sender's copy is waiting in the retransmit line, the next block-ack
+  // advertises the recovery and the retransmit is cancelled — the credit
+  // is taken immediately. Otherwise remember the debt: it is settled when
+  // the copy's transmission resolves (duplicate arrival or block-acked
+  // loss) or written off when the frame drops.
+  for (auto it = retx_.begin(); it != retx_.end(); ++it) {
+    if (it->packet.frame_id == frame_id && it->packet.seq == seq &&
+        !it->packet.parity && !it->delivered) {
+      --retx_undelivered_;
+      ++recovered_credited_;
+      retx_.erase(it);
+      return;
+    }
+  }
+  recovered_.insert({frame_id, seq});
+}
+
 void Transport::on_ack(const Packet& packet, bool data_lost, bool ack_lost,
                        bool counted) {
+  if (packet.parity && (data_lost || ack_lost)) {
+    // Parity is expendable: losing one only costs its group the shield,
+    // and retransmitting it would burn ARQ budget the data may need. A
+    // copy lost on air lands in the dropped bucket; a delivered copy whose
+    // ack vanished is already counted and just needs the line cleared.
+    if (counted) {
+      --unacked_undelivered_;
+      ++parity_loss_drops_;
+    }
+    arq_.forgo(packet);
+    pump();
+    return;
+  }
+  if (data_lost && counted && !packet.parity &&
+      recovered_.erase({packet.frame_id, packet.seq}) > 0) {
+    // The MPDU was lost on air, but the receiver rebuilt it from parity in
+    // the meantime and its block-ack advertises the recovery — no
+    // retransmission needed; consume the credit instead.
+    --unacked_undelivered_;
+    ++recovered_credited_;
+    arq_.resolve(packet, false, false);
+    pump();
+    return;
+  }
   switch (arq_.resolve(packet, data_lost, ack_lost)) {
     case Arq::Verdict::kAcked:
       break;
@@ -190,6 +282,10 @@ void Transport::drop_frame(std::uint64_t frame_id, FrameOutcome::Kind kind) {
     }
   }
   arq_.abandon_frame(frame_id);
+  // Pending recovery credits for this frame are written off: the physical
+  // copies land in the dropped bucket, which wins over recovery.
+  recovered_.erase(recovered_.lower_bound({frame_id, 0}),
+                   recovered_.lower_bound({frame_id + 1, 0}));
   FrameOutcome& outcome = outcomes_[frame_id];
   if (outcome.kind == FrameOutcome::Kind::kPending ||
       outcome.kind == FrameOutcome::Kind::kMiss) {
@@ -233,7 +329,8 @@ std::uint64_t Transport::packets_delivered() const {
 std::uint64_t Transport::packets_dropped() const {
   const TxQueue::Counters& q = queue_.counters();
   return q.packets_dropped_stale + q.packets_dropped_full + q.packets_purged +
-         arq_packet_drops_ + retx_purge_drops_;
+         arq_packet_drops_ + retx_purge_drops_ + late_dup_drops_ +
+         parity_loss_drops_;
 }
 
 std::uint64_t Transport::packets_in_flight() const {
@@ -299,6 +396,41 @@ void Transport::finalize(sim::TimePoint end) {
   metrics_.duplicates = jitter_.counters().duplicates;
   metrics_.queue_max_depth_frames = queue_.counters().max_depth_frames;
   metrics_.queue_max_depth_bytes = queue_.counters().max_depth_bytes;
+
+  metrics_.parity_enqueued = fec_.counters().parity_packets;
+  metrics_.parity_delivered = jitter_.counters().parity_received;
+  metrics_.packets_recovered = jitter_.counters().packets_recovered;
+  metrics_.packets_recovered_delivered = recovered_credited_;
+  metrics_.fec_frames_protected = fec_.counters().frames_protected;
+  metrics_.fec_enables = controller_.counters().enables;
+  metrics_.fec_loss_estimate = controller_.loss_estimate();
+  metrics_.fec_burst_estimate_mpdus =
+      config_.adaptive_fec ? controller_.expected_burst_mpdus() : 0.0;
+}
+
+void Transport::reset() {
+  source_.reset();
+  queue_.reset();
+  arq_.reset();
+  jitter_.reset();
+  fec_.reset();
+  controller_.reset();
+  rng_.seed(config_.seed);
+  ack_rng_ = derive_stream(config_.seed, "net.ack");
+  parity_rng_ = derive_stream(config_.seed, "net.fec");
+  channel_ = ChannelState{};
+  air_busy_ = false;
+  retx_.clear();
+  retx_undelivered_ = 0;
+  unacked_undelivered_ = 0;
+  arq_packet_drops_ = 0;
+  retx_purge_drops_ = 0;
+  late_dup_drops_ = 0;
+  parity_loss_drops_ = 0;
+  recovered_.clear();
+  recovered_credited_ = 0;
+  outcomes_.clear();
+  metrics_ = TransportMetrics{};
 }
 
 }  // namespace movr::net

@@ -13,21 +13,28 @@
 //
 // The packet ledger is the subsystem's conservation law: every packet that
 // enters the TX queue is eventually delivered (counted once by the jitter
-// buffer), dropped (queue shed / stale, or ARQ budget), or still in flight
-// when the session ends. tests/net_transport_property_test.cpp fuzzes this
-// equation across random loss and fault schedules.
+// buffer), dropped (queue shed / stale, or ARQ budget), recovered — its
+// payload rebuilt from FEC parity before any counted copy arrived — or
+// still in flight when the session ends.
+// tests/net_transport_property_test.cpp fuzzes this equation across random
+// loss, burst and fault schedules.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <random>
+#include <set>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include <net/arq.hpp>
+#include <net/fec.hpp>
 #include <net/frame.hpp>
 #include <net/frame_source.hpp>
 #include <net/jitter_buffer.hpp>
 #include <net/packetizer.hpp>
+#include <net/redundancy_controller.hpp>
 #include <net/stats.hpp>
 #include <net/tx_queue.hpp>
 #include <phy/mcs.hpp>
@@ -43,6 +50,10 @@ struct ChannelState {
   const phy::McsEntry* mcs{nullptr};  // nullptr: link down, nothing flies
   double packet_loss{0.0};
   double extra_loss{0.0};
+  /// Correlated-loss warning from the control plane (fault window open,
+  /// handover pending, degraded mode): the adaptive FEC controller boosts
+  /// protection proactively while this is set.
+  bool stressed{false};
 
   double loss() const {
     const double p = packet_loss + extra_loss;
@@ -55,13 +66,22 @@ struct TransportConfig {
   Packetizer::Config packetizer{};
   TxQueue::Config queue{};
   Arq::Config arq{};
+  /// Static FEC protection applied to every frame (net/fec.hpp); k == 0
+  /// disables the layer entirely (bit-identical pass-through). Ignored
+  /// when `adaptive_fec` is set.
+  FecParams fec{};
+  /// Let the RedundancyController pick protection per frame from ack
+  /// history and the channel's `stressed` signal.
+  bool adaptive_fec{false};
+  RedundancyController::Config redundancy{};
   /// Ack resolution delay after a data MPDU leaves the air.
   sim::Duration ack_delay{std::chrono::microseconds{5}};
   /// Ack loss probability = `ack_loss_factor` x data loss (acks are short
   /// and robustly modulated, but not immune) — the source of duplicates.
   double ack_loss_factor{0.25};
   /// Loss stacked onto the channel while a fault window is active; the
-  /// session reads this when building ChannelState.
+  /// session reads this when building ChannelState (unless a burst-loss
+  /// channel model is driving `extra_loss` instead).
   double fault_extra_loss{0.5};
   std::uint64_t seed{99};
 };
@@ -109,12 +129,32 @@ class Transport {
   std::uint64_t packets_delivered() const;
   std::uint64_t packets_dropped() const;
   std::uint64_t packets_in_flight() const;
+  /// Enqueued packets whose payload reached the display via FEC recovery
+  /// instead of a counted arrival — the ledger's fourth bucket.
+  std::uint64_t packets_recovered_delivered() const {
+    return recovered_credited_;
+  }
+  /// enqueued == delivered + dropped + recovered-as-delivered + in-flight,
+  /// at any instant (fuzzed every tick by the property tests and benches).
+  bool ledger_closes() const {
+    return packets_enqueued() == packets_delivered() + packets_dropped() +
+                                     packets_recovered_delivered() +
+                                     packets_in_flight();
+  }
 
   const TxQueue& queue() const { return queue_; }
   const Arq& arq() const { return arq_; }
   const JitterBuffer& jitter() const { return jitter_; }
   const FrameSource& source() const { return source_; }
+  const FecEncoder& fec() const { return fec_; }
+  const RedundancyController& redundancy() const { return controller_; }
   const TransportConfig& config() const { return config_; }
+
+  /// Back to a freshly constructed state (same config, reseeded RNG
+  /// streams), so one Transport can run back-to-back sessions. Only valid
+  /// between sessions: the event queue must be drained first (pending
+  /// transport events would act on the cleared state).
+  void reset();
 
  private:
   struct RetxEntry {
@@ -128,10 +168,13 @@ class Transport {
               bool counted);
   void on_display_deadline(std::uint64_t frame_id);
   void on_frame_completed(std::uint64_t frame_id);
+  void on_recovered(std::uint64_t frame_id, std::uint32_t seq);
   void drop_frame(std::uint64_t frame_id, FrameOutcome::Kind kind);
   sim::Duration data_airtime(const Packet& packet,
                              const phy::McsEntry& mcs) const;
-  bool coin(double probability);
+  bool coin(std::mt19937_64& rng, double probability);
+  static std::mt19937_64 derive_stream(std::uint64_t seed,
+                                       std::string_view name);
 
   sim::Simulator& simulator_;
   TransportConfig config_;
@@ -140,7 +183,15 @@ class Transport {
   TxQueue queue_;
   Arq arq_;
   JitterBuffer jitter_;
+  FecEncoder fec_;
+  RedundancyController controller_;
+  /// Dedicated streams (see DESIGN.md §9.1): data-loss coins keep the
+  /// legacy seeding; ack and parity coins draw from independent streams so
+  /// toggling FEC (or changing the ack model) never perturbs the data-loss
+  /// trajectory of a seeded run.
   std::mt19937_64 rng_;
+  std::mt19937_64 ack_rng_;
+  std::mt19937_64 parity_rng_;
 
   ChannelState channel_{};
   bool air_busy_{false};
@@ -153,6 +204,18 @@ class Transport {
   std::uint64_t arq_packet_drops_{0};
   /// Undelivered packets purged from the retransmit line on abandonment.
   std::uint64_t retx_purge_drops_{0};
+  /// Late duplicates of recovered packets whose credit drop_frame already
+  /// wrote off — they land in the dropped bucket (dropped wins).
+  std::uint64_t late_dup_drops_{0};
+  /// Parity MPDUs lost on air and written off (never retransmitted).
+  std::uint64_t parity_loss_drops_{0};
+  /// Data packets the receiver rebuilt from parity whose ledger credit is
+  /// still pending (the physical copy is queued / on air / unresolved).
+  /// Keyed by (frame, seq); erased when credited or when the frame drops.
+  std::set<std::pair<std::uint64_t, std::uint32_t>> recovered_;
+  /// Recovered packets whose counted copy was consumed — the ledger's
+  /// recovered-as-delivered bucket.
+  std::uint64_t recovered_credited_{0};
 
   std::vector<FrameOutcome> outcomes_;
   TransportMetrics metrics_;

@@ -90,4 +90,10 @@ std::size_t TxQueue::purge_frame(std::uint64_t frame_id) {
   return purged;
 }
 
+void TxQueue::reset() {
+  counters_ = Counters{};
+  queue_.clear();
+  bytes_ = 0;
+}
+
 }  // namespace movr::net

@@ -72,6 +72,10 @@ class TxQueue {
   std::uint64_t depth_bytes() const { return bytes_; }
   bool empty() const { return queue_.empty(); }
 
+  /// Back to a freshly constructed state (same config), for reuse across
+  /// back-to-back sessions.
+  void reset();
+
  private:
   void note_depth();
   void erase_head_frame(std::uint64_t frame_id, std::uint64_t& frames,

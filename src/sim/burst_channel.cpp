@@ -1,0 +1,48 @@
+#include <sim/burst_channel.hpp>
+
+#include <algorithm>
+
+namespace movr::sim {
+
+void BurstChannel::enter_bad() {
+  state_ = State::kBad;
+  ++counters_.bursts;
+  current_burst_ = 0;
+}
+
+void BurstChannel::close_burst() {
+  counters_.longest_burst_steps =
+      std::max(counters_.longest_burst_steps, current_burst_);
+  current_burst_ = 0;
+  state_ = State::kGood;
+}
+
+BurstChannel::State BurstChannel::step() {
+  ++counters_.steps;
+  std::uniform_real_distribution<double> u{0.0, 1.0};
+  const double roll = u(rng_);
+  if (state_ == State::kGood) {
+    if (roll < config_.p_good_bad) {
+      enter_bad();
+    }
+  } else if (roll < config_.p_bad_good) {
+    close_burst();
+  }
+  if (state_ == State::kBad) {
+    ++counters_.steps_bad;
+    ++current_burst_;
+    counters_.longest_burst_steps =
+        std::max(counters_.longest_burst_steps, current_burst_);
+  }
+  return state_;
+}
+
+void BurstChannel::force_bad() {
+  if (state_ == State::kBad) {
+    return;
+  }
+  enter_bad();
+  ++counters_.forced_bad;
+}
+
+}  // namespace movr::sim

@@ -1,0 +1,85 @@
+// Gilbert–Elliott burst-loss channel.
+//
+// mmWave links fail in *bursts*: a hand or head blocks the beam for tens of
+// milliseconds, and the handover window itself is a correlated-loss event.
+// Resolving every MPDU with an independent Bernoulli coin hides exactly the
+// failure mode that kills retransmission-only recovery, so the transport's
+// extra loss is generated here instead: a two-state Markov chain (good/bad)
+// stepped once per frame tick, with a per-state loss probability fed to
+// net::ChannelState.
+//
+// The transitions are not purely stochastic — the session pushes the
+// channel into the bad state when the world says so (a fault window opens,
+// the LinkManager enters kHandoverPending/kDegraded), so blockage events
+// become correlated loss instead of i.i.d. extra loss. The chain draws from
+// its own dedicated RNG, so the burst trajectory for a seed is identical no
+// matter what the transport, FEC layer or rate control do with their coins.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace movr::sim {
+
+class BurstChannel {
+ public:
+  struct Config {
+    /// Per-step (per frame tick) transition probabilities.
+    double p_good_bad{0.015};
+    double p_bad_good{0.15};  // mean natural burst ~1/0.15 ≈ 7 ticks
+    /// Per-MPDU loss probability in each state.
+    double loss_good{0.003};
+    double loss_bad{0.4};
+    std::uint64_t seed{0xB1257};
+  };
+
+  struct Counters {
+    std::uint64_t steps{0};
+    std::uint64_t steps_bad{0};
+    /// Entries into the bad state: spontaneous (chain) + forced (events).
+    std::uint64_t bursts{0};
+    std::uint64_t forced_bad{0};
+    std::uint64_t longest_burst_steps{0};
+  };
+
+  enum class State : std::uint8_t { kGood, kBad };
+
+  BurstChannel() : BurstChannel{Config{}} {}
+  explicit BurstChannel(Config config) : config_{config}, rng_{config.seed} {}
+
+  /// Advances the chain one tick and returns the new state.
+  State step();
+
+  /// Event-driven push into the bad state (blockage window opened, handover
+  /// pending, link degraded). Idempotent while already bad.
+  void force_bad();
+
+  State state() const { return state_; }
+  bool bad() const { return state_ == State::kBad; }
+
+  /// Per-MPDU loss probability of the *current* state.
+  double loss() const {
+    return state_ == State::kBad ? config_.loss_bad : config_.loss_good;
+  }
+
+  /// Mean natural burst length, in steps — what the FEC interleaving depth
+  /// should span.
+  double mean_burst_steps() const {
+    return config_.p_bad_good > 0.0 ? 1.0 / config_.p_bad_good : 1.0;
+  }
+
+  const Config& config() const { return config_; }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void enter_bad();
+  void close_burst();
+
+  Config config_;
+  Counters counters_;
+  State state_{State::kGood};
+  std::uint64_t current_burst_{0};
+  std::mt19937_64 rng_;
+};
+
+}  // namespace movr::sim

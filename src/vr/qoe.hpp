@@ -12,6 +12,7 @@
 
 #include <core/config_epoch.hpp>
 #include <net/stats.hpp>
+#include <sim/burst_channel.hpp>
 #include <sim/time.hpp>
 
 namespace movr::vr {
@@ -53,6 +54,11 @@ struct QoeReport {
   /// with Session::Config::transport enabled; under the legacy binary
   /// delivered/glitched model this stays nullopt.
   std::optional<net::TransportMetrics> transport;
+
+  /// Burst-loss channel counters (steps spent bad, burst entries, forced
+  /// entries from world events, longest burst). Present only when the
+  /// session ran with Session::Config::burst_loss set.
+  std::optional<sim::BurstChannel::Counters> burst;
 
   /// Control-plane incident counters (partitions entered/healed,
   /// divergences caught by the state digest, reconciliation replays,

@@ -27,6 +27,9 @@ Session::Session(sim::Simulator& simulator, core::Scene& scene,
       transport.source.target_mbps = config_.display.required_mbps();
     }
     transport_ = std::make_unique<net::Transport>(simulator_, transport);
+    if (config_.burst_loss.has_value()) {
+      burst_ = std::make_unique<sim::BurstChannel>(*config_.burst_loss);
+    }
   }
 }
 
@@ -117,7 +120,19 @@ void Session::tick() {
     net::ChannelState channel;
     channel.mcs = mcs;
     channel.packet_loss = per;
-    if (config_.faults != nullptr && config_.faults->active_count(now) > 0) {
+    const bool fault_active =
+        config_.faults != nullptr && config_.faults->active_count(now) > 0;
+    channel.stressed = fault_active || strategy_.link_stressed();
+    if (burst_ != nullptr) {
+      // Burst model: the chain evolves on its own clock, but world events
+      // (fault window, handover, degraded link) pin it bad — blockage
+      // becomes correlated loss rather than a flat i.i.d. penalty.
+      burst_->step();
+      if (channel.stressed) {
+        burst_->force_bad();
+      }
+      channel.extra_loss = burst_->loss();
+    } else if (fault_active) {
       channel.extra_loss = config_.transport->fault_extra_loss;
     }
     transport_->on_frame(channel);
@@ -163,6 +178,9 @@ QoeReport Session::run() {
     transport_->finalize(start_ + config_.duration);
     account_transport_outcomes();
     report_.transport = transport_->metrics();
+  }
+  if (burst_ != nullptr) {
+    report_.burst = burst_->counters();
   }
   close_stall();
   if (report_.frames > 0) {

@@ -18,6 +18,7 @@
 #include <net/transport.hpp>
 #include <phy/rate_adapter.hpp>
 #include <rf/units.hpp>
+#include <sim/burst_channel.hpp>
 #include <sim/fault_injector.hpp>
 #include <sim/simulator.hpp>
 #include <vr/motion.hpp>
@@ -36,6 +37,10 @@ class LinkStrategy {
   /// When true, rate control pins the most robust (lowest) MCS this frame
   /// instead of chasing throughput — the degraded-mode contract.
   virtual bool pin_lowest_rate() const { return false; }
+  /// When true, the link is in a correlated-loss window (handover pending,
+  /// degraded mode): the session forces the burst channel bad and warns
+  /// the transport's adaptive FEC via ChannelState::stressed.
+  virtual bool link_stressed() const { return false; }
 };
 
 /// The full MoVR system: headset SNR tracking, handover to reflectors on
@@ -53,6 +58,11 @@ class MovrStrategy final : public LinkStrategy {
   std::string_view name() const override { return "movr"; }
   bool pin_lowest_rate() const override {
     return manager_.mode() == core::LinkManager::Mode::kDegraded;
+  }
+  bool link_stressed() const override {
+    const core::LinkManager::Mode mode = manager_.mode();
+    return mode == core::LinkManager::Mode::kHandoverPending ||
+           mode == core::LinkManager::Mode::kDegraded;
   }
 
   core::LinkManager& manager() { return manager_; }
@@ -88,6 +98,13 @@ class Session {
     /// Source fps / bitrate / latency budget fields left at zero are
     /// filled from `display`.
     std::optional<net::TransportConfig> transport;
+    /// Opt-in burst-loss channel model (transport path only): instead of
+    /// stacking a flat `fault_extra_loss` during fault windows, a
+    /// Gilbert–Elliott chain (sim/burst_channel.hpp) generates the extra
+    /// loss, stepped once per tick and forced into its bad state while the
+    /// link is stressed (fault window open, strategy reports handover
+    /// pending / degraded). The report carries the chain's counters.
+    std::optional<sim::BurstChannel::Config> burst_loss;
     /// Optional hardened control plane (core/config_epoch.hpp): when set,
     /// the report carries its incident counters (partitions, divergences,
     /// reconciliations, safe-mode entries) alongside the QoE metrics. The
@@ -102,6 +119,10 @@ class Session {
 
   /// Runs the whole session on the simulator and returns the QoE report.
   QoeReport run();
+
+  /// The live transport pipeline, nullptr when the session runs the legacy
+  /// binary model. Exposed so benches can audit the packet ledger mid-run.
+  const net::Transport* transport() const { return transport_.get(); }
 
  private:
   void tick();
@@ -127,6 +148,8 @@ class Session {
 
   /// Transport pipeline, live only when config_.transport is set.
   std::unique_ptr<net::Transport> transport_;
+  /// Burst-loss chain, live only when config_.burst_loss is set.
+  std::unique_ptr<sim::BurstChannel> burst_;
 
   void close_stall();
   void compute_fault_recovery();

@@ -1,0 +1,106 @@
+#include <net/fec.hpp>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace movr::net {
+namespace {
+
+std::vector<Packet> make_frame(std::uint64_t frame_id, std::uint32_t n,
+                               std::uint32_t bytes = 1000) {
+  std::vector<Packet> packets;
+  for (std::uint32_t seq = 0; seq < n; ++seq) {
+    Packet p;
+    p.frame_id = frame_id;
+    p.seq = seq;
+    p.frame_packets = n;
+    p.payload_bytes = bytes;
+    p.keyframe = true;
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+TEST(FecEncoder, KZeroIsBitIdenticalPassThrough) {
+  FecEncoder fec;
+  std::vector<Packet> packets = make_frame(0, 5);
+  const std::vector<Packet> before = packets;
+  fec.protect(packets, FecParams{});
+  ASSERT_EQ(packets.size(), before.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].seq, before[i].seq);
+    EXPECT_EQ(packets[i].fec_groups, 0u);
+    EXPECT_FALSE(packets[i].parity);
+  }
+  EXPECT_EQ(fec.counters().frames_protected, 0u);
+  EXPECT_EQ(fec.counters().parity_packets, 0u);
+}
+
+TEST(FecEncoder, GroupCountCombinesRateAndDepth) {
+  // Rate bound: ceil(n/k). Depth raises it; n caps it.
+  EXPECT_EQ(FecEncoder::group_count(8, {4, 1}), 2u);
+  EXPECT_EQ(FecEncoder::group_count(8, {4, 3}), 3u);
+  EXPECT_EQ(FecEncoder::group_count(8, {2, 1}), 4u);
+  EXPECT_EQ(FecEncoder::group_count(3, {2, 8}), 3u);  // capped at n
+  EXPECT_EQ(FecEncoder::group_count(0, {4, 2}), 0u);
+  EXPECT_EQ(FecEncoder::group_count(8, {0, 4}), 0u);  // disabled
+}
+
+TEST(FecEncoder, AppendsOneParityPerGroupWithRoundRobinFraming) {
+  FecEncoder fec;
+  std::vector<Packet> packets = make_frame(7, 8);
+  fec.protect(packets, {4, 1});  // 2 groups
+  ASSERT_EQ(packets.size(), 10u);
+  for (std::uint32_t seq = 0; seq < 8; ++seq) {
+    EXPECT_FALSE(packets[seq].parity);
+    EXPECT_EQ(packets[seq].fec_groups, 2u);
+    EXPECT_EQ(packets[seq].fec_group, seq % 2);
+    EXPECT_EQ(packets[seq].frame_packets, 8u);  // data count unchanged
+  }
+  for (std::uint32_t g = 0; g < 2; ++g) {
+    const Packet& parity = packets[8 + g];
+    EXPECT_TRUE(parity.parity);
+    EXPECT_EQ(parity.seq, 8 + g);
+    EXPECT_EQ(parity.fec_group, g);
+    EXPECT_EQ(parity.fec_groups, 2u);
+    EXPECT_EQ(parity.frame_id, 7u);
+    EXPECT_TRUE(parity.keyframe);
+    EXPECT_EQ(parity.payload_bytes, 1000u);  // as long as its largest member
+  }
+  EXPECT_EQ(fec.counters().frames_protected, 1u);
+  EXPECT_EQ(fec.counters().parity_packets, 2u);
+  EXPECT_EQ(fec.counters().parity_bytes, 2000u);
+}
+
+TEST(FecEncoder, GroupSizesPartitionTheFrame) {
+  for (std::uint32_t n = 1; n <= 40; ++n) {
+    for (std::uint32_t groups = 1; groups <= n; ++groups) {
+      std::uint32_t total = 0;
+      for (std::uint32_t g = 0; g < groups; ++g) {
+        total += FecEncoder::group_size(n, groups, g);
+      }
+      EXPECT_EQ(total, n) << "n=" << n << " groups=" << groups;
+    }
+  }
+}
+
+TEST(FecEncoder, InterleavingSpreadsConsecutiveLossAcrossGroups) {
+  // The burst-proofing claim: `groups` consecutive seqs land in `groups`
+  // distinct groups, so a burst that long costs each group one member.
+  FecEncoder fec;
+  std::vector<Packet> packets = make_frame(0, 22);
+  fec.protect(packets, {8, 6});  // depth dominates: 6 groups
+  const std::uint32_t groups = packets[0].fec_groups;
+  ASSERT_EQ(groups, 6u);
+  for (std::uint32_t start = 0; start + groups <= 22; ++start) {
+    std::vector<bool> seen(groups, false);
+    for (std::uint32_t seq = start; seq < start + groups; ++seq) {
+      EXPECT_FALSE(seen[packets[seq].fec_group]);
+      seen[packets[seq].fec_group] = true;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace movr::net

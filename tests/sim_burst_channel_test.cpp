@@ -1,0 +1,96 @@
+#include <sim/burst_channel.hpp>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace movr::sim {
+namespace {
+
+TEST(BurstChannel, StartsGoodWithGoodStateLoss) {
+  BurstChannel channel;
+  EXPECT_FALSE(channel.bad());
+  EXPECT_DOUBLE_EQ(channel.loss(), channel.config().loss_good);
+}
+
+TEST(BurstChannel, ForceBadSwitchesLossAndCounts) {
+  BurstChannel channel;
+  channel.force_bad();
+  EXPECT_TRUE(channel.bad());
+  EXPECT_DOUBLE_EQ(channel.loss(), channel.config().loss_bad);
+  EXPECT_EQ(channel.counters().forced_bad, 1u);
+  EXPECT_EQ(channel.counters().bursts, 1u);
+  // Idempotent while already bad.
+  channel.force_bad();
+  EXPECT_EQ(channel.counters().forced_bad, 1u);
+  EXPECT_EQ(channel.counters().bursts, 1u);
+}
+
+TEST(BurstChannel, SameSeedSameTrajectory) {
+  BurstChannel::Config config;
+  config.seed = 42;
+  BurstChannel a{config};
+  BurstChannel b{config};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.step(), b.step());
+  }
+  EXPECT_EQ(a.counters().steps_bad, b.counters().steps_bad);
+  EXPECT_EQ(a.counters().bursts, b.counters().bursts);
+}
+
+TEST(BurstChannel, OccupancyTracksStationaryDistribution) {
+  // Stationary P(bad) = p_gb / (p_gb + p_bg); check the empirical
+  // occupancy over a long run lands in a generous window around it.
+  BurstChannel::Config config;
+  config.p_good_bad = 0.02;
+  config.p_bad_good = 0.2;
+  config.seed = 7;
+  BurstChannel channel{config};
+  const int steps = 200000;
+  for (int i = 0; i < steps; ++i) {
+    channel.step();
+  }
+  const double expected =
+      config.p_good_bad / (config.p_good_bad + config.p_bad_good);
+  const double occupancy =
+      static_cast<double>(channel.counters().steps_bad) / steps;
+  EXPECT_NEAR(occupancy, expected, 0.25 * expected);
+}
+
+TEST(BurstChannel, MeanBurstLengthMatchesGeometry) {
+  BurstChannel::Config config;
+  config.p_good_bad = 0.05;
+  config.p_bad_good = 0.25;
+  config.seed = 11;
+  BurstChannel channel{config};
+  EXPECT_DOUBLE_EQ(channel.mean_burst_steps(), 4.0);
+  const int steps = 200000;
+  for (int i = 0; i < steps; ++i) {
+    channel.step();
+  }
+  const auto& c = channel.counters();
+  ASSERT_GT(c.bursts, 0u);
+  const double mean_burst =
+      static_cast<double>(c.steps_bad) / static_cast<double>(c.bursts);
+  EXPECT_NEAR(mean_burst, channel.mean_burst_steps(),
+              0.2 * channel.mean_burst_steps());
+  EXPECT_GE(c.longest_burst_steps, static_cast<std::uint64_t>(mean_burst));
+}
+
+TEST(BurstChannel, LossIsBadForWholeForcedWindow) {
+  // The session's usage pattern: step() then force_bad() while stressed —
+  // the loss read afterwards must be the bad-state loss on every stressed
+  // tick regardless of what the chain rolled.
+  BurstChannel::Config config;
+  config.p_bad_good = 0.9;  // chain strongly wants to leave bad
+  config.seed = 3;
+  BurstChannel channel{config};
+  for (int i = 0; i < 50; ++i) {
+    channel.step();
+    channel.force_bad();
+    EXPECT_DOUBLE_EQ(channel.loss(), config.loss_bad);
+  }
+}
+
+}  // namespace
+}  // namespace movr::sim

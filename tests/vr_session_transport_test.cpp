@@ -202,6 +202,76 @@ TEST(SessionTransport, FaultWindowStacksLossAndForcesRetransmits) {
   EXPECT_GT(faulted_retx, clean_retx + 100);
 }
 
+TEST(SessionTransport, TransportToggleLeavesWorldTrajectoryBitIdentical) {
+  // The transport (with burst loss and adaptive FEC) draws from its own
+  // dedicated RNG streams, so switching it on must not perturb the world:
+  // the MoVR strategy's SNR trajectory — driven by blockage, handover and
+  // the link manager's own stream — stays bit-identical frame for frame.
+  const auto script =
+      periodic_hand_raises(sim::from_seconds(0.4), sim::from_seconds(0.4),
+                           sim::from_seconds(0.8), sim::from_seconds(2.0));
+  const auto run_once = [&script](bool with_transport) {
+    core::Scene scene = make_scene();
+    auto& reflector = scene.add_reflector({4.6, 4.6}, deg_to_rad(225.0));
+    calibrate_reflector(scene, reflector);
+    sim::Simulator simulator;
+    MovrStrategy strategy{simulator, scene, std::mt19937_64{3}};
+    Session::Config config;
+    config.duration = sim::from_seconds(2.0);
+    if (with_transport) {
+      net::TransportConfig transport;
+      transport.source.target_mbps = 2000.0;
+      transport.adaptive_fec = true;
+      config.transport = transport;
+      config.burst_loss = sim::BurstChannel::Config{};
+    }
+    Session session{simulator, scene, strategy, nullptr, &script, config};
+    return session.run();
+  };
+  const QoeReport legacy = run_once(false);
+  const QoeReport transported = run_once(true);
+  EXPECT_FALSE(legacy.transport.has_value());
+  ASSERT_TRUE(transported.transport.has_value());
+  EXPECT_EQ(legacy.frames, transported.frames);
+  EXPECT_EQ(legacy.mean_snr_db, transported.mean_snr_db);
+  EXPECT_EQ(legacy.min_snr_db, transported.min_snr_db);
+}
+
+TEST(SessionTransport, BurstLossSessionClosesLedgerAndReportsCounters) {
+  core::Scene scene = make_scene();
+  sim::Simulator simulator;
+  sim::FaultInjector faults{simulator};
+  faults.inject("blockage-window", sim::from_seconds(0.5),
+                sim::from_seconds(0.6), [] {});
+  baseline::DirectTrackingStrategy strategy{scene};
+  Session::Config config;
+  config.duration = sim::from_seconds(2.0);
+  config.faults = &faults;
+  net::TransportConfig transport;
+  transport.source.target_mbps = 2000.0;
+  transport.adaptive_fec = true;
+  config.transport = transport;
+  config.burst_loss = sim::BurstChannel::Config{};
+  Session session{simulator, scene, strategy, nullptr, nullptr, config};
+  const QoeReport report = session.run();
+
+  ASSERT_TRUE(report.burst.has_value());
+  EXPECT_EQ(report.burst->steps, report.frames);
+  // The fault window forced the chain bad at least once and the chain
+  // spent time there.
+  EXPECT_GE(report.burst->forced_bad, 1u);
+  EXPECT_GT(report.burst->steps_bad, 0u);
+
+  ASSERT_TRUE(report.transport.has_value());
+  const net::TransportMetrics& metrics = *report.transport;
+  EXPECT_TRUE(metrics.conserved());
+  // The ~54% bad-state loss inside the forced window drives the adaptive
+  // layer on: parity flowed and the controller engaged.
+  EXPECT_GT(metrics.fec_frames_protected, 0u);
+  EXPECT_GT(metrics.parity_enqueued, 0u);
+  EXPECT_LE(metrics.packets_recovered_delivered, metrics.packets_recovered);
+}
+
 TEST(SessionTransport, DeterministicAcrossRuns) {
   Session::Config config;
   config.duration = sim::from_seconds(1.0);
