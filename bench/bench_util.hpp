@@ -3,10 +3,13 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <limits>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <core/movr.hpp>
@@ -101,6 +104,146 @@ inline std::vector<double> latency_samples(
     samples.push_back(std::numeric_limits<double>::infinity());
   }
   return samples;
+}
+
+/// Minimal ordered JSON value tree for the bench artifacts (BENCH_*.json):
+/// enough for objects, arrays, numbers, strings and bools — no parsing, no
+/// dependencies. Non-finite numbers serialize as null (JSON has no inf).
+class Json {
+ public:
+  Json() = default;
+  Json(bool b) : kind_{Kind::kBool}, bool_{b} {}  // NOLINT(runtime/explicit)
+  Json(double v) : kind_{Kind::kNumber}, num_{v} {}
+  Json(int v) : Json{static_cast<double>(v)} {}
+  Json(long v) : Json{static_cast<double>(v)} {}
+  Json(std::uint64_t v) : Json{static_cast<double>(v)} {}
+  Json(const char* s) : kind_{Kind::kString}, str_{s} {}
+  Json(std::string s) : kind_{Kind::kString}, str_{std::move(s)} {}
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  /// Object member (insertion order preserved). Returns *this for chaining.
+  Json& set(std::string key, Json value) {
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  /// Array element.
+  Json& push(Json value) {
+    members_.emplace_back(std::string{}, std::move(value));
+    return *this;
+  }
+
+  std::string dump() const {
+    std::string out;
+    write(out);
+    return out;
+  }
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  static void escape(const std::string& s, std::string& out) {
+    out += '"';
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+  }
+
+  void write(std::string& out) const {
+    switch (kind_) {
+      case Kind::kNull:
+        out += "null";
+        break;
+      case Kind::kBool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::kNumber: {
+        if (!std::isfinite(num_)) {
+          out += "null";
+          break;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", num_);
+        out += buf;
+        break;
+      }
+      case Kind::kString:
+        escape(str_, out);
+        break;
+      case Kind::kArray: {
+        out += '[';
+        bool first = true;
+        for (const auto& [key, value] : members_) {
+          if (!first) {
+            out += ',';
+          }
+          first = false;
+          value.write(out);
+        }
+        out += ']';
+        break;
+      }
+      case Kind::kObject: {
+        out += '{';
+        bool first = true;
+        for (const auto& [key, value] : members_) {
+          if (!first) {
+            out += ',';
+          }
+          first = false;
+          escape(key, out);
+          out += ':';
+          value.write(out);
+        }
+        out += '}';
+        break;
+      }
+    }
+  }
+
+  Kind kind_{Kind::kNull};
+  bool bool_{false};
+  double num_{0.0};
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Prints the machine-readable `json:` trend line and, when `path` is
+/// non-empty, writes the same document to the file (the committed BENCH_*
+/// artifacts and the CI uploads both come from here).
+inline bool emit_json(const std::string& path, const Json& value) {
+  const std::string text = value.dump();
+  std::printf("\njson: %s\n", text.c_str());
+  if (path.empty()) {
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "emit_json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", text.c_str());
+  std::fclose(f);
+  return true;
 }
 
 inline void print_header(const std::string& title) {

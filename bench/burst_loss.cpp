@@ -25,7 +25,9 @@
 // byte-for-byte against the sweep.
 //
 // Usage: burst_loss [--seeds N] [--seed S] [--duration SECONDS]
+//                   [--json PATH]
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -184,7 +186,10 @@ void print_usage() {
       "  burst_loss [--seeds N] [--seed S] [--duration SECONDS]\n\n"
       "  --seeds N            run seeds 1..N (default 6)\n"
       "  --seed S             run exactly one seed (replay mode)\n"
-      "  --duration SECONDS   sim time per seed (default 12)\n\n"
+      "  --duration SECONDS   sim time per seed (default 12)\n"
+      "  --json PATH          write a machine-readable summary (wall time,\n"
+      "                       per-arm miss fraction and pooled percentiles)\n"
+      "                       to PATH\n\n"
       "Exits nonzero when any arm's packet ledger fails a 20 ms check or\n"
       "the adaptive hybrid does not beat ARQ-only on both residual frame\n"
       "loss and pooled p99 latency. On failure the single-seed replay\n"
@@ -198,6 +203,7 @@ int main(int argc, char** argv) {
   std::uint64_t single_seed = 0;
   bool have_single_seed = false;
   double duration_s = 12.0;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       seeds = std::atoi(argv[++i]);
@@ -206,6 +212,8 @@ int main(int argc, char** argv) {
       have_single_seed = true;
     } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
       duration_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
       print_usage();
       return 0;
@@ -235,10 +243,13 @@ int main(int argc, char** argv) {
   // Aggregates across seeds, indexed by arm.
   std::uint64_t misses[3] = {0, 0, 0};
   std::uint64_t frames[3] = {0, 0, 0};
+  std::uint64_t retransmits[3] = {0, 0, 0};
+  std::uint64_t drops[3] = {0, 0, 0};
   std::uint64_t protected_frames = 0;
   std::uint64_t recovered = 0;
   std::vector<double> pooled[3];
 
+  const auto wall_start = std::chrono::steady_clock::now();
   for (const std::uint64_t seed : seed_list) {
     for (int a = 0; a < 3; ++a) {
       const ArmResult r = run_arm(static_cast<Arm>(a), seed, duration_s);
@@ -257,6 +268,8 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.fingerprint));
       misses[a] += m.deadline_misses;
       frames[a] += m.frames_emitted;
+      retransmits[a] += m.retransmits;
+      drops[a] += m.packets_dropped;
       if (a == static_cast<int>(Arm::kAdaptive)) {
         protected_frames += m.fec_frames_protected;
         recovered += m.packets_recovered;
@@ -292,6 +305,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
   const auto miss_fraction = [&](int a) {
     return frames[a] > 0 ? static_cast<double>(misses[a]) /
                                static_cast<double>(frames[a])
@@ -304,6 +322,37 @@ int main(int argc, char** argv) {
                          bench::percentile(pooled[fec], 0.99),
                          bench::percentile(pooled[hyb], 0.99)};
 
+  // Machine-readable summary; residual loss == aggregate deadline-miss
+  // fraction per arm, percentiles pooled across seeds.
+  const auto emit_summary = [&](int gate_failures) {
+    if (json_path.empty()) {
+      return true;
+    }
+    bench::Json arms = bench::Json::array();
+    for (int a = 0; a < 3; ++a) {
+      bench::Json arm = bench::Json::object();
+      arm.set("name", kArmNames[a])
+          .set("p50_ms", bench::percentile(pooled[a], 0.50))
+          .set("p95_ms", bench::percentile(pooled[a], 0.95))
+          .set("p99_ms", p99[a])
+          .set("frames", frames[a])
+          .set("deadline_misses", misses[a])
+          .set("residual_loss", miss_fraction(a))
+          .set("retransmits", retransmits[a])
+          .set("packets_dropped", drops[a]);
+      arms.push(std::move(arm));
+    }
+    bench::Json doc = bench::Json::object();
+    doc.set("bench", "burst_loss")
+        .set("wall_time_s", wall_s)
+        .set("duration_s", duration_s)
+        .set("seeds", static_cast<std::uint64_t>(seed_list.size()))
+        .set("replay", have_single_seed)
+        .set("pass", gate_failures == 0)
+        .set("arms", std::move(arms));
+    return bench::emit_json(json_path, doc);
+  };
+
   std::printf("\n%-11s %10s %10s\n", "aggregate", "miss-frac", "p99ms");
   for (int a = 0; a < 3; ++a) {
     std::printf("%-11s %9.3f%% %10.2f\n", kArmNames[a],
@@ -315,6 +364,9 @@ int main(int argc, char** argv) {
   // violation or a fingerprint bit-identically, so only the per-arm
   // invariants above apply there.
   if (have_single_seed) {
+    if (!emit_summary(failures)) {
+      ++failures;
+    }
     if (failures == 0) {
       std::printf("\nOK: single-seed replay, ledgers closed (aggregate "
                   "policy gates apply to multi-seed sweeps only)\n");
@@ -348,6 +400,9 @@ int main(int argc, char** argv) {
     ++failures;
   }
 
+  if (!emit_summary(failures)) {
+    ++failures;
+  }
   if (failures == 0) {
     std::printf("\nOK: %zu seeds x %.0f s x 3 arms, ledgers closed, hybrid "
                 "beats ARQ-only\n",

@@ -78,7 +78,8 @@ Row run_level(const char* name, int intensity) {
         [&scene] { scene.room().remove_obstacles("hand"); });
     vr::add_reflector_reboot(injector, reflector, sim::TimePoint{14s});
     injector.inject_control_brownout(control, sim::TimePoint{14s}, 1s,
-                                     /*extra_loss=*/0.6, /*extra_latency=*/10ms);
+                                     /*extra_loss=*/0.6,
+                                     /*extra_latency=*/10ms);
   }
 
   vr::MovrStrategy strategy{simulator, scene, rngs.stream("mgr")};
@@ -123,14 +124,19 @@ int main() {
                 row.recovered, row.mean_ttr_ms, row.worst_ttr_ms);
   }
 
-  // Machine-readable summary for trend tracking.
-  std::printf("\njson: {\"bench\":\"fault_storm\",\"levels\":[");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::printf("%s{\"glitch_fraction\":%.5f,\"faults\":%d,"
-                "\"recovered\":%d,\"mean_ttr_ms\":%.1f}",
-                i == 0 ? "" : ",", rows[i].report.glitch_fraction(),
-                rows[i].faults, rows[i].recovered, rows[i].mean_ttr_ms);
+  // Machine-readable summary for trend tracking (stdout only; this bench
+  // has no committed artifact).
+  bench::Json levels = bench::Json::array();
+  for (const Row& row : rows) {
+    bench::Json level = bench::Json::object();
+    level.set("glitch_fraction", row.report.glitch_fraction())
+        .set("faults", row.faults)
+        .set("recovered", row.recovered)
+        .set("mean_ttr_ms", row.mean_ttr_ms);
+    levels.push(std::move(level));
   }
-  std::printf("]}\n");
+  bench::Json doc = bench::Json::object();
+  doc.set("bench", "fault_storm").set("levels", std::move(levels));
+  bench::emit_json("", doc);
   return 0;
 }

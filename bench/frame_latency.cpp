@@ -9,12 +9,14 @@
 // exits nonzero when the packet ledger does not close or MoVR's p99 fails
 // to beat both baselines.
 //
-// Usage: frame_latency [--duration S] [--target-mbps M]   (defaults 20 s,
-// 2000 Mbps; `ctest -L net` runs a short smoke).
+// Usage: frame_latency [--duration S] [--target-mbps M] [--json PATH]
+// (defaults 20 s, 2000 Mbps; `ctest -L net` runs a short smoke).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <string>
 
 #include <baseline/strategies.hpp>
 #include <sim/rng.hpp>
@@ -60,6 +62,8 @@ void print_usage() {
       "  --duration S       session length in seconds (default 20)\n"
       "  --target-mbps M    source rate of the compressed stream\n"
       "                     (default 2000)\n"
+      "  --json PATH        write a machine-readable summary (wall time,\n"
+      "                     per-strategy percentiles, misses) to PATH\n"
       "  --help             this text\n"
       "\n"
       "Caveat on --target-mbps: keyframes are ~2.5x the mean frame size,\n"
@@ -114,11 +118,14 @@ vr::QoeReport run_strategy(Strategy kind, const vr::Session::Config& config,
 int main(int argc, char** argv) {
   double duration_s = 20.0;
   double target_mbps = 2000.0;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
       duration_s = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--target-mbps") == 0 && i + 1 < argc) {
       target_mbps = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
       print_usage();
       return 0;
@@ -129,6 +136,7 @@ int main(int argc, char** argv) {
   const auto config = session_config(duration, target_mbps);
   sim::RngRegistry rngs{8};
 
+  const auto wall_start = std::chrono::steady_clock::now();
   std::vector<Row> rows;
   rows.push_back({"MoVR (1 reflector)",
                   run_strategy(Strategy::kMovr, config, script, rngs)});
@@ -136,6 +144,10 @@ int main(int argc, char** argv) {
                   run_strategy(Strategy::kFixedBeam, config, script, rngs)});
   rows.push_back({"NLOS beam switching",
                   run_strategy(Strategy::kNlosSweep, config, script, rngs)});
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   bench::print_header(
       "Frame latency — standing blocker over 40% of the session (ms)");
@@ -180,6 +192,33 @@ int main(int argc, char** argv) {
   if (fixed.deadline_misses == 0) {
     std::printf("FAIL: the blocker never bit the fixed beam\n");
     ++failures;
+  }
+
+  if (!json_path.empty()) {
+    bench::Json arms = bench::Json::array();
+    for (const Row& row : rows) {
+      const net::TransportMetrics& m = *row.report.transport;
+      bench::Json arm = bench::Json::object();
+      arm.set("name", row.name)
+          .set("p50_ms", m.p50_ms)
+          .set("p95_ms", m.p95_ms)
+          .set("p99_ms", m.p99_ms)
+          .set("frames", m.frames_emitted)
+          .set("deadline_misses", m.deadline_misses)
+          .set("retransmits", m.retransmits)
+          .set("packets_dropped", m.packets_dropped);
+      arms.push(std::move(arm));
+    }
+    bench::Json doc = bench::Json::object();
+    doc.set("bench", "frame_latency")
+        .set("wall_time_s", wall_s)
+        .set("duration_s", duration_s)
+        .set("target_mbps", target_mbps)
+        .set("pass", failures == 0)
+        .set("arms", std::move(arms));
+    if (!bench::emit_json(json_path, doc)) {
+      ++failures;
+    }
   }
   return failures == 0 ? 0 : 1;
 }

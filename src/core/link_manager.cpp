@@ -1,5 +1,7 @@
 #include <core/link_manager.hpp>
 
+#include <algorithm>
+
 #include <geom/angle.hpp>
 
 namespace movr::core {
@@ -249,6 +251,73 @@ void LinkManager::degraded_tick() {
     // handover attempt doubles as the re-probe.
     begin_handover_to_reflector();
   }
+}
+
+void LinkManager::on_risk_window(const LinkRiskWindow& window) {
+  if (window.confidence < config_.proactive_confidence) {
+    return;
+  }
+  const sim::TimePoint now = simulator_.now();
+  if (now >= risk_until_) {
+    // A fresh window (no overlap with the current one): new hysteresis
+    // count, new proactive budget.
+    ++stats_.risk_windows;
+    risky_ticks_ = 0;
+    proactive_used_ = 0;
+  }
+  risk_until_ = std::max(risk_until_, window.t_end);
+  ++risky_ticks_;
+
+  if (mode_ != Mode::kDirect) {
+    return;  // already on (or moving to) an alternate path
+  }
+  if (risky_ticks_ < config_.proactive_ticks_to_act ||
+      proactive_used_ >= config_.proactive_budget_per_window) {
+    return;
+  }
+  if (proactive_fired_ &&
+      now - last_proactive_ < config_.proactive_cooldown) {
+    return;
+  }
+  ++proactive_used_;
+  proactive_fired_ = true;
+  last_proactive_ = now;
+  ++stats_.proactive_handovers;
+  begin_handover_to_reflector();
+}
+
+std::optional<rf::Decibels> LinkManager::speculative_alt_snr() {
+  if (mode_ == Mode::kViaReflector) {
+    // Alternate = the direct beam. All-electronic save/restore probe.
+    const double ap_steer = scene_.ap().node().array().steering();
+    const double hs_steer = scene_.headset().node().array().steering();
+    steer_for_direct();
+    const rf::Decibels direct = scene_.direct_snr();
+    scene_.ap().node().array().steer(ap_steer);
+    scene_.headset().node().array().steer(hs_steer);
+    return direct;
+  }
+  if (mode_ != Mode::kDirect && mode_ != Mode::kHandoverPending) {
+    return std::nullopt;  // degraded: nothing usable to speculate on
+  }
+  // Alternate = the best usable reflector's relay, with its TX beam as
+  // last aimed (hot spare) — only AP and headset steering is borrowed.
+  const auto target = best_usable_reflector();
+  if (!target) {
+    return std::nullopt;
+  }
+  auto& reflector = scene_.reflector(*target);
+  const double ap_steer = scene_.ap().node().array().steering();
+  const double hs_steer = scene_.headset().node().array().steering();
+  scene_.ap().node().steer_toward(reflector.position());
+  scene_.headset().node().face_toward(reflector.position());
+  const auto via = scene_.via_snr(reflector);
+  scene_.ap().node().array().steer(ap_steer);
+  scene_.headset().node().array().steer(hs_steer);
+  if (!via.usable) {
+    return std::nullopt;
+  }
+  return via.snr;
 }
 
 rf::Decibels LinkManager::on_frame() {

@@ -37,6 +37,7 @@
 
 #include <core/beam_tracker.hpp>
 #include <core/health.hpp>
+#include <core/occlusion_forecaster.hpp>
 #include <core/scene.hpp>
 #include <sim/control_channel.hpp>
 #include <sim/simulator.hpp>
@@ -75,6 +76,19 @@ class LinkManager {
     /// command a reflector across a partition. Unset = always reachable.
     std::function<bool(std::size_t)> reflector_reachable;
     HealthMonitor::Config health{};
+    // --- proactive (forecast-driven) handover -------------------------
+    /// Risk windows below this confidence are ignored outright.
+    double proactive_confidence{0.6};
+    /// Consecutive in-window ticks before the manager acts — hysteresis
+    /// against one-tick forecast blips.
+    int proactive_ticks_to_act{2};
+    /// Proactive handovers allowed per risk window. Flapping forecasts
+    /// re-delivering the same window cannot thrash past this budget.
+    int proactive_budget_per_window{1};
+    /// Minimum spacing between proactive handovers, across windows. A
+    /// chaos forecaster fabricating a fresh window every tick is rate
+    /// limited to one handover per cooldown.
+    sim::Duration proactive_cooldown{std::chrono::milliseconds{300}};
   };
 
   LinkManager(sim::Simulator& simulator, Scene& scene, std::mt19937_64 rng)
@@ -86,6 +100,25 @@ class LinkManager {
   /// headset's SNR tracker, and drives handovers. Returns the true SNR the
   /// headset experienced this frame (before estimation noise).
   rf::Decibels on_frame();
+
+  /// Feeds one forecast risk window (call before on_frame each tick). The
+  /// manager merges overlapping windows, applies confidence + hysteresis
+  /// gates, and — from kDirect, within the per-window budget and global
+  /// cooldown — starts a handover *before* the SNR collapses. A window is
+  /// a belief: acting on it costs one ordinary handover, never more.
+  void on_risk_window(const LinkRiskWindow& window);
+
+  /// True while inside a (merged) accepted risk window. The session uses
+  /// this to arm speculative dual-path reception.
+  bool risk_active() const { return simulator_.now() < risk_until_; }
+
+  /// True SNR of the path the link is NOT currently riding — the direct
+  /// beam while on a reflector, the best usable reflector's relay while
+  /// direct. Evaluated without disturbing live steering (save/restore,
+  /// like probe_direct_path); the reflector's TX beam is taken as-is (a
+  /// hot spare keeps its last aim — no Bluetooth is spent on a belief).
+  /// nullopt when there is no usable alternate.
+  std::optional<rf::Decibels> speculative_alt_snr();
 
   Mode mode() const { return mode_; }
   bool handover_in_progress() const { return mode_ == Mode::kHandoverPending; }
@@ -102,6 +135,10 @@ class LinkManager {
     int failed_handovers{0};
     int degraded_entries{0};
     sim::Duration time_on_reflector{0};
+    /// Accepted (confidence-passing) risk windows, after merging.
+    int risk_windows{0};
+    /// Handovers started by a forecast rather than an SNR collapse.
+    int proactive_handovers{0};
   };
   const Stats& stats() const { return stats_; }
 
@@ -148,6 +185,12 @@ class LinkManager {
   std::uint64_t pending_seq_{0};
   sim::EventQueue::EventId commit_event_{0};
   sim::EventQueue::EventId timeout_event_{0};
+  /// End of the current merged risk window; in the past = no risk.
+  sim::TimePoint risk_until_{};
+  int risky_ticks_{0};
+  int proactive_used_{0};
+  bool proactive_fired_{false};
+  sim::TimePoint last_proactive_{};
   Stats stats_;
 };
 

@@ -16,6 +16,8 @@
 #include <core/headset.hpp>
 #include <core/health.hpp>
 #include <core/link_manager.hpp>
+#include <core/occlusion_forecaster.hpp>
 #include <core/parallel_for.hpp>
+#include <core/predictive_tracker.hpp>
 #include <core/reflector.hpp>
 #include <core/scene.hpp>

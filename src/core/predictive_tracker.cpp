@@ -4,6 +4,21 @@
 
 namespace movr::core {
 
+void PredictiveTracker::add_sample(sim::TimePoint now, geom::Vec2 position) {
+  samples_.push_back(Sample{now, position});
+  while (samples_.size() > config_.history) {
+    samples_.pop_front();
+  }
+}
+
+bool PredictiveTracker::has_velocity_fit() const {
+  if (samples_.size() < 2) {
+    return false;
+  }
+  // Degenerate time window (all samples at one instant) fits no slope.
+  return sim::to_seconds(samples_.back().when - samples_.front().when) > 1e-9;
+}
+
 geom::Vec2 PredictiveTracker::velocity() const {
   if (samples_.size() < 2) {
     return {0.0, 0.0};
@@ -43,10 +58,7 @@ std::optional<PredictiveTracker::Command> PredictiveTracker::on_pose(
     sim::TimePoint now, geom::Vec2 position, const MovrReflector& reflector,
     std::mt19937_64& rng) {
   std::normal_distribution<double> jitter{0.0, config_.tracking_noise_m};
-  samples_.push_back(Sample{now, position + geom::Vec2{jitter(rng), jitter(rng)}});
-  while (samples_.size() > config_.history) {
-    samples_.pop_front();
-  }
+  add_sample(now, position + geom::Vec2{jitter(rng), jitter(rng)});
 
   const geom::Vec2 at_actuation = predict(config_.actuation_delay);
   const double predicted_angle =

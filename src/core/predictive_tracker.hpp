@@ -49,11 +49,28 @@ class PredictiveTracker {
                                  const MovrReflector& reflector,
                                  std::mt19937_64& rng);
 
-  /// Predicted headset position `horizon` ahead of the newest sample,
-  /// from the fitted velocity (newest sample if history is too short).
+  /// Feeds one pose sample as-measured (no tracking noise added) — the
+  /// path consumers like OcclusionForecaster use when the caller already
+  /// models its own sensor error.
+  void add_sample(sim::TimePoint now, geom::Vec2 position);
+
+  /// True once the history supports a velocity fit: at least two samples
+  /// spanning a non-degenerate time window. While false, velocity() is
+  /// pinned to zero and predict() to the newest sample (or the origin on an
+  /// empty history) — consumers that need a *real* forecast (the occlusion
+  /// forecaster) must treat !has_velocity_fit() as "no prediction", never
+  /// as "predicted stationary".
+  bool has_velocity_fit() const;
+
+  std::size_t sample_count() const { return samples_.size(); }
+
+  /// Predicted headset position `horizon` ahead of the newest sample, from
+  /// the fitted velocity. Pinned behavior on short history (see
+  /// has_velocity_fit): empty -> origin, one sample / degenerate time
+  /// window -> that sample, unmoved.
   geom::Vec2 predict(sim::Duration horizon) const;
 
-  /// Fitted velocity, m/s (zero until two samples arrive).
+  /// Fitted velocity, m/s. Pinned to exactly zero until has_velocity_fit().
   geom::Vec2 velocity() const;
 
   void reset() { samples_.clear(); }

@@ -5,11 +5,18 @@
 
 namespace movr::net {
 
-void RedundancyController::on_tick(bool stressed) {
-  if (stressed) {
-    // The hold spans this tick plus `stress_hold_ticks` quiet ones.
+void RedundancyController::on_tick(bool stressed, bool predicted) {
+  if (stressed || predicted) {
+    // The hold spans this tick plus `stress_hold_ticks` quiet ones. A
+    // predicted-only tick arms the same hold: protection must be in place
+    // before the forecast burst, and if the forecast was wrong the hold
+    // simply expires.
     stress_hold_ = config_.stress_hold_ticks + 1;
-    ++counters_.stressed_ticks;
+    if (stressed) {
+      ++counters_.stressed_ticks;
+    } else {
+      ++counters_.predicted_ticks;
+    }
   } else if (stress_hold_ > 0) {
     --stress_hold_;
   }

@@ -61,6 +61,9 @@ class RedundancyController {
     std::uint64_t enables{0};
     std::uint64_t disables{0};
     std::uint64_t stressed_ticks{0};
+    /// Ticks where only the *predicted* stress signal was set — protection
+    /// pre-armed on a forecast, before any real fault.
+    std::uint64_t predicted_ticks{0};
     std::uint64_t frames_protected{0};
     std::uint64_t frames_unprotected{0};
   };
@@ -70,7 +73,14 @@ class RedundancyController {
 
   /// Once per frame tick, before plan(): the session's stress signal
   /// (fault window open, LinkManager in kHandoverPending/kDegraded).
-  void on_tick(bool stressed);
+  void on_tick(bool stressed) { on_tick(stressed, false); }
+
+  /// Stress plus the forecaster's *predicted* stress: a high-confidence
+  /// risk window pre-arms maximum protection before the burst starts (the
+  /// whole point — parity must be in the air before the ack history can
+  /// show the loss). A wrong prediction costs only the extra parity for
+  /// the window plus the hold — never less protection than reactive.
+  void on_tick(bool stressed, bool predicted);
 
   /// One resolved transmission from the ack history (raw channel outcome,
   /// before any FEC recovery credit).

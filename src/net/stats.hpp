@@ -61,6 +61,16 @@ struct TransportMetrics {
   std::uint64_t retransmits{0};
   std::uint64_t duplicates{0};  // delivered-again copies (lost acks)
 
+  // Speculative dual-path reception (armed during forecast risk windows;
+  // all zero otherwise). Each armed data MPDU gets one extra copy on the
+  // alternate beam, resolved atomically with the primary transmission.
+  std::uint64_t speculative_enqueued{0};  // alternate-beam copies sent
+  std::uint64_t speculative_dups{0};      // copies redundant at the receiver
+  std::uint64_t speculative_drops{0};     // copies lost on the alternate beam
+  /// Armed MPDUs that arrived *only* via the alternate beam — the copies
+  /// speculation actually saved from the primary-path burst.
+  std::uint64_t speculative_saves{0};
+
   // FEC layer (net/fec.hpp); all zero while the layer is disabled.
   std::uint64_t parity_enqueued{0};   // parity MPDUs the encoder appended
   std::uint64_t parity_delivered{0};  // unique parity arrivals
@@ -85,12 +95,15 @@ struct TransportMetrics {
   double p95_ms{0.0};
   double p99_ms{0.0};
 
-  /// delivered + dropped + recovered-as-delivered + in-flight == enqueued —
-  /// the packet ledger closes (the recovered bucket is empty without FEC).
+  /// delivered + dropped + recovered-as-delivered + speculative-dup +
+  /// in-flight == enqueued — the packet ledger closes (the recovered bucket
+  /// is empty without FEC, the speculative bucket without risk windows).
+  /// `packets_enqueued` / `packets_dropped` already include the speculative
+  /// copies sent / lost.
   bool conserved() const {
     return packets_enqueued == packets_delivered + packets_dropped +
                                    packets_recovered_delivered +
-                                   packets_in_flight;
+                                   speculative_dups + packets_in_flight;
   }
 
   double deadline_miss_fraction() const {

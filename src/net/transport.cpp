@@ -38,7 +38,8 @@ Transport::Transport(sim::Simulator& simulator, TransportConfig config)
       controller_{config.redundancy},
       rng_{config.seed},
       ack_rng_{derive_stream(config.seed, "net.ack")},
-      parity_rng_{derive_stream(config.seed, "net.fec")} {}
+      parity_rng_{derive_stream(config.seed, "net.fec")},
+      spec_rng_{derive_stream(config.seed, "net.spec")} {}
 
 std::mt19937_64 Transport::derive_stream(std::uint64_t seed,
                                          std::string_view name) {
@@ -85,7 +86,7 @@ void Transport::on_frame(ChannelState channel) {
 
   FecParams fec = config_.fec;
   if (config_.adaptive_fec) {
-    controller_.on_tick(channel_.stressed);
+    controller_.on_tick(channel_.stressed, channel_.predicted_stress);
     fec = controller_.plan(frame.keyframe);
     arq_.set_frame_budget(frame.id, controller_.retx_budget(frame.keyframe));
   }
@@ -146,22 +147,40 @@ void Transport::pump() {
   arq_.start(packet, is_retransmit);
   air_busy_ = true;
   const double loss = channel_.loss();
+  // Speculation is armed per transmission, at send time: only data MPDUs
+  // (parity is expendable — a second beam's worth of it is pure waste).
+  const bool speculative = channel_.speculative && !packet.parity;
+  const double alt_loss = channel_.alt_loss;
   simulator_.after(data_airtime(packet, *channel_.mcs),
-                   [this, packet, loss, counted] {
-                     on_data_done(packet, loss, counted);
+                   [this, packet, loss, counted, speculative, alt_loss] {
+                     on_data_done(packet, loss, counted, speculative,
+                                  alt_loss);
                    });
 }
 
-void Transport::on_data_done(const Packet& packet, double loss, bool counted) {
+void Transport::on_data_done(const Packet& packet, double loss, bool counted,
+                             bool speculative, double alt_loss) {
   air_busy_ = false;
   // Parity coins come from their own stream so enabling FEC leaves the
   // data-loss trajectory of a seeded run untouched.
   const bool data_lost = coin(packet.parity ? parity_rng_ : rng_, loss);
   if (config_.adaptive_fec) {
+    // Raw primary-path outcome: the controller's channel estimate stays
+    // honest even when a speculative copy rescues the MPDU.
     controller_.on_transmission(data_lost);
   }
+  bool spec_arrived = false;
+  if (speculative) {
+    // The alternate-beam copy flies and resolves in the same event as the
+    // primary (it shares the airtime slot), so it is never in flight and
+    // the extended ledger closes at every instant.
+    ++speculative_enqueued_;
+    spec_arrived = !coin(spec_rng_, alt_loss);
+  }
+  // The MPDU reached the receiver if either beam carried it.
+  const bool effective_lost = data_lost && !spec_arrived;
   bool still_counted = counted;
-  if (!data_lost) {
+  if (!effective_lost) {
     if (still_counted) {
       --unacked_undelivered_;
       still_counted = false;
@@ -185,12 +204,34 @@ void Transport::on_data_done(const Packet& packet, double loss, bool counted) {
     if (jitter_.is_complete(packet.frame_id)) {
       on_frame_completed(packet.frame_id);
     }
+    if (speculative) {
+      if (spec_arrived) {
+        if (!data_lost) {
+          // Both beams delivered: the alternate copy is a receiver-side
+          // duplicate the jitter buffer dedups by sequence number.
+          (void)jitter_.on_packet(packet, simulator_.now());
+        } else {
+          // Primary burst ate the MPDU; only the speculative copy got
+          // through. The arrival above WAS that copy — the redundant one,
+          // ledger-wise, is the lost primary's slot it stands in for.
+          ++speculative_saves_;
+        }
+        ++speculative_dups_;
+      } else {
+        ++speculative_loss_drops_;
+      }
+    }
+  } else if (speculative) {
+    ++speculative_loss_drops_;  // both beams lost the MPDU
   }
+  // Ack semantics follow the receiver's truth: a speculative arrival is
+  // block-acked like any other, so ARQ never re-sends what the alternate
+  // beam already delivered.
   const bool ack_lost =
-      !data_lost && coin(ack_rng_, loss * config_.ack_loss_factor);
+      !effective_lost && coin(ack_rng_, loss * config_.ack_loss_factor);
   simulator_.after(config_.ack_delay,
-                   [this, packet, data_lost, ack_lost, still_counted] {
-                     on_ack(packet, data_lost, ack_lost, still_counted);
+                   [this, packet, effective_lost, ack_lost, still_counted] {
+                     on_ack(packet, effective_lost, ack_lost, still_counted);
                    });
   pump();
 }
@@ -319,7 +360,7 @@ void Transport::on_display_deadline(std::uint64_t frame_id) {
 }
 
 std::uint64_t Transport::packets_enqueued() const {
-  return queue_.counters().packets_enqueued;
+  return queue_.counters().packets_enqueued + speculative_enqueued_;
 }
 
 std::uint64_t Transport::packets_delivered() const {
@@ -330,7 +371,7 @@ std::uint64_t Transport::packets_dropped() const {
   const TxQueue::Counters& q = queue_.counters();
   return q.packets_dropped_stale + q.packets_dropped_full + q.packets_purged +
          arq_packet_drops_ + retx_purge_drops_ + late_dup_drops_ +
-         parity_loss_drops_;
+         parity_loss_drops_ + speculative_loss_drops_;
 }
 
 std::uint64_t Transport::packets_in_flight() const {
@@ -394,6 +435,10 @@ void Transport::finalize(sim::TimePoint end) {
   metrics_.packets_in_flight = packets_in_flight();
   metrics_.retransmits = arq_.counters().retransmits;
   metrics_.duplicates = jitter_.counters().duplicates;
+  metrics_.speculative_enqueued = speculative_enqueued_;
+  metrics_.speculative_dups = speculative_dups_;
+  metrics_.speculative_drops = speculative_loss_drops_;
+  metrics_.speculative_saves = speculative_saves_;
   metrics_.queue_max_depth_frames = queue_.counters().max_depth_frames;
   metrics_.queue_max_depth_bytes = queue_.counters().max_depth_bytes;
 
@@ -418,6 +463,7 @@ void Transport::reset() {
   rng_.seed(config_.seed);
   ack_rng_ = derive_stream(config_.seed, "net.ack");
   parity_rng_ = derive_stream(config_.seed, "net.fec");
+  spec_rng_ = derive_stream(config_.seed, "net.spec");
   channel_ = ChannelState{};
   air_busy_ = false;
   retx_.clear();
@@ -429,6 +475,10 @@ void Transport::reset() {
   parity_loss_drops_ = 0;
   recovered_.clear();
   recovered_credited_ = 0;
+  speculative_enqueued_ = 0;
+  speculative_dups_ = 0;
+  speculative_loss_drops_ = 0;
+  speculative_saves_ = 0;
   outcomes_.clear();
   metrics_ = TransportMetrics{};
 }

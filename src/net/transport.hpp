@@ -54,6 +54,19 @@ struct ChannelState {
   /// handover pending, degraded mode): the adaptive FEC controller boosts
   /// protection proactively while this is set.
   bool stressed{false};
+  /// Forecast-only stress: a high-confidence occlusion risk window is open
+  /// but nothing has failed yet. Pre-arms the FEC controller exactly like
+  /// `stressed`; unlike `stressed` it never forces the burst channel bad —
+  /// a belief is not physics.
+  bool predicted_stress{false};
+  /// Arm speculative dual-path reception for this tick's data MPDUs: each
+  /// gets one extra copy on the alternate beam (direct while riding a
+  /// reflector, reflector while direct) with per-MPDU loss `alt_loss`.
+  /// Copies are terminally resolved the instant the primary transmission
+  /// is (redundant -> speculative-dup bucket, lost -> dropped bucket), so
+  /// the extended ledger closes at every instant.
+  bool speculative{false};
+  double alt_loss{1.0};
 
   double loss() const {
     const double p = packet_loss + extra_loss;
@@ -134,11 +147,18 @@ class Transport {
   std::uint64_t packets_recovered_delivered() const {
     return recovered_credited_;
   }
-  /// enqueued == delivered + dropped + recovered-as-delivered + in-flight,
-  /// at any instant (fuzzed every tick by the property tests and benches).
+  /// Speculative alternate-beam copies that were redundant at the receiver
+  /// (the primary also arrived, or the copy merely duplicated an earlier
+  /// recovery) — the ledger's fifth bucket. Zero while speculation is
+  /// never armed.
+  std::uint64_t packets_speculative_dup() const { return speculative_dups_; }
+  /// enqueued == delivered + dropped + recovered-as-delivered +
+  /// speculative-dup + in-flight, at any instant (fuzzed every tick by the
+  /// property tests and benches).
   bool ledger_closes() const {
     return packets_enqueued() == packets_delivered() + packets_dropped() +
                                      packets_recovered_delivered() +
+                                     packets_speculative_dup() +
                                      packets_in_flight();
   }
 
@@ -163,7 +183,8 @@ class Transport {
   };
 
   void pump();
-  void on_data_done(const Packet& packet, double loss, bool counted);
+  void on_data_done(const Packet& packet, double loss, bool counted,
+                    bool speculative, double alt_loss);
   void on_ack(const Packet& packet, bool data_lost, bool ack_lost,
               bool counted);
   void on_display_deadline(std::uint64_t frame_id);
@@ -192,6 +213,10 @@ class Transport {
   std::mt19937_64 rng_;
   std::mt19937_64 ack_rng_;
   std::mt19937_64 parity_rng_;
+  /// Alternate-beam coins for speculative copies: a further independent
+  /// stream, so arming speculation never perturbs the primary data-loss
+  /// trajectory of a seeded run.
+  std::mt19937_64 spec_rng_;
 
   ChannelState channel_{};
   bool air_busy_{false};
@@ -216,6 +241,13 @@ class Transport {
   /// Recovered packets whose counted copy was consumed — the ledger's
   /// recovered-as-delivered bucket.
   std::uint64_t recovered_credited_{0};
+  /// Speculative dual-path copies: enqueued == dups + drops at every
+  /// instant (each copy resolves in the same event that sends it).
+  std::uint64_t speculative_enqueued_{0};
+  std::uint64_t speculative_dups_{0};
+  std::uint64_t speculative_loss_drops_{0};
+  /// Armed MPDUs that arrived only via the alternate beam.
+  std::uint64_t speculative_saves_{0};
 
   std::vector<FrameOutcome> outcomes_;
   TransportMetrics metrics_;

@@ -75,4 +75,17 @@ std::size_t add_gain_sag(sim::FaultInjector& injector,
       [&reflector] { reflector.front_end().inject_gain_sag(rf::Decibels{0.0}); });
 }
 
+std::size_t add_pose_bias_drift(sim::FaultInjector& injector,
+                                PredictiveMovrStrategy& strategy,
+                                sim::TimePoint start, sim::Duration duration,
+                                double peak_bias_m, sim::Duration tick) {
+  return injector.inject_sweep(
+      "pose_bias_drift", start, duration, tick,
+      [&strategy, peak_bias_m](double progress) {
+        strategy.set_pose_bias(
+            geom::Vec2{peak_bias_m * progress, -peak_bias_m * progress});
+      },
+      [&strategy] { strategy.set_pose_bias(geom::Vec2{}); });
+}
+
 }  // namespace movr::vr

@@ -22,6 +22,7 @@
 #include <core/reflector.hpp>
 #include <rf/units.hpp>
 #include <sim/fault_injector.hpp>
+#include <vr/predictive.hpp>
 
 namespace movr::vr {
 
@@ -66,5 +67,17 @@ std::size_t add_gain_sag(sim::FaultInjector& injector,
                          core::MovrReflector& reflector, sim::TimePoint start,
                          sim::Duration duration, rf::Decibels peak_sag,
                          sim::Duration tick = std::chrono::milliseconds{100});
+
+/// Pose-sensor bias drifting linearly 0 -> `peak_bias_m` metres over the
+/// window (diagonally, x and -y), then snapping back — the VR tracking
+/// analogue of add_sensor_bias_drift. The biased poses feed the occlusion
+/// forecaster garbage trajectories; the containment tests assert that the
+/// proactive-handover budget and the speculative ledger still hold.
+std::size_t add_pose_bias_drift(sim::FaultInjector& injector,
+                                PredictiveMovrStrategy& strategy,
+                                sim::TimePoint start, sim::Duration duration,
+                                double peak_bias_m,
+                                sim::Duration tick = std::chrono::milliseconds{
+                                    100});
 
 }  // namespace movr::vr

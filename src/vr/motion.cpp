@@ -34,6 +34,37 @@ geom::Vec2 PlayerMotion::position_at(sim::TimePoint t) {
   return from_ + (to_ - from_) * f;
 }
 
+PacingMotion::PacingMotion(geom::Vec2 a, geom::Vec2 b, Config config)
+    : a_{a}, b_{b}, config_{config} {
+  const double dist = geom::distance(a_, b_);
+  travel_ = sim::from_seconds(dist / config_.speed_mps);
+  cycle_ = 2 * (travel_ + config_.pause);
+}
+
+geom::Vec2 PacingMotion::position_at(sim::TimePoint t) {
+  if (cycle_.count() == 0) {
+    return a_;
+  }
+  sim::Duration into{t.count() % cycle_.count()};
+  // Leg 1: A -> B, pause at B, leg 2: B -> A, pause at A.
+  if (into < travel_) {
+    const double f = static_cast<double>(into.count()) /
+                     static_cast<double>(travel_.count());
+    return a_ + (b_ - a_) * f;
+  }
+  into -= travel_;
+  if (into < config_.pause) {
+    return b_;
+  }
+  into -= config_.pause;
+  if (into < travel_) {
+    const double f = static_cast<double>(into.count()) /
+                     static_cast<double>(travel_.count());
+    return b_ + (a_ - b_) * f;
+  }
+  return a_;
+}
+
 bool BlockageScript::active_at(sim::TimePoint t) const {
   return std::any_of(events_.begin(), events_.end(),
                      [t](const BlockageEvent& e) {

@@ -15,9 +15,18 @@
 
 namespace movr::vr {
 
+/// A deterministic headset trajectory: the session queries it once per
+/// frame (monotone times) and moves the headset there before evaluating
+/// the channel.
+class Motion {
+ public:
+  virtual ~Motion() = default;
+  virtual geom::Vec2 position_at(sim::TimePoint t) = 0;
+};
+
 /// Random-waypoint walking inside the play area: pick a point, walk to it
 /// at walking speed, pause, repeat. Deterministic given the seed.
-class PlayerMotion {
+class PlayerMotion final : public Motion {
  public:
   struct Config {
     double speed_mps{0.6};
@@ -32,7 +41,7 @@ class PlayerMotion {
                std::uint64_t seed, Config config);
 
   /// Position at simulation time `t` (monotone queries expected).
-  geom::Vec2 position_at(sim::TimePoint t);
+  geom::Vec2 position_at(sim::TimePoint t) override;
 
  private:
   void plan_next_leg();
@@ -45,6 +54,31 @@ class PlayerMotion {
   sim::TimePoint leg_start_{};
   sim::Duration leg_travel_{};
   sim::Duration leg_total_{};
+};
+
+/// Constant-speed pacing between two fixed points: A -> B -> A -> ... with
+/// an optional pause at each end. Fully deterministic with no RNG — the
+/// canonical trajectory for occlusion forecasting (the player repeatedly
+/// crosses a standing blocker's shadow on a predictable path), and the one
+/// motion model whose velocity a short pose history can actually fit.
+class PacingMotion final : public Motion {
+ public:
+  struct Config {
+    double speed_mps{0.8};
+    sim::Duration pause{std::chrono::milliseconds{500}};
+  };
+
+  PacingMotion(geom::Vec2 a, geom::Vec2 b) : PacingMotion{a, b, Config{}} {}
+  PacingMotion(geom::Vec2 a, geom::Vec2 b, Config config);
+
+  geom::Vec2 position_at(sim::TimePoint t) override;
+
+ private:
+  geom::Vec2 a_;
+  geom::Vec2 b_;
+  Config config_;
+  sim::Duration travel_{};  // one leg's walking time
+  sim::Duration cycle_{};   // A->B->A including both pauses
 };
 
 /// A scripted blockage: a blocker that exists during [start, start+duration).

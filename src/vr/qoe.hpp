@@ -33,6 +33,22 @@ struct FaultRecovery {
   bool recovered{false};
 };
 
+/// Predictive link-control accounting (filled in by Session when the
+/// strategy runs an occlusion forecaster; see DESIGN.md §10).
+struct PredictiveLinkStats {
+  /// Accepted (confidence-passing, merged) risk windows.
+  int risk_windows{0};
+  /// Handovers started by a forecast rather than an SNR collapse.
+  int proactive_handovers{0};
+  /// Accepted risk windows that closed without the direct LOS ever
+  /// actually blocking — the forecaster cried wolf.
+  int mispredictions{0};
+  /// forecast() calls and how many the chaos knob inverted (testing only;
+  /// zero in production configurations).
+  long forecasts{0};
+  long chaos_garbled{0};
+};
+
 struct QoeReport {
   std::uint64_t frames{0};
   std::uint64_t glitched_frames{0};
@@ -59,6 +75,11 @@ struct QoeReport {
   /// entries from world events, longest burst). Present only when the
   /// session ran with Session::Config::burst_loss set.
   std::optional<sim::BurstChannel::Counters> burst;
+
+  /// Predictive link-control counters (risk windows issued, proactive
+  /// handovers, mispredictions). Present only when the session's strategy
+  /// ran an occlusion forecaster (vr::PredictiveMovrStrategy).
+  std::optional<PredictiveLinkStats> predictive;
 
   /// Control-plane incident counters (partitions entered/healed,
   /// divergences caught by the state digest, reconciliation replays,

@@ -9,7 +9,7 @@
 namespace movr::vr {
 
 Session::Session(sim::Simulator& simulator, core::Scene& scene,
-                 LinkStrategy& strategy, PlayerMotion* motion,
+                 LinkStrategy& strategy, Motion* motion,
                  const BlockageScript* script, Config config)
     : simulator_{simulator},
       scene_{scene},
@@ -123,6 +123,18 @@ void Session::tick() {
     const bool fault_active =
         config_.faults != nullptr && config_.faults->active_count(now) > 0;
     channel.stressed = fault_active || strategy_.link_stressed();
+    channel.predicted_stress = strategy_.predicted_stress();
+    if (mcs != nullptr) {
+      // Speculative dual-path reception: while the strategy offers an
+      // alternate beam (forecast risk window open), each data MPDU also
+      // flies that beam at its own loss rate. Beliefs arm speculation;
+      // only real stress (below) forces the burst channel bad.
+      const auto alt = strategy_.speculative_alt_snr();
+      if (alt.has_value()) {
+        channel.speculative = true;
+        channel.alt_loss = phy::packet_error_rate(*mcs, *alt);
+      }
+    }
     if (burst_ != nullptr) {
       // Burst model: the chain evolves on its own clock, but world events
       // (fault window, handover, degraded link) pin it bad — blockage
@@ -195,6 +207,7 @@ QoeReport Session::run() {
   if (config_.control_plane != nullptr) {
     report_.control_plane = config_.control_plane->incidents();
   }
+  report_.predictive = strategy_.predictive_stats();
   return report_;
 }
 

@@ -41,6 +41,21 @@ class LinkStrategy {
   /// degraded mode): the session forces the burst channel bad and warns
   /// the transport's adaptive FEC via ChannelState::stressed.
   virtual bool link_stressed() const { return false; }
+  /// When true, a forecast risk window is open but nothing has failed yet:
+  /// the transport's adaptive FEC pre-arms (ChannelState::predicted_stress)
+  /// — but the burst channel is NOT forced bad; a belief is not physics.
+  virtual bool predicted_stress() const { return false; }
+  /// True SNR of the alternate beam to speculatively receive on this frame
+  /// (nullopt = no speculation). Valid after on_frame(); the session turns
+  /// it into ChannelState::{speculative, alt_loss} at the chosen MCS.
+  virtual std::optional<rf::Decibels> speculative_alt_snr() {
+    return std::nullopt;
+  }
+  /// Predictive link-control counters, for strategies that forecast
+  /// (PredictiveMovrStrategy); nullopt for reactive strategies.
+  virtual std::optional<PredictiveLinkStats> predictive_stats() const {
+    return std::nullopt;
+  }
 };
 
 /// The full MoVR system: headset SNR tracking, handover to reflectors on
@@ -114,7 +129,7 @@ class Session {
 
   /// `motion` and `script` may be null (static player / no blockage).
   Session(sim::Simulator& simulator, core::Scene& scene,
-          LinkStrategy& strategy, PlayerMotion* motion,
+          LinkStrategy& strategy, Motion* motion,
           const BlockageScript* script, Config config);
 
   /// Runs the whole session on the simulator and returns the QoE report.
@@ -130,7 +145,7 @@ class Session {
   sim::Simulator& simulator_;
   core::Scene& scene_;
   LinkStrategy& strategy_;
-  PlayerMotion* motion_;
+  Motion* motion_;
   const BlockageScript* script_;
   Config config_;
 

@@ -9,6 +9,7 @@
 
 #include <vr/deployment.hpp>
 #include <vr/motion.hpp>
+#include <vr/predictive.hpp>
 #include <vr/qoe.hpp>
 #include <vr/requirements.hpp>
 #include <vr/session.hpp>

@@ -179,5 +179,121 @@ TEST(LinkManager, PicksBestOfTwoReflectors) {
   EXPECT_GT(snr.value(), 18.0);
 }
 
+// --- Proactive (forecast-driven) path ---------------------------------
+
+LinkRiskWindow confident_window(sim::TimePoint now, double confidence = 0.9) {
+  LinkRiskWindow window;
+  window.t_start = now + std::chrono::milliseconds{20};
+  window.t_end = now + std::chrono::milliseconds{60};
+  window.confidence = confidence;
+  return window;
+}
+
+TEST(LinkManager, ProactiveHandoverOnConfidentWindows) {
+  Fixture f;
+  LinkManager manager{f.simulator, f.scene, std::mt19937_64{4}};
+  f.run_frames(manager, 3);
+  ASSERT_EQ(manager.mode(), LinkManager::Mode::kDirect);
+
+  // Hysteresis: one confident window is not enough...
+  manager.on_risk_window(confident_window(f.simulator.now()));
+  EXPECT_EQ(manager.mode(), LinkManager::Mode::kDirect);
+  // ...the second consecutive one acts, before any SNR has degraded.
+  manager.on_risk_window(confident_window(f.simulator.now()));
+  EXPECT_EQ(manager.mode(), LinkManager::Mode::kHandoverPending);
+  EXPECT_EQ(manager.stats().proactive_handovers, 1);
+  EXPECT_EQ(manager.stats().risk_windows, 1);
+  EXPECT_TRUE(manager.risk_active());
+
+  // The BT exchange completes and the link rides the reflector.
+  f.run_frames(manager, 3);
+  EXPECT_EQ(manager.mode(), LinkManager::Mode::kViaReflector);
+}
+
+TEST(LinkManager, LowConfidenceWindowsIgnored) {
+  Fixture f;
+  LinkManager manager{f.simulator, f.scene, std::mt19937_64{4}};
+  f.run_frames(manager, 3);
+  for (int i = 0; i < 10; ++i) {
+    manager.on_risk_window(confident_window(f.simulator.now(), 0.3));
+  }
+  EXPECT_EQ(manager.mode(), LinkManager::Mode::kDirect);
+  EXPECT_EQ(manager.stats().risk_windows, 0);
+  EXPECT_EQ(manager.stats().proactive_handovers, 0);
+  EXPECT_FALSE(manager.risk_active());
+}
+
+TEST(LinkManager, ProactiveBudgetBoundsThrash) {
+  // A forecaster gone insane emits a confident window every frame, forever.
+  // Overlapping windows merge into one contiguous risk period with ONE
+  // proactive handover — even after the manager probes its way back to
+  // direct mid-period, the spent budget keeps it there.
+  Fixture f;
+  LinkManager manager{f.simulator, f.scene, std::mt19937_64{4}};
+  f.run_frames(manager, 3);
+  for (int i = 0; i < 90; ++i) {
+    manager.on_risk_window(confident_window(f.simulator.now()));
+    f.run_frames(manager, 1);
+  }
+  EXPECT_EQ(manager.stats().risk_windows, 1);
+  EXPECT_EQ(manager.stats().proactive_handovers, 1);
+
+  // Let the risk period expire, then open a fresh one: new budget (and the
+  // proactive cooldown has long passed), so exactly one more fires.
+  f.run_frames(manager, 10);
+  ASSERT_FALSE(manager.risk_active());
+  ASSERT_EQ(manager.mode(), LinkManager::Mode::kDirect);
+  manager.on_risk_window(confident_window(f.simulator.now()));
+  manager.on_risk_window(confident_window(f.simulator.now()));
+  EXPECT_EQ(manager.stats().risk_windows, 2);
+  EXPECT_EQ(manager.stats().proactive_handovers, 2);
+}
+
+TEST(LinkManager, ProactiveCooldownSpacesBackToBackWindows) {
+  // Fresh windows arriving right after the previous period expired are a
+  // new period (new budget), but the cooldown still spaces the handovers.
+  LinkManager::Config config;
+  config.proactive_cooldown = std::chrono::seconds{3600};  // effectively inf
+  Fixture f;
+  LinkManager manager{f.simulator, f.scene, std::mt19937_64{4}, config};
+  f.run_frames(manager, 3);
+  manager.on_risk_window(confident_window(f.simulator.now()));
+  manager.on_risk_window(confident_window(f.simulator.now()));
+  EXPECT_EQ(manager.stats().proactive_handovers, 1);
+  // Expire, recover to direct (3 good probes at 100 ms), reopen: budget is
+  // fresh but the cooldown blocks the second proactive handover.
+  f.run_frames(manager, 40);
+  ASSERT_FALSE(manager.risk_active());
+  ASSERT_EQ(manager.mode(), LinkManager::Mode::kDirect);
+  manager.on_risk_window(confident_window(f.simulator.now()));
+  manager.on_risk_window(confident_window(f.simulator.now()));
+  EXPECT_EQ(manager.stats().risk_windows, 2);
+  EXPECT_EQ(manager.stats().proactive_handovers, 1);
+}
+
+TEST(LinkManager, SpeculativeAltSnrLeavesSteeringUntouched) {
+  Fixture f;
+  LinkManager manager{f.simulator, f.scene, std::mt19937_64{4}};
+  f.run_frames(manager, 3);
+  ASSERT_EQ(manager.mode(), LinkManager::Mode::kDirect);
+
+  // Direct mode: the alternate is the calibrated reflector's relay.
+  const double ap_before = f.scene.ap().node().array().steering();
+  const double hs_before = f.scene.headset().node().array().steering();
+  const auto alt = manager.speculative_alt_snr();
+  ASSERT_TRUE(alt.has_value());
+  EXPECT_GT(alt->value(), 10.0);  // a usable hot spare, not noise
+  EXPECT_EQ(f.scene.ap().node().array().steering(), ap_before);
+  EXPECT_EQ(f.scene.headset().node().array().steering(), hs_before);
+
+  // Via-reflector mode: the alternate is the (blocked) direct beam.
+  f.block_direct();
+  f.run_frames(manager, 20);
+  ASSERT_EQ(manager.mode(), LinkManager::Mode::kViaReflector);
+  const auto direct_alt = manager.speculative_alt_snr();
+  ASSERT_TRUE(direct_alt.has_value());
+  EXPECT_LT(direct_alt->value(), alt->value());  // it IS blocked
+}
+
 }  // namespace
 }  // namespace movr::core

@@ -136,6 +136,76 @@ TEST(PredictiveTracker, NoisyTrackingStillConverges) {
   EXPECT_NEAR(v.y, 0.0, 0.4);
 }
 
+// --- Pinned short-history behavior -----------------------------------
+//
+// The occlusion forecaster treats !has_velocity_fit() as "no prediction",
+// never as "predicted stationary"; these tests pin the exact behavior that
+// contract depends on.
+
+TEST(PredictiveTracker, EmptyHistoryPinned) {
+  PredictiveTracker tracker{noiseless()};
+  EXPECT_EQ(tracker.sample_count(), 0u);
+  EXPECT_FALSE(tracker.has_velocity_fit());
+  EXPECT_EQ(tracker.velocity(), Vec2(0.0, 0.0));
+  // predict() on an empty history is pinned to the origin — a sentinel, not
+  // a position estimate.
+  EXPECT_EQ(tracker.predict(sim::from_seconds(0.1)), Vec2(0.0, 0.0));
+}
+
+TEST(PredictiveTracker, OneSamplePinned) {
+  PredictiveTracker tracker{noiseless()};
+  tracker.add_sample(sim::from_seconds(0.5), Vec2{1.5, 2.5});
+  EXPECT_EQ(tracker.sample_count(), 1u);
+  EXPECT_FALSE(tracker.has_velocity_fit());
+  EXPECT_EQ(tracker.velocity(), Vec2(0.0, 0.0));
+  // One sample extrapolates nowhere: predict() returns it at any horizon.
+  EXPECT_EQ(tracker.predict(sim::from_seconds(0.0)), Vec2(1.5, 2.5));
+  EXPECT_EQ(tracker.predict(sim::from_seconds(1.0)), Vec2(1.5, 2.5));
+}
+
+TEST(PredictiveTracker, CoincidentTimestampsFitNothing) {
+  PredictiveTracker tracker{noiseless()};
+  // Two samples at the same instant: a slope over a zero time base is not
+  // a velocity fit.
+  tracker.add_sample(sim::from_seconds(0.2), Vec2{1.0, 1.0});
+  tracker.add_sample(sim::from_seconds(0.2), Vec2{2.0, 2.0});
+  EXPECT_EQ(tracker.sample_count(), 2u);
+  EXPECT_FALSE(tracker.has_velocity_fit());
+  EXPECT_EQ(tracker.velocity(), Vec2(0.0, 0.0));
+}
+
+TEST(PredictiveTracker, AddSampleFeedsTheSameFitAsOnPose) {
+  // add_sample is the noise-free ingestion path (the forecaster's feed);
+  // with tracking noise disabled on_pose must produce the identical fit.
+  PredictiveTracker direct{noiseless()};
+  PredictiveTracker via_pose{noiseless()};
+  MovrReflector reflector{{4.6, 4.6}, deg_to_rad(225.0)};
+  std::mt19937_64 rng{1};
+  for (int i = 0; i < 6; ++i) {
+    const auto t = sim::from_seconds(i * 0.0111);
+    const Vec2 pos{1.0 + 0.4 * sim::to_seconds(t), 2.0};
+    direct.add_sample(t, pos);
+    via_pose.on_pose(t, pos, reflector, rng);
+  }
+  EXPECT_TRUE(direct.has_velocity_fit());
+  EXPECT_NEAR(direct.velocity().x, via_pose.velocity().x, 1e-9);
+  EXPECT_NEAR(direct.velocity().y, via_pose.velocity().y, 1e-9);
+}
+
+TEST(PredictiveTracker, HistoryCapEvictsOldest) {
+  PredictiveTracker::Config config = noiseless();
+  config.history = 4;
+  PredictiveTracker tracker{config};
+  for (int i = 0; i < 10; ++i) {
+    tracker.add_sample(sim::from_seconds(i * 0.01),
+                       Vec2{static_cast<double>(i), 0.0});
+  }
+  EXPECT_EQ(tracker.sample_count(), 4u);
+  // The fit sees only the newest 4 samples (still the same line here, so
+  // the velocity is exact).
+  EXPECT_NEAR(tracker.velocity().x, 100.0, 1e-6);
+}
+
 TEST(PredictiveTracker, ResetForgetsHistory) {
   PredictiveTracker tracker{noiseless()};
   MovrReflector reflector{{4.6, 4.6}, deg_to_rad(225.0)};

@@ -47,6 +47,8 @@ struct FuzzOptions {
   /// Gilbert–Elliott chain drives extra loss (forced bad during faults)
   /// instead of the flat fault_extra_loss.
   bool burst_loss{false};
+  /// Randomly arm speculative dual-path reception on live-link ticks.
+  bool speculative{false};
 };
 
 /// Drives `ticks` frames through a transport under a randomized channel,
@@ -98,6 +100,14 @@ TransportMetrics run_fuzz(std::uint64_t seed, int ticks, FuzzOptions opts) {
     }
     const bool fault_active = faults.active_count(simulator.now()) > 0;
     channel.stressed = fault_active;
+    if (opts.speculative && channel.mcs != nullptr && u(rng) < 0.4) {
+      // Alternate beam armed with an independent (sometimes terrible)
+      // per-MPDU loss; occasionally the controller also thinks stress is
+      // imminent. Every spec copy must resolve within this same tick.
+      channel.speculative = true;
+      channel.alt_loss = u(rng);
+      channel.predicted_stress = u(rng) < 0.3;
+    }
     if (opts.burst_loss) {
       burst.step();
       if (fault_active) {
@@ -114,7 +124,8 @@ TransportMetrics run_fuzz(std::uint64_t seed, int ticks, FuzzOptions opts) {
         << "): enqueued " << transport.packets_enqueued() << " != delivered "
         << transport.packets_delivered() << " + dropped "
         << transport.packets_dropped() << " + recovered "
-        << transport.packets_recovered_delivered() << " + in-flight "
+        << transport.packets_recovered_delivered() << " + spec-dup "
+        << transport.packets_speculative_dup() << " + in-flight "
         << transport.packets_in_flight();
     if (!transport.ledger_closes()) {
       break;
@@ -126,6 +137,18 @@ TransportMetrics run_fuzz(std::uint64_t seed, int ticks, FuzzOptions opts) {
 
   const TransportMetrics& metrics = transport.metrics();
   EXPECT_TRUE(metrics.conserved()) << "seed " << seed;
+
+  // Speculation sub-ledger: every alternate-beam copy resolved in the same
+  // on_data_done event as its primary, so the buckets close exactly — and
+  // stay zero when speculation was never armed.
+  EXPECT_EQ(metrics.speculative_enqueued,
+            metrics.speculative_dups + metrics.speculative_drops)
+      << "seed " << seed;
+  EXPECT_LE(metrics.speculative_saves, metrics.speculative_enqueued)
+      << "seed " << seed;
+  if (!opts.speculative) {
+    EXPECT_EQ(metrics.speculative_enqueued, 0u) << "seed " << seed;
+  }
 
   // Frame ledger closes: every emitted frame has exactly one fate.
   EXPECT_EQ(metrics.frames_emitted,
@@ -184,6 +207,54 @@ TEST(TransportProperty, ConservationWithAdaptiveFecUnderBurstLoss) {
   // The fuzz channels are lossy enough that the adaptive layer must have
   // recovered something across the seed sweep, or it never engaged.
   EXPECT_TRUE(any_recovery);
+}
+
+TEST(TransportProperty, ConservationWithSpeculativeDualPath) {
+  // Random speculation arming on top of lossy + fault schedules: the
+  // extended ledger must close at every tick (checked inside run_fuzz) and
+  // the spec sub-ledger must close at the end. The sweep must actually
+  // exercise both outcomes — redundant copies AND saves — or the fuzz is
+  // vacuous.
+  std::uint64_t dups = 0;
+  std::uint64_t saves = 0;
+  for (std::uint64_t seed = 121; seed <= 128; ++seed) {
+    const TransportMetrics metrics =
+        run_fuzz(seed, 180, {.with_fault_windows = true, .speculative = true});
+    EXPECT_GT(metrics.speculative_enqueued, 0u) << "seed " << seed;
+    dups += metrics.speculative_dups;
+    saves += metrics.speculative_saves;
+  }
+  EXPECT_GT(dups, 0u);
+  EXPECT_GT(saves, 0u);
+}
+
+TEST(TransportProperty, ConservationWithSpeculationAndAdaptiveFec) {
+  // The full stack at once: burst loss, fault windows, adaptive FEC, and
+  // speculative dual-path. Each layer keeps its own sub-ledger; run_fuzz
+  // asserts they all close.
+  for (std::uint64_t seed = 141; seed <= 146; ++seed) {
+    run_fuzz(seed, 180, {.with_fault_windows = true,
+                         .adaptive_fec = true,
+                         .burst_loss = true,
+                         .speculative = true});
+  }
+}
+
+TEST(TransportProperty, DeterministicWithSpeculation) {
+  const FuzzOptions opts{.with_fault_windows = true,
+                         .adaptive_fec = true,
+                         .burst_loss = true,
+                         .speculative = true};
+  const TransportMetrics a = run_fuzz(37, 120, opts);
+  const TransportMetrics b = run_fuzz(37, 120, opts);
+  EXPECT_EQ(a.frames_on_time, b.frames_on_time);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.speculative_enqueued, b.speculative_enqueued);
+  EXPECT_EQ(a.speculative_dups, b.speculative_dups);
+  EXPECT_EQ(a.speculative_drops, b.speculative_drops);
+  EXPECT_EQ(a.speculative_saves, b.speculative_saves);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
 }
 
 TEST(TransportProperty, FecKZeroIsBitIdenticalToNoFecLayer) {
