@@ -1,22 +1,65 @@
 // google-benchmark microbenchmarks of the simulator's hot paths: these set
 // how long the experiment benches take and bound what a real-time control
 // loop built on this library could evaluate per frame.
+//
+// Beyond the standard google-benchmark cases, `--json PATH` runs the
+// batch-vs-scalar comparison summary: the coverage-grid path query through
+// the scalar APIs (solve() / paths_between() per pair) against the SoA
+// batch stack (solve_batch / query_batch), with a bit-identity cross-check
+// and a hard gate on the warmed oracle speedup (DESIGN.md §11 promises
+// >= 10x). The summary writes the BENCH_microbench.json artifact via the
+// shared bench::Json emitter; CI regenerates and uploads it.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <channel/path_batch.hpp>
 #include <channel/path_solver.hpp>
 #include <channel/ray_tracer.hpp>
+#include <core/channel_oracle.hpp>
 #include <core/coverage.hpp>
 #include <core/movr.hpp>
 #include <geom/angle.hpp>
+#include <net/transport.hpp>
 #include <phy/beam_sweep.hpp>
 #include <phy/link.hpp>
 #include <rf/codebook.hpp>
 #include <sim/rng.hpp>
 
+#include "bench_util.hpp"
+
 namespace {
 
 using namespace movr;
 using geom::deg_to_rad;
+
+/// The tentpole workload: one coverage grid's worth of AP->cell endpoint
+/// pairs over the paper office (same spacing compute_coverage defaults to).
+channel::EndpointBatch coverage_grid_endpoints(const channel::Room& room,
+                                               double spacing = 0.25) {
+  channel::EndpointBatch grid;
+  const geom::Vec2 ap{0.4, 0.4};
+  for (double y = 0.4; y <= room.depth() - 0.4 + 1e-9; y += spacing) {
+    for (double x = 0.4; x <= room.width() - 0.4 + 1e-9; x += spacing) {
+      grid.push(ap, {x, y});
+    }
+  }
+  return grid;
+}
+
+net::TransportConfig steady_transport_config() {
+  net::TransportConfig config;
+  config.source.fps = 90.0;
+  config.source.target_mbps = 2000.0;
+  config.source.latency_budget = std::chrono::milliseconds{10};
+  config.fec.k = 4;
+  config.fec.depth = 2;
+  return config;
+}
 
 core::Scene make_scene() {
   return core::Scene{channel::Room::paper_office(),
@@ -86,6 +129,89 @@ void BM_PathQueryCached(benchmark::State& state) {
   state.counters["hit_rate"] = scene.oracle_stats().hit_rate();
 }
 BENCHMARK(BM_PathQueryCached);
+
+// Batch-vs-scalar: the same coverage grid through each tier of the stack.
+// Scalar solver = solve() per pair (AoS result, heap per call); batch
+// solver = one solve_batch into recycled SoA storage. Scalar oracle = the
+// historical paths_between deep copy per pair on a warm cache; batch
+// oracle = query_batch borrowed views under one lock.
+void BM_PathQueryScalarGrid(benchmark::State& state) {
+  const auto room = channel::Room::paper_office();
+  const channel::PathSolver solver{room};
+  const auto grid = coverage_grid_endpoints(room);
+  for (auto _ : state) {
+    for (std::size_t q = 0; q < grid.size(); ++q) {
+      benchmark::DoNotOptimize(solver.solve(grid.a(q), grid.b(q)));
+    }
+  }
+  state.counters["queries"] = static_cast<double>(grid.size());
+}
+BENCHMARK(BM_PathQueryScalarGrid)->Unit(benchmark::kMillisecond);
+
+void BM_PathQueryBatchGrid(benchmark::State& state) {
+  const auto room = channel::Room::paper_office();
+  const channel::PathSolver solver{room};
+  const auto grid = coverage_grid_endpoints(room);
+  channel::PathBatch batch;
+  channel::PathSolver::BatchWorkspace ws;
+  for (auto _ : state) {
+    solver.solve_batch(grid, batch, ws);
+    benchmark::DoNotOptimize(batch.paths());
+  }
+  state.counters["queries"] = static_cast<double>(grid.size());
+}
+BENCHMARK(BM_PathQueryBatchGrid)->Unit(benchmark::kMillisecond);
+
+void BM_PathQueryOracleScalarGrid(benchmark::State& state) {
+  const auto room = channel::Room::paper_office();
+  const core::ChannelOracle oracle{room};
+  const auto grid = coverage_grid_endpoints(room);
+  for (std::size_t q = 0; q < grid.size(); ++q) {
+    oracle.paths_between(grid.a(q), grid.b(q));  // warm the cache
+  }
+  for (auto _ : state) {
+    for (std::size_t q = 0; q < grid.size(); ++q) {
+      benchmark::DoNotOptimize(oracle.paths_between(grid.a(q), grid.b(q)));
+    }
+  }
+  state.counters["queries"] = static_cast<double>(grid.size());
+}
+BENCHMARK(BM_PathQueryOracleScalarGrid)->Unit(benchmark::kMillisecond);
+
+void BM_PathQueryOracleBatchGrid(benchmark::State& state) {
+  const auto room = channel::Room::paper_office();
+  const core::ChannelOracle oracle{room};
+  const auto grid = coverage_grid_endpoints(room);
+  std::vector<core::ChannelOracle::PathsView> views;
+  oracle.query_batch(grid, views);  // warm the cache and the scratch
+  for (auto _ : state) {
+    oracle.query_batch(grid, views);
+    benchmark::DoNotOptimize(views.data());
+  }
+  state.counters["queries"] = static_cast<double>(grid.size());
+}
+BENCHMARK(BM_PathQueryOracleBatchGrid)->Unit(benchmark::kMillisecond);
+
+// One steady-state 90 Hz transport tick (packetize + FEC + queue + the
+// event cascade up to the next tick) under a fixed lossy channel — the
+// zero-allocation hot loop.
+void BM_TransportSteadyTick(benchmark::State& state) {
+  sim::Simulator simulator;
+  net::Transport transport{simulator, steady_transport_config()};
+  const sim::Duration interval = sim::from_seconds(1.0 / 90.0);
+  net::ChannelState channel;
+  channel.mcs = &phy::mcs_table()[phy::mcs_table().size() / 2];
+  channel.packet_loss = 0.12;
+  std::int64_t tick = 0;
+  for (auto _ : state) {
+    simulator.run_until(interval * tick);
+    transport.on_frame(channel);
+    ++tick;
+  }
+  state.counters["arena_bytes"] =
+      static_cast<double>(transport.arena_bytes());
+}
+BENCHMARK(BM_TransportSteadyTick);
 
 void BM_CoverageMap(benchmark::State& state) {
   const unsigned threads = static_cast<unsigned>(state.range(0));
@@ -212,6 +338,200 @@ void BM_EventQueueChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueChurn);
 
+// ---------------------------------------------------------------------------
+// --json summary: batch vs scalar over the coverage grid, measured directly
+// (steady-clock passes, not google-benchmark) so the artifact is one small
+// self-contained document. Exits nonzero when the batch answers diverge
+// from the scalar ones or the warmed oracle speedup falls below 10x.
+
+/// Mean nanoseconds per pass of `pass`, after one warmup pass.
+template <typename F>
+double ns_per_pass(F&& pass) {
+  using clock = std::chrono::steady_clock;
+  pass();  // warmup
+  int passes = 0;
+  const auto start = clock::now();
+  double elapsed_s = 0.0;
+  do {
+    pass();
+    ++passes;
+    elapsed_s = std::chrono::duration<double>(clock::now() - start).count();
+  } while (passes < 3 || elapsed_s < 0.2);
+  return elapsed_s * 1e9 / passes;
+}
+
+bool batch_matches_scalar(const channel::PathSolver& solver,
+                          const channel::EndpointBatch& grid,
+                          const channel::PathBatch& batch) {
+  for (std::size_t q = 0; q < grid.size(); ++q) {
+    const std::vector<channel::Path> scalar =
+        solver.solve(grid.a(q), grid.b(q));
+    if (scalar.size() != batch.query_paths(q)) {
+      return false;
+    }
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+      const std::size_t p = batch.query_first(q) + i;
+      if (scalar[i].loss.value() != batch.loss_db(p) ||
+          scalar[i].length_m != batch.length_m(p) ||
+          scalar[i].obstruction.value() != batch.obstruction_db(p) ||
+          scalar[i].bounces != batch.bounces(p)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int batch_speedup_summary(const std::string& json_path) {
+  const auto room = channel::Room::paper_office();
+  const auto grid = coverage_grid_endpoints(room);
+  const std::size_t n = grid.size();
+
+  // Solver tier: the raw SoA kernel vs a scalar solve() loop.
+  const channel::PathSolver solver{room};
+  channel::PathBatch batch;
+  channel::PathSolver::BatchWorkspace ws;
+  solver.solve_batch(grid, batch, ws);
+  if (!batch_matches_scalar(solver, grid, batch)) {
+    std::fprintf(stderr,
+                 "microbench: solve_batch diverged from scalar solve()\n");
+    return 1;
+  }
+  const double solver_scalar_ns = ns_per_pass([&] {
+    for (std::size_t q = 0; q < n; ++q) {
+      benchmark::DoNotOptimize(solver.solve(grid.a(q), grid.b(q)));
+    }
+  });
+  const double solver_batch_ns = ns_per_pass([&] {
+    solver.solve_batch(grid, batch, ws);
+    benchmark::DoNotOptimize(batch.paths());
+  });
+
+  // Oracle tier: warmed query_batch views vs the historical per-cell
+  // paths_between deep copy (what compute_coverage paid before the batch
+  // refactor).
+  const core::ChannelOracle oracle{room};
+  std::vector<core::ChannelOracle::PathsView> views;
+  oracle.query_batch(grid, views);
+  for (std::size_t q = 0; q < n; ++q) {
+    const auto scalar = oracle.paths_between(grid.a(q), grid.b(q));
+    if (views[q] == nullptr || scalar.size() != views[q]->size()) {
+      std::fprintf(stderr,
+                   "microbench: query_batch diverged from paths_between\n");
+      return 1;
+    }
+  }
+  const double oracle_scalar_ns = ns_per_pass([&] {
+    for (std::size_t q = 0; q < n; ++q) {
+      benchmark::DoNotOptimize(oracle.paths_between(grid.a(q), grid.b(q)));
+    }
+  });
+  const double oracle_batch_ns = ns_per_pass([&] {
+    oracle.query_batch(grid, views);
+    benchmark::DoNotOptimize(views.data());
+  });
+  const auto oracle_stats = oracle.stats();
+
+  // Transport tier: mean steady-state tick cost (no gate — the contract
+  // here is zero allocation, enforced by tests/net_alloc_regression_test).
+  sim::Simulator simulator;
+  net::Transport transport{simulator, steady_transport_config()};
+  const sim::Duration interval = sim::from_seconds(1.0 / 90.0);
+  net::ChannelState channel;
+  channel.mcs = &phy::mcs_table()[phy::mcs_table().size() / 2];
+  channel.packet_loss = 0.12;
+  std::int64_t tick = 0;
+  const auto run_ticks = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      simulator.run_until(interval * tick);
+      transport.on_frame(channel);
+      ++tick;
+    }
+  };
+  run_ticks(200);  // warm every pool to steady state
+  const double tick_ns = ns_per_pass([&] { run_ticks(100); }) / 100.0;
+
+  const double n_d = static_cast<double>(n);
+  const double solver_speedup = solver_scalar_ns / solver_batch_ns;
+  const double oracle_speedup = oracle_scalar_ns / oracle_batch_ns;
+
+  bench::print_header("microbench: batched SoA query stack vs scalar");
+  std::printf("  coverage grid           : %zu queries (0.25 m spacing)\n",
+              n);
+  std::printf("  solver  scalar loop     : %8.1f ns/query\n",
+              solver_scalar_ns / n_d);
+  std::printf("  solver  solve_batch     : %8.1f ns/query   (%.2fx)\n",
+              solver_batch_ns / n_d, solver_speedup);
+  std::printf("  oracle  paths_between   : %8.1f ns/query (warm)\n",
+              oracle_scalar_ns / n_d);
+  std::printf("  oracle  query_batch     : %8.1f ns/query (warm, %.2fx)\n",
+              oracle_batch_ns / n_d, oracle_speedup);
+  std::printf("  transport steady tick   : %8.1f ns/tick (arena %zu B)\n",
+              tick_ns, transport.arena_bytes());
+
+  bench::Json doc = bench::Json::object();
+  doc.set("bench", "microbench_batch_vs_scalar");
+  doc.set("grid", bench::Json::object()
+                      .set("queries", static_cast<std::uint64_t>(n))
+                      .set("spacing_m", 0.25));
+  doc.set("solver",
+          bench::Json::object()
+              .set("scalar_ns_per_query", solver_scalar_ns / n_d)
+              .set("batch_ns_per_query", solver_batch_ns / n_d)
+              .set("speedup", solver_speedup));
+  doc.set("oracle_warm",
+          bench::Json::object()
+              .set("scalar_ns_per_query", oracle_scalar_ns / n_d)
+              .set("batch_ns_per_query", oracle_batch_ns / n_d)
+              .set("speedup", oracle_speedup));
+  doc.set("oracle_stats",
+          bench::Json::object()
+              .set("batch_queries", oracle_stats.batch_queries)
+              .set("batch_probes_saved", oracle_stats.batch_probes_saved)
+              .set("arena_bytes", oracle_stats.arena_bytes));
+  doc.set("transport",
+          bench::Json::object()
+              .set("steady_tick_ns", tick_ns)
+              .set("arena_bytes",
+                   static_cast<std::uint64_t>(transport.arena_bytes())));
+  if (!bench::emit_json(json_path, doc)) {
+    return 1;
+  }
+
+  if (oracle_speedup < 10.0) {
+    std::fprintf(stderr,
+                 "microbench: warmed batched coverage-grid query is only "
+                 "%.2fx the scalar loop (contract: >= 10x)\n",
+                 oracle_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Standard google-benchmark driver, plus `--json PATH` (stripped before
+// benchmark::Initialize) to run the batch-vs-scalar summary afterwards.
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool run_summary = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      run_summary = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_summary ? batch_speedup_summary(json_path) : 0;
+}

@@ -58,129 +58,286 @@ void PathSolver::rebind(const Room& room) {
   }
 }
 
-Path PathSolver::line_of_sight(geom::Vec2 source,
-                               geom::Vec2 destination) const {
-  Path path;
-  path.bounces = 0;
-  path.vertices = {source, destination};
+std::size_t PathSolver::max_candidates() const {
+  const std::size_t w = mirrors_.size();
+  std::size_t n = 1;  // LOS
+  if (config_.max_bounces >= 1) {
+    n += w;
+  }
+  if (config_.max_bounces >= 2 && w > 1) {
+    n += w * (w - 1);
+  }
+  return n;
+}
+
+PathSolver::Candidate PathSolver::los_candidate(geom::Vec2 source,
+                                                geom::Vec2 destination) const {
+  Candidate c;
+  c.bounces = 0;
+  c.vertex_count = 2;
+  c.vertices[0] = source;
+  c.vertices[1] = destination;
   const geom::Vec2 d = destination - source;
-  path.length_m = d.norm();
-  path.departure_azimuth = d.heading();
-  path.arrival_azimuth = (-d).heading();
-  path.obstruction = room_->obstacles().empty()
-                         ? rf::Decibels{0.0}
-                         : leg_obstruction(*room_, source, destination);
-  path.loss = rf::free_space_path_loss(path.length_m, config_.carrier_hz) +
-              rf::atmospheric_absorption(path.length_m, config_.carrier_hz) +
-              path.obstruction;
+  c.length_m = d.norm();
+  c.departure = d.heading();
+  c.arrival = (-d).heading();
+  const rf::Decibels obstruction =
+      room_->obstacles().empty() ? rf::Decibels{0.0}
+                                 : leg_obstruction(*room_, source, destination);
+  const rf::Decibels loss =
+      rf::free_space_path_loss(c.length_m, config_.carrier_hz) +
+      rf::atmospheric_absorption(c.length_m, config_.carrier_hz) + obstruction;
+  c.obstruction_db = obstruction.value();
+  c.loss_db = loss.value();
+  return c;
+}
+
+bool PathSolver::first_order_candidate(std::size_t wall, geom::Vec2 image,
+                                       geom::Vec2 source,
+                                       geom::Vec2 destination,
+                                       bool no_obstacles,
+                                       Candidate& out) const {
+  const auto& walls = room_->walls();
+  const auto hit =
+      geom::intersect(geom::Segment{image, destination}, walls[wall].extent);
+  if (!hit) {
+    return false;
+  }
+  const geom::Vec2 p = *hit;
+  out.bounces = 1;
+  out.vertex_count = 3;
+  out.vertices[0] = source;
+  out.vertices[1] = p;
+  out.vertices[2] = destination;
+  out.length_m = geom::distance(source, p) + geom::distance(p, destination);
+  out.departure = (p - source).heading();
+  out.arrival = (p - destination).heading();
+  const rf::Decibels obstruction =
+      no_obstacles ? rf::Decibels{0.0}
+                   : leg_obstruction(*room_, source, p) +
+                         leg_obstruction(*room_, p, destination);
+  const rf::Decibels loss =
+      rf::free_space_path_loss(out.length_m, config_.carrier_hz) +
+      rf::atmospheric_absorption(out.length_m, config_.carrier_hz) +
+      walls[wall].material.reflection_loss + obstruction;
+  out.obstruction_db = obstruction.value();
+  out.loss_db = loss.value();
+  return true;
+}
+
+bool PathSolver::second_order_candidate(std::size_t wall_i, std::size_t wall_j,
+                                        geom::Vec2 image1, geom::Vec2 image2,
+                                        geom::Vec2 source,
+                                        geom::Vec2 destination,
+                                        bool no_obstacles,
+                                        Candidate& out) const {
+  const auto& walls = room_->walls();
+  // Unfold back-to-front: last bounce on wall j.
+  const auto hit2 =
+      geom::intersect(geom::Segment{image2, destination}, walls[wall_j].extent);
+  if (!hit2) {
+    return false;
+  }
+  const geom::Vec2 p2 = *hit2;
+  const auto hit1 =
+      geom::intersect(geom::Segment{image1, p2}, walls[wall_i].extent);
+  if (!hit1) {
+    return false;
+  }
+  const geom::Vec2 p1 = *hit1;
+  // Degenerate unfoldings (bounce point in a corner) produce zero-length
+  // legs; skip them.
+  if (geom::distance(p1, p2) < 1e-6 || geom::distance(source, p1) < 1e-6 ||
+      geom::distance(p2, destination) < 1e-6) {
+    return false;
+  }
+  out.bounces = 2;
+  out.vertex_count = 4;
+  out.vertices[0] = source;
+  out.vertices[1] = p1;
+  out.vertices[2] = p2;
+  out.vertices[3] = destination;
+  out.length_m = geom::distance(source, p1) + geom::distance(p1, p2) +
+                 geom::distance(p2, destination);
+  out.departure = (p1 - source).heading();
+  out.arrival = (p2 - destination).heading();
+  const rf::Decibels obstruction =
+      no_obstacles ? rf::Decibels{0.0}
+                   : leg_obstruction(*room_, source, p1) +
+                         leg_obstruction(*room_, p1, p2) +
+                         leg_obstruction(*room_, p2, destination);
+  const rf::Decibels loss =
+      rf::free_space_path_loss(out.length_m, config_.carrier_hz) +
+      rf::atmospheric_absorption(out.length_m, config_.carrier_hz) +
+      walls[wall_i].material.reflection_loss +
+      walls[wall_j].material.reflection_loss + obstruction;
+  out.obstruction_db = obstruction.value();
+  out.loss_db = loss.value();
+  return true;
+}
+
+void PathSolver::collect_candidates(geom::Vec2 source, geom::Vec2 destination,
+                                    std::vector<Candidate>& out) const {
+  const bool no_obstacles = room_->obstacles().empty();
+  const std::size_t nwalls = room_->walls().size();
+  out.push_back(los_candidate(source, destination));
+  if (config_.max_bounces >= 1) {
+    for (std::size_t i = 0; i < nwalls; ++i) {
+      Candidate c;
+      if (first_order_candidate(i, mirrors_[i].reflect(source), source,
+                                destination, no_obstacles, c)) {
+        out.push_back(c);
+      }
+    }
+  }
+  if (config_.max_bounces >= 2) {
+    for (std::size_t i = 0; i < nwalls; ++i) {
+      const geom::Vec2 image1 = mirrors_[i].reflect(source);
+      for (std::size_t j = 0; j < nwalls; ++j) {
+        if (i == j) {
+          continue;
+        }
+        Candidate c;
+        if (second_order_candidate(i, j, image1, mirrors_[j].reflect(image1),
+                                   source, destination, no_obstacles, c)) {
+          out.push_back(c);
+        }
+      }
+    }
+  }
+}
+
+void PathSolver::order_and_trim(std::vector<Candidate>& candidates) const {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.loss_db < b.loss_db;
+            });
+  // Trim everything outside the dynamic range of the strongest path.
+  const double cutoff = candidates.front().loss_db +
+                        config_.dynamic_range.value();
+  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                  [cutoff](const Candidate& c) {
+                                    return c.loss_db > cutoff;
+                                  }),
+                   candidates.end());
+}
+
+Path PathSolver::materialize(const Candidate& c) {
+  Path path;
+  path.departure_azimuth = c.departure;
+  path.arrival_azimuth = c.arrival;
+  path.length_m = c.length_m;
+  path.loss = rf::Decibels{c.loss_db};
+  path.bounces = c.bounces;
+  path.obstruction = rf::Decibels{c.obstruction_db};
+  path.vertices.assign(c.vertices,
+                       c.vertices + static_cast<std::size_t>(c.vertex_count));
   return path;
 }
 
-void PathSolver::add_first_order(std::vector<Path>& out, geom::Vec2 source,
-                                 geom::Vec2 destination,
-                                 bool no_obstacles) const {
-  const auto& walls = room_->walls();
-  for (std::size_t i = 0; i < walls.size(); ++i) {
-    const geom::Vec2 image = mirrors_[i].reflect(source);
-    const auto hit =
-        geom::intersect(geom::Segment{image, destination}, walls[i].extent);
-    if (!hit) {
-      continue;
-    }
-    const geom::Vec2 p = *hit;
-    Path path;
-    path.bounces = 1;
-    path.vertices = {source, p, destination};
-    path.length_m = geom::distance(source, p) + geom::distance(p, destination);
-    path.departure_azimuth = (p - source).heading();
-    path.arrival_azimuth = (p - destination).heading();
-    path.obstruction = no_obstacles
-                           ? rf::Decibels{0.0}
-                           : leg_obstruction(*room_, source, p) +
-                                 leg_obstruction(*room_, p, destination);
-    path.loss = rf::free_space_path_loss(path.length_m, config_.carrier_hz) +
-                rf::atmospheric_absorption(path.length_m, config_.carrier_hz) +
-                walls[i].material.reflection_loss + path.obstruction;
-    out.push_back(std::move(path));
-  }
-}
-
-void PathSolver::add_second_order(std::vector<Path>& out, geom::Vec2 source,
-                                  geom::Vec2 destination,
-                                  bool no_obstacles) const {
-  const auto& walls = room_->walls();
-  for (std::size_t i = 0; i < walls.size(); ++i) {
-    const geom::Vec2 image1 = mirrors_[i].reflect(source);
-    for (std::size_t j = 0; j < walls.size(); ++j) {
-      if (i == j) {
-        continue;
-      }
-      const geom::Vec2 image2 = mirrors_[j].reflect(image1);
-      // Unfold back-to-front: last bounce on wall j.
-      const auto hit2 =
-          geom::intersect(geom::Segment{image2, destination}, walls[j].extent);
-      if (!hit2) {
-        continue;
-      }
-      const geom::Vec2 p2 = *hit2;
-      const auto hit1 =
-          geom::intersect(geom::Segment{image1, p2}, walls[i].extent);
-      if (!hit1) {
-        continue;
-      }
-      const geom::Vec2 p1 = *hit1;
-      // Degenerate unfoldings (bounce point in a corner) produce zero-length
-      // legs; skip them.
-      if (geom::distance(p1, p2) < 1e-6 ||
-          geom::distance(source, p1) < 1e-6 ||
-          geom::distance(p2, destination) < 1e-6) {
-        continue;
-      }
-      Path path;
-      path.bounces = 2;
-      path.vertices = {source, p1, p2, destination};
-      path.length_m = geom::distance(source, p1) + geom::distance(p1, p2) +
-                      geom::distance(p2, destination);
-      path.departure_azimuth = (p1 - source).heading();
-      path.arrival_azimuth = (p2 - destination).heading();
-      path.obstruction = no_obstacles
-                             ? rf::Decibels{0.0}
-                             : leg_obstruction(*room_, source, p1) +
-                                   leg_obstruction(*room_, p1, p2) +
-                                   leg_obstruction(*room_, p2, destination);
-      path.loss =
-          rf::free_space_path_loss(path.length_m, config_.carrier_hz) +
-          rf::atmospheric_absorption(path.length_m, config_.carrier_hz) +
-          walls[i].material.reflection_loss +
-          walls[j].material.reflection_loss + path.obstruction;
-      out.push_back(std::move(path));
-    }
-  }
+Path PathSolver::line_of_sight(geom::Vec2 source,
+                               geom::Vec2 destination) const {
+  return materialize(los_candidate(source, destination));
 }
 
 std::vector<Path> PathSolver::solve(geom::Vec2 source,
                                     geom::Vec2 destination) const {
-  const bool no_obstacles = room_->obstacles().empty();
+  std::vector<Candidate> candidates;
+  candidates.reserve(max_candidates());
+  collect_candidates(source, destination, candidates);
+  order_and_trim(candidates);
   std::vector<Path> paths;
-  paths.push_back(line_of_sight(source, destination));
-  if (config_.max_bounces >= 1) {
-    add_first_order(paths, source, destination, no_obstacles);
+  paths.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    paths.push_back(materialize(c));
   }
-  if (config_.max_bounces >= 2) {
-    add_second_order(paths, source, destination, no_obstacles);
-  }
-  std::sort(paths.begin(), paths.end(), [](const Path& a, const Path& b) {
-    return a.loss.value() < b.loss.value();
-  });
-  // Trim everything outside the dynamic range of the strongest path.
-  const double cutoff =
-      paths.front().loss.value() + config_.dynamic_range.value();
-  paths.erase(std::remove_if(paths.begin(), paths.end(),
-                             [cutoff](const Path& p) {
-                               return p.loss.value() > cutoff;
-                             }),
-              paths.end());
   return paths;
+}
+
+void PathSolver::solve_batch(const EndpointBatch& batch, PathBatch& out,
+                             BatchWorkspace& ws) const {
+  out.clear();
+  const std::size_t n = batch.size();
+  if (n == 0) {
+    return;
+  }
+  const std::size_t nwalls = room_->walls().size();
+  const bool no_obstacles = room_->obstacles().empty();
+  const bool first_order = config_.max_bounces >= 1 && nwalls > 0;
+  const bool second_order = config_.max_bounces >= 2 && nwalls > 1;
+
+  // Mirror-unfolding prepass over the batch's contiguous coordinate arrays:
+  // one image per (wall, query), one composed image per (ordered wall pair,
+  // query). Each image is the output of the same Mirror::reflect the scalar
+  // path calls, so downstream candidate math sees identical inputs.
+  if (first_order) {
+    ws.first_images.resize(nwalls * n);
+    const double* ax = batch.ax();
+    const double* ay = batch.ay();
+    for (std::size_t w = 0; w < nwalls; ++w) {
+      const Mirror mirror = mirrors_[w];
+      geom::Vec2* row = ws.first_images.data() + w * n;
+      for (std::size_t q = 0; q < n; ++q) {
+        row[q] = mirror.reflect({ax[q], ay[q]});
+      }
+    }
+  }
+  if (second_order) {
+    ws.second_images.resize(nwalls * nwalls * n);
+    for (std::size_t i = 0; i < nwalls; ++i) {
+      const geom::Vec2* image1_row = ws.first_images.data() + i * n;
+      for (std::size_t j = 0; j < nwalls; ++j) {
+        if (i == j) {
+          continue;
+        }
+        const Mirror mirror = mirrors_[j];
+        geom::Vec2* row = ws.second_images.data() + (i * nwalls + j) * n;
+        for (std::size_t q = 0; q < n; ++q) {
+          row[q] = mirror.reflect(image1_row[q]);
+        }
+      }
+    }
+  }
+
+  ws.candidates.reserve(max_candidates());
+  for (std::size_t q = 0; q < n; ++q) {
+    const geom::Vec2 source = batch.a(q);
+    const geom::Vec2 destination = batch.b(q);
+    ws.candidates.clear();
+    ws.candidates.push_back(los_candidate(source, destination));
+    if (first_order) {
+      for (std::size_t i = 0; i < nwalls; ++i) {
+        Candidate c;
+        if (first_order_candidate(i, ws.first_images[i * n + q], source,
+                                  destination, no_obstacles, c)) {
+          ws.candidates.push_back(c);
+        }
+      }
+    }
+    if (second_order) {
+      for (std::size_t i = 0; i < nwalls; ++i) {
+        const geom::Vec2 image1 = ws.first_images[i * n + q];
+        for (std::size_t j = 0; j < nwalls; ++j) {
+          if (i == j) {
+            continue;
+          }
+          Candidate c;
+          if (second_order_candidate(i, j, image1,
+                                     ws.second_images[(i * nwalls + j) * n + q],
+                                     source, destination, no_obstacles, c)) {
+            ws.candidates.push_back(c);
+          }
+        }
+      }
+    }
+    order_and_trim(ws.candidates);
+    for (const Candidate& c : ws.candidates) {
+      out.append_path(c.departure, c.arrival, c.length_m, c.loss_db,
+                      c.obstruction_db, c.bounces, c.vertices,
+                      static_cast<std::size_t>(c.vertex_count));
+    }
+    out.end_query();
+  }
 }
 
 }  // namespace movr::channel

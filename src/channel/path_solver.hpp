@@ -8,15 +8,26 @@
 // wall takes effect on the very next call, with no rebuild. When the room
 // has no obstacles the per-leg obstruction checks are skipped entirely.
 //
-// Thread-safety: solve() and line_of_sight() are const and touch no mutable
-// state; any number of threads may query one solver concurrently as long as
-// nobody mutates the bound Room at the same time.
+// Two query shapes share one evaluation core:
+//  - solve(src, dst): the scalar API, returns an AoS std::vector<Path>.
+//  - solve_batch(batch, out, ws): many endpoint pairs at once. Mirror
+//    unfolding runs as a prepass over the batch's contiguous coordinate
+//    arrays (one image per wall x query, one per ordered wall pair x query),
+//    then per-query candidate assembly reuses the *same* helper functions as
+//    the scalar path — which is what makes the batch results bit-identical
+//    to a scalar loop (the differential tests assert this).
+//
+// Thread-safety: solve(), solve_batch() and line_of_sight() are const and
+// touch no mutable solver state; any number of threads may query one solver
+// concurrently as long as nobody mutates the bound Room at the same time and
+// each thread brings its own BatchWorkspace.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include <channel/path.hpp>
+#include <channel/path_batch.hpp>
 #include <channel/room.hpp>
 #include <geom/segment.hpp>
 #include <rf/units.hpp>
@@ -32,6 +43,35 @@ class PathSolver {
     rf::Decibels dynamic_range{60.0};
   };
 
+  /// One path candidate before sort/trim. Fixed-size vertex storage (LOS=2,
+  /// first order=3, second order=4) keeps candidate evaluation heap-free.
+  struct Candidate {
+    double departure{0.0};
+    double arrival{0.0};
+    double length_m{0.0};
+    double loss_db{0.0};
+    double obstruction_db{0.0};
+    int bounces{0};
+    int vertex_count{0};
+    geom::Vec2 vertices[4];
+  };
+
+  /// Reusable scratch for solve_batch. Owned by the caller — one per worker
+  /// thread — and recycled across calls: capacity is kept, so a warmed batch
+  /// solve performs zero heap allocations of its own.
+  struct BatchWorkspace {
+    std::vector<Candidate> candidates;
+    std::vector<geom::Vec2> first_images;   // [wall][query], row-major
+    std::vector<geom::Vec2> second_images;  // [wall i][wall j][query]
+
+    /// Bytes of backing storage currently owned (capacity, not size).
+    std::size_t arena_bytes() const {
+      return candidates.capacity() * sizeof(Candidate) +
+             (first_images.capacity() + second_images.capacity()) *
+                 sizeof(geom::Vec2);
+    }
+  };
+
   explicit PathSolver(const Room& room) : PathSolver{room, Config{}} {}
   PathSolver(const Room& room, Config config);
 
@@ -45,9 +85,19 @@ class PathSolver {
   /// All propagation paths from `source` to `destination`, strongest first.
   std::vector<Path> solve(geom::Vec2 source, geom::Vec2 destination) const;
 
+  /// Batched solve: appends every query's surviving paths to `out` (which is
+  /// cleared first), strongest first within each query. Bit-identical to
+  /// calling solve() per endpoint pair.
+  void solve_batch(const EndpointBatch& batch, PathBatch& out,
+                   BatchWorkspace& ws) const;
+
   /// Just the LOS path (present even when obstructed — its `obstruction`
   /// field says by how much).
   Path line_of_sight(geom::Vec2 source, geom::Vec2 destination) const;
+
+  /// Upper bound on candidates per query (LOS + per-wall + per-wall-pair),
+  /// for sizing caller-side reserves.
+  std::size_t max_candidates() const;
 
  private:
   /// Precomputed mirror line of one wall: anchor + unit direction, so the
@@ -74,10 +124,26 @@ class PathSolver {
   std::vector<geom::Segment> wall_snapshot_;
 
   void build_images();
-  void add_first_order(std::vector<Path>& out, geom::Vec2 source,
-                       geom::Vec2 destination, bool no_obstacles) const;
-  void add_second_order(std::vector<Path>& out, geom::Vec2 source,
-                        geom::Vec2 destination, bool no_obstacles) const;
+
+  // Shared candidate evaluation — the single source of truth for path math.
+  // Both solve() and solve_batch() call these, so their results cannot
+  // diverge. The image points are passed in (computed inline by the scalar
+  // path, by the SoA prepass in the batch path) from the same reflect().
+  Candidate los_candidate(geom::Vec2 source, geom::Vec2 destination) const;
+  bool first_order_candidate(std::size_t wall, geom::Vec2 image,
+                             geom::Vec2 source, geom::Vec2 destination,
+                             bool no_obstacles, Candidate& out) const;
+  bool second_order_candidate(std::size_t wall_i, std::size_t wall_j,
+                              geom::Vec2 image1, geom::Vec2 image2,
+                              geom::Vec2 source, geom::Vec2 destination,
+                              bool no_obstacles, Candidate& out) const;
+  void collect_candidates(geom::Vec2 source, geom::Vec2 destination,
+                          std::vector<Candidate>& out) const;
+  /// Sort strongest-first, then drop candidates outside the dynamic range of
+  /// the strongest. Same comparator and cutoff as the historical Path sort,
+  /// so the surviving order is the exact permutation solve() always produced.
+  void order_and_trim(std::vector<Candidate>& candidates) const;
+  static Path materialize(const Candidate& c);
 };
 
 }  // namespace movr::channel

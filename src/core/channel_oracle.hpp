@@ -9,17 +9,32 @@
 // the cache, which is why Scene can keep re-steering between queries at
 // zero cache cost.
 //
-// Thread-safety: paths_between() is const and internally synchronized (one
+// Query shapes, cheapest first:
+//  - paths_view(a, b): borrowed view of the cached path set. A warm hit
+//    costs one lock + one probe + one shared_ptr copy — no path copying.
+//    The view stays valid even if the cache is invalidated afterwards
+//    (shared ownership keeps the vector alive), it just goes stale the way
+//    any already-read answer would.
+//  - query_batch(batch, out): many endpoint pairs under ONE lock acquisition
+//    and one revision check; misses are gathered and solved in a single
+//    PathSolver::solve_batch call. Consecutive duplicate keys skip the cache
+//    probe entirely (Stats::batch_probes_saved). A fully-warmed batch
+//    performs zero heap allocations.
+//  - paths_between(a, b): the historical deep-copy API, kept for callers
+//    that mutate or outlive their result.
+//
+// Thread-safety: all query paths are const and internally synchronized (one
 // mutex around the cache); any number of threads may query one oracle
 // concurrently as long as nobody mutates the bound Room at the same time.
 // Room mutation requires the same external exclusion the Room itself needs.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
+#include <channel/path_batch.hpp>
 #include <channel/path_solver.hpp>
 #include <channel/room.hpp>
 #include <geom/vec2.hpp>
@@ -38,6 +53,10 @@ class ChannelOracle {
     std::size_t max_entries{1u << 16};
   };
 
+  /// Shared-ownership view of a cached path set. Copying is allocation-free;
+  /// the pointee is immutable and outlives any cache invalidation.
+  using PathsView = std::shared_ptr<const std::vector<channel::Path>>;
+
   explicit ChannelOracle(const channel::Room& room)
       : ChannelOracle{room, Config{}} {}
   ChannelOracle(const channel::Room& room, Config config);
@@ -46,8 +65,18 @@ class ChannelOracle {
   const channel::PathSolver& solver() const { return solver_; }
   const Config& config() const { return config_; }
 
-  /// Memoised equivalent of PathSolver::solve.
+  /// Memoised equivalent of PathSolver::solve (deep copy).
   std::vector<channel::Path> paths_between(geom::Vec2 a, geom::Vec2 b) const;
+
+  /// Borrowed-view equivalent: no path copying on a warm hit.
+  PathsView paths_view(geom::Vec2 a, geom::Vec2 b) const;
+
+  /// Answers every pair in `batch` under one lock acquisition: one probe
+  /// pass, one batched solve for the misses. `out` is cleared and filled
+  /// with one view per query, in batch order; its capacity (like all
+  /// internal scratch) is reused across calls.
+  void query_batch(const channel::EndpointBatch& batch,
+                   std::vector<PathsView>& out) const;
 
   /// Rebinds to `room` (e.g. after the owning Scene moved) and drops the
   /// cache — a different Room object shares no revision history.
@@ -63,6 +92,16 @@ class ChannelOracle {
     /// Cache drops: revision bumps observed, rebinds, manual invalidations
     /// and size-cap evictions.
     std::uint64_t invalidations{0};
+    /// Queries answered through query_batch (subset of `queries`).
+    std::uint64_t batch_queries{0};
+    /// Batch queries whose cache probe was skipped because the preceding
+    /// query in the same batch had the same quantised key (grid sweeps and
+    /// codebook scans repeat endpoints back to back).
+    std::uint64_t batch_probes_saved{0};
+    /// High-water mark of the batch scratch arena (endpoint batch, SoA
+    /// result batch, solver workspace, slot maps), bytes. Monotone: the
+    /// scratch keeps its capacity across calls and invalidations.
+    std::uint64_t arena_bytes{0};
 
     double hit_rate() const {
       return queries == 0
@@ -74,6 +113,10 @@ class ChannelOracle {
       hits += o.hits;
       misses += o.misses;
       invalidations += o.invalidations;
+      batch_queries += o.batch_queries;
+      batch_probes_saved += o.batch_probes_saved;
+      // A high-water mark, not a flow: aggregating workers takes the max.
+      arena_bytes = arena_bytes > o.arena_bytes ? arena_bytes : o.arena_bytes;
       return *this;
     }
   };
@@ -85,19 +128,75 @@ class ChannelOracle {
     std::int64_t ax, ay, bx, by;
     bool operator==(const Key&) const = default;
   };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const;
+
+  /// Insert-only open-addressing table Key -> PathsView. The oracle never
+  /// erases individual entries — invalidation drops the whole table — so
+  /// linear probing needs no tombstones and a warm probe is one contiguous
+  /// scan, measurably faster than unordered_map's bucket chains in the
+  /// query_batch hot loop. clear() nulls the views but keeps the slot
+  /// array, so a re-warmed cache re-fills without rehashing.
+  class PathCache {
+   public:
+    /// The stored view, or nullptr when absent. The pointer is invalidated
+    /// by insert() and clear().
+    const PathsView* find(const Key& key, std::uint64_t hash) const {
+      if (slots_.empty()) {
+        return nullptr;
+      }
+      std::size_t i = static_cast<std::size_t>(hash) & mask_;
+      while (slots_[i].view != nullptr) {
+        if (slots_[i].key == key) {
+          return &slots_[i].view;
+        }
+        i = (i + 1) & mask_;
+      }
+      return nullptr;
+    }
+    /// Inserts unless the key is already present (the existing entry wins,
+    /// like unordered_map::emplace).
+    void insert(const Key& key, std::uint64_t hash, PathsView view);
+    std::size_t size() const { return size_; }
+    void clear();
+
+   private:
+    struct Slot {
+      Key key{};
+      PathsView view{};  // nullptr marks an empty slot
+    };
+
+    bool place(const Key& key, std::uint64_t hash, PathsView view);
+
+    std::vector<Slot> slots_;
+    std::size_t mask_{0};
+    std::size_t size_{0};
   };
 
+  static std::uint64_t hash_key(const Key& k);
   Key make_key(geom::Vec2 a, geom::Vec2 b) const;
   void drop_cache_locked() const;
+  void check_revision_locked() const;
+  PathsView view_locked(geom::Vec2 a, geom::Vec2 b) const;
+  void note_arena_locked() const;
 
   channel::PathSolver solver_;
   Config config_;
+  /// 1 / config_.quantum_m, precomputed: the key quantisation multiplies
+  /// instead of dividing in the per-query probe loop.
+  double inv_quantum_;
   mutable std::mutex mutex_;
-  mutable std::unordered_map<Key, std::vector<channel::Path>, KeyHash> cache_;
+  mutable PathCache cache_;
   mutable std::uint64_t seen_revision_;
   mutable Stats stats_;
+
+  // Batch scratch, guarded by mutex_; capacity persists across calls so a
+  // warmed query_batch allocates nothing.
+  mutable channel::EndpointBatch miss_batch_;
+  mutable channel::PathBatch miss_paths_;
+  mutable channel::PathSolver::BatchWorkspace batch_ws_;
+  mutable std::vector<std::size_t> miss_query_;
+  mutable std::vector<std::size_t> miss_slot_;
+  mutable std::vector<Key> miss_keys_;
+  mutable std::vector<PathsView> slot_views_;
 };
 
 }  // namespace movr::core

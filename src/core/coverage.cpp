@@ -4,6 +4,7 @@
 #include <mutex>
 #include <string>
 
+#include <channel/path_batch.hpp>
 #include <core/parallel_for.hpp>
 
 namespace movr::core {
@@ -72,16 +73,37 @@ CoverageMap compute_coverage(const Scene& scene, double resolution_m,
                             static_cast<std::size_t>(map.cells_y);
   map.cells.resize(total);
 
+  const auto cell_position = [&](std::size_t i) -> geom::Vec2 {
+    const int ix = static_cast<int>(i % static_cast<std::size_t>(map.cells_x));
+    const int iy = static_cast<int>(i / static_cast<std::size_t>(map.cells_x));
+    return {wall_margin_m + ix * resolution_m,
+            wall_margin_m + iy * resolution_m};
+  };
+
   std::mutex stats_mutex;
   parallel_for(total, threads, [&](std::size_t begin, std::size_t end) {
     // Each worker steers its own clone; cells are disjoint vector slots.
     Scene local = scene.clone();
+    // Batch-prefetch every endpoint pair this chunk will ask about — the
+    // AP->cell direct legs and each reflector->cell second hops — so the
+    // per-cell evaluation below runs entirely on warm cache hits.
+    // (Constant pairs like AP->reflector are left to miss once per worker
+    // during evaluation, exactly as before — keeping the aggregate query
+    // count identical for every thread count.)
+    channel::EndpointBatch prefetch;
+    const std::size_t nreflectors = local.reflector_count();
+    prefetch.reserve((end - begin) * (1 + nreflectors));
+    const geom::Vec2 ap_pos = local.ap().node().position();
     for (std::size_t i = begin; i < end; ++i) {
-      const int ix = static_cast<int>(i % static_cast<std::size_t>(map.cells_x));
-      const int iy = static_cast<int>(i / static_cast<std::size_t>(map.cells_x));
-      map.cells[i] = evaluate_cell(
-          local, {wall_margin_m + ix * resolution_m,
-                  wall_margin_m + iy * resolution_m});
+      const geom::Vec2 pos = cell_position(i);
+      prefetch.push(ap_pos, pos);
+      for (std::size_t r = 0; r < nreflectors; ++r) {
+        prefetch.push(local.reflector(r).position(), pos);
+      }
+    }
+    local.prefetch_paths(prefetch);
+    for (std::size_t i = begin; i < end; ++i) {
+      map.cells[i] = evaluate_cell(local, cell_position(i));
     }
     const auto stats = local.oracle_stats();
     const std::scoped_lock lock{stats_mutex};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include <channel/path_batch.hpp>
 #include <core/gain_control.hpp>
 #include <core/parallel_for.hpp>
 #include <geom/angle.hpp>
@@ -58,6 +59,10 @@ double PlacementPlanner::evaluate(
       static_cast<std::size_t>(config_.trials), config_.threads,
       [&](std::size_t begin, std::size_t end) {
         int local_outages = 0;
+        // Prefetch batches, reused (capacity kept) across this worker's
+        // trials.
+        channel::EndpointBatch calibration_batch;
+        channel::EndpointBatch read_batch;
         for (std::size_t trial = begin; trial < end; ++trial) {
           std::mt19937_64 rng = rngs.stream("placement-trial", trial);
           Scene scene{channel::Room{room}, ApRadio{ap_position, 0.0},
@@ -72,6 +77,14 @@ double PlacementPlanner::evaluate(
           scene.headset().node().set_position(pos);
           scene.ap().node().set_orientation((pos - ap_position).heading());
 
+          // One batched solve covers every calibration read below: the
+          // gain controller re-reads reflector_input per step, but the
+          // AP->reflector pairs are fixed until the obstacle lands.
+          calibration_batch.clear();
+          for (const auto* r : reflectors) {
+            calibration_batch.push(ap_position, r->position());
+          }
+          scene.prefetch_paths(calibration_batch);
           for (auto* r : reflectors) {
             r->front_end().steer_rx(scene.true_reflector_angle_to_ap(*r));
             r->front_end().steer_tx(
@@ -96,6 +109,16 @@ double PlacementPlanner::evaluate(
                   (ap - pos).normalized() *
                       std::uniform_real_distribution<double>{0.6, 2.0}(rng)));
           }
+
+          // The obstacle bumped the room revision and emptied the cache;
+          // one batched solve repopulates it for every SNR read below.
+          read_batch.clear();
+          read_batch.push(ap, pos);
+          for (const auto* r : reflectors) {
+            read_batch.push(ap, r->position());
+            read_batch.push(r->position(), pos);
+          }
+          scene.prefetch_paths(read_batch);
 
           scene.ap().node().steer_toward(pos);
           scene.headset().node().face_toward(ap);

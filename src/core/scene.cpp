@@ -83,10 +83,19 @@ std::vector<channel::Path> Scene::paths_between(geom::Vec2 a,
   return oracle().paths_between(a, b);
 }
 
+ChannelOracle::PathsView Scene::paths_view(geom::Vec2 a, geom::Vec2 b) const {
+  return oracle().paths_view(a, b);
+}
+
+void Scene::prefetch_paths(const channel::EndpointBatch& batch) const {
+  oracle().query_batch(batch, prefetch_scratch_);
+  prefetch_scratch_.clear();  // drop the references, keep capacity
+}
+
 rf::DbmPower Scene::direct_power() const {
   const auto paths =
-      paths_between(ap_.node().position(), headset_.node().position());
-  return phy::received_power(ap_.node(), headset_.node(), paths,
+      paths_view(ap_.node().position(), headset_.node().position());
+  return phy::received_power(ap_.node(), headset_.node(), *paths,
                              config_.link);
 }
 
@@ -102,10 +111,10 @@ phy::LinkConfig Scene::hop_config(rf::Decibels loss) const {
 
 rf::DbmPower Scene::reflector_input(const MovrReflector& reflector) const {
   const auto paths =
-      paths_between(ap_.node().position(), reflector.position());
+      paths_view(ap_.node().position(), reflector.position());
   const auto& rx_array = reflector.front_end().rx_array();
   return hop_power(
-      ap_.node().tx_power(), paths,
+      ap_.node().tx_power(), *paths,
       [&](double az) { return ap_.node().response_toward(az); },
       [&](double az) {
         return phy::array_response(rx_array, reflector.to_local(az));
@@ -120,10 +129,10 @@ Scene::ViaResult Scene::via_snr(const MovrReflector& reflector) const {
   result.usable = result.front_end.stable && !result.front_end.saturated;
 
   const auto paths =
-      paths_between(reflector.position(), headset_.node().position());
+      paths_view(reflector.position(), headset_.node().position());
   const auto& tx_array = reflector.front_end().tx_array();
   const rf::DbmPower relayed = hop_power(
-      result.front_end.output, paths,
+      result.front_end.output, *paths,
       [&](double az) {
         return phy::array_response(tx_array, reflector.to_local(az));
       },
@@ -164,10 +173,10 @@ rf::DbmPower Scene::backscatter_at_ap(const MovrReflector& reflector) const {
     return rf::DbmPower{};  // nothing at f1+f2
   }
   const auto paths =
-      paths_between(reflector.position(), ap_.node().position());
+      paths_view(reflector.position(), ap_.node().position());
   const auto& tx_array = reflector.front_end().tx_array();
   return hop_power(
-      state.sideband_output, paths,
+      state.sideband_output, *paths,
       [&](double az) {
         return phy::array_response(tx_array, reflector.to_local(az));
       },

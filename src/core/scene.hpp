@@ -69,6 +69,16 @@ class Scene {
   /// immediately.
   std::vector<channel::Path> paths_between(geom::Vec2 a, geom::Vec2 b) const;
 
+  /// Borrowed view of the same answer — no path copying on a warm cache
+  /// hit. All of the scene's own physics queries go through this.
+  ChannelOracle::PathsView paths_view(geom::Vec2 a, geom::Vec2 b) const;
+
+  /// Warms the oracle for a whole sweep of endpoint pairs in one batched
+  /// query (single lock acquisition, one batched solve for the misses).
+  /// Callers that are about to evaluate a grid row or a codebook sweep
+  /// prefetch first, then every per-cell physics query is a warm hit.
+  void prefetch_paths(const channel::EndpointBatch& batch) const;
+
   /// The oracle serving paths_between (rebinding it to this scene's room
   /// first if the scene was moved since the last query). Exposes the
   /// precomputed PathSolver and the query/hit/invalidation counters.
@@ -126,6 +136,10 @@ class Scene {
   HeadsetRadio headset_;
   Config config_;
   std::vector<std::unique_ptr<MovrReflector>> reflectors_;
+  /// Scratch for prefetch_paths. A Scene is single-threaded by contract
+  /// (parallel evaluators clone one per worker); the oracle underneath is
+  /// the synchronized layer.
+  mutable std::vector<ChannelOracle::PathsView> prefetch_scratch_;
 
   phy::LinkConfig hop_config(rf::Decibels loss) const;
 };

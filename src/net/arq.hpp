@@ -14,9 +14,9 @@
 // the display anyway and the air is better spent on the next frame.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include <net/frame.hpp>
 
@@ -76,7 +76,8 @@ class Arq {
   /// further retransmissions will be granted for it.
   void abandon_frame(std::uint64_t frame_id);
   bool is_abandoned(std::uint64_t frame_id) const {
-    return abandoned_.contains(frame_id);
+    const FrameCtl* ctl = find(frame_id);
+    return ctl != nullptr && ctl->abandoned;
   }
 
   /// Overrides `max_retx_per_frame` for one frame. The redundancy
@@ -92,16 +93,44 @@ class Arq {
   void forget_frame(std::uint64_t frame_id);
 
   /// Back to a freshly constructed state (same config), for reuse across
-  /// back-to-back sessions.
+  /// back-to-back sessions. Keeps the frame table's capacity.
   void reset();
 
+  /// Bytes of backing storage currently owned (frame-table capacity).
+  std::size_t arena_bytes() const {
+    return frames_.capacity() * sizeof(FrameCtl);
+  }
+
  private:
+  /// All per-frame bookkeeping in one flat record. Frame ids are dense and
+  /// monotone, the working set is a handful of in-flight frames, so a
+  /// linear-scanned vector beats three hash tables — and, crucially, never
+  /// allocates in steady state (node-based containers allocate per insert).
+  struct FrameCtl {
+    std::uint64_t frame_id{0};
+    int retx_used{0};
+    int budget_override{0};
+    bool has_override{false};
+    bool abandoned{false};
+  };
+
+  /// Entries this far behind the newest frame id are dead: every
+  /// transmission of a frame resolves within a few frame intervals
+  /// (deadline ~1 interval, ack_delay microseconds), so nothing can touch a
+  /// frame 64 ids old. Pruning keeps the table O(window), not O(session).
+  static constexpr std::uint64_t kPruneWindow = 64;
+
+  const FrameCtl* find(std::uint64_t frame_id) const;
+  FrameCtl* find(std::uint64_t frame_id);
+  /// Finds or appends the frame's record, advancing the prune frontier.
+  FrameCtl& touch(std::uint64_t frame_id);
+  void prune();
+
   Config config_;
   Counters counters_;
   int outstanding_{0};
-  std::unordered_map<std::uint64_t, int> retx_used_;
-  std::unordered_map<std::uint64_t, int> budget_override_;
-  std::unordered_set<std::uint64_t> abandoned_;
+  std::vector<FrameCtl> frames_;
+  std::uint64_t frontier_{0};  // highest frame id seen
 };
 
 }  // namespace movr::net

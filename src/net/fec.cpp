@@ -30,12 +30,12 @@ void FecEncoder::protect(std::vector<Packet>& packets, FecParams params) {
   }
   ++counters_.frames_protected;
 
-  std::vector<std::uint32_t> parity_bytes(groups, 0);
+  parity_scratch_.assign(groups, 0);
   for (Packet& p : packets) {
     p.fec_groups = groups;
     p.fec_group = p.seq % groups;
-    parity_bytes[p.fec_group] =
-        std::max(parity_bytes[p.fec_group], p.payload_bytes);
+    parity_scratch_[p.fec_group] =
+        std::max(parity_scratch_[p.fec_group], p.payload_bytes);
   }
 
   const Packet model = packets.front();  // copy: push_back below reallocates
@@ -45,7 +45,7 @@ void FecEncoder::protect(std::vector<Packet>& packets, FecParams params) {
     parity.frame_id = model.frame_id;
     parity.seq = n + g;  // past the data range; identified by `parity`
     parity.frame_packets = n;
-    parity.payload_bytes = parity_bytes[g];
+    parity.payload_bytes = parity_scratch_[g];
     parity.capture = model.capture;
     parity.deadline = model.deadline;
     parity.keyframe = model.keyframe;

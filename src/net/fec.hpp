@@ -20,6 +20,7 @@
 // flies, queues, drops and retransmits exactly like a data MPDU.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -62,10 +63,19 @@ class FecEncoder {
                                   std::uint32_t g);
 
   const Counters& counters() const { return counters_; }
+  /// Keeps the per-group scratch capacity (reset is for session reuse).
   void reset() { counters_ = Counters{}; }
+
+  /// Bytes of backing storage currently owned (per-group scratch).
+  std::size_t arena_bytes() const {
+    return parity_scratch_.capacity() * sizeof(std::uint32_t);
+  }
 
  private:
   Counters counters_;
+  /// Per-group max payload size, reused across protect() calls so the
+  /// steady-state tick path never allocates.
+  std::vector<std::uint32_t> parity_scratch_;
 };
 
 }  // namespace movr::net

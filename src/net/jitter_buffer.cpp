@@ -4,6 +4,35 @@
 
 namespace movr::net {
 
+const JitterBuffer::FrameState* JitterBuffer::find(
+    std::uint64_t frame_id) const {
+  const Slot& slot = slots_[frame_id % kSlots];
+  return slot.occupied && slot.frame_id == frame_id ? &slot.state : nullptr;
+}
+
+JitterBuffer::FrameState& JitterBuffer::claim(std::uint64_t frame_id) {
+  Slot& slot = slots_[frame_id % kSlots];
+  if (!slot.occupied || slot.frame_id != frame_id) {
+    // Recycle the slot in place: clear() keeps each vector's capacity, so
+    // a warmed buffer reassembles every new frame without touching the
+    // heap.
+    FrameState& s = slot.state;
+    s.expected = 0;
+    s.received = 0;
+    s.have.clear();
+    s.fec_groups = 0;
+    s.parity_have.clear();
+    s.group_missing.clear();
+    s.capture = sim::TimePoint{};
+    s.completed_at.reset();
+    s.resolved = false;
+    s.released = false;
+    slot.frame_id = frame_id;
+    slot.occupied = true;
+  }
+  return slot.state;
+}
+
 void JitterBuffer::init_frame(FrameState& frame, const Packet& packet) {
   frame.expected = packet.frame_packets;
   frame.have.assign(packet.frame_packets, false);
@@ -53,7 +82,7 @@ void JitterBuffer::check_completed(FrameState& frame, sim::TimePoint now) {
 
 JitterBuffer::Arrival JitterBuffer::on_packet(const Packet& packet,
                                               sim::TimePoint now) {
-  FrameState& frame = frames_[packet.frame_id];
+  FrameState& frame = claim(packet.frame_id);
   if (frame.have.empty()) {
     init_frame(frame, packet);
   }
@@ -96,7 +125,9 @@ JitterBuffer::Arrival JitterBuffer::on_packet(const Packet& packet,
 JitterBuffer::Deadline JitterBuffer::on_deadline(std::uint64_t frame_id,
                                                  sim::TimePoint now) {
   (void)now;
-  FrameState& frame = frames_[frame_id];
+  // A frame none of whose packets ever arrived claims an empty state here,
+  // exactly like the old map's operator[] — it resolves as a miss.
+  FrameState& frame = claim(frame_id);
   if (frame.resolved) {
     return Deadline::kAlreadyResolved;
   }
@@ -118,22 +149,35 @@ JitterBuffer::Deadline JitterBuffer::on_deadline(std::uint64_t frame_id,
 }
 
 bool JitterBuffer::is_complete(std::uint64_t frame_id) const {
-  const auto it = frames_.find(frame_id);
-  return it != frames_.end() && it->second.completed_at.has_value();
+  const FrameState* frame = find(frame_id);
+  return frame != nullptr && frame->completed_at.has_value();
 }
 
 std::optional<sim::Duration> JitterBuffer::completion_latency(
     std::uint64_t frame_id) const {
-  const auto it = frames_.find(frame_id);
-  if (it == frames_.end() || !it->second.completed_at.has_value()) {
+  const FrameState* frame = find(frame_id);
+  if (frame == nullptr || !frame->completed_at.has_value()) {
     return std::nullopt;
   }
-  return *it->second.completed_at - it->second.capture;
+  return *frame->completed_at - frame->capture;
+}
+
+std::size_t JitterBuffer::arena_bytes() const {
+  std::size_t bytes = slots_.capacity() * sizeof(Slot) +
+                      release_log_.capacity() * sizeof(std::uint64_t);
+  for (const Slot& slot : slots_) {
+    bytes += slot.state.have.capacity() / 8 +
+             slot.state.parity_have.capacity() / 8 +
+             slot.state.group_missing.capacity() * sizeof(std::uint32_t);
+  }
+  return bytes;
 }
 
 void JitterBuffer::reset() {
   counters_ = Counters{};
-  frames_.clear();
+  for (Slot& slot : slots_) {
+    slot.occupied = false;  // state storage is recycled on the next claim
+  }
   release_log_.clear();
   any_released_ = false;
   last_released_ = 0;

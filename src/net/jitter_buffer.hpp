@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include <net/frame.hpp>
@@ -79,8 +78,13 @@ class JitterBuffer {
   }
 
   /// Back to a freshly constructed state, for reuse across back-to-back
-  /// sessions (also resets the release-order watermark).
+  /// sessions (also resets the release-order watermark). Keeps every
+  /// slot's backing storage.
   void reset();
+
+  /// Bytes of backing storage currently owned (slot ring + per-slot
+  /// reassembly vectors + release log capacity).
+  std::size_t arena_bytes() const;
 
  private:
   struct FrameState {
@@ -96,13 +100,32 @@ class JitterBuffer {
     bool released{false};
   };
 
+  /// Direct-mapped frame slot: frame ids are dense and monotone, so slot
+  /// `id % kSlots` holds the id's state and an old occupant is simply
+  /// recycled in place (vectors keep their capacity — no allocation).
+  /// kSlots spans ~5.7 s at 90 Hz; every query against this buffer
+  /// (deadline, straggler arrival, finalize's is_complete sweep) concerns
+  /// a frame far younger than that.
+  struct Slot {
+    std::uint64_t frame_id{0};
+    bool occupied{false};
+    FrameState state;
+  };
+  static constexpr std::size_t kSlots = 512;
+
+  /// Resident state for `frame_id`, nullptr when its slot holds another
+  /// (always much older) frame or nothing.
+  const FrameState* find(std::uint64_t frame_id) const;
+  /// Slot for `frame_id`, evicting and recycling any older occupant.
+  FrameState& claim(std::uint64_t frame_id);
+
   void init_frame(FrameState& frame, const Packet& packet);
   std::optional<std::uint32_t> try_recover(FrameState& frame,
                                            std::uint32_t group);
   void check_completed(FrameState& frame, sim::TimePoint now);
 
   Counters counters_;
-  std::unordered_map<std::uint64_t, FrameState> frames_;
+  std::vector<Slot> slots_{kSlots};
   std::vector<std::uint64_t> release_log_;
   bool any_released_{false};
   std::uint64_t last_released_{0};

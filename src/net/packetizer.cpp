@@ -16,12 +16,19 @@ std::uint32_t Packetizer::mpdu_bytes_for(const phy::McsEntry& mcs) const {
 
 std::vector<Packet> Packetizer::split(const Frame& frame,
                                       const phy::McsEntry& mcs) const {
+  std::vector<Packet> packets;
+  split_into(frame, mcs, packets);
+  return packets;
+}
+
+void Packetizer::split_into(const Frame& frame, const phy::McsEntry& mcs,
+                            std::vector<Packet>& out) const {
   const std::uint64_t mpdu = mpdu_bytes_for(mcs);
   const std::uint64_t count = std::max<std::uint64_t>(
       1, (frame.bytes + mpdu - 1) / mpdu);
 
-  std::vector<Packet> packets;
-  packets.reserve(count);
+  out.clear();
+  out.reserve(count);
   std::uint64_t remaining = frame.bytes;
   for (std::uint64_t seq = 0; seq < count; ++seq) {
     Packet p;
@@ -32,10 +39,9 @@ std::vector<Packet> Packetizer::split(const Frame& frame,
     p.capture = frame.capture;
     p.deadline = frame.deadline;
     p.keyframe = frame.keyframe;
-    packets.push_back(p);
+    out.push_back(p);
     remaining -= p.payload_bytes;
   }
-  return packets;
 }
 
 }  // namespace movr::net

@@ -38,6 +38,11 @@ class Packetizer {
   /// frame size; every packet carries the frame's deadline.
   std::vector<Packet> split(const Frame& frame, const phy::McsEntry& mcs) const;
 
+  /// Same split into a caller-owned buffer (cleared first): the transport's
+  /// tick path reuses one scratch vector instead of allocating per frame.
+  void split_into(const Frame& frame, const phy::McsEntry& mcs,
+                  std::vector<Packet>& out) const;
+
  private:
   Config config_;
 };

@@ -88,6 +88,12 @@ struct TransportMetrics {
   std::size_t queue_max_depth_frames{0};
   std::uint64_t queue_max_depth_bytes{0};
 
+  /// Backing storage owned by the transport's pools, rings and scratch
+  /// buffers at session end (bytes). Monotone across back-to-back sessions
+  /// on one transport: once warmed, the steady-state tick path allocates
+  /// nothing, so this is the arena's high-water mark.
+  std::size_t arena_high_water_bytes{0};
+
   /// End-to-end latency of completed frames; frames that never completed
   /// count as +infinity in the percentiles below.
   LatencyHistogram histogram;

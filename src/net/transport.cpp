@@ -10,7 +10,7 @@ namespace movr::net {
 
 namespace {
 
-double percentile_ms(std::vector<double> sorted, double q) {
+double percentile_ms(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) {
     return 0.0;
   }
@@ -82,7 +82,7 @@ void Transport::on_frame(ChannelState channel) {
   // most robust MCS — the queue holds the frame either way.
   const phy::McsEntry& sizing_mcs =
       channel_.mcs != nullptr ? *channel_.mcs : phy::mcs_table().front();
-  std::vector<Packet> packets = packetizer_.split(frame, sizing_mcs);
+  packetizer_.split_into(frame, sizing_mcs, packet_scratch_);
 
   FecParams fec = config_.fec;
   if (config_.adaptive_fec) {
@@ -90,20 +90,20 @@ void Transport::on_frame(ChannelState channel) {
     fec = controller_.plan(frame.keyframe);
     arq_.set_frame_budget(frame.id, controller_.retx_budget(frame.keyframe));
   }
-  fec_.protect(packets, fec);
+  fec_.protect(packet_scratch_, fec);
 
-  std::vector<std::uint64_t> shed;
-  queue_.push(packets, shed);
-  for (const std::uint64_t id : shed) {
+  shed_scratch_.clear();
+  queue_.push(packet_scratch_, shed_scratch_);
+  for (const std::uint64_t id : shed_scratch_) {
     drop_frame(id, FrameOutcome::Kind::kDroppedQueue);
   }
   pump();
 }
 
 void Transport::pump() {
-  std::vector<std::uint64_t> stale;
-  queue_.drop_stale(simulator_.now(), stale);
-  for (const std::uint64_t id : stale) {
+  stale_scratch_.clear();
+  queue_.drop_stale(simulator_.now(), stale_scratch_);
+  for (const std::uint64_t id : stale_scratch_) {
     drop_frame(id, FrameOutcome::Kind::kDroppedQueue);
   }
 
@@ -132,7 +132,7 @@ void Transport::pump() {
     if (!already_delivered) {
       --retx_undelivered_;
     }
-    retx_.pop_front();
+    retx_.erase(retx_.begin());
     is_retransmit = true;
   } else if (queue_.front() != nullptr) {
     packet = queue_.pop();
@@ -192,7 +192,7 @@ void Transport::on_data_done(const Packet& packet, double loss, bool counted,
       // parity: consume the pending recovery credit. A missing credit means
       // drop_frame wrote it off while this copy was on air — the late
       // duplicate lands in the dropped bucket (dropped wins).
-      if (recovered_.erase({packet.frame_id, packet.seq}) > 0) {
+      if (recovered_take(packet.frame_id, packet.seq)) {
         ++recovered_credited_;
       } else {
         ++late_dup_drops_;
@@ -252,7 +252,21 @@ void Transport::on_recovered(std::uint64_t frame_id, std::uint32_t seq) {
       return;
     }
   }
-  recovered_.insert({frame_id, seq});
+  const std::pair<std::uint64_t, std::uint32_t> key{frame_id, seq};
+  const auto it = std::lower_bound(recovered_.begin(), recovered_.end(), key);
+  if (it == recovered_.end() || *it != key) {
+    recovered_.insert(it, key);
+  }
+}
+
+bool Transport::recovered_take(std::uint64_t frame_id, std::uint32_t seq) {
+  const std::pair<std::uint64_t, std::uint32_t> key{frame_id, seq};
+  const auto it = std::lower_bound(recovered_.begin(), recovered_.end(), key);
+  if (it == recovered_.end() || *it != key) {
+    return false;
+  }
+  recovered_.erase(it);
+  return true;
 }
 
 void Transport::on_ack(const Packet& packet, bool data_lost, bool ack_lost,
@@ -271,7 +285,7 @@ void Transport::on_ack(const Packet& packet, bool data_lost, bool ack_lost,
     return;
   }
   if (data_lost && counted && !packet.parity &&
-      recovered_.erase({packet.frame_id, packet.seq}) > 0) {
+      recovered_take(packet.frame_id, packet.seq)) {
     // The MPDU was lost on air, but the receiver rebuilt it from parity in
     // the meantime and its block-ack advertises the recovery — no
     // retransmission needed; consume the credit instead.
@@ -325,8 +339,12 @@ void Transport::drop_frame(std::uint64_t frame_id, FrameOutcome::Kind kind) {
   arq_.abandon_frame(frame_id);
   // Pending recovery credits for this frame are written off: the physical
   // copies land in the dropped bucket, which wins over recovery.
-  recovered_.erase(recovered_.lower_bound({frame_id, 0}),
-                   recovered_.lower_bound({frame_id + 1, 0}));
+  recovered_.erase(
+      std::lower_bound(recovered_.begin(), recovered_.end(),
+                       std::pair<std::uint64_t, std::uint32_t>{frame_id, 0}),
+      std::lower_bound(
+          recovered_.begin(), recovered_.end(),
+          std::pair<std::uint64_t, std::uint32_t>{frame_id + 1, 0}));
   FrameOutcome& outcome = outcomes_[frame_id];
   if (outcome.kind == FrameOutcome::Kind::kPending ||
       outcome.kind == FrameOutcome::Kind::kMiss) {
@@ -383,7 +401,8 @@ void Transport::finalize(sim::TimePoint end) {
   metrics_ = TransportMetrics{};
   metrics_.frames_emitted = outcomes_.size();
 
-  std::vector<double> latencies;
+  std::vector<double>& latencies = latency_scratch_;
+  latencies.clear();
   latencies.reserve(outcomes_.size());
   for (FrameOutcome& outcome : outcomes_) {
     if (outcome.kind == FrameOutcome::Kind::kPending) {
@@ -451,6 +470,19 @@ void Transport::finalize(sim::TimePoint end) {
   metrics_.fec_loss_estimate = controller_.loss_estimate();
   metrics_.fec_burst_estimate_mpdus =
       config_.adaptive_fec ? controller_.expected_burst_mpdus() : 0.0;
+  metrics_.arena_high_water_bytes = arena_bytes();
+}
+
+std::size_t Transport::arena_bytes() const {
+  return queue_.arena_bytes() + arq_.arena_bytes() + jitter_.arena_bytes() +
+         fec_.arena_bytes() + retx_.capacity() * sizeof(RetxEntry) +
+         recovered_.capacity() *
+             sizeof(std::pair<std::uint64_t, std::uint32_t>) +
+         outcomes_.capacity() * sizeof(FrameOutcome) +
+         packet_scratch_.capacity() * sizeof(Packet) +
+         shed_scratch_.capacity() * sizeof(std::uint64_t) +
+         stale_scratch_.capacity() * sizeof(std::uint64_t) +
+         latency_scratch_.capacity() * sizeof(double);
 }
 
 void Transport::reset() {

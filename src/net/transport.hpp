@@ -21,9 +21,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <random>
-#include <set>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -173,8 +171,15 @@ class Transport {
   /// Back to a freshly constructed state (same config, reseeded RNG
   /// streams), so one Transport can run back-to-back sessions. Only valid
   /// between sessions: the event queue must be drained first (pending
-  /// transport events would act on the cleared state).
+  /// transport events would act on the cleared state). Every pool and
+  /// scratch buffer keeps its capacity, so a warmed transport's second
+  /// session runs without heap allocation.
   void reset();
+
+  /// Bytes of backing storage the transport and its subsystems currently
+  /// own (rings, frame tables, scratch buffers) — the steady-state arena.
+  /// Monotone within a session; reset() keeps it.
+  std::size_t arena_bytes() const;
 
  private:
   struct RetxEntry {
@@ -220,7 +225,11 @@ class Transport {
 
   ChannelState channel_{};
   bool air_busy_{false};
-  std::deque<RetxEntry> retx_;
+  /// Retransmit line, FIFO. A flat vector: the line is bounded by the ARQ
+  /// window plus the few holes FEC-first briefly parks, so erase-at-front
+  /// moves a handful of entries and never allocates (a deque allocates and
+  /// frees blocks as it shifts).
+  std::vector<RetxEntry> retx_;
   std::size_t retx_undelivered_{0};
   /// Transmissions outstanding (sent, unresolved) whose packet has not yet
   /// reached the receiver.
@@ -237,7 +246,10 @@ class Transport {
   /// Data packets the receiver rebuilt from parity whose ledger credit is
   /// still pending (the physical copy is queued / on air / unresolved).
   /// Keyed by (frame, seq); erased when credited or when the frame drops.
-  std::set<std::pair<std::uint64_t, std::uint32_t>> recovered_;
+  /// A sorted flat vector: a few entries at most, and unlike a node-based
+  /// set it never allocates once warmed.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> recovered_;
+  bool recovered_take(std::uint64_t frame_id, std::uint32_t seq);
   /// Recovered packets whose counted copy was consumed — the ledger's
   /// recovered-as-delivered bucket.
   std::uint64_t recovered_credited_{0};
@@ -251,6 +263,14 @@ class Transport {
 
   std::vector<FrameOutcome> outcomes_;
   TransportMetrics metrics_;
+
+  // Tick-path scratch, reused every call so the steady state never touches
+  // the heap. Each is filled and consumed within one event handler; pump()
+  // is never re-entered (handlers run to completion on the event queue).
+  std::vector<Packet> packet_scratch_;         // on_frame: packetize + FEC
+  std::vector<std::uint64_t> shed_scratch_;    // on_frame: queue overflow
+  std::vector<std::uint64_t> stale_scratch_;   // pump: head-of-line drops
+  std::vector<double> latency_scratch_;        // finalize: percentiles
 };
 
 }  // namespace movr::net

@@ -8,10 +8,10 @@ std::size_t TxQueue::depth_frames() const {
   std::size_t frames = 0;
   std::uint64_t last_id = 0;
   bool first = true;
-  for (const Packet& p : queue_) {
-    if (first || p.frame_id != last_id) {
+  for (std::size_t i = head_; i < queue_.size(); ++i) {
+    if (first || queue_[i].frame_id != last_id) {
       ++frames;
-      last_id = p.frame_id;
+      last_id = queue_[i].frame_id;
       first = false;
     }
   }
@@ -20,26 +20,40 @@ std::size_t TxQueue::depth_frames() const {
 
 void TxQueue::note_depth() {
   counters_.max_depth_packets =
-      std::max(counters_.max_depth_packets, queue_.size());
+      std::max(counters_.max_depth_packets, depth_packets());
   counters_.max_depth_frames =
       std::max(counters_.max_depth_frames, depth_frames());
   counters_.max_depth_bytes = std::max(counters_.max_depth_bytes, bytes_);
 }
 
+void TxQueue::maybe_compact() {
+  if (head_ == queue_.size()) {
+    queue_.clear();
+    head_ = 0;
+  } else if (head_ >= 32 && head_ * 2 >= queue_.size()) {
+    // Amortized O(1) per pop: moves elements within the ring's existing
+    // storage, never allocates.
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
 void TxQueue::erase_head_frame(std::uint64_t frame_id, std::uint64_t& frames,
                                std::uint64_t& packets) {
   ++frames;
-  while (!queue_.empty() && queue_.front().frame_id == frame_id) {
-    bytes_ -= queue_.front().payload_bytes;
-    queue_.pop_front();
+  while (head_ < queue_.size() && queue_[head_].frame_id == frame_id) {
+    bytes_ -= queue_[head_].payload_bytes;
+    ++head_;
     ++packets;
   }
+  maybe_compact();
 }
 
 void TxQueue::push(const std::vector<Packet>& frame,
                    std::vector<std::uint64_t>& dropped) {
-  while (!queue_.empty() && depth_frames() >= config_.max_frames) {
-    const std::uint64_t victim = queue_.front().frame_id;
+  while (!empty() && depth_frames() >= config_.max_frames) {
+    const std::uint64_t victim = queue_[head_].frame_id;
     erase_head_frame(victim, counters_.frames_dropped_full,
                      counters_.packets_dropped_full);
     dropped.push_back(victim);
@@ -55,8 +69,8 @@ void TxQueue::push(const std::vector<Packet>& frame,
 
 void TxQueue::drop_stale(sim::TimePoint now,
                          std::vector<std::uint64_t>& dropped) {
-  while (!queue_.empty() && queue_.front().deadline <= now) {
-    const std::uint64_t victim = queue_.front().frame_id;
+  while (!empty() && queue_[head_].deadline <= now) {
+    const std::uint64_t victim = queue_[head_].frame_id;
     erase_head_frame(victim, counters_.frames_dropped_stale,
                      counters_.packets_dropped_stale);
     dropped.push_back(victim);
@@ -64,28 +78,34 @@ void TxQueue::drop_stale(sim::TimePoint now,
 }
 
 const Packet* TxQueue::front() const {
-  return queue_.empty() ? nullptr : &queue_.front();
+  return empty() ? nullptr : &queue_[head_];
 }
 
 Packet TxQueue::pop() {
-  Packet p = queue_.front();
-  queue_.pop_front();
+  Packet p = queue_[head_];
+  ++head_;
   bytes_ -= p.payload_bytes;
   ++counters_.packets_dequeued;
+  maybe_compact();
   return p;
 }
 
 std::size_t TxQueue::purge_frame(std::uint64_t frame_id) {
   std::size_t purged = 0;
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    if (it->frame_id == frame_id) {
-      bytes_ -= it->payload_bytes;
-      it = queue_.erase(it);
+  std::size_t write = head_;
+  for (std::size_t read = head_; read < queue_.size(); ++read) {
+    if (queue_[read].frame_id == frame_id) {
+      bytes_ -= queue_[read].payload_bytes;
       ++purged;
     } else {
-      ++it;
+      if (write != read) {
+        queue_[write] = queue_[read];
+      }
+      ++write;
     }
   }
+  queue_.resize(write);
+  maybe_compact();
   counters_.packets_purged += purged;
   return purged;
 }
@@ -93,6 +113,7 @@ std::size_t TxQueue::purge_frame(std::uint64_t frame_id) {
 void TxQueue::reset() {
   counters_ = Counters{};
   queue_.clear();
+  head_ = 0;
   bytes_ = 0;
 }
 

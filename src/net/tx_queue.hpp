@@ -9,8 +9,8 @@
 // can distinguish "link too slow" from "link lossy".
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include <net/frame.hpp>
@@ -67,23 +67,32 @@ class TxQueue {
   /// Returns how many packets were purged.
   std::size_t purge_frame(std::uint64_t frame_id);
 
-  std::size_t depth_packets() const { return queue_.size(); }
+  std::size_t depth_packets() const { return queue_.size() - head_; }
   std::size_t depth_frames() const;
   std::uint64_t depth_bytes() const { return bytes_; }
-  bool empty() const { return queue_.empty(); }
+  bool empty() const { return head_ == queue_.size(); }
+
+  /// Bytes of backing storage currently owned (ring capacity) — the
+  /// queue's share of the transport's steady-state arena.
+  std::size_t arena_bytes() const { return queue_.capacity() * sizeof(Packet); }
 
   /// Back to a freshly constructed state (same config), for reuse across
-  /// back-to-back sessions.
+  /// back-to-back sessions. Keeps the ring's capacity.
   void reset();
 
  private:
   void note_depth();
   void erase_head_frame(std::uint64_t frame_id, std::uint64_t& frames,
                         std::uint64_t& packets);
+  void maybe_compact();
 
   Config config_;
   Counters counters_;
-  std::deque<Packet> queue_;
+  /// Flat ring: live packets are [head_, queue_.size()). Popping advances
+  /// head_; the dead prefix is compacted amortizedly (element moves, never
+  /// an allocation), so the steady-state tick path never touches the heap.
+  std::vector<Packet> queue_;
+  std::size_t head_{0};
   std::uint64_t bytes_{0};
 };
 

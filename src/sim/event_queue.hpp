@@ -6,17 +6,20 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include <sim/inplace_function.hpp>
 #include <sim/time.hpp>
 
 namespace movr::sim {
 
 class EventQueue {
  public:
-  using Handler = std::function<void()>;
+  /// Handlers are stored inline (no heap allocation per event). Captures
+  /// must fit the fixed buffer — a compile error here means a lambda grew
+  /// past the budget; shrink the capture or box it explicitly.
+  using Handler = InplaceFunction<void(), 152>;
 
   /// Identifies a scheduled event so it can be cancelled.
   using EventId = std::uint64_t;

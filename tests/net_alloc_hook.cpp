@@ -1,0 +1,95 @@
+// Global operator new/delete replacement for the net test binary — see
+// net_alloc_hook.hpp. Counting is off by default, so the hook is inert for
+// every other test in the binary; the sanitizers still see every underlying
+// malloc/free.
+#include "net_alloc_hook.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace movr::testing {
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_count{0};
+
+void note_alloc() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* checked_alloc(std::size_t size) {
+  note_alloc();
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) {
+    throw std::bad_alloc{};
+  }
+  return p;
+}
+
+void* checked_aligned_alloc(std::size_t size, std::size_t alignment) {
+  note_alloc();
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded);
+  if (p == nullptr) {
+    throw std::bad_alloc{};
+  }
+  return p;
+}
+
+}  // namespace
+
+void alloc_counter_start() {
+  g_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t alloc_counter_stop() {
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace movr::testing
+
+void* operator new(std::size_t size) { return movr::testing::checked_alloc(size); }
+void* operator new[](std::size_t size) {
+  return movr::testing::checked_alloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  movr::testing::note_alloc();
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  movr::testing::note_alloc();
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t al) {
+  return movr::testing::checked_aligned_alloc(
+      size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return movr::testing::checked_aligned_alloc(
+      size, static_cast<std::size_t>(al));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,34 @@
+// Allocation-counting hook for the net test binary.
+//
+// tests/net_alloc_hook.cpp replaces the global operator new/delete for the
+// binary it is linked into and counts allocations while armed. The
+// zero-allocation regression tests (net_alloc_regression_test.cpp) arm the
+// counter around a warmed steady-state window and assert it stays at zero —
+// the enforcement teeth behind the "no heap in the 90 Hz tick path"
+// contract (DESIGN.md §11).
+#pragma once
+
+#include <cstdint>
+
+namespace movr::testing {
+
+/// Zeroes the counter and starts counting operator-new calls.
+void alloc_counter_start();
+
+/// Stops counting and returns the number of allocations observed since
+/// alloc_counter_start().
+std::uint64_t alloc_counter_stop();
+
+/// RAII armer: counts allocations over a scope.
+class AllocCounterScope {
+ public:
+  AllocCounterScope() { alloc_counter_start(); }
+  ~AllocCounterScope() { alloc_counter_stop(); }
+  AllocCounterScope(const AllocCounterScope&) = delete;
+  AllocCounterScope& operator=(const AllocCounterScope&) = delete;
+
+  /// Allocations observed so far (also stops counting).
+  std::uint64_t stop() { return alloc_counter_stop(); }
+};
+
+}  // namespace movr::testing

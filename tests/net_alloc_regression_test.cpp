@@ -1,0 +1,165 @@
+// Zero-allocation regression tests — the enforcement teeth of DESIGN.md §11.
+//
+// Strategy: run a full warmup session to grow every pool, ring and scratch
+// buffer to its steady-state capacity, then reset() the transport (which
+// reseeds the RNG streams, so the second session replays the exact same
+// trajectory) and replay with the operator-new counter armed around the
+// tick loop. Because the replay is bit-identical, the warmed capacities are
+// exactly sufficient — a single allocation is a regression, not noise.
+//
+// The armed window covers the 90 Hz steady state only: on_frame(), the
+// event cascade run_until() drives (air, acks, deadlines, FEC recovery,
+// retransmissions), and the batched oracle query path. finalize()/reset()
+// are deliberately outside the window — building a metrics histogram
+// between sessions may allocate; the per-tick path may not.
+#include "net_alloc_hook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include <channel/path_batch.hpp>
+#include <channel/path_solver.hpp>
+#include <core/channel_oracle.hpp>
+#include <net/transport.hpp>
+#include <phy/mcs.hpp>
+#include <sim/simulator.hpp>
+
+namespace movr::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr int kTicks = 200;
+
+TEST(NetAllocRegression, HookCountsAllocations) {
+  // Self-test: the interposer must actually be the binary's operator new
+  // (also under ASan, whose malloc sits underneath it) — otherwise every
+  // zero-allocation assertion below would pass vacuously.
+  // (A paired new/delete in one function may legally be elided by the
+  // optimizer; the vector's heap buffer cannot be.)
+  testing::alloc_counter_start();
+  std::vector<int>* v = new std::vector<int>(64);
+  const std::uint64_t allocs = testing::alloc_counter_stop();
+  delete v;
+  EXPECT_GE(allocs, 1u) << "operator-new hook is not interposing";
+}
+
+TransportConfig steady_config() {
+  TransportConfig config;
+  config.source.fps = 90.0;
+  config.source.target_mbps = 2000.0;
+  config.source.latency_budget = 10ms;
+  config.source.seed = 12;
+  config.seed = 34;
+  // Static FEC so the parity, recovery and retransmission machinery all run
+  // inside the measured window.
+  config.fec.k = 4;
+  config.fec.depth = 2;
+  return config;
+}
+
+/// Drives one session of `kTicks` frames under a fixed lossy channel.
+/// Deterministic by construction: the channel schedule is constant and the
+/// transport's RNG streams are reseeded by reset(), so every session is an
+/// exact replay of the first.
+void run_session(sim::Simulator& simulator, Transport& transport,
+                 sim::TimePoint base) {
+  const sim::Duration interval = sim::from_seconds(1.0 / 90.0);
+  ChannelState channel;
+  channel.mcs = &phy::mcs_table()[phy::mcs_table().size() / 2];
+  channel.packet_loss = 0.12;
+  for (int t = 0; t < kTicks; ++t) {
+    simulator.run_until(base + interval * t);
+    transport.on_frame(channel);
+  }
+}
+
+TEST(NetAllocRegression, SteadyStateTransportTickIsHeapFree) {
+  sim::Simulator simulator;
+  Transport transport{simulator, steady_config()};
+
+  // Session 1: warm every pool to steady-state capacity, then drain the
+  // event queue (reset() requires it) and rewind to a fresh session.
+  run_session(simulator, transport, sim::TimePoint{});
+  simulator.run();
+  ASSERT_EQ(simulator.pending_events(), 0u);
+  transport.finalize(simulator.now());
+  ASSERT_TRUE(transport.metrics().conserved());
+  const std::size_t warmed_arena = transport.arena_bytes();
+  transport.reset();
+
+  // Session 2: exact replay with the allocation counter armed. No EXPECTs
+  // inside the window — gtest assertions allocate.
+  const sim::TimePoint base = simulator.now();
+  testing::alloc_counter_start();
+  run_session(simulator, transport, base);
+  const std::uint64_t allocs = testing::alloc_counter_stop();
+  EXPECT_EQ(allocs, 0u)
+      << "steady-state transport ticks touched the heap " << allocs
+      << " time(s); some pool or scratch buffer lost its capacity";
+
+  // The replay fits the warmed arena exactly — no pool grew.
+  simulator.run();
+  transport.finalize(simulator.now());
+  EXPECT_TRUE(transport.metrics().conserved());
+  EXPECT_EQ(transport.arena_bytes(), warmed_arena)
+      << "replayed session grew a pool that session 1 should have warmed";
+  EXPECT_EQ(transport.metrics().arena_high_water_bytes, warmed_arena);
+}
+
+TEST(NetAllocRegression, WarmedOracleQueryBatchIsHeapFree) {
+  const channel::Room room = channel::Room::paper_office();
+  const core::ChannelOracle oracle{room};
+
+  channel::EndpointBatch batch;
+  const geom::Vec2 ap{0.5, 0.5};
+  for (double y = 0.4; y < room.depth() - 0.4; y += 0.5) {
+    for (double x = 0.4; x < room.width() - 0.4; x += 0.5) {
+      batch.push(ap, {x, y});
+    }
+  }
+  ASSERT_GT(batch.size(), 50u);
+
+  // Cold call: fills the cache and sizes every scratch vector.
+  std::vector<core::ChannelOracle::PathsView> views;
+  oracle.query_batch(batch, views);
+  const auto cold = oracle.stats();
+  ASSERT_EQ(cold.misses, batch.size());
+
+  // Warm call over the same endpoints: pure cache hits through borrowed
+  // views — must not allocate.
+  testing::alloc_counter_start();
+  oracle.query_batch(batch, views);
+  const std::uint64_t allocs = testing::alloc_counter_stop();
+  EXPECT_EQ(allocs, 0u) << "warmed query_batch touched the heap " << allocs
+                        << " time(s)";
+  const auto warm = oracle.stats();
+  EXPECT_EQ(warm.hits, cold.hits + batch.size());
+  EXPECT_EQ(warm.misses, cold.misses);
+}
+
+TEST(NetAllocRegression, WarmedSolveBatchIsHeapFree) {
+  // The SoA kernel itself (no cache in front): once the output batch and
+  // workspace are warmed, re-solving the same endpoints is allocation-free.
+  const channel::Room room = channel::Room::paper_office();
+  const channel::PathSolver solver{room};
+
+  channel::EndpointBatch endpoints;
+  for (int i = 0; i < 64; ++i) {
+    endpoints.push({0.3 + 0.09 * i, 0.6}, {6.5, 4.2});
+  }
+  channel::PathBatch batch;
+  channel::PathSolver::BatchWorkspace ws;
+  solver.solve_batch(endpoints, batch, ws);
+
+  testing::alloc_counter_start();
+  solver.solve_batch(endpoints, batch, ws);
+  const std::uint64_t allocs = testing::alloc_counter_stop();
+  EXPECT_EQ(allocs, 0u) << "warmed solve_batch touched the heap " << allocs
+                        << " time(s)";
+  EXPECT_EQ(batch.queries(), endpoints.size());
+}
+
+}  // namespace
+}  // namespace movr::net
