@@ -1,0 +1,611 @@
+// Multi-user arena: shared-spectrum coordination under reflector scarcity.
+//
+// The acceptance harness for src/arena/ (DESIGN.md §12). Each seed builds
+// one shared world: an 8x8 m room with four corner APs and three
+// wall-mounted reflectors; N users attach round-robin to the APs, wander
+// their own quadrant, raise hands on staggered periods, and share two
+// diagonal person-crossings that black out several users' direct paths at
+// once — the reflector demand spike the arbitration exists for. The world
+// is a pure function of (seed, user index); the two arms differ only in
+// the arbiter policy:
+//
+//   arbitration  priority aging: leases expire, waiters age, aged waiters
+//                revoke expired leases (starvation-free time sharing)
+//   fcfs         first committer keeps the reflector until it releases
+//
+// Sweeps 2 -> 32 users, every (users, arm, seed) configuration an
+// independent job run clone-per-worker via core::parallel_for — results
+// are bit-deterministic regardless of thread count.
+//
+// Gates (aggregated across seeds):
+//   - at 16 users, arbitration beats FCFS on the p95 per-user glitched
+//     frame fraction (the unlucky-user tail is what arbitration buys)
+//   - a 1-user arena is bit-identical to the standalone vr::Session built
+//     from the same seed (arena::qoe_fingerprint equality)
+//   - every user's per-20 ms packet-ledger audit passes at every check,
+//     at every user count, in both arms
+//   - the contention machinery actually engaged at 16+ users (denials and
+//     revocations nonzero under arbitration — otherwise the comparison
+//     is vacuous)
+//
+// Usage: arena [--users LIST] [--seeds N] [--seed S] [--duration SECONDS]
+//              [--threads N] [--json PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <arena/coordinator.hpp>
+#include <core/parallel_for.hpp>
+#include <sim/rng.hpp>
+#include <vr/session.hpp>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace movr;
+using geom::deg_to_rad;
+
+enum class Arm { kArbitration, kFcfs };
+constexpr const char* kArmNames[] = {"arbitration", "fcfs"};
+constexpr int kArms = 2;
+
+constexpr geom::Vec2 kApPositions[4] = {
+    {0.4, 0.4}, {7.6, 0.4}, {7.6, 7.6}, {0.4, 7.6}};
+constexpr double kApOrientationsDeg[4] = {45.0, 135.0, 225.0, 315.0};
+constexpr geom::Vec2 kCenter{4.0, 4.0};
+
+double uniform(std::mt19937_64& g, double lo, double hi) {
+  return std::uniform_real_distribution<double>{lo, hi}(g);
+}
+
+/// The shared room: 8x8 m, empty floor (blockage comes from the scripts),
+/// one reflector at each wall midpoint facing into the room — every
+/// quadrant has usable via geometry, so a granted lease is actual relief
+/// and the arms differ by allocation policy, not by which quadrant got
+/// lucky. The AP/headset here are prototypes — the coordinator moves each
+/// user's clone's AP to its corner and the motion factory places the
+/// headset.
+core::Scene arena_scene() {
+  channel::Room room{8.0, 8.0};
+  core::ApRadio ap{kApPositions[0], deg_to_rad(kApOrientationsDeg[0])};
+  core::HeadsetRadio headset{kCenter, 0.0};
+  core::Scene scene{std::move(room), std::move(ap), std::move(headset)};
+  scene.add_reflector({4.0, 7.7}, deg_to_rad(265.0));
+  scene.add_reflector({7.7, 4.0}, deg_to_rad(175.0));
+  scene.add_reflector({0.3, 4.0}, deg_to_rad(355.0));
+  scene.add_reflector({4.0, 0.3}, deg_to_rad(85.0));
+  return scene;
+}
+
+arena::Coordinator::Config make_config(std::size_t users, Arm arm,
+                                       std::uint64_t seed,
+                                       double duration_s) {
+  arena::Coordinator::Config config;
+  config.users = users;
+  config.seed = seed;
+  config.ap_positions.assign(std::begin(kApPositions),
+                             std::end(kApPositions));
+  for (const double deg : kApOrientationsDeg) {
+    config.ap_orientations.push_back(deg_to_rad(deg));
+  }
+  config.arbiter.policy = arm == Arm::kFcfs
+                              ? arena::ReflectorArbiter::Policy::kFcfs
+                              : arena::ReflectorArbiter::Policy::kPriorityAging;
+  // Short terms + fast aging: hand raises block each user for ~0.7 s at a
+  // ~29% duty cycle, so reflector demand exceeds supply chronically. A
+  // waiter must out-age the holder bonus well inside one raise for the
+  // rotation to reach it before its blockage ends.
+  config.arbiter.lease_duration = std::chrono::milliseconds{250};
+  config.arbiter.aging_per_second = 4.0;
+  // Eviction is for persistent burners only: a hand raise collapses a
+  // user's PHY rate for ~0.7 s, so give a degraded user 2 s to recover
+  // before it can be escalated out of the room (both arms).
+  config.admission.evict_grace = std::chrono::seconds{2};
+  // Both arms skip via-occluded handover candidates: leasing a reflector
+  // whose hop a person is standing in burns the Bluetooth wait AND locks
+  // out whoever that reflector could actually serve.
+  config.link.skip_occluded_candidates = true;
+  config.session.duration = sim::from_seconds(duration_s);
+  // Compressed stream sized so four users on one AP (the 16-user cell,
+  // airtime share 0.25) still fit one link's shared capacity: glitches at
+  // the gate point come from blockage and reflector contention, not
+  // raw-bitrate saturation. At 32 users (share 0.125) the load does
+  // oversubscribe and admission has to shed — that is the stress cell.
+  net::TransportConfig transport;
+  transport.source.target_mbps = 300.0;
+  config.session.transport = transport;
+  return config;
+}
+
+/// Each user starts in its own AP's quadrant (seeded jitter) and wanders
+/// from there — close enough for a solid direct link, spread enough that
+/// the diagonal crossings shadow several users at once.
+arena::Coordinator::MotionFactory motion_factory(std::uint64_t seed) {
+  return [seed](std::size_t u,
+                const core::Scene& scene) -> std::unique_ptr<vr::Motion> {
+    const sim::RngRegistry rngs{seed};
+    auto rng = rngs.stream("arena.pos", u);
+    const geom::Vec2 ap = kApPositions[u % 4];
+    const geom::Vec2 toward = (kCenter - ap).normalized();
+    const geom::Vec2 perp{-toward.y, toward.x};
+    geom::Vec2 start = ap + toward * uniform(rng, 1.8, 3.2) +
+                       perp * uniform(rng, -1.1, 1.1);
+    start.x = std::clamp(start.x, 0.9, 7.1);
+    start.y = std::clamp(start.y, 0.9, 7.1);
+    return std::make_unique<vr::PlayerMotion>(
+        scene.room(), start, rngs.stream("arena.motion", u)());
+  };
+}
+
+/// Staggered per-user hand raises plus two shared diagonal crossings per
+/// ~5 s — the crossings put many users' direct paths in shadow in the same
+/// window, which is exactly when they all want a reflector.
+arena::Coordinator::ScriptFactory script_factory(double duration_s) {
+  return [duration_s](std::size_t u) {
+    const sim::TimePoint end{sim::from_seconds(duration_s)};
+    std::vector<vr::BlockageEvent> events =
+        vr::periodic_hand_raises(
+            sim::TimePoint{sim::from_seconds(
+                0.8 + 0.21 * static_cast<double>(u % 7))},
+            sim::from_seconds(0.7), sim::from_seconds(2.4), end)
+            .events();
+    bool flip = false;
+    for (double t = 2.0; t + 2.5 < duration_s; t += 5.0) {
+      vr::BlockageEvent person;
+      person.kind = vr::BlockageEvent::Kind::kPersonCrossing;
+      person.start = sim::TimePoint{sim::from_seconds(t)};
+      person.duration = sim::from_seconds(2.5);
+      person.path_from = flip ? geom::Vec2{7.4, 0.6} : geom::Vec2{0.6, 0.6};
+      person.path_to = flip ? geom::Vec2{0.6, 7.4} : geom::Vec2{7.4, 7.4};
+      flip = !flip;
+      events.push_back(person);
+    }
+    return vr::BlockageScript{std::move(events)};
+  };
+}
+
+/// Aggregates of one (users, arm, seed) coordinator run.
+struct JobResult {
+  std::vector<double> glitch_fractions;  // one per user
+  std::uint64_t frames{0};
+  std::uint64_t glitched{0};
+  std::uint64_t denials{0};
+  std::uint64_t grants{0};
+  std::uint64_t revocations{0};
+  std::uint64_t degrades{0};
+  std::uint64_t evictions{0};
+  std::uint64_t readmissions{0};
+  std::uint64_t interfered_frames{0};
+  double max_interference_db{0.0};
+  double min_airtime_share{1.0};
+  std::uint64_t ledger_checks{0};
+  std::uint64_t ledger_violations{0};
+};
+
+JobResult run_job(std::size_t users, Arm arm, std::uint64_t seed,
+                  double duration_s) {
+  const core::Scene prototype = arena_scene();
+  sim::Simulator simulator;
+  arena::Coordinator coordinator{simulator, prototype,
+                                 make_config(users, arm, seed, duration_s),
+                                 motion_factory(seed),
+                                 script_factory(duration_s)};
+  const auto results = coordinator.run();
+
+  JobResult out;
+  for (const auto& r : results) {
+    out.glitch_fractions.push_back(r.report.glitch_fraction());
+    out.frames += r.report.frames;
+    out.glitched += r.report.glitched_frames;
+    if (r.report.arena.has_value()) {
+      const vr::ArenaLinkStats& a = *r.report.arena;
+      out.denials += static_cast<std::uint64_t>(a.reflector_denials);
+      out.grants += static_cast<std::uint64_t>(a.lease_grants);
+      out.revocations += static_cast<std::uint64_t>(a.lease_revocations);
+      out.degrades += static_cast<std::uint64_t>(a.admission_degrades);
+      out.evictions += static_cast<std::uint64_t>(a.admission_evictions);
+      out.readmissions += static_cast<std::uint64_t>(a.admission_readmissions);
+      out.interfered_frames += a.interfered_frames;
+      out.max_interference_db =
+          std::max(out.max_interference_db, a.max_interference_db);
+      out.min_airtime_share =
+          std::min(out.min_airtime_share, a.min_airtime_share);
+      out.ledger_checks += a.ledger_checks;
+      out.ledger_violations += a.ledger_violations;
+    }
+  }
+  return out;
+}
+
+/// The determinism-contract check: a 1-user arena run and the standalone
+/// session standalone_run() builds from the same seed must fingerprint
+/// identically (hooks degenerate to exact no-ops; see DESIGN.md §12.4).
+struct IdentityResult {
+  std::uint64_t arena_fp{0};
+  std::uint64_t solo_fp{0};
+  std::uint64_t ledger_violations{0};
+};
+
+IdentityResult run_identity(std::uint64_t seed, double duration_s) {
+  const core::Scene prototype = arena_scene();
+  const auto config = make_config(1, Arm::kArbitration, seed, duration_s);
+  const auto motion = motion_factory(seed);
+  const auto script = script_factory(duration_s);
+
+  IdentityResult out;
+  sim::Simulator simulator;
+  arena::Coordinator coordinator{simulator, prototype, config, motion,
+                                 script};
+  const auto results = coordinator.run();
+  out.arena_fp = arena::qoe_fingerprint(results[0].report);
+  if (results[0].report.arena.has_value()) {
+    out.ledger_violations = results[0].report.arena->ledger_violations;
+  }
+  const vr::QoeReport solo = arena::Coordinator::standalone_run(
+      prototype, config, motion, script, 0);
+  out.solo_fp = arena::qoe_fingerprint(solo);
+  return out;
+}
+
+/// Per-user diagnostic table for one (users, arm, seed) cell: where the
+/// tail user's glitches actually come from (starved handovers, failed
+/// commits, degraded dwell, interference).
+void dump_users(std::size_t users, Arm arm, std::uint64_t seed,
+                double duration_s) {
+  const core::Scene prototype = arena_scene();
+  sim::Simulator simulator;
+  arena::Coordinator coordinator{simulator, prototype,
+                                 make_config(users, arm, seed, duration_s),
+                                 motion_factory(seed),
+                                 script_factory(duration_s)};
+  const auto results = coordinator.run();
+  std::printf("\n%zu users, %s, seed %llu\n", users,
+              kArmNames[static_cast<std::size_t>(arm)],
+              static_cast<unsigned long long>(seed));
+  std::printf(
+      "%4s %7s %6s %6s %6s %6s %6s %6s %6s %8s %8s %8s\n", "user", "glitch",
+      "grant", "deny", "revkd", "h.ref", "h.dir", "fail", "degr", "t.ref s",
+      "maxI dB", "minShare");
+  for (std::size_t u = 0; u < results.size(); ++u) {
+    const auto& r = results[u];
+    const auto& ls = r.link_stats;
+    const vr::ArenaLinkStats* a =
+        r.report.arena.has_value() ? &*r.report.arena : nullptr;
+    std::printf(
+        "%4zu %6.2f%% %6d %6d %6d %6d %6d %6d %6d %8.2f %8.2f %8.3f\n", u,
+        100.0 * r.report.glitch_fraction(), a ? a->lease_grants : 0,
+        ls.denied_handovers, a ? a->lease_revocations : 0,
+        ls.handovers_to_reflector, ls.handovers_to_direct,
+        ls.failed_handovers, ls.degraded_entries,
+        sim::to_seconds(ls.time_on_reflector),
+        a ? a->max_interference_db : 0.0, a ? a->min_airtime_share : 1.0);
+  }
+}
+
+void print_usage() {
+  std::printf(
+      "arena — multi-user shared-spectrum coordination: reflector lease\n"
+      "arbitration vs FCFS across 2..32 users in one room\n\n"
+      "  arena [--users LIST] [--seeds N] [--seed S] [--duration SECONDS]\n"
+      "        [--threads N] [--json PATH]\n\n"
+      "  --users LIST         comma-separated user counts (default\n"
+      "                       2,4,8,16,32)\n"
+      "  --seeds N            run seeds 1..N (default 3)\n"
+      "  --seed S             run exactly one seed (replay mode)\n"
+      "  --duration SECONDS   sim time per configuration (default 10)\n"
+      "  --threads N          worker threads (default: hardware)\n"
+      "  --json PATH          write a machine-readable summary to PATH\n\n"
+      "Exits nonzero when a 1-user arena is not bit-identical to the\n"
+      "standalone session, when any user's per-20 ms packet-ledger audit\n"
+      "fails, when (at 16 users) arbitration does not beat FCFS on the\n"
+      "p95 per-user glitched fraction, or when the contention machinery\n"
+      "never engaged at 16+ users.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> user_counts = {2, 4, 8, 16, 32};
+  int seeds = 3;
+  std::uint64_t single_seed = 0;
+  bool have_single_seed = false;
+  double duration_s = 10.0;
+  unsigned threads = 0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
+      user_counts.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        char* endp = nullptr;
+        const unsigned long v = std::strtoul(p, &endp, 10);
+        if (endp == p || v == 0) {
+          std::fprintf(stderr, "bad --users list\n");
+          return 2;
+        }
+        user_counts.push_back(static_cast<std::size_t>(v));
+        p = *endp == ',' ? endp + 1 : endp;
+      }
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      single_seed = std::strtoull(argv[++i], nullptr, 10);
+      have_single_seed = true;
+    } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      duration_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--dump-users") == 0) {
+      // Diagnostic: per-user breakdown of one 16-user cell per arm at the
+      // given --seed (default 1), then exit.
+      const std::uint64_t s = have_single_seed ? single_seed : 1;
+      dump_users(16, Arm::kArbitration, s, duration_s);
+      dump_users(16, Arm::kFcfs, s, duration_s);
+      return 0;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      print_usage();
+      return 2;
+    }
+  }
+
+  std::vector<std::uint64_t> seed_list;
+  if (have_single_seed) {
+    seed_list.push_back(single_seed);
+  } else {
+    for (int s = 1; s <= seeds; ++s) {
+      seed_list.push_back(static_cast<std::uint64_t>(s));
+    }
+  }
+
+  // Every (users, arm, seed) sweep job plus one identity job per seed, all
+  // independent — clone-per-worker via parallel_for; results land in
+  // preallocated slots, bit-identical for any thread count.
+  struct SweepJob {
+    std::size_t users;
+    Arm arm;
+    std::uint64_t seed;
+  };
+  std::vector<SweepJob> sweep_jobs;
+  for (const std::size_t users : user_counts) {
+    for (int a = 0; a < kArms; ++a) {
+      for (const std::uint64_t seed : seed_list) {
+        sweep_jobs.push_back({users, static_cast<Arm>(a), seed});
+      }
+    }
+  }
+  std::vector<JobResult> sweep_results(sweep_jobs.size());
+  std::vector<IdentityResult> identity_results(seed_list.size());
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t total_jobs = sweep_jobs.size() + seed_list.size();
+  core::parallel_for(total_jobs, threads,
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t j = begin; j < end; ++j) {
+                         if (j < sweep_jobs.size()) {
+                           const SweepJob& job = sweep_jobs[j];
+                           sweep_results[j] = run_job(job.users, job.arm,
+                                                      job.seed, duration_s);
+                         } else {
+                           const std::size_t s = j - sweep_jobs.size();
+                           identity_results[s] =
+                               run_identity(seed_list[s], duration_s);
+                         }
+                       }
+                     });
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  int failures = 0;
+
+  // Pool per-user glitch fractions per (users, arm) across seeds.
+  struct CellAggregate {
+    std::vector<double> glitch_fractions;
+    JobResult sums;  // counters summed across seeds
+  };
+  std::vector<CellAggregate> cells(user_counts.size() * kArms);
+  for (std::size_t j = 0; j < sweep_jobs.size(); ++j) {
+    const SweepJob& job = sweep_jobs[j];
+    const std::size_t u_idx =
+        static_cast<std::size_t>(std::find(user_counts.begin(),
+                                           user_counts.end(), job.users) -
+                                 user_counts.begin());
+    CellAggregate& cell =
+        cells[u_idx * kArms + static_cast<std::size_t>(job.arm)];
+    const JobResult& r = sweep_results[j];
+    cell.glitch_fractions.insert(cell.glitch_fractions.end(),
+                                 r.glitch_fractions.begin(),
+                                 r.glitch_fractions.end());
+    cell.sums.frames += r.frames;
+    cell.sums.glitched += r.glitched;
+    cell.sums.denials += r.denials;
+    cell.sums.grants += r.grants;
+    cell.sums.revocations += r.revocations;
+    cell.sums.degrades += r.degrades;
+    cell.sums.evictions += r.evictions;
+    cell.sums.readmissions += r.readmissions;
+    cell.sums.interfered_frames += r.interfered_frames;
+    cell.sums.max_interference_db =
+        std::max(cell.sums.max_interference_db, r.max_interference_db);
+    cell.sums.min_airtime_share =
+        std::min(cell.sums.min_airtime_share, r.min_airtime_share);
+    cell.sums.ledger_checks += r.ledger_checks;
+    cell.sums.ledger_violations += r.ledger_violations;
+  }
+
+  bench::print_header(
+      "Arena — reflector arbitration vs FCFS, 2..32 users sharing a room");
+  std::printf("%5s %-12s %9s %9s %8s %8s %8s %8s %8s %8s %9s\n", "users",
+              "arm", "p95glitch", "glitched", "denied", "grants", "revoked",
+              "degrade", "evict", "interf", "maxI(dB)");
+  for (std::size_t u = 0; u < user_counts.size(); ++u) {
+    for (int a = 0; a < kArms; ++a) {
+      const CellAggregate& cell =
+          cells[u * kArms + static_cast<std::size_t>(a)];
+      std::printf(
+          "%5zu %-12s %8.2f%% %9llu %8llu %8llu %8llu %8llu %8llu %8llu "
+          "%9.2f\n",
+          user_counts[u], kArmNames[a],
+          100.0 * bench::percentile(cell.glitch_fractions, 0.95),
+          static_cast<unsigned long long>(cell.sums.glitched),
+          static_cast<unsigned long long>(cell.sums.denials),
+          static_cast<unsigned long long>(cell.sums.grants),
+          static_cast<unsigned long long>(cell.sums.revocations),
+          static_cast<unsigned long long>(cell.sums.degrades),
+          static_cast<unsigned long long>(cell.sums.evictions),
+          static_cast<unsigned long long>(cell.sums.interfered_frames),
+          cell.sums.max_interference_db);
+    }
+  }
+
+  // Gate 1: per-20 ms ledger invariants — every user, every count, both
+  // arms.
+  for (std::size_t u = 0; u < user_counts.size(); ++u) {
+    for (int a = 0; a < kArms; ++a) {
+      const CellAggregate& cell =
+          cells[u * kArms + static_cast<std::size_t>(a)];
+      if (cell.sums.ledger_violations > 0 || cell.sums.ledger_checks == 0) {
+        std::printf("FAIL: ledger audit at %zu users (%s): %llu of %llu "
+                    "checks open\n",
+                    user_counts[u], kArmNames[a],
+                    static_cast<unsigned long long>(
+                        cell.sums.ledger_violations),
+                    static_cast<unsigned long long>(cell.sums.ledger_checks));
+        ++failures;
+      }
+    }
+  }
+
+  // Gate 2: 1-user bit-identity against the standalone session.
+  for (std::size_t s = 0; s < seed_list.size(); ++s) {
+    const IdentityResult& id = identity_results[s];
+    if (id.arena_fp != id.solo_fp) {
+      std::printf("FAIL: 1-user arena fingerprint %016llx != standalone "
+                  "%016llx (seed %llu)\n",
+                  static_cast<unsigned long long>(id.arena_fp),
+                  static_cast<unsigned long long>(id.solo_fp),
+                  static_cast<unsigned long long>(seed_list[s]));
+      std::printf("  replay: arena --seed %llu --duration %g --users 2\n",
+                  static_cast<unsigned long long>(seed_list[s]), duration_s);
+      ++failures;
+    }
+    if (id.ledger_violations > 0) {
+      std::printf("FAIL: 1-user arena ledger violations (seed %llu)\n",
+                  static_cast<unsigned long long>(seed_list[s]));
+      ++failures;
+    }
+  }
+  std::printf("\n1-user bit-identity: %zu seed(s) checked, fingerprints "
+              "%s\n",
+              seed_list.size(), failures == 0 ? "equal" : "see FAILs above");
+
+  // Gates 3+4 bind at the contention point (16 users, or the largest swept
+  // count >= 16); smaller-only sweeps are smoke runs for the machinery.
+  std::size_t gate_idx = user_counts.size();
+  for (std::size_t u = 0; u < user_counts.size(); ++u) {
+    if (user_counts[u] == 16) {
+      gate_idx = u;
+    }
+  }
+  if (gate_idx == user_counts.size()) {
+    for (std::size_t u = 0; u < user_counts.size(); ++u) {
+      if (user_counts[u] >= 16) {
+        gate_idx = u;
+        break;
+      }
+    }
+  }
+  if (gate_idx < user_counts.size()) {
+    const CellAggregate& arb =
+        cells[gate_idx * kArms + static_cast<std::size_t>(Arm::kArbitration)];
+    const CellAggregate& fcfs =
+        cells[gate_idx * kArms + static_cast<std::size_t>(Arm::kFcfs)];
+    const double p95_arb = bench::percentile(arb.glitch_fractions, 0.95);
+    const double p95_fcfs = bench::percentile(fcfs.glitch_fractions, 0.95);
+    std::printf("gate @ %zu users: p95 glitch fraction arbitration %.3f%% "
+                "vs fcfs %.3f%%\n",
+                user_counts[gate_idx], 100.0 * p95_arb, 100.0 * p95_fcfs);
+    if (!(p95_arb < p95_fcfs)) {
+      std::printf("FAIL: arbitration p95 glitch fraction %.4f does not beat "
+                  "fcfs %.4f at %zu users\n",
+                  p95_arb, p95_fcfs, user_counts[gate_idx]);
+      ++failures;
+    }
+    if (arb.sums.denials == 0 || arb.sums.revocations == 0) {
+      std::printf("FAIL: contention never engaged at %zu users (denials "
+                  "%llu, revocations %llu)\n",
+                  user_counts[gate_idx],
+                  static_cast<unsigned long long>(arb.sums.denials),
+                  static_cast<unsigned long long>(arb.sums.revocations));
+      ++failures;
+    }
+  }
+
+  if (!json_path.empty()) {
+    bench::Json sweep = bench::Json::array();
+    for (std::size_t u = 0; u < user_counts.size(); ++u) {
+      for (int a = 0; a < kArms; ++a) {
+        const CellAggregate& cell =
+          cells[u * kArms + static_cast<std::size_t>(a)];
+        bench::Json row = bench::Json::object();
+        row.set("users", static_cast<std::uint64_t>(user_counts[u]))
+            .set("arm", kArmNames[a])
+            .set("p95_glitch_fraction",
+                 bench::percentile(cell.glitch_fractions, 0.95))
+            .set("frames", cell.sums.frames)
+            .set("glitched_frames", cell.sums.glitched)
+            .set("reflector_denials", cell.sums.denials)
+            .set("lease_grants", cell.sums.grants)
+            .set("lease_revocations", cell.sums.revocations)
+            .set("admission_degrades", cell.sums.degrades)
+            .set("admission_evictions", cell.sums.evictions)
+            .set("admission_readmissions", cell.sums.readmissions)
+            .set("interfered_frames", cell.sums.interfered_frames)
+            .set("max_interference_db", cell.sums.max_interference_db)
+            .set("min_airtime_share", cell.sums.min_airtime_share)
+            .set("ledger_checks", cell.sums.ledger_checks)
+            .set("ledger_violations", cell.sums.ledger_violations);
+        sweep.push(std::move(row));
+      }
+    }
+    bench::Json doc = bench::Json::object();
+    doc.set("bench", "arena")
+        .set("wall_time_s", wall_s)
+        .set("duration_s", duration_s)
+        .set("seeds", static_cast<std::uint64_t>(seed_list.size()))
+        .set("replay", have_single_seed)
+        .set("identity_ok",
+             std::all_of(identity_results.begin(), identity_results.end(),
+                         [](const IdentityResult& id) {
+                           return id.arena_fp == id.solo_fp;
+                         }))
+        .set("pass", failures == 0)
+        .set("sweep", std::move(sweep));
+    if (!bench::emit_json(json_path, doc)) {
+      ++failures;
+    }
+  }
+
+  if (failures == 0) {
+    std::printf("\nOK: %zu user counts x %d arms x %zu seeds, ledgers "
+                "closed, 1-user runs bit-identical, arbitration beats FCFS "
+                "at the contention point (%.1f s wall)\n",
+                user_counts.size(), kArms, seed_list.size(), wall_s);
+    return 0;
+  }
+  std::printf("\nFAIL: %d gate(s) failed\n", failures);
+  return 1;
+}

@@ -6,6 +6,7 @@
 // does not. Also covers the paper's Section 1 WiFi argument.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include <baseline/dual_antenna.hpp>
 #include <baseline/strategies.hpp>
@@ -56,9 +57,14 @@ int main(int argc, char** argv) {
   bool with_transport = false;
   bool with_control_faults = false;
   bool with_burst_loss = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--transport") == 0) {
       with_transport = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      // Machine-readable summary (same bench::Json document shape the
+      // other benches emit) alongside the human tables.
+      json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--control-faults") == 0) {
       // Runs MoVR's row with the hardened control plane attached and a
       // 1.5 s control partition mid-session, and prints the incident
@@ -240,5 +246,58 @@ int main(int argc, char** argv) {
   std::printf("\nWiFi check (Section 1): best 802.11ac rate at infinite SNR "
               "= %.0f Mbps < required %.0f Mbps\n",
               baseline::wifi_max_rate_mbps(), vr::kHtcVive.required_mbps());
+
+  if (!json_path.empty()) {
+    bench::Json strategies = bench::Json::array();
+    for (const Row& row : rows) {
+      bench::Json entry = bench::Json::object();
+      entry.set("name", row.name)
+          .set("frames", row.report.frames)
+          .set("glitched_frames", row.report.glitched_frames)
+          .set("glitch_fraction", row.report.glitch_fraction())
+          .set("stall_events", row.report.stall_events)
+          .set("longest_stall_ms", sim::to_milliseconds(row.report.longest_stall))
+          .set("mean_snr_db", row.report.mean_snr_db)
+          .set("min_snr_db", row.report.min_snr_db)
+          .set("mean_rate_mbps", row.report.mean_rate_mbps);
+      if (row.report.transport) {
+        const net::TransportMetrics& m = *row.report.transport;
+        bench::Json transport = bench::Json::object();
+        transport.set("deadline_misses", m.deadline_misses)
+            .set("retransmits", m.retransmits)
+            .set("packets_dropped", m.packets_dropped)
+            .set("p50_ms", m.p50_ms)
+            .set("p95_ms", m.p95_ms)
+            .set("p99_ms", m.p99_ms);
+        if (with_burst_loss) {
+          transport.set("fec_frames_protected", m.fec_frames_protected)
+              .set("parity_enqueued", m.parity_enqueued)
+              .set("packets_recovered", m.packets_recovered);
+        }
+        entry.set("transport", std::move(transport));
+      }
+      if (row.report.burst) {
+        bench::Json burst = bench::Json::object();
+        burst.set("steps", row.report.burst->steps)
+            .set("steps_bad", row.report.burst->steps_bad)
+            .set("bursts", row.report.burst->bursts)
+            .set("longest_burst_steps", row.report.burst->longest_burst_steps);
+        entry.set("burst", std::move(burst));
+      }
+      strategies.push(std::move(entry));
+    }
+    bench::Json doc = bench::Json::object();
+    doc.set("bench", "session_qoe")
+        .set("duration_s", sim::to_seconds(duration))
+        .set("transport", with_transport)
+        .set("burst_loss", with_burst_loss)
+        .set("control_faults", with_control_faults)
+        .set("wifi_max_rate_mbps", baseline::wifi_max_rate_mbps())
+        .set("required_mbps", vr::kHtcVive.required_mbps())
+        .set("strategies", std::move(strategies));
+    if (!bench::emit_json(json_path, doc)) {
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,152 @@
+#include <arena/admission.hpp>
+
+#include <limits>
+
+namespace movr::arena {
+
+AdmissionController::AdmissionController(std::size_t users, std::size_t aps,
+                                         Config config)
+    : config_{config},
+      state_(users, State::kAdmitted),
+      counters_(users),
+      evicted_at_(users),
+      degraded_at_(users),
+      overload_windows_(aps, 0),
+      headroom_windows_(aps, 0),
+      utilization_(aps, 0.0) {}
+
+double AdmissionController::airtime_ratio(const Sample& sample) {
+  if (sample.mcs_rate_mbps <= 0.0) {
+    return 0.0;  // link down: consuming no airtime (and no service either)
+  }
+  return sample.offered_mbps / sample.mcs_rate_mbps;
+}
+
+double AdmissionController::weight(std::size_t user) const {
+  switch (state_.at(user)) {
+    case State::kAdmitted:
+      return 1.0;
+    case State::kDegraded:
+      return 0.5;
+    case State::kEvicted:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+int AdmissionController::mcs_cap(std::size_t user) const {
+  switch (state_.at(user)) {
+    case State::kAdmitted:
+      return std::numeric_limits<int>::max();
+    case State::kDegraded:
+      return config_.degraded_mcs_cap;
+    case State::kEvicted:
+      return -1;
+  }
+  return -1;
+}
+
+void AdmissionController::on_window(std::span<const Sample> samples,
+                                    sim::TimePoint now) {
+  // 1. Per-AP airtime utilization over the transmitting users.
+  for (double& u : utilization_) {
+    u = 0.0;
+  }
+  std::vector<int> transmitting_on(utilization_.size(), 0);
+  for (std::size_t u = 0; u < samples.size(); ++u) {
+    if (!transmitting(u)) {
+      continue;
+    }
+    utilization_.at(samples[u].ap) += airtime_ratio(samples[u]);
+    ++transmitting_on[samples[u].ap];
+  }
+
+  // 2. Dwell accounting + at most one transition per AP per window.
+  for (std::size_t ap = 0; ap < utilization_.size(); ++ap) {
+    if (utilization_[ap] > config_.capacity_fraction) {
+      ++overload_windows_[ap];
+      headroom_windows_[ap] = 0;
+    } else if (utilization_[ap] < config_.headroom_fraction) {
+      ++headroom_windows_[ap];
+      overload_windows_[ap] = 0;
+    } else {
+      // Inside the hysteresis band: no evidence accumulates either way.
+      overload_windows_[ap] = 0;
+      headroom_windows_[ap] = 0;
+    }
+
+    if (overload_windows_[ap] >= config_.dwell_windows &&
+        transmitting_on[ap] >= 2) {
+      // Shed from the user with the worst airtime economics, whatever its
+      // state: an admitted victim is degraded first (half weight + MCS
+      // cap); a victim that is already degraded and still the worst is
+      // evicted — but only after evict_grace, so a transiently blocked
+      // user whose PHY rate is about to recover is not double-demoted
+      // straight out of the room. Never degrade a healthy user while the
+      // actual air-burner sits one rung down.
+      const auto worst_ratio_user = [&](auto&& eligible) {
+        std::size_t victim = samples.size();
+        double worst = -1.0;
+        for (std::size_t u = 0; u < samples.size(); ++u) {
+          if (samples[u].ap == ap && eligible(u)) {
+            const double ratio = airtime_ratio(samples[u]);
+            if (ratio > worst) {  // strict: ties keep the lower user id
+              worst = ratio;
+              victim = u;
+            }
+          }
+        }
+        return victim;
+      };
+      std::size_t victim =
+          worst_ratio_user([&](std::size_t u) { return transmitting(u); });
+      if (victim < samples.size() && state_[victim] == State::kDegraded &&
+          now - degraded_at_[victim] < config_.evict_grace) {
+        // Too fresh to evict: shed from the worst admitted user instead
+        // (if any); otherwise keep the dwell armed and retry next window.
+        victim = worst_ratio_user(
+            [&](std::size_t u) { return state_[u] == State::kAdmitted; });
+      }
+      if (victim < samples.size()) {
+        if (state_[victim] == State::kAdmitted) {
+          state_[victim] = State::kDegraded;
+          degraded_at_[victim] = now;
+          ++counters_[victim].degrades;
+        } else {
+          state_[victim] = State::kEvicted;
+          evicted_at_[victim] = now;
+          ++counters_[victim].evictions;
+        }
+        overload_windows_[ap] = 0;  // dwell again before the next demotion
+      }
+    } else if (headroom_windows_[ap] >= config_.dwell_windows) {
+      // Recover gently: one promotion per dwell period, degraded users
+      // first (they are closest to whole), then backoff-expired evictees.
+      std::size_t promoted = samples.size();
+      for (std::size_t u = 0; u < samples.size(); ++u) {
+        if (samples[u].ap == ap && state_[u] == State::kDegraded) {
+          state_[u] = State::kAdmitted;
+          promoted = u;
+          break;
+        }
+      }
+      if (promoted == samples.size()) {
+        for (std::size_t u = 0; u < samples.size(); ++u) {
+          if (samples[u].ap == ap && state_[u] == State::kEvicted &&
+              now - evicted_at_[u] >= config_.readmit_backoff) {
+            state_[u] = State::kDegraded;  // probation before full service
+            degraded_at_[u] = now;
+            promoted = u;
+            break;
+          }
+        }
+      }
+      if (promoted < samples.size()) {
+        ++counters_[promoted].readmissions;
+        headroom_windows_[ap] = 0;
+      }
+    }
+  }
+}
+
+}  // namespace movr::arena

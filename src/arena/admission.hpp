@@ -1,0 +1,108 @@
+// Per-user admission control: admit / degrade / evict with hysteresis.
+//
+// VR traffic is non-elastic, so an overloaded AP cannot "slow everyone
+// down a little" — every user below the required rate glitches every
+// frame. The graceful-shedding policy is therefore discrete: when an AP's
+// offered airtime exceeds what its attached links can carry, the user with
+// the worst airtime economics (offered bitrate / current PHY rate — the
+// one burning the most air per delivered bit) is *degraded* (half airtime
+// weight + an MCS cap that stops rate-chasing overshoot); if the AP is
+// still overloaded after the degrade has had time to bite, that user is
+// *evicted* (muted) so the rest of the room recovers. When headroom
+// returns, users are readmitted one per window, lowest id first, after a
+// backoff — every transition is guarded by dwell counts and distinct
+// enter/exit thresholds so utilization noise around a threshold cannot
+// flap anyone in and out.
+//
+// Determinism contract: decisions depend only on the sampled inputs, and a
+// single-user AP is never demoted — shedding the only user helps nobody,
+// and this rule is what makes a 1-user arena bit-identical to a
+// standalone session (DESIGN.md §12.4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <sim/time.hpp>
+
+namespace movr::arena {
+
+class AdmissionController {
+ public:
+  enum class State : std::uint8_t { kAdmitted, kDegraded, kEvicted };
+
+  struct Config {
+    /// Fraction of an AP's airtime that is actually schedulable (MAC
+    /// overheads, probe slots). Utilization above this = overloaded.
+    double capacity_fraction{0.85};
+    /// Utilization below this = headroom: readmissions may begin. The gap
+    /// to capacity_fraction is the hysteresis band.
+    double headroom_fraction{0.60};
+    /// Consecutive overloaded windows before a demotion fires, and
+    /// consecutive headroom windows before a promotion fires.
+    int dwell_windows{3};
+    /// MCS index cap applied to degraded users (bounds rate-chasing
+    /// overshoot while the room is shedding load).
+    int degraded_mcs_cap{12};
+    /// An evicted user is not considered for readmission before this.
+    sim::Duration readmit_backoff{std::chrono::seconds{2}};
+    /// A degraded user cannot be evicted before it has sat degraded this
+    /// long: a transient victim (blocked, mid-handover) recovers its PHY
+    /// rate and stops being the worst burner, so only persistently bad
+    /// airtime economics escalate to eviction.
+    sim::Duration evict_grace{std::chrono::milliseconds{750}};
+  };
+
+  /// One admission window's worth of observations for one user.
+  struct Sample {
+    std::size_t ap{0};          // which AP this user is attached to
+    double offered_mbps{0.0};   // the stream's target bitrate
+    double mcs_rate_mbps{0.0};  // PHY rate the last tick flew (0 = down)
+    double miss_fraction{0.0};  // deadline misses / frames, this window
+  };
+
+  struct UserCounters {
+    int degrades{0};
+    int evictions{0};
+    int readmissions{0};  // promotions (evicted->degraded->admitted)
+  };
+
+  AdmissionController(std::size_t users, std::size_t aps, Config config);
+
+  /// One admission window: ingest every user's sample, update per-AP
+  /// utilization, run at most one demotion or promotion per AP.
+  void on_window(std::span<const Sample> samples, sim::TimePoint now);
+
+  State state(std::size_t user) const { return state_.at(user); }
+  bool transmitting(std::size_t user) const {
+    return state_.at(user) != State::kEvicted;
+  }
+  /// Airtime weight for share computation: 1 admitted, 0.5 degraded,
+  /// 0 evicted. Shares are weight / sum-of-weights-on-the-AP.
+  double weight(std::size_t user) const;
+  /// MCS index cap for the session hook: INT_MAX admitted, the configured
+  /// cap degraded, -1 (mute) evicted.
+  int mcs_cap(std::size_t user) const;
+
+  const UserCounters& counters(std::size_t user) const {
+    return counters_.at(user);
+  }
+  /// Last computed per-AP airtime utilization (diagnostics / tests).
+  double utilization(std::size_t ap) const { return utilization_.at(ap); }
+
+ private:
+  /// Offered airtime fraction of one user: offered / usable PHY rate.
+  static double airtime_ratio(const Sample& sample);
+
+  Config config_;
+  std::vector<State> state_;
+  std::vector<UserCounters> counters_;
+  std::vector<sim::TimePoint> evicted_at_;
+  std::vector<sim::TimePoint> degraded_at_;
+  std::vector<int> overload_windows_;  // per AP, consecutive
+  std::vector<int> headroom_windows_;  // per AP, consecutive
+  std::vector<double> utilization_;    // per AP, last window
+};
+
+}  // namespace movr::arena

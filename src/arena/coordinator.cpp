@@ -1,0 +1,357 @@
+#include <arena/coordinator.hpp>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include <core/gain_control.hpp>
+#include <sim/rng.hpp>
+
+namespace movr::arena {
+
+namespace {
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+std::uint64_t bits(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+std::size_t ap_count_of(const Coordinator::Config& config) {
+  return config.ap_positions.empty() ? 1 : config.ap_positions.size();
+}
+
+}  // namespace
+
+std::uint64_t qoe_fingerprint(const vr::QoeReport& report) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  mix(h, report.frames);
+  mix(h, report.glitched_frames);
+  mix(h, report.stall_events);
+  mix(h, static_cast<std::uint64_t>(report.longest_stall.count()));
+  mix(h, bits(report.mean_snr_db));
+  mix(h, bits(report.min_snr_db));
+  mix(h, bits(report.mean_rate_mbps));
+  if (report.transport.has_value()) {
+    const net::TransportMetrics& t = *report.transport;
+    mix(h, t.frames_emitted);
+    mix(h, t.frames_on_time);
+    mix(h, t.frames_late);
+    mix(h, t.frames_dropped_queue);
+    mix(h, t.frames_dropped_arq);
+    mix(h, t.frames_missed);
+    mix(h, t.frames_unresolved);
+    mix(h, t.deadline_misses);
+    mix(h, t.packets_enqueued);
+    mix(h, t.packets_delivered);
+    mix(h, t.bytes_delivered);
+    mix(h, t.packets_dropped);
+    mix(h, t.packets_in_flight);
+    mix(h, t.retransmits);
+    mix(h, t.duplicates);
+    mix(h, t.speculative_enqueued);
+    mix(h, t.speculative_dups);
+    mix(h, t.speculative_drops);
+    mix(h, t.speculative_saves);
+    mix(h, t.parity_enqueued);
+    mix(h, t.parity_delivered);
+    mix(h, t.packets_recovered);
+    mix(h, t.packets_recovered_delivered);
+    mix(h, t.fec_frames_protected);
+    mix(h, t.fec_enables);
+    mix(h, t.histogram.total());
+    mix(h, bits(t.p50_ms));
+    mix(h, bits(t.p95_ms));
+    mix(h, bits(t.p99_ms));
+    mix(h, bits(t.airtime_share_min));
+    mix(h, bits(t.interference_db_max));
+    mix(h, t.interfered_ticks);
+  }
+  if (report.burst.has_value()) {
+    mix(h, report.burst->steps);
+    mix(h, report.burst->steps_bad);
+    mix(h, report.burst->bursts);
+    mix(h, report.burst->forced_bad);
+    mix(h, report.burst->longest_burst_steps);
+  }
+  if (report.predictive.has_value()) {
+    mix(h, static_cast<std::uint64_t>(report.predictive->risk_windows));
+    mix(h, static_cast<std::uint64_t>(report.predictive->proactive_handovers));
+    mix(h, static_cast<std::uint64_t>(report.predictive->mispredictions));
+  }
+  return h;
+}
+
+Coordinator::UserWorld Coordinator::build_user_world(
+    const core::Scene& prototype, const Config& config, std::size_t user) {
+  UserWorld world{prototype.clone(), {}, {}, {}, 0, 0.0};
+  const sim::RngRegistry rngs{config.seed};
+  if (!config.ap_positions.empty()) {
+    world.ap_index = user % config.ap_positions.size();
+    world.scene.ap().node().set_position(config.ap_positions[world.ap_index]);
+    if (!config.ap_orientations.empty()) {
+      world.scene.ap().node().set_orientation(
+          config.ap_orientations[world.ap_index %
+                                 config.ap_orientations.size()]);
+    }
+  }
+  // Calibrate every reflector against THIS user's AP: each AP keeps its own
+  // register shadow (RX angle, gain code) and programs the reflector from
+  // it when its handover commits — the lease guarantees no two shadows are
+  // live on the hardware at once.
+  auto cal_rng = rngs.stream("arena.cal", user);
+  for (std::size_t i = 0; i < world.scene.reflector_count(); ++i) {
+    core::MovrReflector& reflector = world.scene.reflector(i);
+    reflector.front_end().steer_rx(
+        world.scene.true_reflector_angle_to_ap(reflector));
+    reflector.front_end().steer_tx(
+        world.scene.true_reflector_angle_to_headset(reflector));
+    world.scene.ap().node().steer_toward(reflector.position());
+    core::GainController::run(reflector.front_end(),
+                              world.scene.reflector_input(reflector), cal_rng);
+  }
+  world.manager_rng = rngs.stream("arena.mgr", user);
+  world.link_config = config.link;
+  world.session_config = config.session;
+  world.session_config.rate_control_seed = rngs.stream("arena.rate", user)();
+  if (world.session_config.transport.has_value()) {
+    world.session_config.transport->seed = rngs.stream("arena.net", user)();
+    world.session_config.transport->source.seed =
+        rngs.stream("arena.src", user)();
+  }
+  if (world.session_config.burst_loss.has_value()) {
+    world.session_config.burst_loss->seed = rngs.stream("arena.burst", user)();
+  }
+  const auto& session = world.session_config;
+  world.offered_mbps =
+      session.transport.has_value() && session.transport->source.target_mbps > 0.0
+          ? session.transport->source.target_mbps
+          : session.display.required_mbps();
+  return world;
+}
+
+Coordinator::User::User(sim::Simulator& simulator, UserWorld world,
+                        const MotionFactory& motion_factory,
+                        const ScriptFactory& script_factory, std::size_t index)
+    : scene{std::move(world.scene)},
+      motion{motion_factory ? motion_factory(index, scene) : nullptr},
+      script{script_factory
+                 ? std::optional<vr::BlockageScript>{script_factory(index)}
+                 : std::nullopt},
+      strategy{simulator, scene, world.manager_rng, world.link_config},
+      session{simulator,          scene,
+              strategy,           motion.get(),
+              script.has_value() ? &*script : nullptr,
+              world.session_config},
+      ap_index{world.ap_index},
+      offered_mbps{world.offered_mbps} {}
+
+Coordinator::Coordinator(sim::Simulator& simulator,
+                         const core::Scene& prototype, Config config,
+                         MotionFactory motion, ScriptFactory script)
+    : simulator_{simulator},
+      config_{std::move(config)},
+      motion_factory_{std::move(motion)},
+      script_factory_{std::move(script)},
+      arbiter_{prototype.reflector_count(), config_.users, config_.arbiter},
+      admission_{config_.users, ap_count_of(config_), config_.admission},
+      share_(config_.users, 1.0) {
+  control_ticks_per_window_ = std::max<int>(
+      1, static_cast<int>(config_.admission_window.count() /
+                          std::max<std::int64_t>(
+                              1, config_.control_interval.count())));
+  users_.reserve(config_.users);
+  for (std::size_t u = 0; u < config_.users; ++u) {
+    UserWorld world = build_user_world(prototype, config_, u);
+    world.link_config.reflector_acquire = [this, u](std::size_t r) {
+      return try_acquire(u, r);
+    };
+    world.link_config.reflector_release = [this, u](std::size_t r) {
+      arbiter_.release(u, r, simulator_.now());
+    };
+    world.session_config.snr_penalty_db = [this, u] {
+      return penalty_for(u);
+    };
+    world.session_config.mcs_index_limit = [this, u] {
+      return admission_.mcs_cap(u);
+    };
+    world.session_config.airtime_share = [this, u] { return share_[u]; };
+    users_.push_back(std::make_unique<User>(
+        simulator_, std::move(world), motion_factory_, script_factory_, u));
+  }
+  recompute_shares();
+}
+
+Coordinator::~Coordinator() = default;
+
+bool Coordinator::try_acquire(std::size_t user, std::size_t reflector) {
+  if (!admission_.transmitting(user)) {
+    return false;  // an evicted user has no business holding a reflector
+  }
+  return arbiter_.acquire(user, reflector, simulator_.now());
+}
+
+double Coordinator::penalty_for(std::size_t user) {
+  interferer_scratch_.clear();
+  for (std::size_t v = 0; v < users_.size(); ++v) {
+    if (v == user || !admission_.transmitting(v)) {
+      continue;
+    }
+    const core::LinkManager& manager = users_[v]->strategy.manager();
+    Interferer aggressor;
+    aggressor.scene = &users_[v]->scene;
+    aggressor.via_reflector =
+        manager.mode() == core::LinkManager::Mode::kViaReflector;
+    aggressor.reflector = manager.active_reflector();
+    interferer_scratch_.push_back(aggressor);
+  }
+  if (interferer_scratch_.empty()) {
+    return 0.0;
+  }
+  return sinr_penalty_db(users_[user]->scene, interferer_scratch_,
+                         config_.interference);
+}
+
+void Coordinator::control_tick() {
+  const sim::TimePoint now = simulator_.now();
+  // Lease keep-alives: a renewal that fails means the arbiter aged the
+  // lease away — enforce it on the manager immediately.
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    core::LinkManager& manager = users_[u]->strategy.manager();
+    const auto leased = manager.leased_reflector();
+    if (leased.has_value() && !arbiter_.renew(u, *leased, now)) {
+      manager.revoke_reflector(*leased);
+    }
+  }
+  if (++ticks_since_admission_ >= control_ticks_per_window_) {
+    ticks_since_admission_ = 0;
+    admission_tick(now);
+  }
+  recompute_shares();
+  if (now + config_.control_interval <= end_) {
+    simulator_.at(now + config_.control_interval, [this] { control_tick(); });
+  }
+}
+
+void Coordinator::admission_tick(sim::TimePoint now) {
+  sample_scratch_.resize(users_.size());
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    User& user = *users_[u];
+    AdmissionController::Sample& sample = sample_scratch_[u];
+    sample.ap = user.ap_index;
+    sample.offered_mbps = user.offered_mbps;
+    sample.mcs_rate_mbps = user.session.last_mcs_rate_mbps();
+    sample.miss_fraction = 0.0;
+    if (const net::Transport* transport = user.session.transport()) {
+      const std::uint64_t misses = transport->live_deadline_misses();
+      const std::uint64_t frames = transport->live_frames_emitted();
+      const std::uint64_t dm = misses - user.last_misses;
+      const std::uint64_t df = frames - user.last_frames;
+      sample.miss_fraction =
+          df > 0 ? static_cast<double>(dm) / static_cast<double>(df) : 0.0;
+      user.last_misses = misses;
+      user.last_frames = frames;
+    }
+  }
+  admission_.on_window(sample_scratch_, now);
+  // A freshly evicted user must also surrender any reflector it holds.
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    if (admission_.transmitting(u)) {
+      continue;
+    }
+    core::LinkManager& manager = users_[u]->strategy.manager();
+    const auto leased = manager.leased_reflector();
+    if (leased.has_value()) {
+      arbiter_.release(u, *leased, now);
+      manager.revoke_reflector(*leased);
+    }
+  }
+}
+
+void Coordinator::recompute_shares() {
+  const std::size_t aps = ap_count_of(config_);
+  ap_weight_scratch_.assign(aps, 0.0);
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    ap_weight_scratch_[users_[u]->ap_index] += admission_.weight(u);
+  }
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    const double weight = admission_.weight(u);
+    const double total = ap_weight_scratch_[users_[u]->ap_index];
+    share_[u] = weight > 0.0 && total > 0.0 ? weight / total : 1.0;
+  }
+}
+
+void Coordinator::ledger_tick() {
+  for (auto& user : users_) {
+    if (const net::Transport* transport = user->session.transport()) {
+      ++user->ledger_checks;
+      if (!transport->ledger_closes()) {
+        ++user->ledger_violations;
+      }
+    }
+  }
+  const sim::TimePoint now = simulator_.now();
+  if (now + config_.ledger_check_interval <= end_) {
+    simulator_.at(now + config_.ledger_check_interval,
+                  [this] { ledger_tick(); });
+  }
+}
+
+std::vector<Coordinator::UserResult> Coordinator::run() {
+  const sim::TimePoint start = simulator_.now();
+  end_ = start + config_.session.duration;
+  for (auto& user : users_) {
+    user->session.start();  // user order = event insertion order = tie order
+  }
+  if (config_.control_interval.count() > 0) {
+    simulator_.at(start + config_.control_interval,
+                  [this] { control_tick(); });
+  }
+  if (config_.ledger_check_interval.count() > 0 &&
+      config_.session.transport.has_value()) {
+    simulator_.at(start + config_.ledger_check_interval,
+                  [this] { ledger_tick(); });
+  }
+  simulator_.run_until(end_);
+
+  std::vector<UserResult> results;
+  results.reserve(users_.size());
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    UserResult result;
+    result.report = users_[u]->session.finish();
+    const core::LinkManager& manager = users_[u]->strategy.manager();
+    result.link_stats = manager.stats();
+    if (result.report.arena.has_value()) {
+      vr::ArenaLinkStats& a = *result.report.arena;
+      a.reflector_denials = manager.stats().denied_handovers;
+      a.lease_grants = static_cast<int>(arbiter_.user_stats(u).grants);
+      a.lease_revocations =
+          static_cast<int>(arbiter_.user_stats(u).revocations);
+      a.admission_degrades = admission_.counters(u).degrades;
+      a.admission_evictions = admission_.counters(u).evictions;
+      a.admission_readmissions = admission_.counters(u).readmissions;
+      a.final_admission_state = static_cast<int>(admission_.state(u));
+      a.ledger_checks = users_[u]->ledger_checks;
+      a.ledger_violations = users_[u]->ledger_violations;
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+vr::QoeReport Coordinator::standalone_run(const core::Scene& prototype,
+                                          const Config& config,
+                                          const MotionFactory& motion,
+                                          const ScriptFactory& script,
+                                          std::size_t user) {
+  sim::Simulator simulator;
+  UserWorld world = build_user_world(prototype, config, user);
+  User standalone{simulator, std::move(world), motion, script, user};
+  return standalone.session.run();
+}
+
+}  // namespace movr::arena

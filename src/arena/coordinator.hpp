@@ -1,0 +1,175 @@
+// The multi-user arena coordinator.
+//
+// N per-user vr::Sessions — each a full clone of the single-user stack:
+// scene, LinkManager, transport — interleave on ONE simulator, while the
+// coordinator runs the shared-room physics and policy around them:
+//
+//   * spectrum: per-victim mutual-interference penalties (interference.hpp)
+//     and per-AP airtime shares, fed through the Session's arena hooks into
+//     the existing ChannelState path;
+//   * reflectors: the lease table (lease.hpp) arbitrates exclusive use;
+//     the LinkManager's acquire/release hooks and revoke_reflector() are
+//     the data-plane ends of that protocol;
+//   * load: the admission controller (admission.hpp) degrades and evicts
+//     users with hysteresis when an AP's airtime oversubscribes.
+//
+// Determinism contract (DESIGN.md §12.4): every per-user random stream is
+// derived from (seed, purpose, user) via sim::RngRegistry; sessions tick
+// in user order at equal timestamps (insertion order breaks event-queue
+// ties); coordinator control ticks never consume session RNG. A 1-user
+// arena is bit-identical to the standalone Session that
+// standalone_run() builds from the same seed — the hooks degenerate to
+// subtracting 0.0 dB, capping at INT_MAX and dividing airtime by 1.0, and
+// qoe_fingerprint() is the equality the bench gate checks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include <arena/admission.hpp>
+#include <arena/interference.hpp>
+#include <arena/lease.hpp>
+#include <core/link_manager.hpp>
+#include <sim/simulator.hpp>
+#include <vr/motion.hpp>
+#include <vr/session.hpp>
+
+namespace movr::arena {
+
+/// Order-insensitive-field digest of a QoE report for the bit-identity
+/// gate: every deterministic outcome field (frame ledger, SNR/rate sums,
+/// transport counters and latency percentiles, burst counters), doubles by
+/// bit pattern. QoeReport::arena is deliberately excluded — its *presence*
+/// is the only difference between a 1-user arena run and its standalone
+/// reference.
+std::uint64_t qoe_fingerprint(const vr::QoeReport& report);
+
+class Coordinator {
+ public:
+  /// Per-user world builders, shared verbatim by run() and
+  /// standalone_run() so both construct the same bits. The scene passed in
+  /// is the user's own clone at its final address.
+  using MotionFactory = std::function<std::unique_ptr<vr::Motion>(
+      std::size_t user, const core::Scene& scene)>;
+  using ScriptFactory =
+      std::function<vr::BlockageScript(std::size_t user)>;
+
+  struct Config {
+    std::size_t users{2};
+    /// AP grid: user u attaches to ap_positions[u % K] (their clone's AP
+    /// moves there). Empty = everyone shares the prototype AP's position
+    /// (one physical AP: pure airtime sharing, no AP-to-AP interference).
+    std::vector<geom::Vec2> ap_positions;
+    /// Boresight azimuths paired with ap_positions (an AP moved to another
+    /// corner must re-aim into the room). Empty keeps the prototype's
+    /// mounting orientation.
+    std::vector<double> ap_orientations;
+    ReflectorArbiter::Config arbiter{};
+    AdmissionController::Config admission{};
+    InterferenceConfig interference{};
+    /// Session template: duration, display, transport, burst... applied to
+    /// every user; per-user seeds and the arena hooks are filled in by the
+    /// coordinator.
+    vr::Session::Config session{};
+    /// LinkManager template; the lease hooks are filled in per user.
+    core::LinkManager::Config link{};
+    /// Lease renewal + share recomputation cadence.
+    sim::Duration control_interval{std::chrono::milliseconds{20}};
+    /// Admission window (rounded up to a control-tick multiple).
+    sim::Duration admission_window{std::chrono::milliseconds{250}};
+    /// Per-user transport ledger audit cadence; zero disables.
+    sim::Duration ledger_check_interval{std::chrono::milliseconds{20}};
+    std::uint64_t seed{1};
+  };
+
+  struct UserResult {
+    vr::QoeReport report;
+    core::LinkManager::Stats link_stats;
+  };
+
+  Coordinator(sim::Simulator& simulator, const core::Scene& prototype,
+              Config config, MotionFactory motion = {},
+              ScriptFactory script = {});
+  ~Coordinator();
+
+  /// Starts every session, drives the simulator to the session end, and
+  /// returns one result per user (session report + link-manager stats,
+  /// with QoeReport::arena fully populated).
+  std::vector<UserResult> run();
+
+  /// Builds user `user`'s world exactly as run() would — same clone, same
+  /// calibration, same derived seeds — and runs it as a standalone
+  /// Session on a fresh simulator with NO arena hooks. The determinism
+  /// contract's reference run: qoe_fingerprint of this must equal the
+  /// fingerprint of a 1-user run()'s report.
+  static vr::QoeReport standalone_run(const core::Scene& prototype,
+                                      const Config& config,
+                                      const MotionFactory& motion,
+                                      const ScriptFactory& script,
+                                      std::size_t user);
+
+  const ReflectorArbiter& arbiter() const { return arbiter_; }
+  const AdmissionController& admission() const { return admission_; }
+
+ private:
+  /// Everything derived per user before the hooks go in; built identically
+  /// by run() and standalone_run().
+  struct UserWorld {
+    core::Scene scene;
+    std::mt19937_64 manager_rng;
+    core::LinkManager::Config link_config;
+    vr::Session::Config session_config;
+    std::size_t ap_index{0};
+    double offered_mbps{0.0};
+  };
+
+  struct User {
+    core::Scene scene;
+    std::unique_ptr<vr::Motion> motion;
+    std::optional<vr::BlockageScript> script;
+    vr::MovrStrategy strategy;
+    vr::Session session;
+    std::size_t ap_index{0};
+    double offered_mbps{0.0};
+    // Admission-window deltas of the transport's live counters.
+    std::uint64_t last_misses{0};
+    std::uint64_t last_frames{0};
+    // Per-20 ms ledger audit results (folded into ArenaLinkStats).
+    std::uint64_t ledger_checks{0};
+    std::uint64_t ledger_violations{0};
+
+    User(sim::Simulator& simulator, UserWorld world,
+         const MotionFactory& motion_factory,
+         const ScriptFactory& script_factory, std::size_t index);
+  };
+
+  static UserWorld build_user_world(const core::Scene& prototype,
+                                    const Config& config, std::size_t user);
+
+  bool try_acquire(std::size_t user, std::size_t reflector);
+  double penalty_for(std::size_t user);
+  void control_tick();
+  void admission_tick(sim::TimePoint now);
+  void recompute_shares();
+  void ledger_tick();
+
+  sim::Simulator& simulator_;
+  Config config_;
+  MotionFactory motion_factory_;
+  ScriptFactory script_factory_;
+  ReflectorArbiter arbiter_;
+  AdmissionController admission_;
+  std::vector<std::unique_ptr<User>> users_;
+  std::vector<double> share_;  // per user, refreshed each control tick
+  sim::TimePoint end_{};
+  int control_ticks_per_window_{1};
+  int ticks_since_admission_{0};
+  // Scratch, reused per call (the control plane allocates only on warmup).
+  std::vector<Interferer> interferer_scratch_;
+  std::vector<AdmissionController::Sample> sample_scratch_;
+  std::vector<double> ap_weight_scratch_;
+};
+
+}  // namespace movr::arena

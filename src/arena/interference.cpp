@@ -1,0 +1,95 @@
+#include <arena/interference.hpp>
+
+#include <cmath>
+#include <vector>
+
+#include <phy/link.hpp>
+#include <phy/radio.hpp>
+
+namespace movr::arena {
+
+namespace {
+
+/// Frequency-averaged power of an emission from `position` into the
+/// victim's headset, over the victim room's ray paths, with an arbitrary
+/// transmit-side response (mirrors core::Scene's file-local hop_power).
+template <typename FTx>
+rf::DbmPower emission_at_headset(const core::Scene& victim,
+                                 geom::Vec2 position, rf::DbmPower tx_power,
+                                 FTx&& tx_response, rf::Decibels extra_loss) {
+  const auto paths =
+      victim.paths_view(position, victim.headset().node().position());
+  std::vector<phy::PathComponent> components;
+  components.reserve(paths->size());
+  for (const channel::Path& path : *paths) {
+    const rf::DbmPower path_power = tx_power - path.loss;
+    const double amplitude = std::sqrt(path_power.milliwatts());
+    components.push_back(
+        {amplitude * tx_response(path.departure_azimuth) *
+             victim.headset().node().response_toward(path.arrival_azimuth),
+         path.length_m});
+  }
+  return phy::wideband_power(components, victim.config().link, extra_loss);
+}
+
+}  // namespace
+
+rf::DbmPower interference_at_headset(const core::Scene& victim,
+                                     std::span<const Interferer> aggressors,
+                                     const InterferenceConfig& config) {
+  double total_mw = 0.0;
+  const geom::Vec2 victim_ap = victim.ap().node().position();
+  for (const Interferer& aggressor : aggressors) {
+    if (aggressor.scene == nullptr || aggressor.scene == &victim) {
+      continue;
+    }
+    const core::Scene& other = *aggressor.scene;
+    const geom::Vec2 other_ap = other.ap().node().position();
+    if ((other_ap - victim_ap).norm() >= config.same_ap_epsilon_m) {
+      // A foreign AP transmits concurrently; its beam (steered for its
+      // own user) leaks into the victim's aperture over the victim
+      // room's paths.
+      const auto paths =
+          victim.paths_view(other_ap, victim.headset().node().position());
+      total_mw += phy::received_power(other.ap().node(),
+                                      victim.headset().node(), *paths,
+                                      victim.config().link)
+                      .milliwatts();
+    }
+    if (aggressor.via_reflector &&
+        aggressor.reflector < other.reflector_count()) {
+      // The leased reflector re-radiates its amplified output — stable or
+      // not, that energy lands in the room; a compressed front end's
+      // garbage interferes just as hard.
+      const core::MovrReflector& reflector =
+          other.reflector(aggressor.reflector);
+      const auto state =
+          reflector.front_end().process(other.reflector_input(reflector));
+      const auto& tx_array = reflector.front_end().tx_array();
+      total_mw +=
+          emission_at_headset(
+              victim, reflector.position(), state.output,
+              [&](double az) {
+                return phy::array_response(tx_array, reflector.to_local(az));
+              },
+              victim.config().rx_side_loss)
+              .milliwatts();
+    }
+  }
+  return rf::DbmPower::from_milliwatts(total_mw > 0.0 ? total_mw : 1e-30);
+}
+
+double sinr_penalty_db(const core::Scene& victim,
+                       std::span<const Interferer> aggressors,
+                       const InterferenceConfig& config) {
+  const double interference_mw =
+      interference_at_headset(victim, aggressors, config).milliwatts();
+  const double noise_mw =
+      phy::link_noise_floor(victim.config().link).milliwatts();
+  if (interference_mw <= 1e-29 || noise_mw <= 0.0) {
+    return 0.0;
+  }
+  return 10.0 * std::log10(1.0 + interference_mw / noise_mw);
+}
+
+}  // namespace movr::arena

@@ -1,0 +1,139 @@
+#include <arena/lease.hpp>
+
+namespace movr::arena {
+
+ReflectorArbiter::ReflectorArbiter(std::size_t reflectors, std::size_t users,
+                                   Config config)
+    : config_{config}, table_(reflectors), user_stats_(users) {
+  for (Entry& entry : table_) {
+    entry.waiters.resize(users);
+  }
+}
+
+double ReflectorArbiter::priority(const WaitEntry& w,
+                                  sim::TimePoint now) const {
+  return config_.aging_per_second * sim::to_seconds(now - w.first_wait);
+}
+
+std::optional<std::size_t> ReflectorArbiter::top_waiter(
+    const Entry& entry, sim::TimePoint now) const {
+  std::optional<std::size_t> best;
+  double best_priority = -1.0;
+  for (std::size_t u = 0; u < entry.waiters.size(); ++u) {
+    const WaitEntry& w = entry.waiters[u];
+    if (!w.waiting || now - w.last_request > config_.wait_ttl) {
+      continue;  // gave up (blockage cleared, or found another reflector)
+    }
+    const double p = priority(w, now);
+    if (p > best_priority) {  // strict: equal priority keeps the lower id
+      best_priority = p;
+      best = u;
+    }
+  }
+  return best;
+}
+
+void ReflectorArbiter::grant(Entry& entry, std::size_t user,
+                             sim::TimePoint now) {
+  entry.holder = user;
+  entry.lease_expiry = now + config_.lease_duration;
+  entry.reserved.reset();
+  entry.waiters[user] = WaitEntry{};
+  ++stats_.grants;
+  ++user_stats_[user].grants;
+}
+
+bool ReflectorArbiter::acquire(std::size_t user, std::size_t r,
+                               sim::TimePoint now) {
+  Entry& entry = table_.at(r);
+  if (entry.holder == user) {
+    entry.lease_expiry = now + config_.lease_duration;  // re-begin: refresh
+    return true;
+  }
+  if (entry.holder.has_value()) {
+    // Held by someone else. Under FCFS that is the end of the story; under
+    // aging the denial itself is the wait signal that eventually expires
+    // the holder (retries keep the entry live, first_wait keeps aging).
+    if (config_.policy == Policy::kPriorityAging) {
+      WaitEntry& w = entry.waiters[user];
+      if (!w.waiting) {
+        w.waiting = true;
+        w.first_wait = now;
+      }
+      w.last_request = now;
+    }
+    ++stats_.denials;
+    ++user_stats_[user].denials;
+    return false;
+  }
+  // Free — but possibly reserved for an aged-out waiter.
+  if (config_.policy == Policy::kPriorityAging && entry.reserved.has_value()) {
+    if (now <= entry.reserve_expiry && *entry.reserved != user) {
+      WaitEntry& w = entry.waiters[user];
+      if (!w.waiting) {
+        w.waiting = true;
+        w.first_wait = now;
+      }
+      w.last_request = now;
+      ++stats_.denials;
+      ++user_stats_[user].denials;
+      return false;
+    }
+    entry.reserved.reset();  // ours, or lapsed: free-for-all again
+  }
+  grant(entry, user, now);
+  return true;
+}
+
+bool ReflectorArbiter::renew(std::size_t user, std::size_t r,
+                             sim::TimePoint now) {
+  Entry& entry = table_.at(r);
+  if (entry.holder != user) {
+    return false;  // already lost it (defensive; coordinator syncs state)
+  }
+  if (config_.policy == Policy::kFcfs) {
+    return true;  // FCFS never expires a lease
+  }
+  const auto winner = top_waiter(entry, now);
+  if (winner.has_value()) {
+    if (now >= entry.lease_expiry &&
+        priority(entry.waiters[*winner], now) > config_.holder_bonus) {
+      // Aged out: take the reflector back and hold it for the winner —
+      // the winner's own next acquire (it retries every frame while
+      // blocked) claims the reservation deterministically.
+      entry.holder.reset();
+      entry.reserved = winner;
+      entry.reserve_expiry = now + config_.reserve_ttl;
+      ++stats_.revocations;
+      ++user_stats_[user].revocations;
+      return false;
+    }
+    // Contended: the term keeps running down — extending it here would
+    // make expiry unreachable (renewals land every control tick) and
+    // starve every waiter. The holder keeps the remaining term, plus
+    // however long the winner still needs to out-age the holder bonus.
+  } else {
+    entry.lease_expiry = now + config_.lease_duration;  // uncontended
+  }
+  ++stats_.renewals;
+  return true;
+}
+
+void ReflectorArbiter::release(std::size_t user, std::size_t r,
+                               sim::TimePoint now) {
+  Entry& entry = table_.at(r);
+  if (entry.holder != user) {
+    return;
+  }
+  entry.holder.reset();
+  if (config_.policy == Policy::kPriorityAging) {
+    // Waiters were aging against us: honor the queue on the way out too.
+    const auto winner = top_waiter(entry, now);
+    if (winner.has_value()) {
+      entry.reserved = winner;
+      entry.reserve_expiry = now + config_.reserve_ttl;
+    }
+  }
+}
+
+}  // namespace movr::arena

@@ -1,0 +1,135 @@
+// Reflector lease arbitration for a shared room.
+//
+// In a multi-user arena the scarce resource is not spectrum — airtime is
+// divisible — but the steerable reflectors: a reflector's RX/TX beams and
+// gain code serve exactly one user at a time, so two blocked users wanting
+// the same reflector must be *arbitrated*, not averaged. The arbiter is a
+// lease table: a granted lease is exclusive and renewable; denied users
+// accumulate priority by waiting (aging), and when a lease expires with a
+// sufficiently aged waiter outstanding, the reflector is taken back and
+// reserved for that waiter. Everything is deterministic: priority ties
+// break toward the lower user id, and all decisions happen at explicit
+// control-plane instants (acquire calls and renew calls), never "between"
+// events.
+//
+// The FCFS policy (no expiry, no aging, no reservations) is the naive
+// baseline bench/arena compares against: whoever grabs a reflector first
+// keeps it for as long as they care to, and late-blocked users starve.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include <sim/time.hpp>
+
+namespace movr::arena {
+
+class ReflectorArbiter {
+ public:
+  enum class Policy : std::uint8_t {
+    /// Leases expire; waiters age; expired leases with an aged waiter are
+    /// revoked and reserved for the top waiter. Starvation-free.
+    kPriorityAging,
+    /// First committer keeps the reflector until it releases voluntarily.
+    kFcfs,
+  };
+
+  struct Config {
+    Policy policy{Policy::kPriorityAging};
+    /// A granted lease is safe from revocation for this long; each renew
+    /// while uncontended extends it by the same amount.
+    sim::Duration lease_duration{std::chrono::milliseconds{500}};
+    /// A waiter that has not re-requested within this window is presumed
+    /// gone (its blockage cleared) and no longer ages the holder out.
+    /// Must exceed the LinkManager's degraded re-probe interval (100 ms)
+    /// so a degraded user retrying at probe cadence stays "live".
+    sim::Duration wait_ttl{std::chrono::milliseconds{250}};
+    /// After a revocation (or a release with waiters), the reflector is
+    /// held for the winning waiter this long; unclaimed reservations
+    /// lapse back to free-for-all.
+    sim::Duration reserve_ttl{std::chrono::milliseconds{100}};
+    /// Priority accumulated per second of waiting.
+    double aging_per_second{1.0};
+    /// A waiter's aged priority must exceed this before an expired lease
+    /// is revoked — hysteresis so a freshly blocked user cannot instantly
+    /// evict a holder that still needs the reflector.
+    double holder_bonus{0.25};
+  };
+
+  struct Stats {
+    std::uint64_t grants{0};
+    std::uint64_t denials{0};
+    std::uint64_t revocations{0};  // expired leases handed to a waiter
+    std::uint64_t renewals{0};
+  };
+
+  struct UserStats {
+    std::uint64_t grants{0};
+    std::uint64_t denials{0};
+    std::uint64_t revocations{0};  // leases taken FROM this user
+  };
+
+  ReflectorArbiter(std::size_t reflectors, std::size_t users, Config config);
+
+  /// Request an exclusive lease on reflector `r` for `user`. Granted when
+  /// the reflector is free (or already ours, or reserved for us); denied
+  /// otherwise. A denial registers/refreshes the caller's wait entry — the
+  /// caller is expected to retry (the LinkManager does, every frame while
+  /// blocked), and each retry keeps the entry alive while its first-wait
+  /// timestamp keeps aging.
+  bool acquire(std::size_t user, std::size_t r, sim::TimePoint now);
+
+  /// Holder keep-alive, called by the coordinator each control tick.
+  /// Returns false when the lease has been revoked: the lease had expired
+  /// and a live waiter aged past the holder bonus — the reflector is now
+  /// reserved for the top waiter and the ex-holder must vacate
+  /// (LinkManager::revoke_reflector).
+  bool renew(std::size_t user, std::size_t r, sim::TimePoint now);
+
+  /// Voluntary release (recovered to direct, handover failed, quarantine).
+  /// With live waiters under kPriorityAging the reflector is reserved for
+  /// the top waiter rather than going to whoever asks next.
+  void release(std::size_t user, std::size_t r, sim::TimePoint now);
+
+  std::optional<std::size_t> holder(std::size_t r) const {
+    return table_.at(r).holder;
+  }
+  std::optional<std::size_t> reserved_for(std::size_t r) const {
+    return table_.at(r).reserved;
+  }
+
+  const Stats& stats() const { return stats_; }
+  const UserStats& user_stats(std::size_t user) const {
+    return user_stats_.at(user);
+  }
+
+ private:
+  struct WaitEntry {
+    sim::TimePoint first_wait{};
+    sim::TimePoint last_request{};
+    bool waiting{false};
+  };
+
+  struct Entry {
+    std::optional<std::size_t> holder;
+    sim::TimePoint lease_expiry{};
+    std::optional<std::size_t> reserved;
+    sim::TimePoint reserve_expiry{};
+    /// One slot per user; `waiting` entries age from first_wait.
+    std::vector<WaitEntry> waiters;
+  };
+
+  double priority(const WaitEntry& w, sim::TimePoint now) const;
+  /// Best live waiter (highest aged priority, ties to the lower user id).
+  std::optional<std::size_t> top_waiter(const Entry& entry,
+                                        sim::TimePoint now) const;
+  void grant(Entry& entry, std::size_t user, sim::TimePoint now);
+
+  Config config_;
+  std::vector<Entry> table_;
+  Stats stats_;
+  std::vector<UserStats> user_stats_;
+};
+
+}  // namespace movr::arena

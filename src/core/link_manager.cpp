@@ -55,6 +55,68 @@ bool LinkManager::reachable(std::size_t index) const {
   return !config_.reflector_reachable || config_.reflector_reachable(index);
 }
 
+bool LinkManager::via_occluded(const MovrReflector& reflector) const {
+  const auto hop_occluded = [&](geom::Vec2 a, geom::Vec2 b) {
+    const auto paths = scene_.paths_view(a, b);
+    for (const channel::Path& path : *paths) {
+      if (path.obstruction.value() <= config_.occlusion_skip_db.value()) {
+        return false;
+      }
+    }
+    return true;  // no path on this hop clears the obstruction threshold
+  };
+  return hop_occluded(scene_.ap().node().position(), reflector.position()) ||
+         hop_occluded(reflector.position(),
+                      scene_.headset().node().position());
+}
+
+bool LinkManager::acquire_lease(std::size_t index) {
+  if (!config_.reflector_acquire) {
+    return true;  // single-user room: every reflector is always ours
+  }
+  if (holds_lease_ && active_reflector_ == index) {
+    return true;  // already ours
+  }
+  release_lease();  // at most one lease per user at a time
+  if (!config_.reflector_acquire(index)) {
+    return false;
+  }
+  holds_lease_ = true;
+  return true;
+}
+
+void LinkManager::release_lease() {
+  if (!holds_lease_) {
+    return;
+  }
+  holds_lease_ = false;
+  if (config_.reflector_release) {
+    config_.reflector_release(active_reflector_);
+  }
+}
+
+void LinkManager::revoke_reflector(std::size_t index) {
+  if (mode_ == Mode::kHandoverPending && active_reflector_ == index) {
+    // The target was handed to an aged-out waiter mid-flight: the commit
+    // would program a reflector that is no longer ours. Cancel the attempt;
+    // next frame re-runs ordinary target selection.
+    simulator_.cancel(commit_event_);
+    simulator_.cancel(timeout_event_);
+    ++pending_seq_;
+    holds_lease_ = false;
+    mode_ = Mode::kDirect;
+    ++stats_.lease_revocations;
+    return;
+  }
+  if (mode_ == Mode::kViaReflector && active_reflector_ == index) {
+    leave_reflector();
+    holds_lease_ = false;
+    mode_ = Mode::kDirect;
+    good_probes_ = 0;
+    ++stats_.lease_revocations;
+  }
+}
+
 void LinkManager::steer_for_direct() {
   scene_.ap().node().steer_toward(scene_.headset().node().position());
   scene_.headset().node().face_toward(scene_.ap().node().position());
@@ -118,6 +180,7 @@ void LinkManager::enter_degraded() {
 void LinkManager::handover_failed(std::size_t target,
                                   const std::string& reason) {
   ++stats_.failed_handovers;
+  release_lease();
   if (health_.quarantined(target)) {
     // This attempt WAS the re-probe; its failure doubles the backoff.
     health_.note_probe_result(target, simulator_.now(), /*good=*/false);
@@ -133,19 +196,44 @@ void LinkManager::begin_handover_to_reflector() {
   if (scene_.reflector_count() == 0) {
     return;  // nothing to fall back to — and nothing to be degraded FROM
   }
-  const auto target = best_usable_reflector();
-  if (!target) {
+  ensure_records();
+  // Usable candidates, strongest illumination first (ties: lower index).
+  // A leased-out target is an explicit denial, not a fault: skip to the
+  // next-best reflector, and when every usable one is taken stay in the
+  // current mode and retry next frame — the arbiter ages waiting users in
+  // the meantime, so starvation resolves deterministically.
+  candidate_scratch_.clear();
+  for (std::size_t i = 0; i < scene_.reflector_count(); ++i) {
+    if (!health_.usable(i, simulator_.now())) {
+      continue;
+    }
+    if (config_.skip_occluded_candidates &&
+        via_occluded(scene_.reflector(i))) {
+      continue;  // no steering routes around a body in the hop
+    }
+    candidate_scratch_.emplace_back(
+        -scene_.via_snr(scene_.reflector(i)).snr.value(), i);
+  }
+  if (candidate_scratch_.empty()) {
     enter_degraded();
     return;
   }
-  mode_ = Mode::kHandoverPending;
-  active_reflector_ = *target;
-  const std::uint64_t seq = ++pending_seq_;
-  commit_event_ = simulator_.after(
-      config_.bt_wait, [this, t = *target, seq] { commit_handover(t, seq); });
-  timeout_event_ =
-      simulator_.after(config_.handover_timeout,
-                       [this, t = *target, seq] { abandon_handover(t, seq); });
+  std::sort(candidate_scratch_.begin(), candidate_scratch_.end());
+  for (const auto& [neg_snr, index] : candidate_scratch_) {
+    if (!acquire_lease(index)) {
+      continue;
+    }
+    mode_ = Mode::kHandoverPending;
+    active_reflector_ = index;
+    const std::uint64_t seq = ++pending_seq_;
+    commit_event_ = simulator_.after(
+        config_.bt_wait, [this, t = index, seq] { commit_handover(t, seq); });
+    timeout_event_ =
+        simulator_.after(config_.handover_timeout,
+                         [this, t = index, seq] { abandon_handover(t, seq); });
+    return;
+  }
+  ++stats_.denied_handovers;
 }
 
 void LinkManager::commit_handover(std::size_t target, std::uint64_t seq) {
@@ -172,6 +260,7 @@ void LinkManager::commit_handover(std::size_t target, std::uint64_t seq) {
     // replays the stored calibration and tries again.
     health_.note_reboot(target, simulator_.now());
     ++stats_.failed_handovers;
+    release_lease();
     mode_ = Mode::kDirect;
     return;
   }
@@ -227,11 +316,13 @@ void LinkManager::probe_direct_path() {
   }
   if (good_probes_ >= config_.probes_to_recover) {
     // Switching back is all-electronic: AP and headset re-steer in
-    // microseconds; the reflector can stay configured as a hot spare.
+    // microseconds; the reflector can stay configured as a hot spare —
+    // but in a shared room the lease goes back to the pool.
     if (mode_ == Mode::kViaReflector) {
       leave_reflector();
       ++stats_.handovers_to_direct;
     }
+    release_lease();
     mode_ = Mode::kDirect;
     good_probes_ = 0;
   }
@@ -339,6 +430,7 @@ rf::Decibels LinkManager::on_frame() {
         // config divergence): evict immediately rather than waiting for
         // the SNR to degrade through the in-service counters.
         leave_reflector();
+        release_lease();
         mode_ = Mode::kDirect;
         begin_handover_to_reflector();  // next reflector, or kDegraded
         break;
@@ -348,6 +440,7 @@ rf::Decibels LinkManager::on_frame() {
                          "in-service via-SNR below usable");
         if (health_.quarantined(active_reflector_)) {
           leave_reflector();
+          release_lease();
           mode_ = Mode::kDirect;
           begin_handover_to_reflector();  // next reflector, or kDegraded
           break;

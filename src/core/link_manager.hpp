@@ -75,6 +75,28 @@ class LinkManager {
     /// to the control channel's partition state so the manager cannot
     /// command a reflector across a partition. Unset = always reachable.
     std::function<bool(std::size_t)> reflector_reachable;
+    /// Multi-user arbitration (arena::Coordinator): a reflector is a shared
+    /// physical resource, so before a handover targets one the manager asks
+    /// for a lease. A denial is an ordinary, transient outcome — the
+    /// manager tries the next-best usable reflector, and if every usable
+    /// candidate is leased elsewhere it stays in its current mode and asks
+    /// again next frame (the retry IS the aging signal the arbiter uses).
+    /// A denial never quarantines: the reflector is healthy, just busy.
+    /// Unset = single-user room, every reflector is always ours.
+    std::function<bool(std::size_t)> reflector_acquire;
+    /// Releases a held lease: called when the manager leaves a reflector
+    /// for any reason except an external revocation (recovered to direct,
+    /// handover failed, reflector quarantined or rebooted mid-service).
+    std::function<void(std::size_t)> reflector_release;
+    /// Skip handover candidates whose via path is physically occluded:
+    /// when every oracle path on either hop (AP->reflector or
+    /// reflector->headset) is obstructed by more than occlusion_skip_db,
+    /// no retargeting can make the commit succeed, so attempting it only
+    /// burns bt_wait — and, in a multi-user room, holds a lease another
+    /// user could have used. Off by default: a single-user manager's
+    /// failed attempt is harmless and the probe result feeds health.
+    bool skip_occluded_candidates{false};
+    rf::Decibels occlusion_skip_db{12.0};
     HealthMonitor::Config health{};
     // --- proactive (forecast-driven) handover -------------------------
     /// Risk windows below this confidence are ignored outright.
@@ -125,6 +147,22 @@ class LinkManager {
   bool degraded() const { return mode_ == Mode::kDegraded; }
   std::size_t active_reflector() const { return active_reflector_; }
 
+  /// The reflector this manager currently holds a lease on (pending or in
+  /// service), nullopt when no acquire hook is wired or no lease is held.
+  /// The coordinator renews this lease with the arbiter each control tick.
+  std::optional<std::size_t> leased_reflector() const {
+    return holds_lease_ ? std::optional<std::size_t>{active_reflector_}
+                        : std::nullopt;
+  }
+
+  /// External lease revocation (the arbiter handed the reflector to an
+  /// aged-out waiter). Effective immediately: a pending handover to it is
+  /// cancelled, an in-service link drops back to kDirect — the next frame
+  /// re-runs ordinary target selection (another reflector, or degraded).
+  /// The reflector is NOT quarantined: it is healthy, just no longer ours.
+  /// No-op unless the manager is actually on (or moving to) `index`.
+  void revoke_reflector(std::size_t index);
+
   HealthMonitor& health() { return health_; }
   const HealthMonitor& health() const { return health_; }
 
@@ -139,6 +177,11 @@ class LinkManager {
     int risk_windows{0};
     /// Handovers started by a forecast rather than an SNR collapse.
     int proactive_handovers{0};
+    /// Handover attempts where every usable reflector's lease was denied
+    /// (multi-user contention; zero without an acquire hook).
+    int denied_handovers{0};
+    /// Leases the arbiter revoked out from under us mid-pending/service.
+    int lease_revocations{0};
   };
   const Stats& stats() const { return stats_; }
 
@@ -155,6 +198,9 @@ class LinkManager {
 
   void steer_for_direct();
   bool reachable(std::size_t index) const;
+  bool via_occluded(const MovrReflector& reflector) const;
+  bool acquire_lease(std::size_t index);
+  void release_lease();
   rf::Decibels current_true_snr();
   void begin_handover_to_reflector();
   void commit_handover(std::size_t target, std::uint64_t seq);
@@ -175,11 +221,17 @@ class LinkManager {
   Config config_;
   Mode mode_{Mode::kDirect};
   std::size_t active_reflector_{0};
+  /// True while a lease acquired through Config::reflector_acquire on
+  /// `active_reflector_` is outstanding (pending handover or in service).
+  bool holds_lease_{false};
   int good_probes_{0};
   sim::TimePoint last_probe_{};
   sim::TimePoint reflector_since_{};
   HealthMonitor health_;
   std::vector<CalibrationRecord> records_;
+  /// Handover target candidates (-via_snr, index), reused per attempt so
+  /// selection never allocates once warmed.
+  std::vector<std::pair<double, std::size_t>> candidate_scratch_;
   /// Monotonic handover sequence number: bumping it invalidates any
   /// commit/timeout events still in flight for an older attempt.
   std::uint64_t pending_seq_{0};

@@ -84,6 +84,12 @@ struct TransportMetrics {
   double fec_loss_estimate{0.0};  // controller's final loss EWMA
   double fec_burst_estimate_mpdus{0.0};  // controller's final burst estimate
 
+  // Multi-user arena plumbing (ChannelState::airtime_share /
+  // ::interference_db); at their defaults when the session ran alone.
+  double airtime_share_min{1.0};    // tightest share the coordinator imposed
+  double interference_db_max{0.0};  // worst per-tick SNR penalty
+  std::uint64_t interfered_ticks{0};  // ticks with a nonzero penalty
+
   // Queue backpressure.
   std::size_t queue_max_depth_frames{0};
   std::uint64_t queue_max_depth_bytes{0};

@@ -68,6 +68,15 @@ sim::Duration Transport::data_airtime(const Packet& packet,
 
 void Transport::on_frame(ChannelState channel) {
   channel_ = channel;
+  if (channel_.airtime_share < airtime_share_min_) {
+    airtime_share_min_ = channel_.airtime_share;
+  }
+  if (channel_.interference_db > 0.0) {
+    ++interfered_ticks_;
+    if (channel_.interference_db > interference_db_max_) {
+      interference_db_max_ = channel_.interference_db;
+    }
+  }
   const sim::TimePoint now = simulator_.now();
 
   Frame frame = source_.next(now);
@@ -151,7 +160,17 @@ void Transport::pump() {
   // (parity is expendable — a second beam's worth of it is pure waste).
   const bool speculative = channel_.speculative && !packet.parity;
   const double alt_loss = channel_.alt_loss;
-  simulator_.after(data_airtime(packet, *channel_.mcs),
+  // A fractional airtime share stretches the MPDU's wall-clock occupancy:
+  // the other users' interleaved slots sit between our symbols. share ==
+  // 1.0 skips the arithmetic entirely so a single-user run stays
+  // bit-identical.
+  sim::Duration air = data_airtime(packet, *channel_.mcs);
+  if (channel_.airtime_share < 1.0) {
+    const double share = std::max(channel_.airtime_share, 1e-3);
+    air = sim::Duration{static_cast<sim::Duration::rep>(
+        std::llround(static_cast<double>(air.count()) / share))};
+  }
+  simulator_.after(air,
                    [this, packet, loss, counted, speculative, alt_loss] {
                      on_data_done(packet, loss, counted, speculative,
                                   alt_loss);
@@ -346,6 +365,10 @@ void Transport::drop_frame(std::uint64_t frame_id, FrameOutcome::Kind kind) {
           recovered_.begin(), recovered_.end(),
           std::pair<std::uint64_t, std::uint32_t>{frame_id + 1, 0}));
   FrameOutcome& outcome = outcomes_[frame_id];
+  if (outcome.kind == FrameOutcome::Kind::kPending) {
+    // kMiss frames were already counted at their deadline event.
+    ++live_deadline_misses_;
+  }
   if (outcome.kind == FrameOutcome::Kind::kPending ||
       outcome.kind == FrameOutcome::Kind::kMiss) {
     outcome.kind = kind;
@@ -373,6 +396,7 @@ void Transport::on_display_deadline(std::uint64_t frame_id) {
   } else if (verdict == JitterBuffer::Deadline::kMiss &&
              outcome.kind == FrameOutcome::Kind::kPending) {
     outcome.kind = FrameOutcome::Kind::kMiss;
+    ++live_deadline_misses_;
   }
   pump();
 }
@@ -460,6 +484,9 @@ void Transport::finalize(sim::TimePoint end) {
   metrics_.speculative_saves = speculative_saves_;
   metrics_.queue_max_depth_frames = queue_.counters().max_depth_frames;
   metrics_.queue_max_depth_bytes = queue_.counters().max_depth_bytes;
+  metrics_.airtime_share_min = airtime_share_min_;
+  metrics_.interference_db_max = interference_db_max_;
+  metrics_.interfered_ticks = interfered_ticks_;
 
   metrics_.parity_enqueued = fec_.counters().parity_packets;
   metrics_.parity_delivered = jitter_.counters().parity_received;
@@ -511,6 +538,10 @@ void Transport::reset() {
   speculative_dups_ = 0;
   speculative_loss_drops_ = 0;
   speculative_saves_ = 0;
+  live_deadline_misses_ = 0;
+  airtime_share_min_ = 1.0;
+  interference_db_max_ = 0.0;
+  interfered_ticks_ = 0;
   outcomes_.clear();
   metrics_ = TransportMetrics{};
 }

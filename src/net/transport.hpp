@@ -65,6 +65,14 @@ struct ChannelState {
   /// the extended ledger closes at every instant.
   bool speculative{false};
   double alt_loss{1.0};
+  /// Fraction (0, 1] of the AP's airtime this link may use — multi-user
+  /// arena plumbing. Serialization slows by 1/share (an MPDU's wall-clock
+  /// air occupancy includes the other users' interleaved slots). Exactly
+  /// 1.0 (the default) is bit-identical to the single-user transport.
+  double airtime_share{1.0};
+  /// Mutual-interference SNR penalty (dB) the session already folded into
+  /// `packet_loss`; carried for accounting only.
+  double interference_db{0.0};
 
   double loss() const {
     const double p = packet_loss + extra_loss;
@@ -150,6 +158,13 @@ class Transport {
   /// recovery) — the ledger's fifth bucket. Zero while speculation is
   /// never armed.
   std::uint64_t packets_speculative_dup() const { return speculative_dups_; }
+  /// Display deadlines missed so far (late + dropped + still-in-flight at
+  /// deadline), countable mid-run — the arena's admission controller polls
+  /// this each window without waiting for finalize().
+  std::uint64_t live_deadline_misses() const { return live_deadline_misses_; }
+  /// Frames emitted so far (mid-run counterpart of metrics().frames_emitted).
+  std::uint64_t live_frames_emitted() const { return outcomes_.size(); }
+
   /// enqueued == delivered + dropped + recovered-as-delivered +
   /// speculative-dup + in-flight, at any instant (fuzzed every tick by the
   /// property tests and benches).
@@ -260,6 +275,13 @@ class Transport {
   std::uint64_t speculative_loss_drops_{0};
   /// Armed MPDUs that arrived only via the alternate beam.
   std::uint64_t speculative_saves_{0};
+  /// Deadlines missed, counted the instant each frame first misses (kMiss
+  /// at its deadline event, or a drop while still pending).
+  std::uint64_t live_deadline_misses_{0};
+  // Arena accounting across the session (see ChannelState::airtime_share).
+  double airtime_share_min_{1.0};
+  double interference_db_max_{0.0};
+  std::uint64_t interfered_ticks_{0};
 
   std::vector<FrameOutcome> outcomes_;
   TransportMetrics metrics_;

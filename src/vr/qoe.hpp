@@ -49,6 +49,35 @@ struct PredictiveLinkStats {
   long chaos_garbled{0};
 };
 
+/// Multi-user arena accounting (see src/arena/). The session fills the
+/// spectrum-sharing half (interference, MCS caps, airtime shares) from its
+/// arena hooks; the arena::Coordinator fills the control-plane half (lease
+/// traffic, admission decisions) after the session finishes. Present only
+/// when the session ran under a coordinator; a standalone session's report
+/// never carries it — which is why the determinism contract's fingerprint
+/// excludes it.
+struct ArenaLinkStats {
+  // -- session-filled: what spectrum sharing did to this user's link --
+  std::uint64_t interfered_frames{0};  // frames with a nonzero SNR penalty
+  double mean_interference_db{0.0};    // over all frames
+  double max_interference_db{0.0};
+  std::uint64_t mcs_capped_frames{0};  // admission cap actually bound
+  std::uint64_t muted_frames{0};       // evicted: nothing flew
+  double min_airtime_share{1.0};
+  // -- coordinator-filled: arbitration and admission, per user --
+  int reflector_denials{0};    // handover attempts with all targets leased
+  int lease_grants{0};
+  int lease_revocations{0};    // leases aged away to a waiting user
+  int admission_degrades{0};
+  int admission_evictions{0};
+  int admission_readmissions{0};
+  /// 0 = admitted, 1 = degraded, 2 = evicted (at session end).
+  int final_admission_state{0};
+  /// Per-20 ms packet-ledger audits that failed (must be zero).
+  std::uint64_t ledger_violations{0};
+  std::uint64_t ledger_checks{0};
+};
+
 struct QoeReport {
   std::uint64_t frames{0};
   std::uint64_t glitched_frames{0};
@@ -86,6 +115,11 @@ struct QoeReport {
   /// reflector safe-mode entries). Present only when the session ran with
   /// a core::ControlPlane attached (Session::Config::control_plane).
   std::optional<core::ControlPlaneIncidents> control_plane;
+
+  /// Multi-user arena counters (interference, airtime shares, lease and
+  /// admission traffic). Present only when the session ran under an
+  /// arena::Coordinator (any arena hook wired in Session::Config).
+  std::optional<ArenaLinkStats> arena;
 
   double glitch_fraction() const {
     return frames == 0 ? 0.0

@@ -31,6 +31,10 @@ Session::Session(sim::Simulator& simulator, core::Scene& scene,
       burst_ = std::make_unique<sim::BurstChannel>(*config_.burst_loss);
     }
   }
+  if (config_.snr_penalty_db || config_.mcs_index_limit ||
+      config_.airtime_share) {
+    arena_.emplace();
+  }
 }
 
 std::pair<const phy::McsEntry*, double> Session::select_mcs(
@@ -44,6 +48,27 @@ std::pair<const phy::McsEntry*, double> Session::select_mcs(
     const rf::Decibels estimate =
         rf::estimate_snr(true_snr, /*symbols=*/16, rate_rng_);
     mcs = adapter_.on_estimate(estimate);
+  }
+  // Admission cap: an overloaded room fences how far up the ladder this
+  // user may rate-chase; -1 mutes an evicted user outright.
+  if (mcs != nullptr && tick_mcs_limit_ < mcs->index) {
+    if (tick_mcs_limit_ < 0) {
+      mcs = nullptr;
+      if (arena_.has_value()) {
+        ++arena_->muted_frames;
+      }
+    } else {
+      const phy::McsEntry* capped = nullptr;
+      for (const phy::McsEntry& entry : phy::mcs_table()) {
+        if (entry.index <= tick_mcs_limit_) {
+          capped = &entry;
+        }
+      }
+      mcs = capped;
+      if (arena_.has_value()) {
+        ++arena_->mcs_capped_frames;
+      }
+    }
   }
   const double per =
       mcs != nullptr ? phy::packet_error_rate(*mcs, true_snr) : 1.0;
@@ -110,7 +135,29 @@ void Session::tick() {
   }
 
   // 2. The link strategy reacts and the frame is sent.
-  const rf::Decibels snr = strategy_.on_frame();
+  rf::Decibels snr = strategy_.on_frame();
+
+  // Arena hooks, each polled exactly once per tick so a coordinator can
+  // account per-tick state. Unset hooks leave the standalone defaults —
+  // subtracting 0.0 dB and dividing airtime by 1.0 are bit-exact no-ops.
+  double penalty_db = 0.0;
+  if (config_.snr_penalty_db) {
+    penalty_db = config_.snr_penalty_db();
+    snr -= rf::Decibels{penalty_db};
+  }
+  tick_mcs_limit_ = config_.mcs_index_limit
+                        ? config_.mcs_index_limit()
+                        : std::numeric_limits<int>::max();
+  tick_share_ = config_.airtime_share ? config_.airtime_share() : 1.0;
+  if (arena_.has_value()) {
+    if (penalty_db > 0.0) {
+      ++arena_->interfered_frames;
+      arena_->interference_sum_db += penalty_db;
+      arena_->interference_max_db =
+          std::max(arena_->interference_max_db, penalty_db);
+    }
+    arena_->min_share = std::min(arena_->min_share, tick_share_);
+  }
 
   if (transport_ != nullptr) {
     // Transport path: the frame enters the data-plane; whether the player
@@ -120,6 +167,8 @@ void Session::tick() {
     net::ChannelState channel;
     channel.mcs = mcs;
     channel.packet_loss = per;
+    channel.airtime_share = tick_share_;
+    channel.interference_db = penalty_db;
     const bool fault_active =
         config_.faults != nullptr && config_.faults->active_count(now) > 0;
     channel.stressed = fault_active || strategy_.link_stressed();
@@ -150,6 +199,7 @@ void Session::tick() {
     transport_->on_frame(channel);
     ++report_.frames;
     snr_sum_ += snr.value();
+    last_mcs_rate_mbps_ = mcs != nullptr ? mcs->rate_mbps : 0.0;
     rate_sum_ += mcs != nullptr ? mcs->rate_mbps : 0.0;
     report_.min_snr_db = std::min(report_.min_snr_db, snr.value());
     if (report_.frames < target_frames_) {
@@ -158,7 +208,21 @@ void Session::tick() {
     return;
   }
 
-  const auto [rate, delivered] = rate_frame(snr);
+  auto [rate, delivered] = rate_frame(snr);
+  if (tick_mcs_limit_ < 0) {
+    // Evicted: nothing flies this tick.
+    rate = 0.0;
+    delivered = false;
+    if (arena_.has_value()) {
+      ++arena_->muted_frames;
+    }
+  } else if (tick_share_ < 1.0 &&
+             rate * tick_share_ < config_.display.required_mbps()) {
+    // The legacy binary model's share analogue: the deliverable fraction
+    // of the rate must still clear the display's requirement.
+    delivered = false;
+  }
+  last_mcs_rate_mbps_ = rate;
 
   // 3. QoE accounting.
   ++report_.frames;
@@ -181,11 +245,19 @@ void Session::tick() {
 }
 
 QoeReport Session::run() {
+  start();
+  simulator_.run_until(start_ + config_.duration);
+  return finish();
+}
+
+void Session::start() {
   start_ = simulator_.now();
   target_frames_ = static_cast<std::uint64_t>(
       config_.duration.count() / config_.display.frame_interval().count());
   simulator_.after(sim::Duration::zero(), [this] { tick(); });
-  simulator_.run_until(start_ + config_.duration);
+}
+
+QoeReport Session::finish() {
   if (transport_ != nullptr) {
     transport_->finalize(start_ + config_.duration);
     account_transport_outcomes();
@@ -208,6 +280,19 @@ QoeReport Session::run() {
     report_.control_plane = config_.control_plane->incidents();
   }
   report_.predictive = strategy_.predictive_stats();
+  if (arena_.has_value()) {
+    ArenaLinkStats stats;
+    stats.interfered_frames = arena_->interfered_frames;
+    stats.mean_interference_db =
+        report_.frames > 0
+            ? arena_->interference_sum_db / static_cast<double>(report_.frames)
+            : 0.0;
+    stats.max_interference_db = arena_->interference_max_db;
+    stats.mcs_capped_frames = arena_->mcs_capped_frames;
+    stats.muted_frames = arena_->muted_frames;
+    stats.min_airtime_share = arena_->min_share;
+    report_.arena = stats;
+  }
   return report_;
 }
 

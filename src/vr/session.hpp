@@ -6,6 +6,7 @@
 // switching) and compare glitch counts frame-for-frame.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <optional>
 #include <random>
@@ -125,6 +126,23 @@ class Session {
     /// reconciliations, safe-mode entries) alongside the QoE metrics. The
     /// session does not drive it — it runs on its own simulator events.
     const core::ControlPlane* control_plane{nullptr};
+
+    // --- arena hooks (multi-user coordination; see arena::Coordinator) --
+    // Each hook is polled exactly once per tick, in this order, after the
+    // strategy's on_frame. All unset = a standalone session, bit-identical
+    // to before the hooks existed. When any is set the report carries
+    // QoeReport::arena.
+    /// Mutual-interference SNR penalty (dB, >= 0) for this tick; subtracted
+    /// from the strategy's true SNR before rate selection and PER.
+    std::function<double()> snr_penalty_db;
+    /// Admission/fairness cap on the MCS index this tick. Values at or past
+    /// the top of the table leave selection alone; -1 mutes the link (an
+    /// evicted user: nothing flies, the frame glitches).
+    std::function<int()> mcs_index_limit;
+    /// Fraction (0, 1] of the shared AP's airtime granted this tick; fed to
+    /// the transport (serialization stretches by 1/share) and, under the
+    /// legacy binary model, scales the deliverable rate.
+    std::function<double()> airtime_share;
   };
 
   /// `motion` and `script` may be null (static player / no blockage).
@@ -133,7 +151,23 @@ class Session {
           const BlockageScript* script, Config config);
 
   /// Runs the whole session on the simulator and returns the QoE report.
+  /// Equivalent to start(); run_until(end); finish() — kept as the
+  /// single-session entry point.
   QoeReport run();
+
+  /// Schedules the first tick; the caller drives the simulator. Used by
+  /// arena::Coordinator to interleave N sessions on one event queue.
+  void start();
+  /// Settles accounting after the simulator reached the session end and
+  /// returns the report. Call exactly once, after start().
+  QoeReport finish();
+
+  /// End of this session's tick schedule (valid after start()).
+  sim::TimePoint end_time() const { return start_ + config_.duration; }
+
+  /// Rate (Mbps) of the MCS the last tick actually flew, 0 while the link
+  /// is down/muted. The arena's admission controller samples this.
+  double last_mcs_rate_mbps() const { return last_mcs_rate_mbps_; }
 
   /// The live transport pipeline, nullptr when the session runs the legacy
   /// binary model. Exposed so benches can audit the packet ledger mid-run.
@@ -165,6 +199,21 @@ class Session {
   std::unique_ptr<net::Transport> transport_;
   /// Burst-loss chain, live only when config_.burst_loss is set.
   std::unique_ptr<sim::BurstChannel> burst_;
+
+  /// Per-tick arena hook values (set once per tick; defaults = standalone).
+  int tick_mcs_limit_{std::numeric_limits<int>::max()};
+  double tick_share_{1.0};
+  double last_mcs_rate_mbps_{0.0};
+  /// Live only when any arena hook is wired; folded into report_.arena.
+  struct ArenaAccounting {
+    std::uint64_t interfered_frames{0};
+    double interference_sum_db{0.0};
+    double interference_max_db{0.0};
+    std::uint64_t mcs_capped_frames{0};
+    std::uint64_t muted_frames{0};
+    double min_share{1.0};
+  };
+  std::optional<ArenaAccounting> arena_;
 
   void close_stall();
   void compute_fault_recovery();
