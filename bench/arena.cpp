@@ -29,19 +29,21 @@
 //     is vacuous)
 //
 // Usage: arena [--users LIST] [--seeds N] [--seed S] [--duration SECONDS]
-//              [--threads N] [--json PATH]
+//              [--threads N] [--json PATH] [--event-log DIR]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include <arena/coordinator.hpp>
 #include <core/parallel_for.hpp>
+#include <log/recorder.hpp>
 #include <sim/rng.hpp>
 #include <vr/session.hpp>
 
@@ -254,6 +256,68 @@ IdentityResult run_identity(std::uint64_t seed, double duration_s) {
   return out;
 }
 
+/// Single-cell event-log mode: one arbitration run with every user's
+/// session + link manager recording into `dir`/user<N>.log and the
+/// coordinator's lease-revocation / admission-transition interleave into
+/// `dir`/coordinator.log. The per-user streams carry no params record, so
+/// log_verify applies the chain + ledger-closure checks to them.
+int run_event_log(std::size_t users, std::uint64_t seed, double duration_s,
+                  const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create --event-log dir %s: %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+  const core::Scene prototype = arena_scene();
+  sim::Simulator simulator;
+  auto config = make_config(users, Arm::kArbitration, seed, duration_s);
+  log::Recorder::Config coordinator_log_config;
+  coordinator_log_config.path = dir + "/coordinator.log";
+  coordinator_log_config.bench = "arena";
+  coordinator_log_config.seed = seed;
+  log::Recorder coordinator_log{std::move(coordinator_log_config)};
+  coordinator_log.bind_clock(&simulator);
+  std::vector<std::unique_ptr<log::Recorder>> user_logs;
+  for (std::size_t u = 0; u < users; ++u) {
+    log::Recorder::Config user_log_config;
+    user_log_config.path = dir + "/user" + std::to_string(u) + ".log";
+    user_log_config.bench = "arena";
+    user_log_config.seed = seed;
+    user_logs.push_back(
+        std::make_unique<log::Recorder>(std::move(user_log_config)));
+    user_logs.back()->bind_clock(&simulator);
+  }
+  config.recorder = &coordinator_log;
+  config.user_recorder = [&user_logs](std::size_t u) {
+    return user_logs[u].get();
+  };
+  arena::Coordinator coordinator{simulator, prototype, config,
+                                 motion_factory(seed),
+                                 script_factory(duration_s)};
+  const auto results = coordinator.run();
+  coordinator_log.close();
+  for (const auto& user_log : user_logs) {
+    user_log->close();
+  }
+  std::printf("event logs: %s/coordinator.log (%llu records) + %zu user "
+              "streams\n",
+              dir.c_str(),
+              static_cast<unsigned long long>(coordinator_log.records()),
+              user_logs.size());
+  for (std::size_t u = 0; u < results.size(); ++u) {
+    std::printf("  user%zu: %6.2f%% glitched, %llu records, fingerprint "
+                "%s\n",
+                u, 100.0 * results[u].report.glitch_fraction(),
+                static_cast<unsigned long long>(user_logs[u]->records()),
+                bench::fingerprint_hex(
+                    arena::qoe_fingerprint(results[u].report))
+                    .c_str());
+  }
+  return 0;
+}
+
 /// Per-user diagnostic table for one (users, arm, seed) cell: where the
 /// tail user's glitches actually come from (starved handovers, failed
 /// commits, degraded dwell, interference).
@@ -301,7 +365,10 @@ void print_usage() {
       "  --seed S             run exactly one seed (replay mode)\n"
       "  --duration SECONDS   sim time per configuration (default 10)\n"
       "  --threads N          worker threads (default: hardware)\n"
-      "  --json PATH          write a machine-readable summary to PATH\n\n"
+      "  --json PATH          write a machine-readable summary to PATH\n"
+      "  --event-log DIR      single-cell mode: one arbitration run (first\n"
+      "                       --users count, --seed or 1) writing per-user\n"
+      "                       + coordinator event logs into DIR, then exit\n\n"
       "Exits nonzero when a 1-user arena is not bit-identical to the\n"
       "standalone session, when any user's per-20 ms packet-ledger audit\n"
       "fails, when (at 16 users) arbitration does not beat FCFS on the\n"
@@ -319,6 +386,7 @@ int main(int argc, char** argv) {
   double duration_s = 10.0;
   unsigned threads = 0;
   std::string json_path;
+  std::string event_log_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
       user_counts.clear();
@@ -350,6 +418,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--event-log") == 0 && i + 1 < argc) {
+      event_log_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
       print_usage();
       return 0;
@@ -367,6 +437,12 @@ int main(int argc, char** argv) {
     for (int s = 1; s <= seeds; ++s) {
       seed_list.push_back(static_cast<std::uint64_t>(s));
     }
+  }
+
+  if (!event_log_dir.empty()) {
+    const std::size_t users = user_counts.empty() ? 2 : user_counts.front();
+    return run_event_log(users, seed_list.front(), duration_s,
+                         event_log_dir);
   }
 
   // Every (users, arm, seed) sweep job plus one identity job per seed, all
@@ -493,13 +569,12 @@ int main(int argc, char** argv) {
   for (std::size_t s = 0; s < seed_list.size(); ++s) {
     const IdentityResult& id = identity_results[s];
     if (id.arena_fp != id.solo_fp) {
-      std::printf("FAIL: 1-user arena fingerprint %016llx != standalone "
-                  "%016llx (seed %llu)\n",
-                  static_cast<unsigned long long>(id.arena_fp),
-                  static_cast<unsigned long long>(id.solo_fp),
+      std::printf("FAIL: 1-user arena fingerprint %s != standalone "
+                  "%s (seed %llu)\n",
+                  bench::fingerprint_hex(id.arena_fp).c_str(),
+                  bench::fingerprint_hex(id.solo_fp).c_str(),
                   static_cast<unsigned long long>(seed_list[s]));
-      std::printf("  replay: arena --seed %llu --duration %g --users 2\n",
-                  static_cast<unsigned long long>(seed_list[s]), duration_s);
+      bench::print_replay("arena", seed_list[s], duration_s, " --users 2");
       ++failures;
     }
     if (id.ledger_violations > 0) {

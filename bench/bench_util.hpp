@@ -106,6 +106,31 @@ inline std::vector<double> latency_samples(
   return samples;
 }
 
+/// One step of the chained counter digest the replayable benches use as a
+/// run fingerprint (a replayed seed must reproduce the hash exactly).
+inline std::uint64_t fingerprint_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Fixed-width 16-hex-digit rendering of a fingerprint, for table columns
+/// and replay comparisons.
+inline std::string fingerprint_hex(std::uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+/// The exact single-seed replay command a failing run prints; `extra` is
+/// appended verbatim (leading space included) for bench-specific flags.
+inline void print_replay(const char* bench, std::uint64_t seed,
+                         double duration_s, const std::string& extra = {}) {
+  std::printf("  replay: %s --seed %llu --duration %g%s\n", bench,
+              static_cast<unsigned long long>(seed), duration_s,
+              extra.c_str());
+}
+
 /// Minimal ordered JSON value tree for the bench artifacts (BENCH_*.json):
 /// enough for objects, arrays, numbers, strings and bools — no parsing, no
 /// dependencies. Non-finite numbers serialize as null (JSON has no inf).

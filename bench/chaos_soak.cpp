@@ -30,6 +30,7 @@
 // Usage:
 //   chaos_soak [--seeds N] [--seed S] [--duration SECONDS]
 //              [--disable-watchdog] [--expect-violation]
+//              [--event-log DIR] [--json PATH]
 //
 //   --seeds N            run seeds 1..N (default 20)
 //   --seed S             run exactly one seed (replay mode)
@@ -38,16 +39,22 @@
 //                        watchdogs off; invariant A must catch it
 //   --expect-violation   invert the exit code: succeed only if at least
 //                        one invariant violation was observed
+//   --event-log DIR      record each seed's signed event log to
+//                        DIR/seed<N>.log (tools/log_verify re-checks the
+//                        chain and all five invariants offline)
+//   --json PATH          write a machine-readable summary to PATH
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include <core/angle_search.hpp>
 #include <core/config_epoch.hpp>
+#include <log/recorder.hpp>
 #include <sim/fault_injector.hpp>
 #include <sim/rng.hpp>
 #include <vr/fault_scenarios.hpp>
@@ -90,13 +97,9 @@ double uniform(std::mt19937_64& g, double lo, double hi) {
   return std::uniform_real_distribution<double>{lo, hi}(g);
 }
 
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  return h;
-}
-
 SeedResult run_seed(std::uint64_t seed, double duration_s,
-                    bool watchdog_enabled) {
+                    bool watchdog_enabled,
+                    const std::string& event_log_dir) {
   SeedResult result;
   result.seed = seed;
   const auto duration = sim::from_seconds(duration_s);
@@ -126,9 +129,21 @@ SeedResult run_seed(std::uint64_t seed, double duration_s,
   channel_config.reorder_probability = uniform(chaos, 0.02, 0.12);
   sim::ControlChannel control{simulator, channel_config, rngs.stream("bt")};
 
+  // --- signed event log (optional): pure-read hooks, no RNG consumed ----
+  std::unique_ptr<log::Recorder> recorder;
+  if (!event_log_dir.empty()) {
+    log::Recorder::Config log_config;
+    log_config.path = event_log_dir + "/seed" + std::to_string(seed) + ".log";
+    log_config.bench = "chaos_soak";
+    log_config.seed = seed;
+    recorder = std::make_unique<log::Recorder>(std::move(log_config));
+    recorder->bind_clock(&simulator);
+  }
+
   // The manager's register writes stand for BT exchanges: gate them on the
   // channel, so it cannot command a reflector across a partition.
   core::LinkManager::Config manager_config;
+  manager_config.recorder = recorder.get();
   manager_config.reflector_reachable = [&control](std::size_t) {
     return !control.partitioned();
   };
@@ -144,10 +159,16 @@ SeedResult run_seed(std::uint64_t seed, double duration_s,
                                     rngs.stream("agent", 1)};
   agent0.set_input_probe([&] { return scene.reflector_input(r0); });
   agent1.set_input_probe([&] { return scene.reflector_input(r1); });
+  if (recorder) {
+    agent0.set_recorder(recorder.get(), 0);
+    agent1.set_recorder(recorder.get(), 1);
+  }
   agent0.start();
   agent1.start();
 
   core::ControlPlane plane{simulator, control, {}};
+  plane.set_recorder(recorder.get());
+  strategy.manager().health().set_recorder(recorder.get());
   plane.bind_health(&strategy.manager().health());
   plane.manage(0, r0, &agent0);
   plane.manage(1, r1, &agent1);
@@ -241,11 +262,25 @@ SeedResult run_seed(std::uint64_t seed, double duration_s,
     simulator.at(sim::TimePoint{sim::from_seconds(at_s)}, [&, i] {
       search_records[i].launched = true;
       search_records[i].started = simulator.now();
+      if (recorder) {
+        recorder->record(log::EventKind::kSearchLaunch,
+                         {{"id", static_cast<std::int64_t>(i)}});
+      }
       searches[i]->start([&, i](const core::IncidenceResult& r) {
         search_records[i].done = true;
         search_records[i].completed = r.completed;
         search_records[i].reason = r.failure_reason;
         search_records[i].took = r.duration;
+        if (recorder) {
+          recorder->record(
+              log::EventKind::kSearchDone,
+              {{"id", static_cast<std::int64_t>(i)},
+               {"completed", r.completed ? 1 : 0},
+               {"reason_h", r.failure_reason.empty()
+                                ? 0
+                                : log::Recorder::name_hash(r.failure_reason)},
+               {"took_us", r.duration.count() / 1000}});
+        }
       });
     });
   }
@@ -257,6 +292,24 @@ SeedResult run_seed(std::uint64_t seed, double duration_s,
                               sim::Duration{100'000'000};
   const sim::Duration oscillation_bound{1'000'000'000};
   const sim::Duration divergence_bound{2'500'000'000};
+  // The params record makes the log self-describing: the offline verifier
+  // replays A/B/C/E against exactly these bounds (tick_us is the checker
+  // cadence — one tick of quantisation grace for the offline E bound).
+  if (recorder) {
+    recorder->record(
+        log::EventKind::kParams,
+        {{"grace_us", grace.count() / 1000},
+         {"osc_us", oscillation_bound.count() / 1000},
+         {"div_us", divergence_bound.count() / 1000},
+         {"watchdog_us", search_config.watchdog.count() / 1000},
+         {"slack_us", 500'000},
+         {"tick_us", 20'000},
+         {"reflectors", 2}});
+  }
+  // Applied/cleared fault windows already mirrored into the log (the
+  // injector itself stays log-free — no sim -> log dependency).
+  std::vector<std::pair<bool, bool>> fault_logged(injector.timeline().size(),
+                                                  {false, false});
   struct WatchState {
     sim::TimePoint partition_since{};
     bool partitioned{false};
@@ -307,9 +360,11 @@ SeedResult run_seed(std::uint64_t seed, double duration_s,
     }
     // B: instability must not be sustained.
     const core::MovrReflector* reflectors[2] = {&r0, &r1};
+    bool stable_flags[2] = {true, true};
     for (int i = 0; i < 2; ++i) {
       const auto state =
           reflectors[i]->front_end().process(scene.reflector_input(*reflectors[i]));
+      stable_flags[i] = state.stable;
       if (!state.stable) {
         if (!w->unstable[i]) {
           w->unstable[i] = true;
@@ -371,6 +426,52 @@ SeedResult run_seed(std::uint64_t seed, double duration_s,
                 " still running past its watchdog");
       }
     }
+    // Mirror this tick into the event log: fault-window transitions, then
+    // the control snapshot (partition flag first — the verifier's A clock),
+    // then one snapshot per reflector. All pure reads.
+    if (recorder) {
+      const auto& timeline = injector.timeline();
+      for (std::size_t fi = 0; fi < timeline.size(); ++fi) {
+        const sim::FaultInjector::AppliedFault& fault = timeline[fi];
+        if (fault.applied && !fault_logged[fi].first) {
+          fault_logged[fi].first = true;
+          recorder->record(log::EventKind::kFaultOpen,
+                           {{"name_h", log::Recorder::name_hash(fault.name)},
+                            {"start_us", fault.start.count() / 1000},
+                            {"end_us", fault.end.count() / 1000}});
+        }
+        if (fault.cleared && !fault_logged[fi].second) {
+          fault_logged[fi].second = true;
+          recorder->record(log::EventKind::kFaultClose,
+                           {{"name_h", log::Recorder::name_hash(fault.name)},
+                            {"start_us", fault.start.count() / 1000},
+                            {"end_us", fault.end.count() / 1000}});
+        }
+      }
+      recorder->record(
+          log::EventKind::kSnapshotControl,
+          {{"sent", static_cast<std::int64_t>(cs.sent)},
+           {"delivered", static_cast<std::int64_t>(cs.delivered)},
+           {"dropped", static_cast<std::int64_t>(cs.dropped)},
+           {"undeliv", static_cast<std::int64_t>(cs.undeliverable)},
+           {"in_flight", static_cast<std::int64_t>(cs.in_flight)},
+           {"part", control.partitioned() ? 1 : 0}});
+      const core::ReflectorConfigAgent* ragents[2] = {&agent0, &agent1};
+      for (int i = 0; i < 2; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        recorder->record(
+            log::EventKind::kSnapshotReflector,
+            {{"r", i},
+             {"gain",
+              static_cast<std::int64_t>(reflectors[i]->front_end().gain_code())},
+             {"safe_code",
+              static_cast<std::int64_t>(ragents[i]->safe_gain_code())},
+             {"safe_mode", ragents[i]->in_safe_mode() ? 1 : 0},
+             {"stable", stable_flags[i] ? 1 : 0},
+             {"div_age_us", plane.divergence_age(idx, now).count() / 1000},
+             {"plane_part", plane.partitioned(idx) ? 1 : 0}});
+      }
+    }
   };
   for (sim::TimePoint t{20ms}; t < end; t += 20ms) {
     simulator.at(t, check);
@@ -381,6 +482,7 @@ SeedResult run_seed(std::uint64_t seed, double duration_s,
   session_config.duration = duration;
   session_config.faults = &injector;
   session_config.control_plane = &plane;
+  session_config.recorder = recorder.get();
   net::TransportConfig transport;
   transport.source.target_mbps = 400.0;
   session_config.transport = transport;
@@ -412,24 +514,32 @@ SeedResult run_seed(std::uint64_t seed, double duration_s,
   result.channel = control.stats();
   result.incidents = plane.incidents();
 
+  // Seal the log: log_close carries the record count, then the whole
+  // buffer hits disk in one shot (byte-stable across identical runs).
+  if (recorder) {
+    recorder->close();
+  }
+
   // Fingerprint: a replayed seed must reproduce this hash exactly.
+  using bench::fingerprint_mix;
   std::uint64_t h = sim::fnv1a("chaos_soak");
-  h = mix(h, seed);
-  h = mix(h, result.report.frames);
-  h = mix(h, result.report.glitched_frames);
-  h = mix(h, result.channel.sent);
-  h = mix(h, result.channel.delivered);
-  h = mix(h, result.channel.corrupted_dropped);
-  h = mix(h, result.channel.corrupted_delivered);
-  h = mix(h, result.channel.reordered);
-  h = mix(h, result.channel.partition_losses);
-  h = mix(h, result.incidents.partitions_entered);
-  h = mix(h, result.incidents.divergences_detected);
-  h = mix(h, result.incidents.reconciliations);
-  h = mix(h, result.incidents.safe_mode_entries);
-  h = mix(h, result.report.transport ? result.report.transport->packets_delivered
-                                     : 0);
-  h = mix(h, static_cast<std::uint64_t>(result.violations.size()));
+  h = fingerprint_mix(h, seed);
+  h = fingerprint_mix(h, result.report.frames);
+  h = fingerprint_mix(h, result.report.glitched_frames);
+  h = fingerprint_mix(h, result.channel.sent);
+  h = fingerprint_mix(h, result.channel.delivered);
+  h = fingerprint_mix(h, result.channel.corrupted_dropped);
+  h = fingerprint_mix(h, result.channel.corrupted_delivered);
+  h = fingerprint_mix(h, result.channel.reordered);
+  h = fingerprint_mix(h, result.channel.partition_losses);
+  h = fingerprint_mix(h, result.incidents.partitions_entered);
+  h = fingerprint_mix(h, result.incidents.divergences_detected);
+  h = fingerprint_mix(h, result.incidents.reconciliations);
+  h = fingerprint_mix(h, result.incidents.safe_mode_entries);
+  h = fingerprint_mix(h, result.report.transport
+                             ? result.report.transport->packets_delivered
+                             : 0);
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(result.violations.size()));
   result.fingerprint = h;
   return result;
 }
@@ -445,7 +555,11 @@ void print_usage() {
       "  --duration SECONDS   sim time per seed (default 60)\n"
       "  --disable-watchdog   tripwire: reflector silence watchdogs off;\n"
       "                       the gain-<=-leakage invariant must fire\n"
-      "  --expect-violation   exit 0 only if a violation WAS observed\n\n"
+      "  --expect-violation   exit 0 only if a violation WAS observed\n"
+      "  --event-log DIR      record each seed's signed event log to\n"
+      "                       DIR/seed<N>.log (verify offline with\n"
+      "                       tools/log_verify)\n"
+      "  --json PATH          write a machine-readable summary to PATH\n\n"
       "On failure the exact single-seed replay command is printed; the\n"
       "fingerprint column lets you compare the replay bit-for-bit.\n");
 }
@@ -459,6 +573,8 @@ int main(int argc, char** argv) {
   double duration_s = 60.0;
   bool disable_watchdog = false;
   bool expect_violation = false;
+  std::string event_log_dir;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       seeds = std::atoi(argv[++i]);
@@ -471,6 +587,10 @@ int main(int argc, char** argv) {
       disable_watchdog = true;
     } else if (std::strcmp(argv[i], "--expect-violation") == 0) {
       expect_violation = true;
+    } else if (std::strcmp(argv[i], "--event-log") == 0 && i + 1 < argc) {
+      event_log_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
       print_usage();
       return 0;
@@ -490,17 +610,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!event_log_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(event_log_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --event-log dir %s: %s\n",
+                   event_log_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+
   bench::print_header("Chaos soak — control-plane invariants under fire");
   std::printf("%6s %8s %9s %6s %6s %6s %6s %6s %6s %5s %18s %5s\n", "seed",
               "frames", "glitch%", "part", "div", "recon", "safe", "corr",
               "reord", "srch", "fingerprint", "viol");
 
   std::uint64_t total_violations = 0;
+  bench::Json rows = bench::Json::array();
   for (const std::uint64_t seed : seed_list) {
-    const SeedResult r = run_seed(seed, duration_s, !disable_watchdog);
+    const SeedResult r =
+        run_seed(seed, duration_s, !disable_watchdog, event_log_dir);
     std::printf(
         "%6llu %8llu %8.2f%% %6llu %6llu %6llu %6llu %6llu %6llu %5zu "
-        "%018llx %5zu\n",
+        "%18s %5zu\n",
         static_cast<unsigned long long>(r.seed),
         static_cast<unsigned long long>(r.report.frames),
         100.0 * r.report.glitch_fraction(),
@@ -511,18 +643,46 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.channel.corrupted_dropped +
                                         r.channel.corrupted_delivered),
         static_cast<unsigned long long>(r.channel.reordered), r.searches,
-        static_cast<unsigned long long>(r.fingerprint),
-        r.violations.size());
+        bench::fingerprint_hex(r.fingerprint).c_str(), r.violations.size());
     for (const Violation& v : r.violations) {
       std::printf("  VIOLATION t=%.3fs %s\n", sim::to_seconds(v.at),
                   v.what.c_str());
     }
     if (!r.violations.empty()) {
-      std::printf("  replay: chaos_soak --seed %llu --duration %g%s\n",
-                  static_cast<unsigned long long>(r.seed), duration_s,
-                  disable_watchdog ? " --disable-watchdog" : "");
+      bench::print_replay("chaos_soak", r.seed, duration_s,
+                          disable_watchdog ? " --disable-watchdog" : "");
     }
     total_violations += r.violations.size();
+    bench::Json row = bench::Json::object();
+    row.set("seed", r.seed)
+        .set("frames", r.report.frames)
+        .set("glitch_fraction", r.report.glitch_fraction())
+        .set("partitions", r.incidents.partitions_entered)
+        .set("divergences", r.incidents.divergences_detected)
+        .set("reconciliations", r.incidents.reconciliations)
+        .set("safe_mode_entries", r.incidents.safe_mode_entries)
+        .set("searches", static_cast<std::uint64_t>(r.searches))
+        .set("ticks_checked", r.ticks_checked)
+        .set("fingerprint", bench::fingerprint_hex(r.fingerprint))
+        .set("violations", static_cast<std::uint64_t>(r.violations.size()));
+    rows.push(std::move(row));
+  }
+
+  if (!json_path.empty()) {
+    bench::Json doc = bench::Json::object();
+    doc.set("bench", "chaos_soak")
+        .set("duration_s", duration_s)
+        .set("seeds", static_cast<std::uint64_t>(seed_list.size()))
+        .set("replay", have_single_seed)
+        .set("watchdog", !disable_watchdog)
+        .set("event_log", !event_log_dir.empty())
+        .set("total_violations", total_violations)
+        .set("pass", expect_violation ? total_violations > 0
+                                      : total_violations == 0)
+        .set("rows", std::move(rows));
+    if (!bench::emit_json(json_path, doc)) {
+      return 1;
+    }
   }
 
   if (expect_violation) {

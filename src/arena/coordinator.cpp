@@ -167,6 +167,11 @@ Coordinator::Coordinator(sim::Simulator& simulator,
   users_.reserve(config_.users);
   for (std::size_t u = 0; u < config_.users; ++u) {
     UserWorld world = build_user_world(prototype, config_, u);
+    if (config_.user_recorder) {
+      log::Recorder* recorder = config_.user_recorder(u);
+      world.session_config.recorder = recorder;
+      world.link_config.recorder = recorder;
+    }
     world.link_config.reflector_acquire = [this, u](std::size_t r) {
       return try_acquire(u, r);
     };
@@ -225,6 +230,12 @@ void Coordinator::control_tick() {
     const auto leased = manager.leased_reflector();
     if (leased.has_value() && !arbiter_.renew(u, *leased, now)) {
       manager.revoke_reflector(*leased);
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(
+            log::EventKind::kLeaseRevoke,
+            {{"user", static_cast<std::int64_t>(u)},
+             {"reflector", static_cast<std::int64_t>(*leased)}});
+      }
     }
   }
   if (++ticks_since_admission_ >= control_ticks_per_window_) {
@@ -232,6 +243,11 @@ void Coordinator::control_tick() {
     admission_tick(now);
   }
   recompute_shares();
+  if (config_.recorder != nullptr) {
+    config_.recorder->record(
+        log::EventKind::kCoordTick,
+        {{"users", static_cast<std::int64_t>(users_.size())}});
+  }
   if (now + config_.control_interval <= end_) {
     simulator_.at(now + config_.control_interval, [this] { control_tick(); });
   }
@@ -257,7 +273,30 @@ void Coordinator::admission_tick(sim::TimePoint now) {
       user.last_frames = frames;
     }
   }
+  if (config_.recorder != nullptr) {
+    admission_state_scratch_.resize(users_.size());
+    for (std::size_t u = 0; u < users_.size(); ++u) {
+      admission_state_scratch_[u] = admission_.state(u);
+    }
+  }
   admission_.on_window(sample_scratch_, now);
+  if (config_.recorder != nullptr) {
+    for (std::size_t u = 0; u < users_.size(); ++u) {
+      const AdmissionController::State before = admission_state_scratch_[u];
+      const AdmissionController::State after = admission_.state(u);
+      if (before == after) {
+        continue;
+      }
+      log::EventKind kind = log::EventKind::kAdmissionReadmit;
+      if (after == AdmissionController::State::kEvicted) {
+        kind = log::EventKind::kAdmissionEvict;
+      } else if (after == AdmissionController::State::kDegraded &&
+                 before == AdmissionController::State::kAdmitted) {
+        kind = log::EventKind::kAdmissionDegrade;
+      }
+      config_.recorder->record(kind, {{"user", static_cast<std::int64_t>(u)}});
+    }
+  }
   // A freshly evicted user must also surrender any reflector it holds.
   for (std::size_t u = 0; u < users_.size(); ++u) {
     if (admission_.transmitting(u)) {

@@ -32,6 +32,7 @@
 #include <arena/interference.hpp>
 #include <arena/lease.hpp>
 #include <core/link_manager.hpp>
+#include <log/recorder.hpp>
 #include <sim/simulator.hpp>
 #include <vr/motion.hpp>
 #include <vr/session.hpp>
@@ -82,6 +83,12 @@ class Coordinator {
     /// Per-user transport ledger audit cadence; zero disables.
     sim::Duration ledger_check_interval{std::chrono::milliseconds{20}};
     std::uint64_t seed{1};
+    /// Coordinator-stream event-log sink: control-tick interleave markers,
+    /// lease revocations and admission transitions land here.
+    log::Recorder* recorder{nullptr};
+    /// Per-user event-log sinks: when set, user u's session + link manager
+    /// record into user_recorder(u) (nullptr = that user unlogged).
+    std::function<log::Recorder*(std::size_t user)> user_recorder;
   };
 
   struct UserResult {
@@ -169,6 +176,7 @@ class Coordinator {
   // Scratch, reused per call (the control plane allocates only on warmup).
   std::vector<Interferer> interferer_scratch_;
   std::vector<AdmissionController::Sample> sample_scratch_;
+  std::vector<AdmissionController::State> admission_state_scratch_;
   std::vector<double> ap_weight_scratch_;
 };
 

@@ -151,6 +151,10 @@ void ReflectorConfigAgent::check_reboot() {
   last_boot_epoch_ = epoch;
   staged_ = Staged{};
   applied_seq_ = 0;
+  if (safe_mode_ && recorder_ != nullptr) {
+    recorder_->record(log::EventKind::kSafeModeExit,
+                      {{"reflector", log_index_}, {"reboot", 1}});
+  }
   safe_mode_ = false;
   oscillation_strikes_ = 0;
   last_heard_ = simulator_.now();
@@ -199,6 +203,11 @@ void ReflectorConfigAgent::enter_safe_mode(bool oscillation) {
   }
   if (!safe_mode_) {
     ++stats_.safe_mode_entries;
+    if (recorder_ != nullptr) {
+      recorder_->record(log::EventKind::kSafeModeEnter,
+                        {{"reflector", log_index_},
+                         {"oscillation", oscillation ? 1 : 0}});
+    }
   }
   safe_mode_ = true;
   if (reflector_.front_end().gain_code() > safe_code_) {
@@ -253,6 +262,10 @@ void ReflectorConfigAgent::apply_staged() {
   fe.set_gain_code(static_cast<std::uint32_t>(std::round(*staged_.gain)));
   applied_seq_ = staged_.seq;
   staged_ = Staged{};
+  if (safe_mode_ && recorder_ != nullptr) {
+    recorder_->record(log::EventKind::kSafeModeExit,
+                      {{"reflector", log_index_}, {"reboot", 0}});
+  }
   safe_mode_ = false;  // the AP has re-asserted the registers
   ++stats_.epochs_applied;
   send_ack();
@@ -311,6 +324,10 @@ void ReflectorConfigAgent::handle(const sim::ControlMessage& message) {
     // firmware dispatcher unchanged. A (valid) direct gain write is the AP
     // re-asserting the gain register, which ends safe mode.
     if (message.topic == "gain_code" && valid_gain_payload(message.value)) {
+      if (safe_mode_ && recorder_ != nullptr) {
+        recorder_->record(log::EventKind::kSafeModeExit,
+                          {{"reflector", log_index_}, {"reboot", 0}});
+      }
       safe_mode_ = false;
     }
     reflector_.handle(message);
@@ -364,6 +381,11 @@ std::uint64_t ControlPlane::send_epoch(std::size_t slot) {
   m.expected_seq = seq;
   m.awaiting_ack = true;
   refresh_expected(m);
+  if (recorder_ != nullptr) {
+    recorder_->record(log::EventKind::kEpochStage,
+                      {{"reflector", static_cast<std::int64_t>(m.index)},
+                       {"seq", static_cast<std::int64_t>(seq)}});
+  }
   const auto& epoch = m.last_epoch;
   control_.send(m.endpoint,
                 sim::ControlMessage{"cfg_rx", epoch.rx_angle, 0, seq});
@@ -397,7 +419,13 @@ std::uint64_t ControlPlane::commit(std::size_t index,
   m.last_epoch = epoch;
   m.last_epoch.gain_code = std::min(epoch.gain_code, m.max_gain_code);
   ++stats_.epochs_committed;
-  return send_epoch(slot);
+  const std::uint64_t seq = send_epoch(slot);
+  if (recorder_ != nullptr) {
+    recorder_->record(log::EventKind::kEpochCommit,
+                      {{"reflector", static_cast<std::int64_t>(index)},
+                       {"seq", static_cast<std::int64_t>(seq)}});
+  }
+  return seq;
 }
 
 void ControlPlane::start() {
@@ -445,6 +473,10 @@ void ControlPlane::digest_tick(std::size_t slot) {
 void ControlPlane::note_unreachable(Managed& m) {
   m.partitioned = true;
   ++stats_.partitions_entered;
+  if (recorder_ != nullptr) {
+    recorder_->record(log::EventKind::kPartitionEnter,
+                      {{"reflector", static_cast<std::int64_t>(m.index)}});
+  }
   if (health_ != nullptr) {
     health_->quarantine(m.index, simulator_.now(), "control partition");
   }
@@ -454,6 +486,10 @@ void ControlPlane::note_reachable(Managed& m) {
   if (m.partitioned) {
     m.partitioned = false;
     ++stats_.partitions_healed;
+    if (recorder_ != nullptr) {
+      recorder_->record(log::EventKind::kPartitionHeal,
+                        {{"reflector", static_cast<std::int64_t>(m.index)}});
+    }
   }
   m.missed_replies = 0;
 }
@@ -465,6 +501,10 @@ void ControlPlane::mark_divergent(Managed& m, const std::string& reason) {
   m.divergent = true;
   m.divergent_since = simulator_.now();
   ++stats_.divergences_detected;
+  if (recorder_ != nullptr) {
+    recorder_->record(log::EventKind::kDivergence,
+                      {{"reflector", static_cast<std::int64_t>(m.index)}});
+  }
   if (health_ != nullptr) {
     health_->note_divergence(m.index, simulator_.now(), reason);
   }
@@ -478,6 +518,10 @@ void ControlPlane::reconcile(std::size_t slot) {
   }
   m.last_reconcile = now;
   ++stats_.reconciliations;
+  if (recorder_ != nullptr) {
+    recorder_->record(log::EventKind::kReconcile,
+                      {{"reflector", static_cast<std::int64_t>(m.index)}});
+  }
   send_epoch(slot);
 }
 
@@ -493,6 +537,11 @@ void ControlPlane::on_reply(std::size_t slot, const sim::ControlMessage& message
 void ControlPlane::on_ack(std::size_t slot, const sim::ControlMessage& message) {
   Managed& m = managed_[slot];
   ++stats_.acks_received;
+  if (recorder_ != nullptr) {
+    recorder_->record(log::EventKind::kEpochAck,
+                      {{"reflector", static_cast<std::int64_t>(m.index)},
+                       {"seq", static_cast<std::int64_t>(message.seq)}});
+  }
   if (message.seq == m.expected_seq) {
     m.awaiting_ack = false;
   }

@@ -50,6 +50,7 @@
 
 #include <core/health.hpp>
 #include <core/reflector.hpp>
+#include <log/recorder.hpp>
 #include <rf/units.hpp>
 #include <sim/control_channel.hpp>
 #include <sim/simulator.hpp>
@@ -126,6 +127,13 @@ class ReflectorConfigAgent {
 
   void set_input_probe(InputProbe probe) { input_probe_ = std::move(probe); }
 
+  /// Session event-log sink for safe-mode transitions; `index` identifies
+  /// this reflector in the log's payloads.
+  void set_recorder(log::Recorder* recorder, std::int64_t index) {
+    recorder_ = recorder;
+    log_index_ = index;
+  }
+
   void handle(const sim::ControlMessage& message);
 
   /// Endpoint the agent's acks and digest replies go to.
@@ -177,6 +185,8 @@ class ReflectorConfigAgent {
   Config config_;
   std::mt19937_64 rng_;
   InputProbe input_probe_;
+  log::Recorder* recorder_{nullptr};
+  std::int64_t log_index_{0};
   Staged staged_;
   std::uint64_t applied_seq_{0};
   std::uint32_t last_boot_epoch_{0};
@@ -214,6 +224,9 @@ class ControlPlane {
   /// Reconciliation and partition detection feed this monitor (typically
   /// the LinkManager's, so quarantine/recalibration compose).
   void bind_health(HealthMonitor* health) { health_ = health; }
+
+  /// Session event-log sink for epoch/partition/divergence transitions.
+  void set_recorder(log::Recorder* recorder) { recorder_ = recorder; }
 
   /// Registers reflector `index`. `agent` is optional and used ONLY for
   /// incident reporting (safe-mode counters) — never for control
@@ -293,6 +306,7 @@ class ControlPlane {
   sim::ControlChannel& control_;
   Config config_;
   HealthMonitor* health_{nullptr};
+  log::Recorder* recorder_{nullptr};
   std::vector<Managed> managed_;
   std::uint64_t next_seq_{0};
   bool running_{false};

@@ -18,9 +18,14 @@ void HealthMonitor::note_good(std::size_t i) {
   }
 }
 
-void HealthMonitor::enter_quarantine(Entry& e, sim::TimePoint now,
+void HealthMonitor::enter_quarantine(std::size_t i, sim::TimePoint now,
                                      const std::string& reason,
                                      bool extend_backoff) {
+  Entry& e = entries_[i];
+  if (e.state == State::kHealthy && recorder_ != nullptr) {
+    recorder_->record_at(now, log::EventKind::kHealthQuarantine,
+                         {{"reflector", static_cast<std::int64_t>(i)}});
+  }
   if (e.state == State::kQuarantined && extend_backoff) {
     const auto grown = std::chrono::duration_cast<sim::Duration>(
         e.backoff * config_.backoff_multiplier);
@@ -44,14 +49,14 @@ void HealthMonitor::note_bad(std::size_t i, sim::TimePoint now,
   }
   ++e.consecutive_bad;
   if (e.consecutive_bad >= config_.bad_to_quarantine) {
-    enter_quarantine(e, now, reason, /*extend_backoff=*/false);
+    enter_quarantine(i, now, reason, /*extend_backoff=*/false);
   }
 }
 
 void HealthMonitor::quarantine(std::size_t i, sim::TimePoint now,
                                const std::string& reason) {
   track(i + 1);
-  enter_quarantine(entries_[i], now, reason, /*extend_backoff=*/false);
+  enter_quarantine(i, now, reason, /*extend_backoff=*/false);
 }
 
 bool HealthMonitor::quarantined(std::size_t i) const {
@@ -80,9 +85,18 @@ void HealthMonitor::note_probe_result(std::size_t i, sim::TimePoint now,
     e.backoff = sim::Duration::zero();
     e.last_reason.clear();
     ++stats_.restored;
+    if (recorder_ != nullptr) {
+      recorder_->record_at(now, log::EventKind::kHealthRestore,
+                           {{"reflector", static_cast<std::int64_t>(i)}});
+    }
     return;
   }
-  enter_quarantine(e, now, e.last_reason.empty() ? "re-probe failed"
+  if (recorder_ != nullptr) {
+    recorder_->record_at(now, log::EventKind::kHealthReprobe,
+                         {{"reflector", static_cast<std::int64_t>(i)},
+                          {"good", 0}});
+  }
+  enter_quarantine(i, now, e.last_reason.empty() ? "re-probe failed"
                                                  : e.last_reason,
                    /*extend_backoff=*/true);
 }
@@ -91,7 +105,7 @@ void HealthMonitor::note_reboot(std::size_t i, sim::TimePoint now) {
   track(i + 1);
   ++stats_.reboots_detected;
   entries_[i].needs_recalibration = true;
-  enter_quarantine(entries_[i], now, "reboot detected (epoch mismatch)",
+  enter_quarantine(i, now, "reboot detected (epoch mismatch)",
                    /*extend_backoff=*/false);
 }
 
@@ -100,7 +114,7 @@ void HealthMonitor::note_divergence(std::size_t i, sim::TimePoint now,
   track(i + 1);
   ++stats_.divergences;
   entries_[i].needs_recalibration = true;
-  enter_quarantine(entries_[i], now, reason, /*extend_backoff=*/false);
+  enter_quarantine(i, now, reason, /*extend_backoff=*/false);
 }
 
 bool HealthMonitor::needs_recalibration(std::size_t i) const {

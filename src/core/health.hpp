@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include <log/recorder.hpp>
 #include <sim/time.hpp>
 
 namespace movr::core {
@@ -62,6 +63,10 @@ class HealthMonitor {
   explicit HealthMonitor(Config config) : config_{config} {}
 
   const Config& config() const { return config_; }
+
+  /// Session event-log sink. The monitor is sim-free, so quarantine /
+  /// re-probe / restore records are stamped with the caller's `now`.
+  void set_recorder(log::Recorder* recorder) { recorder_ = recorder; }
 
   /// Ensures entries exist for reflector indices [0, n).
   void track(std::size_t n);
@@ -103,11 +108,12 @@ class HealthMonitor {
   const Stats& stats() const { return stats_; }
 
  private:
-  void enter_quarantine(Entry& entry, sim::TimePoint now,
+  void enter_quarantine(std::size_t i, sim::TimePoint now,
                         const std::string& reason, bool extend_backoff);
 
   Config config_;
   std::vector<Entry> entries_;
+  log::Recorder* recorder_{nullptr};
   Stats stats_;
 };
 

@@ -79,9 +79,19 @@ bool LinkManager::acquire_lease(std::size_t index) {
   }
   release_lease();  // at most one lease per user at a time
   if (!config_.reflector_acquire(index)) {
+    if (config_.recorder) {
+      config_.recorder->record(
+          log::EventKind::kLeaseDeny,
+          {{"reflector", static_cast<std::int64_t>(index)}});
+    }
     return false;
   }
   holds_lease_ = true;
+  if (config_.recorder) {
+    config_.recorder->record(
+        log::EventKind::kLeaseAcquire,
+        {{"reflector", static_cast<std::int64_t>(index)}});
+  }
   return true;
 }
 
@@ -92,6 +102,11 @@ void LinkManager::release_lease() {
   holds_lease_ = false;
   if (config_.reflector_release) {
     config_.reflector_release(active_reflector_);
+  }
+  if (config_.recorder) {
+    config_.recorder->record(
+        log::EventKind::kLeaseRelease,
+        {{"reflector", static_cast<std::int64_t>(active_reflector_)}});
   }
 }
 
@@ -106,6 +121,11 @@ void LinkManager::revoke_reflector(std::size_t index) {
     holds_lease_ = false;
     mode_ = Mode::kDirect;
     ++stats_.lease_revocations;
+    if (config_.recorder) {
+      config_.recorder->record(
+          log::EventKind::kLeaseRevoke,
+          {{"reflector", static_cast<std::int64_t>(index)}, {"pending", 1}});
+    }
     return;
   }
   if (mode_ == Mode::kViaReflector && active_reflector_ == index) {
@@ -114,6 +134,11 @@ void LinkManager::revoke_reflector(std::size_t index) {
     mode_ = Mode::kDirect;
     good_probes_ = 0;
     ++stats_.lease_revocations;
+    if (config_.recorder) {
+      config_.recorder->record(
+          log::EventKind::kLeaseRevoke,
+          {{"reflector", static_cast<std::int64_t>(index)}, {"pending", 0}});
+    }
   }
 }
 
@@ -175,11 +200,21 @@ void LinkManager::enter_degraded() {
   mode_ = Mode::kDegraded;
   ++stats_.degraded_entries;
   good_probes_ = 0;
+  if (config_.recorder) {
+    config_.recorder->record(log::EventKind::kDegradedEnter, {});
+  }
 }
 
 void LinkManager::handover_failed(std::size_t target,
-                                  const std::string& reason) {
+                                  const std::string& reason,
+                                  std::int64_t reason_code) {
   ++stats_.failed_handovers;
+  if (config_.recorder) {
+    config_.recorder->record(
+        log::EventKind::kHandoverAbort,
+        {{"reflector", static_cast<std::int64_t>(target)},
+         {"reason", reason_code}});
+  }
   release_lease();
   if (health_.quarantined(target)) {
     // This attempt WAS the re-probe; its failure doubles the backoff.
@@ -226,6 +261,12 @@ void LinkManager::begin_handover_to_reflector() {
     mode_ = Mode::kHandoverPending;
     active_reflector_ = index;
     const std::uint64_t seq = ++pending_seq_;
+    if (config_.recorder) {
+      config_.recorder->record(
+          log::EventKind::kHandoverBegin,
+          {{"reflector", static_cast<std::int64_t>(index)},
+           {"seq", static_cast<std::int64_t>(seq)}});
+    }
     commit_event_ = simulator_.after(
         config_.bt_wait, [this, t = index, seq] { commit_handover(t, seq); });
     timeout_event_ =
@@ -247,7 +288,8 @@ void LinkManager::commit_handover(std::size_t target, std::uint64_t seq) {
     // The commit exchange never crossed the control link: no reflector
     // register moved. Fail the handover so the target is benched instead
     // of being retried every frame.
-    handover_failed(target, "control link unreachable at commit");
+    handover_failed(target, "control link unreachable at commit",
+                    log::kAbortUnreachable);
     return;
   }
 
@@ -260,6 +302,12 @@ void LinkManager::commit_handover(std::size_t target, std::uint64_t seq) {
     // replays the stored calibration and tries again.
     health_.note_reboot(target, simulator_.now());
     ++stats_.failed_handovers;
+    if (config_.recorder) {
+      config_.recorder->record(
+          log::EventKind::kHandoverAbort,
+          {{"reflector", static_cast<std::int64_t>(target)},
+           {"reason", log::kAbortReboot}});
+    }
     release_lease();
     mode_ = Mode::kDirect;
     return;
@@ -271,7 +319,8 @@ void LinkManager::commit_handover(std::size_t target, std::uint64_t seq) {
 
   const auto via = scene_.via_snr(reflector);
   if (!via.usable || via.snr < config_.min_usable_snr) {
-    handover_failed(target, "via-link below usable SNR at commit");
+    handover_failed(target, "via-link below usable SNR at commit",
+                    log::kAbortLowSnr);
     return;
   }
   if (health_.quarantined(target)) {
@@ -284,6 +333,11 @@ void LinkManager::commit_handover(std::size_t target, std::uint64_t seq) {
   good_probes_ = 0;
   reflector_since_ = simulator_.now();
   ++stats_.handovers_to_reflector;
+  if (config_.recorder) {
+    config_.recorder->record(
+        log::EventKind::kHandoverCommit,
+        {{"reflector", static_cast<std::int64_t>(target)}});
+  }
 }
 
 void LinkManager::abandon_handover(std::size_t target, std::uint64_t seq) {
@@ -292,7 +346,7 @@ void LinkManager::abandon_handover(std::size_t target, std::uint64_t seq) {
   }
   simulator_.cancel(commit_event_);
   ++pending_seq_;
-  handover_failed(target, "handover commit timed out");
+  handover_failed(target, "handover commit timed out", log::kAbortTimeout);
 }
 
 void LinkManager::leave_reflector() {
@@ -321,6 +375,11 @@ void LinkManager::probe_direct_path() {
     if (mode_ == Mode::kViaReflector) {
       leave_reflector();
       ++stats_.handovers_to_direct;
+      if (config_.recorder) {
+        config_.recorder->record(
+            log::EventKind::kRecoverDirect,
+            {{"reflector", static_cast<std::int64_t>(active_reflector_)}});
+      }
     }
     release_lease();
     mode_ = Mode::kDirect;

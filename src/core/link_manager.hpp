@@ -39,6 +39,7 @@
 #include <core/health.hpp>
 #include <core/occlusion_forecaster.hpp>
 #include <core/scene.hpp>
+#include <log/recorder.hpp>
 #include <sim/control_channel.hpp>
 #include <sim/simulator.hpp>
 
@@ -111,6 +112,10 @@ class LinkManager {
     /// chaos forecaster fabricating a fresh window every tick is rate
     /// limited to one handover per cooldown.
     sim::Duration proactive_cooldown{std::chrono::milliseconds{300}};
+    /// Session event-log sink. Every state transition the manager makes
+    /// (handover begin/commit/abort, lease traffic, degraded entry) is
+    /// recorded when set; unset costs one branch per site and no RNG.
+    log::Recorder* recorder{nullptr};
   };
 
   LinkManager(sim::Simulator& simulator, Scene& scene, std::mt19937_64 rng)
@@ -205,7 +210,8 @@ class LinkManager {
   void begin_handover_to_reflector();
   void commit_handover(std::size_t target, std::uint64_t seq);
   void abandon_handover(std::size_t target, std::uint64_t seq);
-  void handover_failed(std::size_t target, const std::string& reason);
+  void handover_failed(std::size_t target, const std::string& reason,
+                       std::int64_t reason_code);
   void leave_reflector();
   void probe_direct_path();
   void degraded_tick();

@@ -1,0 +1,125 @@
+// The session event contract: a fixed, versioned record vocabulary.
+//
+// Every record in a session event log is one line of the form
+//
+//   t=<session_time_us> q=<seq> k=<kind> <key>=<int64>... h=<16-hex-chain>
+//
+// and every payload value is a signed 64-bit integer — times in
+// microseconds, gains as DAC codes, decibels in milli-dB — so a log is
+// byte-stable across identical runs: no float formatting, no locale, no
+// pointer values. The chain hash over each record (recorder.hpp) makes
+// truncation, reordering and tampering detectable at the first bad record,
+// and the offline verifier (verify.hpp) re-checks the chaos-soak safety
+// invariants from these records alone, with zero simulator re-execution.
+//
+// Versioning policy: kFormatVersion bumps on ANY change to the line
+// grammar, the canonicalisation the chain hashes, or the meaning of an
+// existing kind/field. Adding a new kind or a new optional field is
+// backward compatible and does NOT bump the version — the verifier treats
+// unknown kinds as opaque (chain-checked, invariant-neutral).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace movr::log {
+
+/// Grammar version written into every log_open record.
+inline constexpr std::int64_t kFormatVersion = 1;
+
+/// The record vocabulary. Order is part of the contract only insofar as
+/// names are — records serialize by name, never by ordinal.
+enum class EventKind : std::uint8_t {
+  kLogOpen,           // first record: version, bench, seed
+  kParams,            // invariant parameters (self-describing logs)
+  kHandoverBegin,     // manager started a handover to a reflector
+  kHandoverCommit,    // handover committed: link rides the reflector
+  kHandoverAbort,     // handover failed/abandoned (reason code)
+  kRecoverDirect,     // link switched back to the direct beam
+  kDegradedEnter,     // nothing usable: best-effort direct
+  kLeaseAcquire,      // multi-user: reflector lease granted
+  kLeaseDeny,         // multi-user: lease denied (busy, not faulty)
+  kLeaseRelease,      // lease returned to the pool
+  kLeaseRevoke,       // arbiter revoked the lease out from under us
+  kFaultOpen,         // injected fault window opened
+  kFaultClose,        // injected fault window closed
+  kEpochStage,        // control plane staged an epoch's fields + commit
+  kEpochCommit,       // a fresh epoch was committed (AP intent)
+  kEpochAck,          // reflector acked (applied_seq, boot_epoch)
+  kPartitionEnter,    // control plane declared a reflector unreachable
+  kPartitionHeal,     // reflector reachable again
+  kDivergence,        // digest mismatch opened a divergence episode
+  kReconcile,         // epoch replay issued
+  kSafeModeEnter,     // reflector autonomously clamped to the safe floor
+  kSafeModeExit,      // AP re-asserted the registers
+  kHealthQuarantine,  // reflector benched
+  kHealthReprobe,     // quarantine re-probe outcome (good=0 failed)
+  kHealthRestore,     // re-probe succeeded: healthy again
+  kAdmissionDegrade,  // arena: user degraded (half weight + MCS cap)
+  kAdmissionEvict,    // arena: user evicted (muted)
+  kAdmissionReadmit,  // arena: user promoted back
+  kSearchLaunch,      // angle search launched into the chaos
+  kSearchDone,        // angle search terminated (completed or reasoned)
+  kSnapshotControl,   // per-20 ms control-channel ledger counters
+  kSnapshotTransport, // per-20 ms transport packet-ledger counters
+  kSnapshotReflector, // per-20 ms reflector safety state
+  kCoordTick,         // arena coordinator interleave marker
+  kLogClose,          // last record: summary counters; absence = truncation
+};
+
+/// One payload field: a short stable key and a signed 64-bit value.
+struct EventField {
+  std::string_view key;
+  std::int64_t value{0};
+};
+
+/// Handover-abort reason codes (kHandoverAbort `reason`).
+enum : std::int64_t {
+  kAbortUnreachable = 1,  // control link unreachable at commit
+  kAbortTimeout = 2,      // commit never landed inside handover_timeout
+  kAbortLowSnr = 3,       // via-link below usable SNR at commit
+  kAbortReboot = 4,       // target answered as a newborn (wiped registers)
+};
+
+constexpr std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kLogOpen: return "log_open";
+    case EventKind::kParams: return "params";
+    case EventKind::kHandoverBegin: return "handover_begin";
+    case EventKind::kHandoverCommit: return "handover_commit";
+    case EventKind::kHandoverAbort: return "handover_abort";
+    case EventKind::kRecoverDirect: return "recover_direct";
+    case EventKind::kDegradedEnter: return "degraded_enter";
+    case EventKind::kLeaseAcquire: return "lease_acquire";
+    case EventKind::kLeaseDeny: return "lease_deny";
+    case EventKind::kLeaseRelease: return "lease_release";
+    case EventKind::kLeaseRevoke: return "lease_revoke";
+    case EventKind::kFaultOpen: return "fault_open";
+    case EventKind::kFaultClose: return "fault_close";
+    case EventKind::kEpochStage: return "epoch_stage";
+    case EventKind::kEpochCommit: return "epoch_commit";
+    case EventKind::kEpochAck: return "epoch_ack";
+    case EventKind::kPartitionEnter: return "partition_enter";
+    case EventKind::kPartitionHeal: return "partition_heal";
+    case EventKind::kDivergence: return "divergence";
+    case EventKind::kReconcile: return "reconcile";
+    case EventKind::kSafeModeEnter: return "safe_mode_enter";
+    case EventKind::kSafeModeExit: return "safe_mode_exit";
+    case EventKind::kHealthQuarantine: return "health_quarantine";
+    case EventKind::kHealthReprobe: return "health_reprobe";
+    case EventKind::kHealthRestore: return "health_restore";
+    case EventKind::kAdmissionDegrade: return "admission_degrade";
+    case EventKind::kAdmissionEvict: return "admission_evict";
+    case EventKind::kAdmissionReadmit: return "admission_readmit";
+    case EventKind::kSearchLaunch: return "search_launch";
+    case EventKind::kSearchDone: return "search_done";
+    case EventKind::kSnapshotControl: return "snapshot_control";
+    case EventKind::kSnapshotTransport: return "snapshot_transport";
+    case EventKind::kSnapshotReflector: return "snapshot_reflector";
+    case EventKind::kCoordTick: return "coord_tick";
+    case EventKind::kLogClose: return "log_close";
+  }
+  return "unknown";
+}
+
+}  // namespace movr::log

@@ -1,0 +1,96 @@
+// Append-only, hash-chained session event recorder.
+//
+// The recorder is the single sink every instrumented subsystem writes
+// through. The hooks are null-checked pointers — a session with no
+// recorder attached pays one branch per emission site and nothing else —
+// and recording never consumes any session RNG stream, so a logged run is
+// bit-identical to an unlogged one (the acceptance criterion the round-
+// trip tests pin).
+//
+// Chain rule: with H = FNV-1a over bytes,
+//
+//   h_0 = H(tag || key)            tag = "movr-log-v<version>"
+//   h_i = H(hex16(h_{i-1}) || "|" || canonical(record_i) || key)
+//
+// where canonical(record) is the record's line WITHOUT its trailing
+// " h=..." field. An empty key gives a plain integrity chain; a non-empty
+// session key folds into every link, HMAC-style, so a log can only be
+// re-chained by a holder of the key. Either way, truncating the log (the
+// log_close record is missing), dropping or reordering records (the seq
+// must advance by exactly one), or editing any byte breaks the chain at
+// the first bad record.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include <log/event.hpp>
+#include <sim/simulator.hpp>
+#include <sim/time.hpp>
+
+namespace movr::log {
+
+/// h_0: the chain anchor for a log signed with `key` (may be empty).
+std::uint64_t chain_seed(std::string_view key);
+/// h_i from h_{i-1} and the record's canonical line (no " h=" field).
+std::uint64_t chain_next(std::uint64_t prev, std::string_view canonical,
+                         std::string_view key);
+
+class Recorder {
+ public:
+  struct Config {
+    /// File the log is written to at close(); empty = in-memory only.
+    std::string path;
+    /// Optional session signing key, folded into every chain link.
+    std::string key;
+    /// Emitting bench/tool name, written into the log_open record (as a
+    /// 63-bit FNV-1a hash — payloads are integers only).
+    std::string bench;
+    std::uint64_t seed{0};
+  };
+
+  explicit Recorder(Config config);
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+  ~Recorder();
+
+  /// Default time source for record(): the simulator's clock. Hooks in
+  /// sim-free subsystems (HealthMonitor) use record_at instead.
+  void bind_clock(const sim::Simulator* simulator) { clock_ = simulator; }
+
+  /// Appends one record stamped with the bound clock (t=0 when unbound).
+  void record(EventKind kind, std::initializer_list<EventField> fields);
+  /// Appends one record at an explicit time.
+  void record_at(sim::TimePoint at, EventKind kind,
+                 std::initializer_list<EventField> fields);
+
+  /// Appends the log_close record (summary counters) and, when a path is
+  /// configured, writes the whole log in one shot — a byte-stable file.
+  /// Idempotent; the destructor calls it as a safety net.
+  void close();
+
+  bool closed() const { return closed_; }
+  std::uint64_t records() const { return seq_; }
+  std::uint64_t chain() const { return chain_; }
+  /// The full log text so far (tests verify from the buffer directly).
+  const std::string& buffer() const { return buffer_; }
+
+  /// FNV-1a folded to 63 bits: string identities (bench names, fault
+  /// names) as non-negative int64 payload values.
+  static std::int64_t name_hash(std::string_view name);
+
+ private:
+  void append(sim::TimePoint at, EventKind kind,
+              std::initializer_list<EventField> fields);
+
+  Config config_;
+  const sim::Simulator* clock_{nullptr};
+  std::string buffer_;
+  std::string scratch_;  // canonical line under construction, reused
+  std::uint64_t chain_{0};
+  std::uint64_t seq_{0};
+  bool closed_{false};
+};
+
+}  // namespace movr::log

@@ -1,0 +1,362 @@
+#include <log/verify.hpp>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include <log/recorder.hpp>
+
+namespace movr::log {
+
+namespace {
+
+std::string i64_str(std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+Issue issue_at(const ParsedRecord& record, std::string what) {
+  return {record.seq, record.t_us, std::move(what)};
+}
+
+/// Soak-invariant bounds, read from the log's params record.
+struct Params {
+  std::int64_t grace_us{0};
+  std::int64_t osc_us{0};
+  std::int64_t div_us{0};
+  std::int64_t watchdog_us{0};
+  std::int64_t slack_us{0};
+  std::int64_t tick_us{0};
+};
+
+/// Per-reflector watcher state (invariants A/B/C).
+struct ReflectorWatch {
+  bool unstable{false};
+  std::int64_t unstable_since_us{0};
+  bool floor_reported{false};
+  bool divergence_reported{false};
+};
+
+struct SearchWatch {
+  std::int64_t launched_us{0};
+  std::int64_t launch_seq{0};
+  bool done{false};
+};
+
+/// One event rendered for the diff: kind plus payload, no seq/time/hash.
+std::string diff_key(const ParsedRecord& record) {
+  std::string out{record.kind_name};
+  for (const ParsedField& f : record.fields) {
+    out += ' ';
+    out += f.key;
+    out += '=';
+    out += i64_str(f.value);
+  }
+  return out;
+}
+
+bool diff_relevant(const ParsedRecord& record) {
+  if (record.kind_name.rfind("snapshot_", 0) == 0) {
+    return false;  // per-tick counters differ whenever timing does
+  }
+  return record.kind_name != "coord_tick" && record.kind_name != "log_close";
+}
+
+}  // namespace
+
+VerifyReport verify_log(const ParsedLog& log, std::string_view key) {
+  VerifyReport report;
+  report.records = log.records.size();
+
+  // --- pass 1: grammar + chain, fail-fast at the first bad record -------
+  if (!log.ok()) {
+    report.chain_issues.push_back({-1, 0, "parse error: " + log.error});
+    return report;
+  }
+  if (log.records.empty()) {
+    report.chain_issues.push_back({-1, 0, "empty log"});
+    return report;
+  }
+  std::uint64_t chain = chain_seed(key);
+  for (std::size_t i = 0; i < log.records.size(); ++i) {
+    const ParsedRecord& record = log.records[i];
+    if (record.seq != static_cast<std::int64_t>(i)) {
+      report.chain_issues.push_back(issue_at(
+          record, "sequence break: expected seq " + i64_str(
+                      static_cast<std::int64_t>(i)) +
+                      ", found seq " + i64_str(record.seq) +
+                      " (record dropped or reordered)"));
+      return report;
+    }
+    chain = chain_next(chain, record.canonical, key);
+    if (chain != record.hash) {
+      report.chain_issues.push_back(issue_at(
+          record,
+          "chain hash mismatch (record tampered, or wrong signing key)"));
+      return report;
+    }
+  }
+  const ParsedRecord& first = log.records.front();
+  if (!first.is(EventKind::kLogOpen)) {
+    report.chain_issues.push_back(
+        issue_at(first, "first record is not log_open"));
+    return report;
+  }
+  if (first.field("version") > kFormatVersion) {
+    report.chain_issues.push_back(issue_at(
+        first, "log format version " + i64_str(first.field("version")) +
+                   " is newer than this verifier (" +
+                   i64_str(kFormatVersion) + ")"));
+    return report;
+  }
+  if (!log.records.back().is(EventKind::kLogClose)) {
+    report.chain_issues.push_back(
+        issue_at(log.records.back(),
+                 "truncated: last record is not log_close"));
+    return report;
+  }
+
+  // --- pass 2: invariants replayed from the records ---------------------
+  Params params;
+  bool partitioned = false;
+  std::int64_t partition_since_us = 0;
+  std::vector<ReflectorWatch> reflectors;
+  std::map<std::int64_t, SearchWatch> searches;
+  const auto violate = [&](const ParsedRecord& record, std::string what) {
+    report.invariant_issues.push_back(issue_at(record, std::move(what)));
+  };
+
+  for (const ParsedRecord& record : log.records) {
+    if (!record.kind.has_value()) {
+      continue;  // forward compatibility: unknown kinds are opaque
+    }
+    switch (*record.kind) {
+      case EventKind::kParams: {
+        params.grace_us = record.field("grace_us");
+        params.osc_us = record.field("osc_us");
+        params.div_us = record.field("div_us");
+        params.watchdog_us = record.field("watchdog_us");
+        params.slack_us = record.field("slack_us");
+        params.tick_us = record.field("tick_us");
+        report.has_params = true;
+        reflectors.resize(
+            static_cast<std::size_t>(std::max<std::int64_t>(
+                record.field("reflectors"), 0)));
+        break;
+      }
+      case EventKind::kSnapshotControl: {
+        ++report.control_snapshots;
+        // D: the control-channel ledger closes on every tick.
+        const std::int64_t sent = record.field("sent");
+        const std::int64_t closed = record.field("delivered") +
+                                    record.field("dropped") +
+                                    record.field("undeliv") +
+                                    record.field("in_flight");
+        if (sent != closed) {
+          violate(record, "invariant D: control ledger open (sent " +
+                              i64_str(sent) + " != closed " +
+                              i64_str(closed) + ")");
+        }
+        // A's clock: partition episodes are tracked from the control flag.
+        if (record.field("part") != 0) {
+          if (!partitioned) {
+            partitioned = true;
+            partition_since_us = record.t_us;
+          }
+        } else {
+          partitioned = false;
+          for (ReflectorWatch& w : reflectors) {
+            w.floor_reported = false;
+          }
+        }
+        break;
+      }
+      case EventKind::kSnapshotReflector: {
+        ++report.reflector_snapshots;
+        const auto r = static_cast<std::size_t>(
+            std::max<std::int64_t>(record.field("r"), 0));
+        if (r >= reflectors.size()) {
+          reflectors.resize(r + 1);
+        }
+        ReflectorWatch& w = reflectors[r];
+        if (!report.has_params) {
+          break;  // no bounds: chain + ledger checks only
+        }
+        // A: partition outlasting the grace => gain at/below the floor.
+        if (partitioned &&
+            record.t_us - partition_since_us > params.grace_us &&
+            record.field("gain") > record.field("safe_code") &&
+            !w.floor_reported) {
+          w.floor_reported = true;
+          violate(record,
+                  "invariant A: reflector " + i64_str(record.field("r")) +
+                      " gain code " + i64_str(record.field("gain")) +
+                      " above safe floor " +
+                      i64_str(record.field("safe_code")) +
+                      " during a partition older than the grace bound");
+        }
+        // B: instability must not be sustained.
+        if (record.field("stable") == 0) {
+          if (!w.unstable) {
+            w.unstable = true;
+            w.unstable_since_us = record.t_us;
+          }
+          if (record.t_us - w.unstable_since_us > params.osc_us) {
+            violate(record,
+                    "invariant B: reflector " + i64_str(record.field("r")) +
+                        " oscillating for more than " +
+                        i64_str(params.osc_us) + " us");
+            w.unstable_since_us = record.t_us;  // rate-limit, like the soak
+          }
+        } else {
+          w.unstable = false;
+        }
+        // C: divergence reconciled within the bound (partitioned excluded).
+        if (record.field("plane_part") == 0 &&
+            record.field("div_age_us") > params.div_us) {
+          if (!w.divergence_reported) {
+            w.divergence_reported = true;
+            violate(record,
+                    "invariant C: reflector " + i64_str(record.field("r")) +
+                        " divergence age " +
+                        i64_str(record.field("div_age_us")) +
+                        " us over the reconciliation bound " +
+                        i64_str(params.div_us) + " us");
+          }
+        } else if (record.field("div_age_us") == 0) {
+          w.divergence_reported = false;
+        }
+        break;
+      }
+      case EventKind::kSnapshotTransport: {
+        ++report.transport_snapshots;
+        // D: the transport packet ledger closes.
+        const std::int64_t enq = record.field("enqueued");
+        const std::int64_t closed =
+            record.field("delivered") + record.field("dropped") +
+            record.field("recovered") + record.field("spec_dup") +
+            record.field("in_flight");
+        if (enq != closed) {
+          violate(record, "invariant D: transport ledger open (enqueued " +
+                              i64_str(enq) + " != closed " + i64_str(closed) +
+                              ")");
+        }
+        break;
+      }
+      case EventKind::kSearchLaunch: {
+        ++report.searches;
+        SearchWatch watch;
+        watch.launched_us = record.t_us;
+        watch.launch_seq = record.seq;
+        searches[record.field("id")] = watch;
+        break;
+      }
+      case EventKind::kSearchDone: {
+        auto it = searches.find(record.field("id"));
+        if (it == searches.end()) {
+          violate(record, "invariant E: search_done for search " +
+                              i64_str(record.field("id")) +
+                              " that never launched");
+          break;
+        }
+        it->second.done = true;
+        if (report.has_params) {
+          const std::int64_t bound =
+              params.watchdog_us + params.slack_us + params.tick_us;
+          const std::int64_t took = record.t_us - it->second.launched_us;
+          if (took > bound) {
+            violate(record, "invariant E: search " +
+                                i64_str(record.field("id")) + " took " +
+                                i64_str(took) + " us, past its watchdog (" +
+                                i64_str(bound) + " us)");
+          }
+        }
+        if (record.field("completed") == 0 &&
+            record.field("reason_h") == 0) {
+          violate(record, "invariant E: search " +
+                              i64_str(record.field("id")) +
+                              " failed without a reason");
+        }
+        break;
+      }
+      case EventKind::kLogClose: {
+        for (const auto& [id, watch] : searches) {
+          if (!watch.done) {
+            violate(record, "invariant E: search " + i64_str(id) +
+                                " (launched seq " +
+                                i64_str(watch.launch_seq) +
+                                ") never terminated");
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return report;
+}
+
+std::vector<std::string> diff_logs(const ParsedLog& a, const ParsedLog& b) {
+  std::vector<std::string> out;
+  if (!a.ok()) {
+    out.push_back("log A unparseable: " + a.error);
+  }
+  if (!b.ok()) {
+    out.push_back("log B unparseable: " + b.error);
+  }
+  if (!out.empty()) {
+    return out;
+  }
+
+  std::vector<const ParsedRecord*> ea;
+  std::vector<const ParsedRecord*> eb;
+  for (const ParsedRecord& r : a.records) {
+    if (diff_relevant(r)) {
+      ea.push_back(&r);
+    }
+  }
+  for (const ParsedRecord& r : b.records) {
+    if (diff_relevant(r)) {
+      eb.push_back(&r);
+    }
+  }
+
+  constexpr std::size_t kMaxListed = 10;
+  const std::size_t common = std::min(ea.size(), eb.size());
+  std::size_t listed = 0;
+  for (std::size_t i = 0; i < common && listed < kMaxListed; ++i) {
+    const std::string ka = diff_key(*ea[i]);
+    const std::string kb = diff_key(*eb[i]);
+    if (ka != kb) {
+      out.push_back("event " + i64_str(static_cast<std::int64_t>(i)) +
+                    ": A{" + ka + "} vs B{" + kb + "}");
+      ++listed;
+    }
+  }
+  if (ea.size() != eb.size()) {
+    out.push_back("event counts differ: A has " +
+                  i64_str(static_cast<std::int64_t>(ea.size())) +
+                  " events, B has " +
+                  i64_str(static_cast<std::int64_t>(eb.size())));
+  }
+
+  // Per-kind count deltas give the forensic headline.
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> kinds;
+  for (const ParsedRecord* r : ea) {
+    ++kinds[r->kind_name].first;
+  }
+  for (const ParsedRecord* r : eb) {
+    ++kinds[r->kind_name].second;
+  }
+  for (const auto& [kind, counts] : kinds) {
+    if (counts.first != counts.second) {
+      out.push_back("kind " + kind + ": A " + i64_str(counts.first) +
+                    " vs B " + i64_str(counts.second));
+    }
+  }
+  return out;
+}
+
+}  // namespace movr::log

@@ -175,6 +175,29 @@ class Transport {
                                      packets_in_flight();
   }
 
+  /// One consistent read of the live six-term ledger — what the session
+  /// event log snapshots every 20 ms.
+  struct LedgerSnapshot {
+    std::uint64_t enqueued{0};
+    std::uint64_t delivered{0};
+    std::uint64_t dropped{0};
+    std::uint64_t recovered{0};
+    std::uint64_t speculative_dup{0};
+    std::uint64_t in_flight{0};
+    bool closes() const {
+      return enqueued ==
+             delivered + dropped + recovered + speculative_dup + in_flight;
+    }
+  };
+  LedgerSnapshot ledger_snapshot() const {
+    return {packets_enqueued(),
+            packets_delivered(),
+            packets_dropped(),
+            packets_recovered_delivered(),
+            packets_speculative_dup(),
+            packets_in_flight()};
+  }
+
   const TxQueue& queue() const { return queue_; }
   const Arq& arq() const { return arq_; }
   const JitterBuffer& jitter() const { return jitter_; }

@@ -255,6 +255,31 @@ void Session::start() {
   target_frames_ = static_cast<std::uint64_t>(
       config_.duration.count() / config_.display.frame_interval().count());
   simulator_.after(sim::Duration::zero(), [this] { tick(); });
+  if (config_.recorder != nullptr && config_.transport.has_value()) {
+    simulator_.after(std::chrono::milliseconds{20},
+                     [this] { snapshot_tick(); });
+  }
+}
+
+void Session::record_transport_snapshot(bool final_snapshot) {
+  const net::Transport::LedgerSnapshot ledger = transport_->ledger_snapshot();
+  config_.recorder->record(
+      log::EventKind::kSnapshotTransport,
+      {{"enqueued", static_cast<std::int64_t>(ledger.enqueued)},
+       {"delivered", static_cast<std::int64_t>(ledger.delivered)},
+       {"dropped", static_cast<std::int64_t>(ledger.dropped)},
+       {"recovered", static_cast<std::int64_t>(ledger.recovered)},
+       {"spec_dup", static_cast<std::int64_t>(ledger.speculative_dup)},
+       {"in_flight", static_cast<std::int64_t>(ledger.in_flight)},
+       {"final", final_snapshot ? 1 : 0}});
+}
+
+void Session::snapshot_tick() {
+  if (transport_ == nullptr || simulator_.now() >= end_time()) {
+    return;
+  }
+  record_transport_snapshot(/*final_snapshot=*/false);
+  simulator_.after(std::chrono::milliseconds{20}, [this] { snapshot_tick(); });
 }
 
 QoeReport Session::finish() {
@@ -262,6 +287,9 @@ QoeReport Session::finish() {
     transport_->finalize(start_ + config_.duration);
     account_transport_outcomes();
     report_.transport = transport_->metrics();
+    if (config_.recorder != nullptr) {
+      record_transport_snapshot(/*final_snapshot=*/true);
+    }
   }
   if (burst_ != nullptr) {
     report_.burst = burst_->counters();

@@ -16,6 +16,7 @@
 
 #include <core/link_manager.hpp>
 #include <core/scene.hpp>
+#include <log/recorder.hpp>
 #include <net/transport.hpp>
 #include <phy/rate_adapter.hpp>
 #include <rf/units.hpp>
@@ -143,6 +144,12 @@ class Session {
     /// the transport (serialization stretches by 1/share) and, under the
     /// legacy binary model, scales the deliverable rate.
     std::function<double()> airtime_share;
+
+    /// Session event-log sink: when set (and the transport path is on) the
+    /// session snapshots the six-term packet ledger every 20 ms plus a
+    /// final post-finalize snapshot. Pure reads — recording consumes no
+    /// session RNG, so a logged run is bit-identical to an unlogged one.
+    log::Recorder* recorder{nullptr};
   };
 
   /// `motion` and `script` may be null (static player / no blockage).
@@ -175,6 +182,8 @@ class Session {
 
  private:
   void tick();
+  void snapshot_tick();
+  void record_transport_snapshot(bool final_snapshot);
 
   sim::Simulator& simulator_;
   core::Scene& scene_;

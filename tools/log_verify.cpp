@@ -1,0 +1,275 @@
+// log_verify — standalone offline checker for session event logs.
+//
+//   log_verify [--key K] <log>...      verify chain + invariants per file
+//   log_verify [--key K] --diff A B    diff two logs' event streams
+//   log_verify [--key K] --tamper F    tripwire self-test: corrupt F three
+//                                      ways in memory (flip a byte, drop a
+//                                      record, swap adjacent records) and
+//                                      require every corruption be caught
+//
+// Exit status is 0 only when every requested check passed; any violation
+// prints the first bad record's seq and timestamp and exits 1. The tool
+// links only movr_log — no simulator, no RNG: everything it knows comes
+// from the log bytes.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <log/reader.hpp>
+#include <log/verify.hpp>
+
+namespace {
+
+using movr::log::ParsedLog;
+using movr::log::VerifyReport;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return false;
+  }
+  out.clear();
+  char chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    out.append(chunk, got);
+  }
+  std::fclose(file);
+  return true;
+}
+
+void print_issues(const char* label, const std::vector<movr::log::Issue>& issues) {
+  for (const movr::log::Issue& issue : issues) {
+    std::printf("  %s: record seq=%lld t=%lldus: %s\n", label,
+                static_cast<long long>(issue.seq),
+                static_cast<long long>(issue.t_us), issue.what.c_str());
+  }
+}
+
+/// Verifies one already-parsed log; prints a one-line summary plus every
+/// issue. Returns true when the log is clean.
+bool report_one(const std::string& name, const ParsedLog& log,
+                std::string_view key) {
+  if (!log.ok()) {
+    std::printf("%s: FAIL (parse: %s)\n", name.c_str(), log.error.c_str());
+    return false;
+  }
+  const VerifyReport report = movr::log::verify_log(log, key);
+  if (report.ok()) {
+    std::printf(
+        "%s: OK (%zu records, %llu control / %llu reflector / %llu transport "
+        "snapshots, %llu searches%s)\n",
+        name.c_str(), report.records,
+        static_cast<unsigned long long>(report.control_snapshots),
+        static_cast<unsigned long long>(report.reflector_snapshots),
+        static_cast<unsigned long long>(report.transport_snapshots),
+        static_cast<unsigned long long>(report.searches),
+        report.has_params ? "" : "; no params record — chain/ledger checks only");
+    return true;
+  }
+  std::printf("%s: FAIL\n", name.c_str());
+  print_issues("chain", report.chain_issues);
+  print_issues("invariant", report.invariant_issues);
+  return false;
+}
+
+/// First problem of a tampered parse/verify, or empty when (wrongly) clean.
+std::string first_problem(const ParsedLog& log, std::string_view key) {
+  if (!log.ok()) {
+    return "parse: " + log.error;
+  }
+  const VerifyReport report = movr::log::verify_log(log, key);
+  const std::vector<movr::log::Issue>* issues = nullptr;
+  if (!report.chain_issues.empty()) {
+    issues = &report.chain_issues;
+  } else if (!report.invariant_issues.empty()) {
+    issues = &report.invariant_issues;
+  }
+  if (issues == nullptr) {
+    return {};
+  }
+  const movr::log::Issue& issue = issues->front();
+  return "seq=" + std::to_string(issue.seq) + ": " + issue.what;
+}
+
+struct Tamper {
+  const char* name;
+  std::string text;
+};
+
+/// Builds the three in-memory corruptions of `text`. Lines are NL-split;
+/// the victims sit mid-file so the tamper lands between valid neighbours.
+std::vector<Tamper> make_tampers(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::size_t end = nl == std::string::npos ? text.size() : nl;
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  std::vector<Tamper> tampers;
+  if (lines.size() < 4) {
+    return tampers;
+  }
+  const std::size_t mid = lines.size() / 2;
+
+  // 1. Flip one payload byte mid-record (before the hash suffix, so the
+  //    stored hash no longer matches the canonical text).
+  {
+    std::vector<std::string> copy = lines;
+    std::string& victim = copy[mid];
+    const std::size_t hash_at = victim.rfind(" h=");
+    const std::size_t pos = hash_at == std::string::npos || hash_at < 2
+                                ? victim.size() / 2
+                                : hash_at - 1;
+    victim[pos] = victim[pos] == '0' ? '1' : '0';
+    std::string joined;
+    for (const std::string& line : copy) {
+      joined += line;
+      joined += '\n';
+    }
+    tampers.push_back({"flip-byte", std::move(joined)});
+  }
+  // 2. Drop a middle record (the seq chain skips a number).
+  {
+    std::string joined;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (i == mid) {
+        continue;
+      }
+      joined += lines[i];
+      joined += '\n';
+    }
+    tampers.push_back({"drop-record", std::move(joined)});
+  }
+  // 3. Swap two adjacent records (seq runs backwards at the swap).
+  {
+    std::vector<std::string> copy = lines;
+    std::swap(copy[mid], copy[mid + 1]);
+    std::string joined;
+    for (const std::string& line : copy) {
+      joined += line;
+      joined += '\n';
+    }
+    tampers.push_back({"swap-records", std::move(joined)});
+  }
+  return tampers;
+}
+
+int run_tamper(const std::string& path, std::string_view key) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::printf("%s: cannot read\n", path.c_str());
+    return 1;
+  }
+  // The pristine log must verify before corrupting it means anything.
+  if (!report_one(path + " (pristine)", movr::log::parse_log(text), key)) {
+    return 1;
+  }
+  const std::vector<Tamper> tampers = make_tampers(text);
+  if (tampers.empty()) {
+    std::printf("%s: too short to tamper (< 4 records)\n", path.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const Tamper& tamper : tampers) {
+    const std::string problem =
+        first_problem(movr::log::parse_log(tamper.text), key);
+    if (problem.empty()) {
+      std::printf("  tamper %s: NOT CAUGHT — verifier accepted a corrupted "
+                  "log\n",
+                  tamper.name);
+      ++failures;
+    } else {
+      std::printf("  tamper %s: caught (%s)\n", tamper.name, problem.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int run_diff(const std::string& path_a, const std::string& path_b) {
+  const ParsedLog a = movr::log::parse_log_file(path_a);
+  const ParsedLog b = movr::log::parse_log_file(path_b);
+  if (!a.ok()) {
+    std::printf("%s: parse: %s\n", path_a.c_str(), a.error.c_str());
+    return 1;
+  }
+  if (!b.ok()) {
+    std::printf("%s: parse: %s\n", path_b.c_str(), b.error.c_str());
+    return 1;
+  }
+  const std::vector<std::string> diffs = movr::log::diff_logs(a, b);
+  if (diffs.empty()) {
+    std::printf("event streams identical (%zu vs %zu records)\n",
+                a.records.size(), b.records.size());
+    return 0;
+  }
+  for (const std::string& diff : diffs) {
+    std::printf("  %s\n", diff.c_str());
+  }
+  return 1;
+}
+
+void usage() {
+  std::printf(
+      "usage: log_verify [--key K] <log>...\n"
+      "       log_verify [--key K] --diff <log-a> <log-b>\n"
+      "       log_verify [--key K] --tamper <log>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string key;
+  std::vector<std::string> files;
+  bool diff = false;
+  bool tamper = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--key" && i + 1 < argc) {
+      key = argv[++i];
+    } else if (arg == "--diff") {
+      diff = true;
+    } else if (arg == "--tamper") {
+      tamper = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::printf("unknown option: %s\n", argv[i]);
+      usage();
+      return 2;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (tamper) {
+    if (files.size() != 1) {
+      usage();
+      return 2;
+    }
+    return run_tamper(files[0], key);
+  }
+  if (diff) {
+    if (files.size() != 2) {
+      usage();
+      return 2;
+    }
+    return run_diff(files[0], files[1]);
+  }
+  if (files.empty()) {
+    usage();
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& file : files) {
+    if (!report_one(file, movr::log::parse_log_file(file), key)) {
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
