@@ -1,0 +1,1008 @@
+// Arena-scale chaos: correlated infrastructure faults against the
+// multi-user coordinator, with provable per-user isolation.
+//
+// Single-user chaos (bench/chaos_soak) answers "does one session survive a
+// hostile control plane"; this bench answers the multi-user question the
+// arena exists for: when SHARED infrastructure faults — a reflector that N
+// users lease reboots or its amplifier sags, an AP browns out over every
+// user it admitted — does the coordinator contain the damage to the users
+// actually touching the faulted resource? Every (users, scenario, seed)
+// cell runs TWICE from the same seed: once with the fault script, once
+// fault-free, with identical 20 ms probes of every user's live
+// deadline-miss trajectory. The fault run's lease failover, device
+// quarantine and fault-aware admission are then judged by four gates:
+//
+//   ledgers    every user's per-20 ms packet-ledger audit closes at every
+//              check (extended ledger, speculative buckets included)
+//   liveness   no 20 ms probe ever sees a lease surviving on a quarantined
+//              reflector past the revocation grace (the live twin of
+//              log_verify's offline invariant F)
+//   isolation  users sharing NO faulted resource (never arbitrated for a
+//              faulted reflector in either run, not on a browned-out AP)
+//              stay within an interference epsilon of their fault-free
+//              glitch trajectory at every checkpoint
+//   engaged    the machinery actually fired across the sweep (faults
+//              applied, devices quarantined AND restored, at least one
+//              holder displaced by failover, zero orphaned leases)
+//
+// With --event-log DIR every cell also records coordinator + per-user
+// event streams, each re-verified offline in-process (chain + invariants
+// A-G); CI re-runs tools/log_verify on the same files. The
+// --disable-failover tripwire inverts the contract: it runs one cell with
+// failover OFF, expects the coordinator log to FAIL offline verification
+// at a lease-liveness record, and exits nonzero if the verifier does NOT
+// catch it.
+//
+// Usage: arena_chaos [--users LIST] [--seeds N] [--seed S]
+//                    [--duration SECONDS] [--threads N] [--json PATH]
+//                    [--event-log DIR] [--disable-failover]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <arena/coordinator.hpp>
+#include <core/parallel_for.hpp>
+#include <log/reader.hpp>
+#include <log/recorder.hpp>
+#include <log/verify.hpp>
+#include <sim/rng.hpp>
+#include <vr/session.hpp>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace movr;
+using geom::deg_to_rad;
+
+constexpr geom::Vec2 kApPositions[4] = {
+    {0.4, 0.4}, {7.6, 0.4}, {7.6, 7.6}, {0.4, 7.6}};
+constexpr double kApOrientationsDeg[4] = {45.0, 135.0, 225.0, 315.0};
+constexpr geom::Vec2 kCenter{4.0, 4.0};
+
+/// Isolation epsilon: a non-blast user's cumulative deadline misses may
+/// exceed its fault-free trajectory by at most abs + frac * frames at any
+/// checkpoint. The slack absorbs second-order coupling the arena cannot
+/// remove (a displaced holder re-enters OTHER reflectors' wait queues,
+/// and mode changes shift interference geometry) while still catching a
+/// fault that actually leaks: a browned-out AP or lost reflector costs
+/// hundreds of misses, two orders of magnitude past this bound.
+constexpr double kIsolationAbs = 12.0;
+constexpr double kIsolationFrac = 0.02;
+
+constexpr auto kProbeInterval = std::chrono::milliseconds{20};
+
+double uniform(std::mt19937_64& g, double lo, double hi) {
+  return std::uniform_real_distribution<double>{lo, hi}(g);
+}
+
+/// Same shared room as bench/arena: 8x8 m, four corner APs, one reflector
+/// at each wall midpoint — so chaos results are comparable with the
+/// fault-free arena sweep.
+core::Scene arena_scene() {
+  channel::Room room{8.0, 8.0};
+  core::ApRadio ap{kApPositions[0], deg_to_rad(kApOrientationsDeg[0])};
+  core::HeadsetRadio headset{kCenter, 0.0};
+  core::Scene scene{std::move(room), std::move(ap), std::move(headset)};
+  scene.add_reflector({4.0, 7.7}, deg_to_rad(265.0));
+  scene.add_reflector({7.7, 4.0}, deg_to_rad(175.0));
+  scene.add_reflector({0.3, 4.0}, deg_to_rad(355.0));
+  scene.add_reflector({4.0, 0.3}, deg_to_rad(85.0));
+  return scene;
+}
+
+/// One named fault scenario plus the resources it faults (for blast-set
+/// classification).
+struct Scenario {
+  const char* name;
+  std::vector<arena::ArenaFault> faults;
+  std::vector<std::size_t> faulted_reflectors;
+  std::vector<std::size_t> faulted_aps;
+};
+
+sim::TimePoint at_s(double s) { return sim::TimePoint{sim::from_seconds(s)}; }
+
+arena::ArenaFault reboot(std::size_t r, double start_s) {
+  arena::ArenaFault f;
+  f.kind = arena::ArenaFault::Kind::kReflectorReboot;
+  f.resource = r;
+  f.start = at_s(start_s);
+  return f;
+}
+
+arena::ArenaFault sag(std::size_t r, double start_s, double dur_s,
+                      double db) {
+  arena::ArenaFault f;
+  f.kind = arena::ArenaFault::Kind::kReflectorGainSag;
+  f.resource = r;
+  f.start = at_s(start_s);
+  f.duration = sim::from_seconds(dur_s);
+  f.magnitude_db = db;
+  return f;
+}
+
+arena::ArenaFault brownout(std::size_t ap, double start_s, double dur_s,
+                           double db) {
+  arena::ArenaFault f;
+  f.kind = arena::ArenaFault::Kind::kApBrownout;
+  f.resource = ap;
+  f.start = at_s(start_s);
+  f.duration = sim::from_seconds(dur_s);
+  f.magnitude_db = db;
+  return f;
+}
+
+/// The fault grid. Timings sit on/around the shared diagonal crossing at
+/// t=2.0 s, when reflector demand peaks — faults land while the faulted
+/// device is actually leased.
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  out.push_back({"reboot", {reboot(0, 2.5)}, {0}, {}});
+  out.push_back(
+      {"sag", {sag(0, 2.0, 2.5, 6.0), sag(1, 2.2, 2.5, 6.0)}, {0, 1}, {}});
+  out.push_back({"brownout", {brownout(0, 2.0, 2.0, 9.0)}, {}, {0}});
+  out.push_back(
+      {"combo", {reboot(0, 2.0), brownout(1, 3.5, 1.5, 8.0)}, {0}, {1}});
+  return out;
+}
+
+arena::Coordinator::Config make_config(std::size_t users, std::uint64_t seed,
+                                       double duration_s) {
+  arena::Coordinator::Config config;
+  config.users = users;
+  config.seed = seed;
+  config.ap_positions.assign(std::begin(kApPositions),
+                             std::end(kApPositions));
+  for (const double deg : kApOrientationsDeg) {
+    config.ap_orientations.push_back(deg_to_rad(deg));
+  }
+  // Same contention tuning as bench/arena's arbitration arm.
+  config.arbiter.lease_duration = std::chrono::milliseconds{250};
+  config.arbiter.aging_per_second = 4.0;
+  config.admission.evict_grace = std::chrono::seconds{2};
+  config.link.skip_occluded_candidates = true;
+  config.session.duration = sim::from_seconds(duration_s);
+  net::TransportConfig transport;
+  transport.source.target_mbps = 300.0;
+  config.session.transport = transport;
+  return config;
+}
+
+arena::Coordinator::MotionFactory motion_factory(std::uint64_t seed) {
+  return [seed](std::size_t u,
+                const core::Scene& scene) -> std::unique_ptr<vr::Motion> {
+    const sim::RngRegistry rngs{seed};
+    auto rng = rngs.stream("arena.pos", u);
+    const geom::Vec2 ap = kApPositions[u % 4];
+    const geom::Vec2 toward = (kCenter - ap).normalized();
+    const geom::Vec2 perp{-toward.y, toward.x};
+    geom::Vec2 start = ap + toward * uniform(rng, 1.8, 3.2) +
+                       perp * uniform(rng, -1.1, 1.1);
+    start.x = std::clamp(start.x, 0.9, 7.1);
+    start.y = std::clamp(start.y, 0.9, 7.1);
+    return std::make_unique<vr::PlayerMotion>(
+        scene.room(), start, rngs.stream("arena.motion", u)());
+  };
+}
+
+arena::Coordinator::ScriptFactory script_factory(double duration_s) {
+  return [duration_s](std::size_t u) {
+    const sim::TimePoint end{sim::from_seconds(duration_s)};
+    std::vector<vr::BlockageEvent> events =
+        vr::periodic_hand_raises(
+            sim::TimePoint{sim::from_seconds(
+                0.8 + 0.21 * static_cast<double>(u % 7))},
+            sim::from_seconds(0.7), sim::from_seconds(2.4), end)
+            .events();
+    bool flip = false;
+    for (double t = 2.0; t + 2.5 < duration_s; t += 5.0) {
+      vr::BlockageEvent person;
+      person.kind = vr::BlockageEvent::Kind::kPersonCrossing;
+      person.start = sim::TimePoint{sim::from_seconds(t)};
+      person.duration = sim::from_seconds(2.5);
+      person.path_from = flip ? geom::Vec2{7.4, 0.6} : geom::Vec2{0.6, 0.6};
+      person.path_to = flip ? geom::Vec2{0.6, 7.4} : geom::Vec2{7.4, 7.4};
+      flip = !flip;
+      events.push_back(person);
+    }
+    return vr::BlockageScript{std::move(events)};
+  };
+}
+
+/// Per-user cumulative (misses, frames) sampled every 20 ms.
+struct Trajectory {
+  std::vector<std::uint64_t> misses;
+  std::vector<std::uint64_t> frames;
+};
+
+/// One coordinator run (faulted or reference) with live probes attached.
+struct RunOutcome {
+  std::vector<Trajectory> trajectories;       // one per user
+  /// [user] shares a faulted reflector: fault-degraded at any probe, held
+  /// a faulted reflector at/after fault start, first touched one after
+  /// fault start, or bounced off a benched device. Deliberately NOT
+  /// "touched at any point in the run" — that marks everyone over 6 s of
+  /// contention and makes the isolation gate vacuous.
+  std::vector<std::uint8_t> blast_signals;
+  /// [user] sum of the user's OWN health-monitor counters (quarantines,
+  /// reboot detections, divergences). A faulted-vs-reference mismatch
+  /// means the user's link machinery reacted to the fault (e.g. an
+  /// aborted handover into a rebooted reflector) even if every probe
+  /// missed the short holder window — that user is in the blast.
+  std::vector<std::uint64_t> health_marks;
+  /// [user] sum of the user's admission counters (degrades, evictions,
+  /// readmissions, fault spares). A faulted-vs-reference mismatch means
+  /// the admission controller treated this user differently BECAUSE of
+  /// the fault — e.g. the sparing rule shifting a demotion from the
+  /// fault-degraded holder onto a healthy AP-mate. That transfer is the
+  /// coordinator's deliberate blast radius, not an isolation leak.
+  std::vector<std::uint64_t> admission_marks;
+  /// Flattened [probe][reflector] -> holder index (kNoHolder when free).
+  /// Diffed against the reference run to find lease-displacement
+  /// cascades: a faulted reflector's displaced holder fast-tracks onto a
+  /// healthy one, evicting ITS holder in turn — every user whose lease
+  /// trajectory was reshuffled by the fault is inside the blast.
+  std::vector<std::uint32_t> holder_map;
+  std::size_t reflectors{0};
+  std::vector<double> glitch_fractions;       // one per user
+  std::uint64_t ledger_checks{0};
+  std::uint64_t ledger_violations{0};
+  std::uint64_t lease_liveness_violations{0};  // live 20 ms probe
+  arena::Coordinator::ChaosStats chaos;
+  std::uint64_t denials{0};
+  std::uint64_t quarantine_denials{0};
+  std::uint64_t fast_tracks{0};
+  std::uint64_t stale_reservations{0};
+  std::uint64_t fingerprint{0};
+};
+
+constexpr std::uint32_t kNoHolder = 0xffffffffu;
+
+void fingerprint_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+struct LogSinks {
+  std::unique_ptr<log::Recorder> coordinator;
+  std::vector<std::unique_ptr<log::Recorder>> users;
+  std::string coordinator_path;
+  std::vector<std::string> user_paths;
+};
+
+LogSinks make_sinks(const std::string& dir, const std::string& stem,
+                    std::size_t users, std::uint64_t seed,
+                    sim::Simulator& simulator) {
+  LogSinks sinks;
+  sinks.coordinator_path = dir + "/" + stem + ".coordinator.log";
+  log::Recorder::Config coord;
+  coord.path = sinks.coordinator_path;
+  coord.bench = "arena_chaos";
+  coord.seed = seed;
+  sinks.coordinator = std::make_unique<log::Recorder>(std::move(coord));
+  sinks.coordinator->bind_clock(&simulator);
+  for (std::size_t u = 0; u < users; ++u) {
+    log::Recorder::Config user;
+    sinks.user_paths.push_back(dir + "/" + stem + ".user" +
+                               std::to_string(u) + ".log");
+    user.path = sinks.user_paths.back();
+    user.bench = "arena_chaos";
+    user.seed = seed;
+    sinks.users.push_back(std::make_unique<log::Recorder>(std::move(user)));
+    sinks.users.back()->bind_clock(&simulator);
+  }
+  return sinks;
+}
+
+/// Runs one arena (with or without the scenario's faults) and samples
+/// every user's live miss/frame counters — plus the live lease-liveness
+/// check — every 20 ms.
+RunOutcome run_arena(std::size_t users, const Scenario& scenario,
+                     bool faulted, bool failover, std::uint64_t seed,
+                     double duration_s, LogSinks* sinks) {
+  const core::Scene prototype = arena_scene();
+  sim::Simulator simulator;
+  auto config = make_config(users, seed, duration_s);
+  if (faulted) {
+    config.faults = scenario.faults;
+    config.lease_failover = failover;
+  }
+  if (sinks != nullptr) {
+    config.recorder = sinks->coordinator.get();
+    config.user_recorder = [sinks](std::size_t u) {
+      return sinks->users[u].get();
+    };
+  }
+  arena::Coordinator coordinator{simulator, prototype, config,
+                                 motion_factory(seed),
+                                 script_factory(duration_s)};
+
+  RunOutcome out;
+  out.trajectories.resize(users);
+  out.blast_signals.assign(users, 0);
+  out.reflectors = prototype.reflector_count();
+  // Blast membership is decided per fault window, not per run: the flip
+  // baseline is each user's touched-bitmap at the last probe before the
+  // first fault lands (bit-identical between the faulted and reference
+  // runs, since nothing has diverged yet).
+  sim::TimePoint first_fault = sim::TimePoint::max();
+  for (const arena::ArenaFault& fault : scenario.faults) {
+    first_fault = std::min(first_fault, fault.start);
+  }
+  std::vector<std::uint8_t> pre_fault_touched(
+      users * scenario.faulted_reflectors.size(), 0);
+  // Live lease-liveness watcher state: how long each reflector has been
+  // observed quarantined-with-a-holder.
+  std::vector<sim::TimePoint> bad_since(prototype.reflector_count());
+  std::vector<std::uint8_t> bad(prototype.reflector_count(), 0);
+  const auto probe = [&] {
+    const sim::TimePoint now = simulator.now();
+    for (std::size_t u = 0; u < users; ++u) {
+      const net::Transport* transport = coordinator.user_transport(u);
+      out.trajectories[u].misses.push_back(
+          transport != nullptr ? transport->live_deadline_misses() : 0);
+      out.trajectories[u].frames.push_back(
+          transport != nullptr ? transport->live_frames_emitted() : 0);
+    }
+    for (std::size_t r = 0; r < out.reflectors; ++r) {
+      const auto holder = coordinator.arbiter().holder(r);
+      out.holder_map.push_back(
+          holder ? static_cast<std::uint32_t>(*holder) : kNoHolder);
+    }
+    if (now < first_fault) {
+      // Keep refreshing the pre-fault baseline until the fault lands.
+      for (std::size_t i = 0; i < scenario.faulted_reflectors.size(); ++i) {
+        const std::size_t r = scenario.faulted_reflectors[i];
+        for (std::size_t u = 0; u < users; ++u) {
+          pre_fault_touched[u * scenario.faulted_reflectors.size() + i] =
+              coordinator.arbiter().touched(u, r) ? 1 : 0;
+        }
+      }
+    } else {
+      // Holding a faulted reflector at/after fault start = in the blast,
+      // as is carrying the coordinator's fault-degraded mark (displaced
+      // holders, browned-out-AP users, sag-window holders).
+      for (const std::size_t r : scenario.faulted_reflectors) {
+        if (const auto holder = coordinator.arbiter().holder(r)) {
+          out.blast_signals[*holder] = 1;
+        }
+      }
+      if (faulted) {
+        for (std::size_t u = 0; u < users; ++u) {
+          if (coordinator.fault_degraded(u, now)) {
+            out.blast_signals[u] = 1;
+          }
+        }
+      }
+    }
+    if (!faulted || !failover) {
+      return;  // the liveness gate binds on the failover-enabled fault run
+    }
+    for (std::size_t r = 0; r < bad.size(); ++r) {
+      const bool held_quarantined =
+          coordinator.device_health().quarantined(r) &&
+          coordinator.arbiter().holder(r).has_value();
+      if (!held_quarantined) {
+        bad[r] = 0;
+        continue;
+      }
+      if (bad[r] == 0) {
+        bad[r] = 1;
+        bad_since[r] = now;
+        continue;
+      }
+      if (now - bad_since[r] > config.revoke_grace) {
+        ++out.lease_liveness_violations;
+      }
+    }
+  };
+  const sim::TimePoint end{sim::from_seconds(duration_s)};
+  for (sim::TimePoint t{kProbeInterval}; t < end; t += kProbeInterval) {
+    simulator.at(t, probe);
+  }
+
+  const auto results = coordinator.run();
+  for (std::size_t u = 0; u < users; ++u) {
+    // First touch of a faulted reflector after fault start, or a bounce
+    // off the benched device, completes the blast signals.
+    for (std::size_t i = 0; i < scenario.faulted_reflectors.size(); ++i) {
+      const std::size_t r = scenario.faulted_reflectors[i];
+      if (coordinator.arbiter().touched(u, r) &&
+          pre_fault_touched[u * scenario.faulted_reflectors.size() + i] ==
+              0) {
+        out.blast_signals[u] = 1;
+      }
+    }
+    if (faulted &&
+        coordinator.arbiter().user_stats(u).quarantine_denials > 0) {
+      out.blast_signals[u] = 1;
+    }
+    const core::HealthMonitor::Stats& own =
+        coordinator.user_manager(u).health().stats();
+    out.health_marks.push_back(static_cast<std::uint64_t>(
+        own.quarantines + own.reboots_detected + own.divergences));
+    const arena::AdmissionController::UserCounters& adm =
+        coordinator.admission().counters(u);
+    out.admission_marks.push_back(static_cast<std::uint64_t>(
+        adm.degrades + adm.evictions + adm.readmissions + adm.fault_spares));
+    out.glitch_fractions.push_back(results[u].report.glitch_fraction());
+    if (results[u].report.arena.has_value()) {
+      out.ledger_checks += results[u].report.arena->ledger_checks;
+      out.ledger_violations += results[u].report.arena->ledger_violations;
+    }
+    fingerprint_mix(out.fingerprint,
+                    arena::qoe_fingerprint(results[u].report));
+  }
+  out.chaos = coordinator.chaos();
+  out.denials = coordinator.arbiter().stats().denials;
+  out.quarantine_denials = coordinator.arbiter().stats().quarantine_denials;
+  out.fast_tracks = coordinator.arbiter().stats().fast_tracks;
+  out.stale_reservations = coordinator.arbiter().stats().stale_reservations;
+  if (sinks != nullptr) {
+    sinks->coordinator->close();
+    for (auto& user_log : sinks->users) {
+      user_log->close();
+    }
+  }
+  return out;
+}
+
+/// One (users, scenario, seed) cell: faulted run vs same-seed reference.
+struct CellResult {
+  RunOutcome faulted;
+  RunOutcome reference;
+  std::size_t blast_users{0};
+  double max_excess{0.0};          // worst non-blast miss excess seen
+  double max_allowance{0.0};       // the bound at that checkpoint
+  std::uint64_t isolation_violations{0};
+  std::string first_violation;
+};
+
+CellResult run_cell(std::size_t users, const Scenario& scenario,
+                    std::uint64_t seed, double duration_s) {
+  // The plain sweep cell runs unlogged; the event-log pass (one logged
+  // cell per scenario) is driven separately from main().
+  CellResult cell;
+  cell.faulted = run_arena(users, scenario, /*faulted=*/true,
+                           /*failover=*/true, seed, duration_s, nullptr);
+  cell.reference = run_arena(users, scenario, /*faulted=*/false,
+                             /*failover=*/true, seed, duration_s, nullptr);
+
+  // Blast set: shared a faulted reflector during its fault window in
+  // EITHER run (held it, first touched it after the fault landed, bounced
+  // off it, or carried the fault-degraded mark), or attached to a
+  // browned-out AP.
+  std::vector<std::uint8_t> blast(users, 0);
+  for (std::size_t u = 0; u < users; ++u) {
+    if (cell.faulted.blast_signals[u] != 0 ||
+        cell.reference.blast_signals[u] != 0) {
+      blast[u] = 1;
+    }
+    // The user's own health machinery diverged from the fault-free run:
+    // it reacted to the fault (aborted into a rebooted device, struck out
+    // on a sagging one) even if every 20 ms probe missed the window.
+    if (cell.faulted.health_marks[u] != cell.reference.health_marks[u]) {
+      blast[u] = 1;
+    }
+    // Admission treated the user differently because of the fault: the
+    // sparing rule deliberately shifts demotions onto healthy AP-mates
+    // of a fault-degraded user. Deliberate transfer = inside the blast.
+    if (cell.faulted.admission_marks[u] != cell.reference.admission_marks[u]) {
+      blast[u] = 1;
+    }
+  }
+  // Lease-displacement cascade: any checkpoint where a reflector's holder
+  // differs from the fault-free run implicates BOTH holders — the user
+  // pushed off its lease schedule and the one pushed onto it. (Pre-fault
+  // checkpoints are bit-identical, so they contribute nothing.)
+  const std::size_t map_len = std::min(cell.faulted.holder_map.size(),
+                                       cell.reference.holder_map.size());
+  for (std::size_t i = 0; i < map_len; ++i) {
+    const std::uint32_t a = cell.faulted.holder_map[i];
+    const std::uint32_t b = cell.reference.holder_map[i];
+    if (a == b) {
+      continue;
+    }
+    if (a != kNoHolder && a < users) {
+      blast[a] = 1;
+    }
+    if (b != kNoHolder && b < users) {
+      blast[b] = 1;
+    }
+  }
+  for (std::size_t u = 0; u < users; ++u) {
+    for (const std::size_t ap : scenario.faulted_aps) {
+      if (u % 4 == ap) {
+        blast[u] = 1;
+      }
+    }
+    cell.blast_users += blast[u];
+  }
+
+  // Isolation: non-blast users track their fault-free trajectory.
+  for (std::size_t u = 0; u < users; ++u) {
+    if (blast[u] != 0) {
+      continue;
+    }
+    const Trajectory& with = cell.faulted.trajectories[u];
+    const Trajectory& without = cell.reference.trajectories[u];
+    const std::size_t checkpoints =
+        std::min(with.misses.size(), without.misses.size());
+    for (std::size_t k = 0; k < checkpoints; ++k) {
+      const double excess = static_cast<double>(with.misses[k]) -
+                            static_cast<double>(without.misses[k]);
+      const double allowance =
+          kIsolationAbs +
+          kIsolationFrac * static_cast<double>(without.frames[k]);
+      if (excess > cell.max_excess) {
+        cell.max_excess = excess;
+        cell.max_allowance = allowance;
+      }
+      if (excess > allowance) {
+        ++cell.isolation_violations;
+        if (cell.first_violation.empty()) {
+          char buf[160];
+          std::snprintf(buf, sizeof buf,
+                        "user %zu at t=%.2f s: %+.0f misses vs fault-free "
+                        "(allowance %.1f)",
+                        u, 0.02 * static_cast<double>(k + 1), excess,
+                        allowance);
+          cell.first_violation = buf;
+        }
+      }
+    }
+  }
+  return cell;
+}
+
+/// Verifies one recorded log file offline; returns true when clean.
+bool verify_file(const std::string& path, int* failures) {
+  const log::ParsedLog parsed = log::parse_log_file(path);
+  const log::VerifyReport report = log::verify_log(parsed, "");
+  if (report.ok()) {
+    return true;
+  }
+  std::printf("FAIL: %s does not verify offline:\n", path.c_str());
+  for (const log::Issue& issue :
+       report.chain_issues.empty() ? report.invariant_issues
+                                   : report.chain_issues) {
+    std::printf("  seq %lld t=%lld us: %s\n",
+                static_cast<long long>(issue.seq),
+                static_cast<long long>(issue.t_us), issue.what.c_str());
+  }
+  ++*failures;
+  return false;
+}
+
+/// The --disable-failover tripwire: run one cell with lease failover OFF
+/// and a long, mild all-reflector gain sag (links stay usable, so holders
+/// keep riding their quarantined devices), then demand that the offline
+/// verifier catches the lease-liveness breach from the bytes alone.
+int run_tripwire(std::size_t users, std::uint64_t seed, double duration_s,
+                 std::string dir) {
+  if (dir.empty()) {
+    dir = "arena_chaos_tripwire";
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  Scenario scenario;
+  scenario.name = "tripwire_sag_all";
+  for (std::size_t r = 0; r < 4; ++r) {
+    scenario.faults.push_back(sag(r, 1.5, duration_s - 2.0, 2.0));
+    scenario.faulted_reflectors.push_back(r);
+  }
+
+  const core::Scene prototype = arena_scene();
+  sim::Simulator simulator;
+  auto config = make_config(users, seed, duration_s);
+  config.faults = scenario.faults;
+  config.lease_failover = false;
+  LogSinks sinks = make_sinks(dir, "tripwire", users, seed, simulator);
+  config.recorder = sinks.coordinator.get();
+  config.user_recorder = [&sinks](std::size_t u) {
+    return sinks.users[u].get();
+  };
+  arena::Coordinator coordinator{simulator, prototype, config,
+                                 motion_factory(seed),
+                                 script_factory(duration_s)};
+  coordinator.run();
+  sinks.coordinator->close();
+  for (auto& user_log : sinks.users) {
+    user_log->close();
+  }
+
+  const log::ParsedLog parsed = log::parse_log_file(sinks.coordinator_path);
+  const log::VerifyReport report = log::verify_log(parsed, "");
+  if (!report.chain_issues.empty()) {
+    std::printf("FAIL: tripwire log has chain issues (expected a clean "
+                "chain with an invariant F violation):\n  %s\n",
+                report.chain_issues.front().what.c_str());
+    return 1;
+  }
+  if (report.invariant_issues.empty()) {
+    std::printf("FAIL: verifier did NOT catch the disabled failover — "
+                "%llu lease snapshots re-checked, zero violations\n",
+                static_cast<unsigned long long>(report.lease_snapshots));
+    return 1;
+  }
+  const log::Issue& first = report.invariant_issues.front();
+  if (first.what.find("invariant F") == std::string::npos) {
+    std::printf("FAIL: first invariant issue is not lease liveness: %s\n",
+                first.what.c_str());
+    return 1;
+  }
+  std::printf("OK: tripwire caught — verification of %s fails at seq %lld "
+              "(t=%lld us):\n  %s\n",
+              sinks.coordinator_path.c_str(),
+              static_cast<long long>(first.seq),
+              static_cast<long long>(first.t_us), first.what.c_str());
+  return 0;
+}
+
+void print_usage() {
+  std::printf(
+      "arena_chaos — correlated shared-resource faults against the\n"
+      "multi-user arena: lease failover, fault-aware admission, and a\n"
+      "blast-radius isolation gate checked every 20 ms\n\n"
+      "  arena_chaos [--users LIST] [--seeds N] [--seed S]\n"
+      "              [--duration SECONDS] [--threads N] [--json PATH]\n"
+      "              [--event-log DIR] [--disable-failover]\n\n"
+      "  --users LIST         comma-separated user counts (default 4,8)\n"
+      "  --seeds N            run seeds 1..N (default 2)\n"
+      "  --seed S             run exactly one seed (replay mode)\n"
+      "  --duration SECONDS   sim time per run (default 6)\n"
+      "  --threads N          worker threads (default: hardware)\n"
+      "  --json PATH          machine-readable summary (BENCH_arena_chaos)\n"
+      "  --event-log DIR      record coordinator + per-user event logs for\n"
+      "                       one cell per scenario and re-verify offline\n"
+      "  --disable-failover   tripwire: run with lease failover OFF and\n"
+      "                       exit 0 only if offline verification FAILS at\n"
+      "                       the first lease-liveness record\n\n"
+      "Exits nonzero when any ledger audit opens, a live 20 ms probe sees\n"
+      "a lease outlive its device's quarantine grace, a user sharing no\n"
+      "faulted resource leaves its fault-free glitch trajectory by more\n"
+      "than the isolation epsilon, a recorded log fails offline\n"
+      "verification, or the chaos machinery never engaged.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> user_counts = {4, 8};
+  int seeds = 2;
+  std::uint64_t single_seed = 0;
+  bool have_single_seed = false;
+  double duration_s = 6.0;
+  unsigned threads = 0;
+  std::string json_path;
+  std::string event_log_dir;
+  bool disable_failover = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
+      user_counts.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        char* endp = nullptr;
+        const unsigned long v = std::strtoul(p, &endp, 10);
+        if (endp == p || v == 0) {
+          std::fprintf(stderr, "bad --users list\n");
+          return 2;
+        }
+        user_counts.push_back(static_cast<std::size_t>(v));
+        p = *endp == ',' ? endp + 1 : endp;
+      }
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      single_seed = std::strtoull(argv[++i], nullptr, 10);
+      have_single_seed = true;
+    } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      duration_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--event-log") == 0 && i + 1 < argc) {
+      event_log_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--disable-failover") == 0) {
+      disable_failover = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      print_usage();
+      return 2;
+    }
+  }
+
+  if (disable_failover) {
+    const std::size_t users = user_counts.empty() ? 8 : user_counts.back();
+    return run_tripwire(users, have_single_seed ? single_seed : 1,
+                        duration_s, event_log_dir);
+  }
+
+  std::vector<std::uint64_t> seed_list;
+  if (have_single_seed) {
+    seed_list.push_back(single_seed);
+  } else {
+    for (int s = 1; s <= seeds; ++s) {
+      seed_list.push_back(static_cast<std::uint64_t>(s));
+    }
+  }
+  const std::vector<Scenario> grid = scenarios();
+
+  struct SweepJob {
+    std::size_t users;
+    std::size_t scenario;
+    std::uint64_t seed;
+  };
+  std::vector<SweepJob> jobs;
+  for (const std::size_t users : user_counts) {
+    for (std::size_t s = 0; s < grid.size(); ++s) {
+      for (const std::uint64_t seed : seed_list) {
+        jobs.push_back({users, s, seed});
+      }
+    }
+  }
+  std::vector<CellResult> results(jobs.size());
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  core::parallel_for(jobs.size(), threads,
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t j = begin; j < end; ++j) {
+                         results[j] = run_cell(jobs[j].users,
+                                               grid[jobs[j].scenario],
+                                               jobs[j].seed, duration_s);
+                       }
+                     });
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  int failures = 0;
+
+  bench::print_header(
+      "Arena chaos — correlated shared-resource faults, failover + "
+      "isolation");
+  std::printf("%5s %-10s %5s %7s %7s %7s %7s %7s %9s %10s\n", "users",
+              "scenario", "seed", "faults", "quarant", "failovr", "restore",
+              "blast", "maxExcess", "liveness");
+  arena::Coordinator::ChaosStats totals;
+  std::uint64_t total_fast_tracks = 0;
+  std::uint64_t total_quarantine_denials = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const SweepJob& job = jobs[j];
+    const CellResult& cell = results[j];
+    const auto& chaos = cell.faulted.chaos;
+    totals.faults_applied += chaos.faults_applied;
+    totals.failover_revocations += chaos.failover_revocations;
+    totals.orphan_leases_reaped += chaos.orphan_leases_reaped;
+    totals.device_quarantines += chaos.device_quarantines;
+    totals.device_restores += chaos.device_restores;
+    totals.fault_degraded_samples += chaos.fault_degraded_samples;
+    total_fast_tracks += cell.faulted.fast_tracks;
+    total_quarantine_denials += cell.faulted.quarantine_denials;
+    std::printf("%5zu %-10s %5llu %7llu %7llu %7llu %7llu %7zu %9.1f %10llu\n",
+                job.users, grid[job.scenario].name,
+                static_cast<unsigned long long>(job.seed),
+                static_cast<unsigned long long>(chaos.faults_applied),
+                static_cast<unsigned long long>(chaos.device_quarantines),
+                static_cast<unsigned long long>(chaos.failover_revocations),
+                static_cast<unsigned long long>(chaos.device_restores),
+                cell.blast_users, cell.max_excess,
+                static_cast<unsigned long long>(
+                    cell.faulted.lease_liveness_violations));
+  }
+
+  // Gate 1: every user's extended packet ledger closes at every 20 ms
+  // check, in both the faulted and the reference runs.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const CellResult& cell = results[j];
+    const bool bad =
+        cell.faulted.ledger_violations > 0 || cell.faulted.ledger_checks == 0 ||
+        cell.reference.ledger_violations > 0 ||
+        cell.reference.ledger_checks == 0;
+    if (bad) {
+      std::printf("FAIL: ledger audit open (%zu users, %s, seed %llu)\n",
+                  jobs[j].users, grid[jobs[j].scenario].name,
+                  static_cast<unsigned long long>(jobs[j].seed));
+      bench::print_replay("arena_chaos", jobs[j].seed, duration_s, "");
+      ++failures;
+    }
+  }
+
+  // Gate 2: live lease liveness — no 20 ms probe ever saw a quarantined
+  // reflector keep its holder past the revocation grace.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (results[j].faulted.lease_liveness_violations > 0) {
+      std::printf(
+          "FAIL: lease liveness: %llu probes saw a quarantined reflector "
+          "still leased (%zu users, %s, seed %llu)\n",
+          static_cast<unsigned long long>(
+              results[j].faulted.lease_liveness_violations),
+          jobs[j].users, grid[jobs[j].scenario].name,
+          static_cast<unsigned long long>(jobs[j].seed));
+      bench::print_replay("arena_chaos", jobs[j].seed, duration_s, "");
+      ++failures;
+    }
+  }
+
+  // Gate 3: blast-radius isolation — and the gate must actually bind:
+  // at least one cell has to leave some users outside the blast, or the
+  // trajectory comparison proved nothing.
+  std::size_t isolated_user_cells = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    isolated_user_cells += jobs[j].users - results[j].blast_users;
+  }
+  if (isolated_user_cells == 0) {
+    std::printf(
+        "FAIL: isolation gate vacuous: every user in every cell was "
+        "classified blast\n");
+    ++failures;
+  }
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (results[j].isolation_violations > 0) {
+      std::printf(
+          "FAIL: isolation: %llu checkpoint(s) outside epsilon (%zu users, "
+          "%s, seed %llu): %s\n",
+          static_cast<unsigned long long>(results[j].isolation_violations),
+          jobs[j].users, grid[jobs[j].scenario].name,
+          static_cast<unsigned long long>(jobs[j].seed),
+          results[j].first_violation.c_str());
+      bench::print_replay("arena_chaos", jobs[j].seed, duration_s, "");
+      ++failures;
+    }
+  }
+
+  // Gate 4: the machinery engaged (otherwise every other gate is vacuous)
+  // and nothing leaked: zero orphaned leases across the sweep.
+  if (totals.faults_applied == 0 || totals.device_quarantines == 0 ||
+      totals.failover_revocations == 0 || totals.device_restores == 0) {
+    std::printf("FAIL: chaos machinery never engaged (faults %llu, "
+                "quarantines %llu, failovers %llu, restores %llu)\n",
+                static_cast<unsigned long long>(totals.faults_applied),
+                static_cast<unsigned long long>(totals.device_quarantines),
+                static_cast<unsigned long long>(totals.failover_revocations),
+                static_cast<unsigned long long>(totals.device_restores));
+    ++failures;
+  }
+  if (totals.orphan_leases_reaped > 0) {
+    std::printf("FAIL: %llu orphaned lease(s) reaped — arbiter and managers "
+                "desynced\n",
+                static_cast<unsigned long long>(totals.orphan_leases_reaped));
+    ++failures;
+  }
+
+  // Event-log pass: one logged cell per scenario (largest user count,
+  // first seed), every stream re-verified offline in-process.
+  std::size_t logs_verified = 0;
+  if (!event_log_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(event_log_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --event-log dir %s: %s\n",
+                   event_log_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    const std::size_t users = user_counts.back();
+    const std::uint64_t seed = seed_list.front();
+    for (const Scenario& scenario : grid) {
+      sim::Simulator simulator;
+      const core::Scene prototype = arena_scene();
+      auto config = make_config(users, seed, duration_s);
+      config.faults = scenario.faults;
+      const std::string stem = std::string{scenario.name} + "_u" +
+                               std::to_string(users) + "_s" +
+                               std::to_string(seed);
+      LogSinks sinks =
+          make_sinks(event_log_dir, stem, users, seed, simulator);
+      config.recorder = sinks.coordinator.get();
+      config.user_recorder = [&sinks](std::size_t u) {
+        return sinks.users[u].get();
+      };
+      arena::Coordinator coordinator{simulator, prototype, config,
+                                     motion_factory(seed),
+                                     script_factory(duration_s)};
+      coordinator.run();
+      sinks.coordinator->close();
+      for (auto& user_log : sinks.users) {
+        user_log->close();
+      }
+      if (verify_file(sinks.coordinator_path, &failures)) {
+        ++logs_verified;
+      }
+      for (const std::string& path : sinks.user_paths) {
+        if (verify_file(path, &failures)) {
+          ++logs_verified;
+        }
+      }
+    }
+    std::printf("\nevent logs: %zu stream(s) verified offline in %s\n",
+                logs_verified, event_log_dir.c_str());
+  }
+
+  if (!json_path.empty()) {
+    bench::Json sweep = bench::Json::array();
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const CellResult& cell = results[j];
+      bench::Json row = bench::Json::object();
+      row.set("users", static_cast<std::uint64_t>(jobs[j].users))
+          .set("scenario", grid[jobs[j].scenario].name)
+          .set("seed", jobs[j].seed)
+          .set("faults_applied", cell.faulted.chaos.faults_applied)
+          .set("device_quarantines", cell.faulted.chaos.device_quarantines)
+          .set("device_restores", cell.faulted.chaos.device_restores)
+          .set("failover_revocations",
+               cell.faulted.chaos.failover_revocations)
+          .set("orphan_leases_reaped",
+               cell.faulted.chaos.orphan_leases_reaped)
+          .set("fault_degraded_samples",
+               cell.faulted.chaos.fault_degraded_samples)
+          .set("fast_tracks", cell.faulted.fast_tracks)
+          .set("quarantine_denials", cell.faulted.quarantine_denials)
+          .set("stale_reservations", cell.faulted.stale_reservations)
+          .set("blast_users", static_cast<std::uint64_t>(cell.blast_users))
+          .set("max_isolation_excess", cell.max_excess)
+          .set("isolation_violations", cell.isolation_violations)
+          .set("lease_liveness_violations",
+               cell.faulted.lease_liveness_violations)
+          .set("ledger_checks", cell.faulted.ledger_checks)
+          .set("ledger_violations", cell.faulted.ledger_violations)
+          .set("fingerprint", bench::fingerprint_hex(cell.faulted.fingerprint))
+          .set("reference_fingerprint",
+               bench::fingerprint_hex(cell.reference.fingerprint));
+      sweep.push(std::move(row));
+    }
+    bench::Json doc = bench::Json::object();
+    doc.set("bench", "arena_chaos")
+        .set("wall_time_s", wall_s)
+        .set("duration_s", duration_s)
+        .set("seeds", static_cast<std::uint64_t>(seed_list.size()))
+        .set("replay", have_single_seed)
+        .set("isolation_abs", kIsolationAbs)
+        .set("isolation_frac", kIsolationFrac)
+        .set("total_failover_revocations", totals.failover_revocations)
+        .set("total_fast_tracks", total_fast_tracks)
+        .set("total_quarantine_denials", total_quarantine_denials)
+        .set("logs_verified", static_cast<std::uint64_t>(logs_verified))
+        .set("pass", failures == 0)
+        .set("sweep", std::move(sweep));
+    if (!bench::emit_json(json_path, doc)) {
+      ++failures;
+    }
+  }
+
+  if (failures == 0) {
+    std::printf(
+        "\nOK: %zu user counts x %zu scenarios x %zu seeds — ledgers "
+        "closed, leases live, isolation held (max excess %.1f misses), "
+        "%llu failovers / %llu fast-tracks / %llu quarantine denials "
+        "(%.1f s wall)\n",
+        user_counts.size(), grid.size(), seed_list.size(),
+        [&] {
+          double m = 0.0;
+          for (const CellResult& cell : results) {
+            m = std::max(m, cell.max_excess);
+          }
+          return m;
+        }(),
+        static_cast<unsigned long long>(totals.failover_revocations),
+        static_cast<unsigned long long>(total_fast_tracks),
+        static_cast<unsigned long long>(total_quarantine_denials), wall_s);
+    return 0;
+  }
+  std::printf("\nFAIL: %d gate(s) failed\n", failures);
+  return 1;
+}

@@ -98,14 +98,36 @@ void AdmissionController::on_window(std::span<const Sample> samples,
         }
         return victim;
       };
-      std::size_t victim =
-          worst_ratio_user([&](std::size_t u) { return transmitting(u); });
+      // A fault-degraded user's airtime economics are the fault's doing,
+      // not its own: do not double-punish it as the victim while any
+      // non-faulted candidate exists. Only when every transmitting user
+      // on the AP is fault-degraded does someone still have to shed.
+      std::size_t victim = worst_ratio_user([&](std::size_t u) {
+        return transmitting(u) && !samples[u].fault_degraded;
+      });
+      if (victim == samples.size()) {
+        victim =
+            worst_ratio_user([&](std::size_t u) { return transmitting(u); });
+      } else {
+        const std::size_t unconditional =
+            worst_ratio_user([&](std::size_t u) { return transmitting(u); });
+        if (unconditional < samples.size() && unconditional != victim &&
+            samples[unconditional].fault_degraded) {
+          ++counters_[unconditional].fault_spares;
+        }
+      }
       if (victim < samples.size() && state_[victim] == State::kDegraded &&
           now - degraded_at_[victim] < config_.evict_grace) {
         // Too fresh to evict: shed from the worst admitted user instead
         // (if any); otherwise keep the dwell armed and retry next window.
-        victim = worst_ratio_user(
-            [&](std::size_t u) { return state_[u] == State::kAdmitted; });
+        const std::size_t fallback = worst_ratio_user([&](std::size_t u) {
+          return state_[u] == State::kAdmitted && !samples[u].fault_degraded;
+        });
+        victim = fallback < samples.size()
+                     ? fallback
+                     : worst_ratio_user([&](std::size_t u) {
+                         return state_[u] == State::kAdmitted;
+                       });
       }
       if (victim < samples.size()) {
         if (state_[victim] == State::kAdmitted) {
@@ -124,7 +146,8 @@ void AdmissionController::on_window(std::span<const Sample> samples,
       // first (they are closest to whole), then backoff-expired evictees.
       std::size_t promoted = samples.size();
       for (std::size_t u = 0; u < samples.size(); ++u) {
-        if (samples[u].ap == ap && state_[u] == State::kDegraded) {
+        if (samples[u].ap == ap && state_[u] == State::kDegraded &&
+            !samples[u].fault_degraded) {
           state_[u] = State::kAdmitted;
           promoted = u;
           break;
@@ -132,7 +155,11 @@ void AdmissionController::on_window(std::span<const Sample> samples,
       }
       if (promoted == samples.size()) {
         for (std::size_t u = 0; u < samples.size(); ++u) {
+          // Probation composes with the fault/quarantine window: the
+          // backoff clock may have run out, but a user still marked
+          // fault-degraded stays out until the fault clears too.
           if (samples[u].ap == ap && state_[u] == State::kEvicted &&
+              !samples[u].fault_degraded &&
               now - evicted_at_[u] >= config_.readmit_backoff) {
             state_[u] = State::kDegraded;  // probation before full service
             degraded_at_[u] = now;

@@ -60,12 +60,19 @@ class AdmissionController {
     double offered_mbps{0.0};   // the stream's target bitrate
     double mcs_rate_mbps{0.0};  // PHY rate the last tick flew (0 = down)
     double miss_fraction{0.0};  // deadline misses / frames, this window
+    /// This user's bad airtime economics are fault-induced (its reflector
+    /// is quarantined / its AP is browned out), per HealthMonitor state.
+    /// Such a user is spared as eviction victim while a non-faulted
+    /// alternative exists, and its readmission probation composes with
+    /// the fault window (no promotion while still fault-degraded).
+    bool fault_degraded{false};
   };
 
   struct UserCounters {
     int degrades{0};
     int evictions{0};
     int readmissions{0};  // promotions (evicted->degraded->admitted)
+    int fault_spares{0};  // times spared as victim for being fault-degraded
   };
 
   AdmissionController(std::size_t users, std::size_t aps, Config config);

@@ -159,7 +159,13 @@ Coordinator::Coordinator(sim::Simulator& simulator,
       script_factory_{std::move(script)},
       arbiter_{prototype.reflector_count(), config_.users, config_.arbiter},
       admission_{config_.users, ap_count_of(config_), config_.admission},
-      share_(config_.users, 1.0) {
+      share_(config_.users, 1.0),
+      device_health_{config_.device_health},
+      ap_brownout_db_(ap_count_of(config_), 0.0),
+      active_reflector_faults_(prototype.reflector_count(), 0),
+      fault_until_(config_.users, sim::TimePoint{}),
+      orphan_since_(prototype.reflector_count(), sim::TimePoint{}),
+      orphan_armed_(prototype.reflector_count(), 0) {
   control_ticks_per_window_ = std::max<int>(
       1, static_cast<int>(config_.admission_window.count() /
                           std::max<std::int64_t>(
@@ -189,6 +195,7 @@ Coordinator::Coordinator(sim::Simulator& simulator,
         simulator_, std::move(world), motion_factory_, script_factory_, u));
   }
   recompute_shares();
+  schedule_faults();
 }
 
 Coordinator::~Coordinator() = default;
@@ -214,15 +221,23 @@ double Coordinator::penalty_for(std::size_t user) {
     aggressor.reflector = manager.active_reflector();
     interferer_scratch_.push_back(aggressor);
   }
+  // An AP brownout penalizes every attached user's SNR for the window;
+  // zero outside fault windows, so the fault-free arena returns the exact
+  // same doubles as before the chaos layer existed.
+  const double brownout = ap_brownout_db_[users_[user]->ap_index];
   if (interferer_scratch_.empty()) {
-    return 0.0;
+    return brownout;
   }
-  return sinr_penalty_db(users_[user]->scene, interferer_scratch_,
-                         config_.interference);
+  const double interference = sinr_penalty_db(
+      users_[user]->scene, interferer_scratch_, config_.interference);
+  return brownout > 0.0 ? brownout + interference : interference;
 }
 
 void Coordinator::control_tick() {
   const sim::TimePoint now = simulator_.now();
+  // Benched devices whose backoff expired get their re-probe first, so a
+  // healed reflector is leasable again within the same tick.
+  device_probe_tick(now);
   // Lease keep-alives: a renewal that fails means the arbiter aged the
   // lease away — enforce it on the manager immediately.
   for (std::size_t u = 0; u < users_.size(); ++u) {
@@ -238,11 +253,15 @@ void Coordinator::control_tick() {
       }
     }
   }
+  orphan_watchdog(now);
   if (++ticks_since_admission_ >= control_ticks_per_window_) {
     ticks_since_admission_ = 0;
     admission_tick(now);
   }
   recompute_shares();
+  // Lease/quarantine snapshots land after enforcement, so a verifier
+  // replaying them sees the state the failover machinery actually left.
+  snapshot_leases(now);
   if (config_.recorder != nullptr) {
     config_.recorder->record(
         log::EventKind::kCoordTick,
@@ -251,6 +270,222 @@ void Coordinator::control_tick() {
   if (now + config_.control_interval <= end_) {
     simulator_.at(now + config_.control_interval, [this] { control_tick(); });
   }
+}
+
+void Coordinator::schedule_faults() {
+  if (config_.faults.empty()) {
+    return;  // fault-free arena: the chaos machinery stays fully inert
+  }
+  injector_ = std::make_unique<sim::FaultInjector>(simulator_);
+  device_health_.track(active_reflector_faults_.size());
+  device_health_.set_recorder(config_.recorder);
+  const sim::Duration sweep_tick =
+      config_.control_interval.count() > 0
+          ? config_.control_interval
+          : sim::Duration{std::chrono::milliseconds{20}};
+  for (const ArenaFault& fault : config_.faults) {
+    switch (fault.kind) {
+      case ArenaFault::Kind::kReflectorReboot: {
+        injector_->inject_pulse(
+            "arena.reboot.r" + std::to_string(fault.resource), fault.start,
+            [this, fault] {
+              for (auto& user : users_) {
+                user->scene.reflector(fault.resource).power_cycle();
+              }
+              record_arena_fault(log::EventKind::kArenaFaultOpen, fault);
+              on_reflector_fault(fault.resource, simulator_.now(),
+                                 /*windowed=*/false);
+              record_arena_fault(log::EventKind::kArenaFaultClose, fault);
+            });
+        break;
+      }
+      case ArenaFault::Kind::kReflectorGainSag: {
+        auto opened = std::make_shared<bool>(false);
+        injector_->inject_sweep(
+            "arena.sag.r" + std::to_string(fault.resource), fault.start,
+            fault.duration, sweep_tick,
+            [this, fault, opened](double progress) {
+              if (!*opened) {
+                *opened = true;
+                record_arena_fault(log::EventKind::kArenaFaultOpen, fault);
+                on_reflector_fault(fault.resource,
+                                   fault.start + fault.duration,
+                                   /*windowed=*/true);
+              }
+              const rf::Decibels sag{fault.magnitude_db * progress};
+              for (auto& user : users_) {
+                user->scene.reflector(fault.resource)
+                    .front_end()
+                    .inject_gain_sag(sag);
+              }
+            },
+            [this, fault] {
+              for (auto& user : users_) {
+                user->scene.reflector(fault.resource)
+                    .front_end()
+                    .inject_gain_sag(rf::Decibels{0.0});
+              }
+              on_reflector_fault_close(fault.resource);
+              record_arena_fault(log::EventKind::kArenaFaultClose, fault);
+            });
+        break;
+      }
+      case ArenaFault::Kind::kApBrownout: {
+        injector_->inject(
+            "arena.brownout.ap" + std::to_string(fault.resource), fault.start,
+            fault.duration,
+            [this, fault] {
+              ++chaos_.faults_applied;
+              ap_brownout_db_.at(fault.resource) += fault.magnitude_db;
+              const sim::TimePoint until = simulator_.now() + fault.duration +
+                                           config_.fault_degraded_grace;
+              for (std::size_t u = 0; u < users_.size(); ++u) {
+                if (users_[u]->ap_index == fault.resource) {
+                  mark_fault_degraded(u, until);
+                }
+              }
+              record_arena_fault(log::EventKind::kArenaFaultOpen, fault);
+            },
+            [this, fault] {
+              ap_brownout_db_.at(fault.resource) -= fault.magnitude_db;
+              record_arena_fault(log::EventKind::kArenaFaultClose, fault);
+            });
+        break;
+      }
+    }
+  }
+}
+
+void Coordinator::on_reflector_fault(std::size_t r, sim::TimePoint window_end,
+                                     bool windowed) {
+  const sim::TimePoint now = simulator_.now();
+  ++chaos_.faults_applied;
+  if (windowed) {
+    ++active_reflector_faults_.at(r);
+  }
+  if (!device_health_.quarantined(r)) {
+    device_health_.quarantine(r, now, "arena fault");
+    ++chaos_.device_quarantines;
+  }
+  if (windowed) {
+    // Pin the first re-probe past the window end: probing into a known
+    // fault window can only fail and double the backoff.
+    device_health_.extend_quarantine(r, window_end);
+  }
+  if (!config_.lease_failover) {
+    // Tripwire mode: the holder rides the quarantined device (the offline
+    // verifier must catch it). Still mark it fault-degraded so admission
+    // does not double-punish the victim.
+    if (const auto holder = arbiter_.holder(r)) {
+      mark_fault_degraded(*holder,
+                          window_end + config_.fault_degraded_grace);
+    }
+    return;
+  }
+  // Lease failover: bench the device arbiter-side, strip + revoke the
+  // holder, and credit it a head start for its next wait queue.
+  arbiter_.set_device_quarantined(r, true);
+  const auto ex = arbiter_.strip_holder(r);
+  if (ex.has_value()) {
+    ++chaos_.failover_revocations;
+    users_[*ex]->strategy.manager().revoke_reflector(r);
+    arbiter_.fast_track(*ex, config_.fast_track_head_start);
+    mark_fault_degraded(*ex, window_end + config_.fault_degraded_grace);
+    if (config_.recorder != nullptr) {
+      config_.recorder->record(
+          log::EventKind::kLeaseRevoke,
+          {{"user", static_cast<std::int64_t>(*ex)},
+           {"reflector", static_cast<std::int64_t>(r)},
+           {"failover", 1}});
+    }
+  }
+}
+
+void Coordinator::on_reflector_fault_close(std::size_t r) {
+  --active_reflector_faults_.at(r);
+}
+
+void Coordinator::mark_fault_degraded(std::size_t user, sim::TimePoint until) {
+  fault_until_.at(user) = std::max(fault_until_[user], until);
+}
+
+void Coordinator::device_probe_tick(sim::TimePoint now) {
+  for (std::size_t r = 0; r < active_reflector_faults_.size(); ++r) {
+    if (!device_health_.quarantined(r) ||
+        !device_health_.probe_due(r, now)) {
+      continue;
+    }
+    // The coordinator's probe is window-level: the device can only answer
+    // clean once no fault window is open on it. (Per-user recalibration
+    // after a reboot still happens through each AP's own commit path.)
+    const bool good = active_reflector_faults_[r] == 0;
+    device_health_.note_probe_result(r, now, good);
+    if (good) {
+      ++chaos_.device_restores;
+      arbiter_.set_device_quarantined(r, false);
+    }
+  }
+}
+
+void Coordinator::orphan_watchdog(sim::TimePoint now) {
+  for (std::size_t r = 0; r < orphan_since_.size(); ++r) {
+    const auto holder = arbiter_.holder(r);
+    bool mismatch = false;
+    if (holder.has_value()) {
+      const auto leased = users_[*holder]->strategy.manager().leased_reflector();
+      mismatch = !leased.has_value() || *leased != r;
+    }
+    if (!mismatch) {
+      orphan_armed_[r] = 0;
+      continue;
+    }
+    if (orphan_armed_[r] == 0) {
+      orphan_armed_[r] = 1;
+      orphan_since_[r] = now;
+      continue;
+    }
+    if (now - orphan_since_[r] > config_.orphan_grace) {
+      // The manager let go (or never knew) but the arbiter still shows a
+      // holder: reap it so the reflector re-enters arbitration.
+      arbiter_.strip_holder(r);
+      ++chaos_.orphan_leases_reaped;
+      orphan_armed_[r] = 0;
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(
+            log::EventKind::kLeaseRevoke,
+            {{"user", static_cast<std::int64_t>(*holder)},
+             {"reflector", static_cast<std::int64_t>(r)},
+             {"orphan", 1}});
+      }
+    }
+  }
+}
+
+void Coordinator::snapshot_leases(sim::TimePoint now) {
+  (void)now;
+  if (config_.recorder == nullptr) {
+    return;
+  }
+  for (std::size_t r = 0; r < orphan_since_.size(); ++r) {
+    const auto holder = arbiter_.holder(r);
+    config_.recorder->record(
+        log::EventKind::kSnapshotLease,
+        {{"r", static_cast<std::int64_t>(r)},
+         {"holder", holder.has_value() ? static_cast<std::int64_t>(*holder)
+                                       : std::int64_t{-1}},
+         {"quar", device_health_.quarantined(r) ? 1 : 0}});
+  }
+}
+
+void Coordinator::record_arena_fault(log::EventKind kind,
+                                     const ArenaFault& fault) {
+  if (config_.recorder == nullptr) {
+    return;
+  }
+  config_.recorder->record(
+      kind, {{"kind", static_cast<std::int64_t>(fault.kind)},
+             {"res", static_cast<std::int64_t>(fault.resource)},
+             {"mdb", static_cast<std::int64_t>(fault.magnitude_db * 1000.0)}});
 }
 
 void Coordinator::admission_tick(sim::TimePoint now) {
@@ -262,6 +497,10 @@ void Coordinator::admission_tick(sim::TimePoint now) {
     sample.offered_mbps = user.offered_mbps;
     sample.mcs_rate_mbps = user.session.last_mcs_rate_mbps();
     sample.miss_fraction = 0.0;
+    sample.fault_degraded = fault_degraded(u, now);
+    if (sample.fault_degraded) {
+      ++chaos_.fault_degraded_samples;
+    }
     if (const net::Transport* transport = user.session.transport()) {
       const std::uint64_t misses = transport->live_deadline_misses();
       const std::uint64_t frames = transport->live_frames_emitted();
@@ -343,6 +582,21 @@ void Coordinator::ledger_tick() {
 std::vector<Coordinator::UserResult> Coordinator::run() {
   const sim::TimePoint start = simulator_.now();
   end_ = start + config_.session.duration;
+  if (config_.recorder != nullptr) {
+    // Self-describing coordinator log: the offline verifier reads the
+    // lease-liveness bound (invariant F) from here, no simulator needed.
+    config_.recorder->record(
+        log::EventKind::kParams,
+        {{"tick_us", std::chrono::duration_cast<std::chrono::microseconds>(
+                         config_.control_interval)
+                         .count()},
+         {"revoke_grace_us",
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              config_.revoke_grace)
+              .count()},
+         {"reflectors", static_cast<std::int64_t>(orphan_since_.size())},
+         {"users", static_cast<std::int64_t>(users_.size())}});
+  }
   for (auto& user : users_) {
     user->session.start();  // user order = event insertion order = tie order
   }

@@ -31,13 +31,41 @@
 #include <arena/admission.hpp>
 #include <arena/interference.hpp>
 #include <arena/lease.hpp>
+#include <core/health.hpp>
 #include <core/link_manager.hpp>
 #include <log/recorder.hpp>
+#include <sim/fault_injector.hpp>
 #include <sim/simulator.hpp>
 #include <vr/motion.hpp>
 #include <vr/session.hpp>
 
 namespace movr::arena {
+
+/// One scripted shared-resource fault. Each user simulates its own clone
+/// of the room, but the reflector/AP being faulted is ONE physical device:
+/// the coordinator mirrors the perturbation onto every clone inside a
+/// single FaultInjector window and drives lease failover, device
+/// quarantine and fault-aware admission from the same window.
+struct ArenaFault {
+  enum class Kind : std::uint8_t {
+    /// Instantaneous power-cycle: registers wiped on every clone; each
+    /// AP's own epoch-mismatch detection recalibrates on next commit.
+    kReflectorReboot,
+    /// Amplifier gain sag ramping 0 -> magnitude_db over the window.
+    kReflectorGainSag,
+    /// AP front-end brownout: an SNR penalty on every attached user for
+    /// the window (the AP radio itself keeps running).
+    kApBrownout,
+  };
+  Kind kind{Kind::kReflectorReboot};
+  /// Reflector index, or AP index for kApBrownout.
+  std::size_t resource{0};
+  sim::TimePoint start{};
+  /// Window length; ignored by kReflectorReboot (a pulse).
+  sim::Duration duration{std::chrono::seconds{1}};
+  /// Peak sag / brownout penalty; ignored by kReflectorReboot.
+  double magnitude_db{6.0};
+};
 
 /// Order-insensitive-field digest of a QoE report for the bit-identity
 /// gate: every deterministic outcome field (frame ledger, SNR/rate sums,
@@ -83,6 +111,36 @@ class Coordinator {
     /// Per-user transport ledger audit cadence; zero disables.
     sim::Duration ledger_check_interval{std::chrono::milliseconds{20}};
     std::uint64_t seed{1};
+    /// Shared-resource fault script (empty = fault-free: none of the
+    /// chaos machinery below runs and the arena is bit-identical to the
+    /// pre-fault coordinator).
+    std::vector<ArenaFault> faults;
+    /// Lease failover: when a reflector faults, quarantine it arbiter-side,
+    /// strip + revoke the holder, fast-track the displaced holder, and keep
+    /// the device un-leased until a coordinator re-probe succeeds.
+    /// Disabling this is the chaos bench's tripwire — holders then ride
+    /// quarantined devices and the offline verifier's lease-liveness
+    /// invariant (F) must catch it from the log alone.
+    bool lease_failover{true};
+    /// Lease-liveness bound: no lease may survive on a quarantined device
+    /// longer than this. Written into the coordinator log's params record
+    /// (revoke_grace_us) so log_verify can re-check it offline.
+    sim::Duration revoke_grace{std::chrono::milliseconds{60}};
+    /// Aging head start credited to a holder displaced by failover, so
+    /// losing a reflector to a fault does not also mean the back of the
+    /// wait queue.
+    sim::Duration fast_track_head_start{std::chrono::milliseconds{150}};
+    /// A fault-displaced or browned-out user stays "fault-degraded" for
+    /// admission this long past its fault window: spared as eviction
+    /// victim, and readmission probation composes with the window.
+    sim::Duration fault_degraded_grace{std::chrono::milliseconds{500}};
+    /// Orphan watchdog: an arbiter-side holder whose manager holds no
+    /// matching lease for longer than this is reaped.
+    sim::Duration orphan_grace{std::chrono::milliseconds{60}};
+    /// Device-level health supervision of the shared reflectors
+    /// (coordinator-side quarantine/backoff/re-probe; distinct from each
+    /// user's own link-health monitor).
+    core::HealthMonitor::Config device_health{};
     /// Coordinator-stream event-log sink: control-tick interleave markers,
     /// lease revocations and admission transitions land here.
     log::Recorder* recorder{nullptr};
@@ -94,6 +152,20 @@ class Coordinator {
   struct UserResult {
     vr::QoeReport report;
     core::LinkManager::Stats link_stats;
+  };
+
+  /// Arena-chaos observability (surfaced in bench/arena_chaos and README).
+  struct ChaosStats {
+    std::uint64_t faults_applied{0};
+    /// Holders stripped + revoked because their device was quarantined.
+    std::uint64_t failover_revocations{0};
+    /// Arbiter-side holders with no manager-side lease, reaped by the
+    /// watchdog (0 in a healthy run: release paths keep the sides in sync).
+    std::uint64_t orphan_leases_reaped{0};
+    std::uint64_t device_quarantines{0};
+    std::uint64_t device_restores{0};
+    /// Admission samples that carried the fault-degraded flag.
+    std::uint64_t fault_degraded_samples{0};
   };
 
   Coordinator(sim::Simulator& simulator, const core::Scene& prototype,
@@ -119,6 +191,29 @@ class Coordinator {
 
   const ReflectorArbiter& arbiter() const { return arbiter_; }
   const AdmissionController& admission() const { return admission_; }
+  const ChaosStats& chaos() const { return chaos_; }
+  /// Device-level (shared-reflector) health; empty-tracked when no faults
+  /// are scripted.
+  const core::HealthMonitor& device_health() const { return device_health_; }
+  /// Live per-user probes for the chaos bench's 20 ms isolation checker.
+  std::size_t user_count() const { return users_.size(); }
+  std::size_t user_ap(std::size_t user) const {
+    return users_.at(user)->ap_index;
+  }
+  const net::Transport* user_transport(std::size_t user) const {
+    return users_.at(user)->session.transport();
+  }
+  /// The user's own per-clone link manager (reflector health, calibration).
+  const core::LinkManager& user_manager(std::size_t user) const {
+    return users_.at(user)->strategy.manager();
+  }
+  /// True while `user` is inside a fault's blast radius (displaced holder
+  /// or browned-out AP), including the configured post-window grace.
+  bool fault_degraded(std::size_t user, sim::TimePoint now) const {
+    return now < fault_until_.at(user) ||
+           (!ap_brownout_db_.empty() &&
+            ap_brownout_db_[users_.at(user)->ap_index] > 0.0);
+  }
 
  private:
   /// Everything derived per user before the hooks go in; built identically
@@ -161,6 +256,20 @@ class Coordinator {
   void admission_tick(sim::TimePoint now);
   void recompute_shares();
   void ledger_tick();
+  void schedule_faults();
+  /// A reflector fault window opened (or a reboot pulsed): device
+  /// quarantine + (when enabled) lease failover for the holder.
+  void on_reflector_fault(std::size_t r, sim::TimePoint window_end,
+                          bool windowed);
+  void on_reflector_fault_close(std::size_t r);
+  void mark_fault_degraded(std::size_t user, sim::TimePoint until);
+  /// Re-probe quarantined devices whose backoff expired; restore and
+  /// un-quarantine the arbiter side on success.
+  void device_probe_tick(sim::TimePoint now);
+  /// Reap arbiter-side holders whose manager no longer holds the lease.
+  void orphan_watchdog(sim::TimePoint now);
+  void snapshot_leases(sim::TimePoint now);
+  void record_arena_fault(log::EventKind kind, const ArenaFault& fault);
 
   sim::Simulator& simulator_;
   Config config_;
@@ -173,6 +282,15 @@ class Coordinator {
   sim::TimePoint end_{};
   int control_ticks_per_window_{1};
   int ticks_since_admission_{0};
+  // --- chaos machinery (inert when config_.faults is empty) -------------
+  std::unique_ptr<sim::FaultInjector> injector_;
+  core::HealthMonitor device_health_;
+  ChaosStats chaos_;
+  std::vector<double> ap_brownout_db_;        // per AP, live penalty
+  std::vector<int> active_reflector_faults_;  // per reflector, open windows
+  std::vector<sim::TimePoint> fault_until_;   // per user, degraded until
+  std::vector<sim::TimePoint> orphan_since_;  // per reflector
+  std::vector<std::uint8_t> orphan_armed_;    // per reflector
   // Scratch, reused per call (the control plane allocates only on warmup).
   std::vector<Interferer> interferer_scratch_;
   std::vector<AdmissionController::Sample> sample_scratch_;

@@ -1,10 +1,16 @@
 #include <arena/lease.hpp>
 
+#include <algorithm>
+
 namespace movr::arena {
 
 ReflectorArbiter::ReflectorArbiter(std::size_t reflectors, std::size_t users,
                                    Config config)
-    : config_{config}, table_(reflectors), user_stats_(users) {
+    : config_{config},
+      table_(reflectors),
+      user_stats_(users),
+      touched_(reflectors, std::vector<std::uint8_t>(users, 0)),
+      fast_track_credit_(users, sim::Duration::zero()) {
   for (Entry& entry : table_) {
     entry.waiters.resize(users);
   }
@@ -43,9 +49,37 @@ void ReflectorArbiter::grant(Entry& entry, std::size_t user,
   ++user_stats_[user].grants;
 }
 
+void ReflectorArbiter::register_wait(Entry& entry, std::size_t user,
+                                     sim::TimePoint now) {
+  WaitEntry& w = entry.waiters[user];
+  if (!w.waiting) {
+    w.waiting = true;
+    w.first_wait = now;
+    if (fast_track_credit_[user] > sim::Duration::zero()) {
+      // Displaced holder: re-enter the queue with pre-aged priority so a
+      // quarantine failover does not also send it to the back of the line.
+      w.first_wait = now - fast_track_credit_[user];
+      fast_track_credit_[user] = sim::Duration::zero();
+      ++stats_.fast_tracks;
+    }
+  }
+  w.last_request = now;
+}
+
 bool ReflectorArbiter::acquire(std::size_t user, std::size_t r,
                                sim::TimePoint now) {
   Entry& entry = table_.at(r);
+  mark_touched(user, r);
+  if (entry.device_quarantined && entry.holder != user) {
+    // Benched device: bounce without registering a wait entry — nobody
+    // should age priority against a reflector that cannot be leased. (A
+    // surviving holder may still refresh below; failover strips it.)
+    ++stats_.denials;
+    ++stats_.quarantine_denials;
+    ++user_stats_[user].denials;
+    ++user_stats_[user].quarantine_denials;
+    return false;
+  }
   if (entry.holder == user) {
     entry.lease_expiry = now + config_.lease_duration;  // re-begin: refresh
     return true;
@@ -55,12 +89,7 @@ bool ReflectorArbiter::acquire(std::size_t user, std::size_t r,
     // aging the denial itself is the wait signal that eventually expires
     // the holder (retries keep the entry live, first_wait keeps aging).
     if (config_.policy == Policy::kPriorityAging) {
-      WaitEntry& w = entry.waiters[user];
-      if (!w.waiting) {
-        w.waiting = true;
-        w.first_wait = now;
-      }
-      w.last_request = now;
+      register_wait(entry, user, now);
     }
     ++stats_.denials;
     ++user_stats_[user].denials;
@@ -68,18 +97,25 @@ bool ReflectorArbiter::acquire(std::size_t user, std::size_t r,
   }
   // Free — but possibly reserved for an aged-out waiter.
   if (config_.policy == Policy::kPriorityAging && entry.reserved.has_value()) {
-    if (now <= entry.reserve_expiry && *entry.reserved != user) {
-      WaitEntry& w = entry.waiters[user];
-      if (!w.waiting) {
-        w.waiting = true;
-        w.first_wait = now;
-      }
-      w.last_request = now;
+    // A reservation only binds while the reserved waiter is still live.
+    // Without this check a waiter whose wait_ttl expired in the very tick
+    // its reservation was granted (it stopped retrying — its blockage
+    // cleared) leaves a dangling reservation that blocks everyone for the
+    // full reserve_ttl.
+    const WaitEntry& rw = entry.waiters[*entry.reserved];
+    const bool reserved_live =
+        rw.waiting && now - rw.last_request <= config_.wait_ttl;
+    if (!reserved_live) {
+      ++stats_.stale_reservations;
+    }
+    if (reserved_live && now <= entry.reserve_expiry &&
+        *entry.reserved != user) {
+      register_wait(entry, user, now);
       ++stats_.denials;
       ++user_stats_[user].denials;
       return false;
     }
-    entry.reserved.reset();  // ours, or lapsed: free-for-all again
+    entry.reserved.reset();  // ours, lapsed, or stale: free-for-all again
   }
   grant(entry, user, now);
   return true;
@@ -117,6 +153,29 @@ bool ReflectorArbiter::renew(std::size_t user, std::size_t r,
   }
   ++stats_.renewals;
   return true;
+}
+
+void ReflectorArbiter::set_device_quarantined(std::size_t r,
+                                              bool quarantined) {
+  table_.at(r).device_quarantined = quarantined;
+}
+
+std::optional<std::size_t> ReflectorArbiter::strip_holder(std::size_t r) {
+  Entry& entry = table_.at(r);
+  const std::optional<std::size_t> ex = entry.holder;
+  entry.holder.reset();
+  entry.reserved.reset();
+  if (ex.has_value()) {
+    mark_touched(*ex, r);
+    ++stats_.revocations;
+    ++user_stats_[*ex].revocations;
+  }
+  return ex;
+}
+
+void ReflectorArbiter::fast_track(std::size_t user, sim::Duration head_start) {
+  fast_track_credit_.at(user) =
+      std::max(fast_track_credit_[user], head_start);
 }
 
 void ReflectorArbiter::release(std::size_t user, std::size_t r,

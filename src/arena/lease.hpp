@@ -62,12 +62,18 @@ class ReflectorArbiter {
     std::uint64_t denials{0};
     std::uint64_t revocations{0};  // expired leases handed to a waiter
     std::uint64_t renewals{0};
+    std::uint64_t quarantine_denials{0};  // acquires bounced off a benched
+                                          // device (no wait entry aged)
+    std::uint64_t fast_tracks{0};         // displaced holders given head-start
+    std::uint64_t stale_reservations{0};  // reservations lapsed because the
+                                          // reserved waiter's TTL ran out
   };
 
   struct UserStats {
     std::uint64_t grants{0};
     std::uint64_t denials{0};
     std::uint64_t revocations{0};  // leases taken FROM this user
+    std::uint64_t quarantine_denials{0};
   };
 
   ReflectorArbiter(std::size_t reflectors, std::size_t users, Config config);
@@ -91,6 +97,36 @@ class ReflectorArbiter {
   /// With live waiters under kPriorityAging the reflector is reserved for
   /// the top waiter rather than going to whoever asks next.
   void release(std::size_t user, std::size_t r, sim::TimePoint now);
+
+  /// Lease failover support (the coordinator drives these when a shared
+  /// device faults). While quarantined a reflector cannot be acquired by
+  /// anyone but the current holder — and a quarantine-time failover strips
+  /// that holder too — so the device stays un-leased until the coordinator
+  /// clears the flag after a successful re-probe. Quarantine denials do
+  /// NOT register wait entries: nobody should age priority against a
+  /// device that is benched.
+  void set_device_quarantined(std::size_t r, bool quarantined);
+  bool device_quarantined(std::size_t r) const {
+    return table_.at(r).device_quarantined;
+  }
+
+  /// Forcibly clear the lease (and any reservation) on `r`; returns the
+  /// ex-holder so the coordinator can revoke its LinkManager and fast-track
+  /// it. Used for quarantine failover and by the orphan-lease watchdog.
+  std::optional<std::size_t> strip_holder(std::size_t r);
+
+  /// Arm a one-shot aging head start: the next wait entry `user` registers
+  /// (on any reflector) starts with `first_wait` back-dated by
+  /// `head_start`, so a displaced holder re-enters the queue ahead of
+  /// priority aging instead of at the back.
+  void fast_track(std::size_t user, sim::Duration head_start);
+
+  /// True when `user` has ever interacted with reflector `r` through the
+  /// arbiter (grant, denial, wait, strip, or quarantine bounce). The
+  /// chaos bench uses this to build fault blast sets.
+  bool touched(std::size_t user, std::size_t r) const {
+    return touched_.at(r).at(user) != 0;
+  }
 
   std::optional<std::size_t> holder(std::size_t r) const {
     return table_.at(r).holder;
@@ -116,6 +152,7 @@ class ReflectorArbiter {
     sim::TimePoint lease_expiry{};
     std::optional<std::size_t> reserved;
     sim::TimePoint reserve_expiry{};
+    bool device_quarantined{false};
     /// One slot per user; `waiting` entries age from first_wait.
     std::vector<WaitEntry> waiters;
   };
@@ -125,11 +162,19 @@ class ReflectorArbiter {
   std::optional<std::size_t> top_waiter(const Entry& entry,
                                         sim::TimePoint now) const;
   void grant(Entry& entry, std::size_t user, sim::TimePoint now);
+  void register_wait(Entry& entry, std::size_t user, sim::TimePoint now);
+  void mark_touched(std::size_t user, std::size_t r) {
+    touched_[r][user] = 1;
+  }
 
   Config config_;
   std::vector<Entry> table_;
   Stats stats_;
   std::vector<UserStats> user_stats_;
+  /// touched_[r][u]: user u interacted with reflector r at least once.
+  std::vector<std::vector<std::uint8_t>> touched_;
+  /// One-shot fast-track credit per user (zero = none armed).
+  std::vector<sim::Duration> fast_track_credit_;
 };
 
 }  // namespace movr::arena

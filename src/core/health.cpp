@@ -59,6 +59,14 @@ void HealthMonitor::quarantine(std::size_t i, sim::TimePoint now,
   enter_quarantine(i, now, reason, /*extend_backoff=*/false);
 }
 
+void HealthMonitor::extend_quarantine(std::size_t i, sim::TimePoint until) {
+  track(i + 1);
+  Entry& e = entries_[i];
+  if (e.state == State::kQuarantined) {
+    e.quarantined_until = std::max(e.quarantined_until, until);
+  }
+}
+
 bool HealthMonitor::quarantined(std::size_t i) const {
   return i < entries_.size() && entries_[i].state == State::kQuarantined;
 }

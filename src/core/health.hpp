@@ -80,6 +80,12 @@ class HealthMonitor {
   /// Immediate quarantine (handover timeout, detected reboot).
   void quarantine(std::size_t i, sim::TimePoint now,
                   const std::string& reason);
+  /// Push a quarantined entry's re-probe out to at least `until` — used by
+  /// the arena coordinator when a scripted fault window's end is known, so
+  /// the first re-probe lands just after the fault clears instead of
+  /// burning failed probes (and doubled backoff) against a fault that
+  /// cannot have healed yet. No-op when healthy or already later.
+  void extend_quarantine(std::size_t i, sim::TimePoint until);
 
   // --- quarantine lifecycle -------------------------------------------
   bool quarantined(std::size_t i) const;

@@ -403,7 +403,27 @@ void LinkManager::degraded_tick() {
   }
 }
 
+void LinkManager::note_risk_transitions() {
+  // Audit-trail bookkeeping only (no behavioral state): when the merged
+  // window has run out, the close record lands before anything else this
+  // tick — and an armed speculation disarms first, so the offline pairing
+  // invariant holds record-by-record.
+  if (config_.recorder == nullptr || !risk_logged_open_) {
+    return;
+  }
+  if (simulator_.now() < risk_until_) {
+    return;
+  }
+  if (spec_logged_armed_) {
+    config_.recorder->record(log::EventKind::kSpecDisarm, {});
+    spec_logged_armed_ = false;
+  }
+  config_.recorder->record(log::EventKind::kRiskWindowClose, {});
+  risk_logged_open_ = false;
+}
+
 void LinkManager::on_risk_window(const LinkRiskWindow& window) {
+  note_risk_transitions();
   if (window.confidence < config_.proactive_confidence) {
     return;
   }
@@ -417,6 +437,15 @@ void LinkManager::on_risk_window(const LinkRiskWindow& window) {
   }
   risk_until_ = std::max(risk_until_, window.t_end);
   ++risky_ticks_;
+  if (config_.recorder && !risk_logged_open_) {
+    config_.recorder->record(
+        log::EventKind::kRiskWindowOpen,
+        {{"end_us", std::chrono::duration_cast<std::chrono::microseconds>(
+                        window.t_end)
+                        .count()},
+         {"conf_m", static_cast<std::int64_t>(window.confidence * 1000.0)}});
+    risk_logged_open_ = true;
+  }
 
   if (mode_ != Mode::kDirect) {
     return;  // already on (or moving to) an alternate path
@@ -437,6 +466,22 @@ void LinkManager::on_risk_window(const LinkRiskWindow& window) {
 }
 
 std::optional<rf::Decibels> LinkManager::speculative_alt_snr() {
+  const auto alt = speculative_alt_snr_impl();
+  if (config_.recorder) {
+    if (alt.has_value() && !spec_logged_armed_ && risk_logged_open_) {
+      config_.recorder->record(
+          log::EventKind::kSpecArm,
+          {{"alt_mdb", static_cast<std::int64_t>(alt->value() * 1000.0)}});
+      spec_logged_armed_ = true;
+    } else if (!alt.has_value() && spec_logged_armed_) {
+      config_.recorder->record(log::EventKind::kSpecDisarm, {});
+      spec_logged_armed_ = false;
+    }
+  }
+  return alt;
+}
+
+std::optional<rf::Decibels> LinkManager::speculative_alt_snr_impl() {
   if (mode_ == Mode::kViaReflector) {
     // Alternate = the direct beam. All-electronic save/restore probe.
     const double ap_steer = scene_.ap().node().array().steering();
@@ -472,6 +517,7 @@ std::optional<rf::Decibels> LinkManager::speculative_alt_snr() {
 
 rf::Decibels LinkManager::on_frame() {
   ensure_records();
+  note_risk_transitions();
   const rf::Decibels true_snr = current_true_snr();
   scene_.headset().observe(true_snr, rng_);
 

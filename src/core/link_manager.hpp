@@ -215,6 +215,10 @@ class LinkManager {
   void leave_reflector();
   void probe_direct_path();
   void degraded_tick();
+  /// Emit the risk-window close (and spec disarm) records once the merged
+  /// window has run out; recording only, never behavioral.
+  void note_risk_transitions();
+  std::optional<rf::Decibels> speculative_alt_snr_impl();
   void enter_degraded();
   void recalibrate(std::size_t index);
   void capture_calibration(std::size_t index);
@@ -247,6 +251,10 @@ class LinkManager {
   sim::TimePoint risk_until_{};
   int risky_ticks_{0};
   int proactive_used_{0};
+  /// Event-log mirrors of the predictive tier (records only; unlogged
+  /// runs never read them, keeping logged/unlogged runs bit-identical).
+  bool risk_logged_open_{false};
+  bool spec_logged_armed_{false};
   bool proactive_fired_{false};
   sim::TimePoint last_proactive_{};
   Stats stats_;

@@ -64,6 +64,13 @@ enum class EventKind : std::uint8_t {
   kSnapshotTransport, // per-20 ms transport packet-ledger counters
   kSnapshotReflector, // per-20 ms reflector safety state
   kCoordTick,         // arena coordinator interleave marker
+  kArenaFaultOpen,    // shared-resource fault window opened (coordinator)
+  kArenaFaultClose,   // shared-resource fault window closed
+  kSnapshotLease,     // per-control-tick arbiter lease/quarantine state
+  kRiskWindowOpen,    // forecaster risk window accepted by the manager
+  kRiskWindowClose,   // risk window ran out (merged windows close once)
+  kSpecArm,           // speculative alt-path probing armed
+  kSpecDisarm,        // speculative probing dropped (no alt, or window end)
   kLogClose,          // last record: summary counters; absence = truncation
 };
 
@@ -117,6 +124,13 @@ constexpr std::string_view to_string(EventKind kind) {
     case EventKind::kSnapshotTransport: return "snapshot_transport";
     case EventKind::kSnapshotReflector: return "snapshot_reflector";
     case EventKind::kCoordTick: return "coord_tick";
+    case EventKind::kArenaFaultOpen: return "arena_fault_open";
+    case EventKind::kArenaFaultClose: return "arena_fault_close";
+    case EventKind::kSnapshotLease: return "snapshot_lease";
+    case EventKind::kRiskWindowOpen: return "risk_window_open";
+    case EventKind::kRiskWindowClose: return "risk_window_close";
+    case EventKind::kSpecArm: return "spec_arm";
+    case EventKind::kSpecDisarm: return "spec_disarm";
     case EventKind::kLogClose: return "log_close";
   }
   return "unknown";

@@ -8,7 +8,7 @@ namespace movr::log {
 namespace {
 
 /// All kinds this build knows, for name -> enum resolution.
-constexpr std::array<EventKind, 35> kAllKinds = {
+constexpr std::array<EventKind, 42> kAllKinds = {
     EventKind::kLogOpen,           EventKind::kParams,
     EventKind::kHandoverBegin,     EventKind::kHandoverCommit,
     EventKind::kHandoverAbort,     EventKind::kRecoverDirect,
@@ -26,7 +26,10 @@ constexpr std::array<EventKind, 35> kAllKinds = {
     EventKind::kSearchLaunch,      EventKind::kSearchDone,
     EventKind::kSnapshotControl,   EventKind::kSnapshotTransport,
     EventKind::kSnapshotReflector, EventKind::kCoordTick,
-    EventKind::kLogClose,
+    EventKind::kArenaFaultOpen,    EventKind::kArenaFaultClose,
+    EventKind::kSnapshotLease,     EventKind::kRiskWindowOpen,
+    EventKind::kRiskWindowClose,   EventKind::kSpecArm,
+    EventKind::kSpecDisarm,        EventKind::kLogClose,
 };
 
 std::optional<EventKind> kind_from_name(std::string_view name) {

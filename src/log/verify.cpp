@@ -28,6 +28,8 @@ struct Params {
   std::int64_t watchdog_us{0};
   std::int64_t slack_us{0};
   std::int64_t tick_us{0};
+  /// Arena lease-liveness bound (invariant F); 0 = not an arena log.
+  std::int64_t revoke_grace_us{0};
 };
 
 /// Per-reflector watcher state (invariants A/B/C).
@@ -42,6 +44,15 @@ struct SearchWatch {
   std::int64_t launched_us{0};
   std::int64_t launch_seq{0};
   bool done{false};
+};
+
+/// Per-reflector lease-liveness state (invariant F): a snapshot_lease
+/// stream must never show a lease surviving on a quarantined device past
+/// the revocation grace.
+struct LeaseWatch {
+  bool held_quarantined{false};
+  std::int64_t since_us{0};
+  bool reported{false};
 };
 
 /// One event rendered for the diff: kind plus payload, no seq/time/hash.
@@ -122,7 +133,10 @@ VerifyReport verify_log(const ParsedLog& log, std::string_view key) {
   bool partitioned = false;
   std::int64_t partition_since_us = 0;
   std::vector<ReflectorWatch> reflectors;
+  std::vector<LeaseWatch> leases;
   std::map<std::int64_t, SearchWatch> searches;
+  bool risk_open = false;
+  bool spec_armed = false;
   const auto violate = [&](const ParsedRecord& record, std::string what) {
     report.invariant_issues.push_back(issue_at(record, std::move(what)));
   };
@@ -139,6 +153,7 @@ VerifyReport verify_log(const ParsedLog& log, std::string_view key) {
         params.watchdog_us = record.field("watchdog_us");
         params.slack_us = record.field("slack_us");
         params.tick_us = record.field("tick_us");
+        params.revoke_grace_us = record.field("revoke_grace_us");
         report.has_params = true;
         reflectors.resize(
             static_cast<std::size_t>(std::max<std::int64_t>(
@@ -280,7 +295,91 @@ VerifyReport verify_log(const ParsedLog& log, std::string_view key) {
         }
         break;
       }
+      case EventKind::kSnapshotLease: {
+        ++report.lease_snapshots;
+        if (!report.has_params || params.revoke_grace_us <= 0) {
+          break;  // not an arena-coordinator log: no liveness bound
+        }
+        const auto r = static_cast<std::size_t>(
+            std::max<std::int64_t>(record.field("r"), 0));
+        if (r >= leases.size()) {
+          leases.resize(r + 1);
+        }
+        LeaseWatch& w = leases[r];
+        // F: a quarantined device must shed its lease within the
+        // revocation grace — a holder surviving past it means failover
+        // never ran (or the watchdog lost the orphan).
+        const bool held_quarantined =
+            record.field("quar") != 0 && record.field("holder") >= 0;
+        if (held_quarantined) {
+          if (!w.held_quarantined) {
+            w.held_quarantined = true;
+            w.since_us = record.t_us;
+          }
+          if (record.t_us - w.since_us > params.revoke_grace_us &&
+              !w.reported) {
+            w.reported = true;
+            violate(record,
+                    "invariant F: reflector " + i64_str(record.field("r")) +
+                        " still leased to user " +
+                        i64_str(record.field("holder")) +
+                        " while quarantined for " +
+                        i64_str(record.t_us - w.since_us) +
+                        " us, past the revocation grace (" +
+                        i64_str(params.revoke_grace_us) + " us)");
+          }
+        } else {
+          w.held_quarantined = false;
+          w.reported = false;
+        }
+        break;
+      }
+      case EventKind::kRiskWindowOpen: {
+        ++report.risk_windows;
+        // G: the predictive tier's decisions must pair up — merged risk
+        // windows open once and close once.
+        if (risk_open) {
+          violate(record,
+                  "invariant G: risk window opened while one is open");
+        }
+        risk_open = true;
+        break;
+      }
+      case EventKind::kRiskWindowClose: {
+        if (!risk_open) {
+          violate(record, "invariant G: risk window closed that never "
+                          "opened");
+        }
+        if (spec_armed) {
+          violate(record, "invariant G: speculation still armed at risk "
+                          "window close");
+        }
+        risk_open = false;
+        break;
+      }
+      case EventKind::kSpecArm: {
+        ++report.spec_arms;
+        if (spec_armed) {
+          violate(record, "invariant G: speculative probing armed twice");
+        }
+        if (!risk_open) {
+          violate(record, "invariant G: speculative probing armed outside "
+                          "a risk window");
+        }
+        spec_armed = true;
+        break;
+      }
+      case EventKind::kSpecDisarm: {
+        if (!spec_armed) {
+          violate(record,
+                  "invariant G: speculative probing disarmed while unarmed");
+        }
+        spec_armed = false;
+        break;
+      }
       case EventKind::kLogClose: {
+        // A risk window (or armed speculation) still open here is fine:
+        // the session ended mid-window and the recorder sealed the log.
         for (const auto& [id, watch] : searches) {
           if (!watch.done) {
             violate(record, "invariant E: search " + i64_str(id) +

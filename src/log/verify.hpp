@@ -1,6 +1,6 @@
 // Offline verification of session event logs: chain integrity first,
-// then the five chaos-soak safety invariants replayed from the records
-// alone — zero simulator re-execution.
+// then the chaos-soak and arena safety invariants replayed from the
+// records alone — zero simulator re-execution.
 //
 // The chain pass is strict and fail-fast: the first record whose seq does
 // not advance by exactly one (a drop or a reorder), or whose chain hash
@@ -25,10 +25,17 @@
 //   E  every search_launch pairs with a search_done inside the watchdog
 //      budget (+ one tick of offline quantisation grace), failures carry a
 //      reason, and nothing is left running at log_close.
+//   F  lease liveness (arena-coordinator logs, i.e. params carries
+//      revoke_grace_us): no snapshot_lease may show a lease held on a
+//      quarantined reflector beyond the revocation grace — the proof
+//      that lease failover actually ran, from the bytes alone.
+//   G  predictive-tier pairing: risk windows open/close alternately and
+//      speculative arming only happens inside an open risk window (a
+//      window or armed probe cut off by log_close is tolerated).
 //
 // Bounds come from the log's own params record, so logs are
 // self-describing; logs without params (e.g. arena per-user streams) get
-// the chain + ledger-closure checks only.
+// the chain + ledger-closure + pairing checks only.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +64,9 @@ struct VerifyReport {
   std::uint64_t reflector_snapshots{0};
   std::uint64_t transport_snapshots{0};
   std::uint64_t searches{0};
+  std::uint64_t lease_snapshots{0};
+  std::uint64_t risk_windows{0};
+  std::uint64_t spec_arms{0};
   bool has_params{false};
   bool ok() const { return chain_issues.empty() && invariant_issues.empty(); }
 };

@@ -1,0 +1,112 @@
+// Admission x health composition (ISSUE: arena-scale chaos):
+//   * a user whose bad airtime economics are fault-induced (reflector
+//     quarantined / AP browned out) must not be double-punished as the
+//     eviction victim while a non-faulted alternative exists — but when
+//     EVERY transmitting user on the AP is fault-degraded, someone still
+//     has to shed;
+//   * an evicted user whose readmit backoff has expired must stay out
+//     while its AP sits inside the hysteresis band (no headroom evidence
+//     accumulates there), and once headroom does return, readmission
+//     probation composes with the fault window: still fault-degraded =>
+//     still out, fault cleared => probation first, full weight after
+//     another dwell.
+#include <arena/admission.hpp>
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace movr::arena {
+namespace {
+
+sim::TimePoint ms(long v) {
+  return sim::TimePoint{std::chrono::milliseconds{v}};
+}
+
+struct Stepper {
+  AdmissionController& admission;
+  sim::TimePoint now{ms(0)};
+
+  template <std::size_t N>
+  void windows(const std::array<AdmissionController::Sample, N>& samples,
+               int n) {
+    for (int i = 0; i < n; ++i) {
+      now = now + std::chrono::milliseconds{250};
+      admission.on_window(samples, now);
+    }
+  }
+};
+
+TEST(ArenaAdmissionHealth, FaultDegradedUserIsSparedAsVictim) {
+  AdmissionController admission{2, 1, {}};
+  Stepper step{admission};
+
+  // User 0 burns 6.0 airtime ratios — but only because its reflector is
+  // benched (fault_degraded). User 1 is healthy at 0.15.
+  AdmissionController::Sample faulted{0, 300.0, 50.0, 0.9, true};
+  const AdmissionController::Sample healthy{0, 300.0, 2000.0, 0.0, false};
+  std::array<AdmissionController::Sample, 2> window{faulted, healthy};
+
+  step.windows(window, 3);
+  // The non-faulted alternative sheds, the faulted burner is spared.
+  EXPECT_EQ(admission.state(0), AdmissionController::State::kAdmitted);
+  EXPECT_EQ(admission.state(1), AdmissionController::State::kDegraded);
+  EXPECT_EQ(admission.counters(0).fault_spares, 1);
+  EXPECT_EQ(admission.counters(1).degrades, 1);
+
+  // When everyone left transmitting on the AP is fault-degraded, the
+  // sparing rule yields: the worst burner sheds unconditionally.
+  window[1].fault_degraded = true;
+  step.windows(window, 3);
+  EXPECT_EQ(admission.state(0), AdmissionController::State::kDegraded);
+  EXPECT_EQ(admission.counters(0).degrades, 1);
+}
+
+TEST(ArenaAdmissionHealth, HysteresisBandAndFaultWindowBothBlockReadmission) {
+  AdmissionController admission{2, 1, {}};
+  Stepper step{admission};
+
+  // Drive user 1 out: persistent worst airtime economics, no fault.
+  const AdmissionController::Sample healthy{0, 300.0, 2000.0, 0.0, false};
+  const AdmissionController::Sample starving{0, 300.0, 50.0, 0.9, false};
+  const std::array<AdmissionController::Sample, 2> overload{healthy,
+                                                           starving};
+  step.windows(overload, 3);
+  ASSERT_EQ(admission.state(1), AdmissionController::State::kDegraded);
+  step.windows(overload, 3);
+  ASSERT_EQ(admission.state(1), AdmissionController::State::kEvicted);
+  const sim::TimePoint evicted_at = step.now;
+
+  // The surviving user parks the AP inside the hysteresis band
+  // (0.60 < 300/430 = 0.698 < 0.85): no headroom evidence accumulates, so
+  // the evictee stays out even long after the 2 s readmit backoff.
+  const std::array<AdmissionController::Sample, 2> in_band{
+      AdmissionController::Sample{0, 300.0, 430.0, 0.0, false}, starving};
+  step.windows(in_band, 12);  // 3 s in the band
+  ASSERT_GT(step.now - evicted_at, std::chrono::seconds{2});
+  EXPECT_EQ(admission.state(1), AdmissionController::State::kEvicted);
+  EXPECT_EQ(admission.counters(1).readmissions, 0);
+
+  // Headroom returns — but the evictee is now quarantine-flagged
+  // (fault_degraded): probation composes with the fault window, so the
+  // expired backoff alone does not readmit it.
+  const AdmissionController::Sample idle{0, 100.0, 2000.0, 0.0, false};
+  std::array<AdmissionController::Sample, 2> calm{
+      idle, AdmissionController::Sample{0, 0.0, 2000.0, 0.0, true}};
+  step.windows(calm, 4);
+  EXPECT_EQ(admission.state(1), AdmissionController::State::kEvicted);
+  EXPECT_EQ(admission.counters(1).readmissions, 0);
+
+  // Fault clears: the next headroom dwell readmits — through degraded
+  // probation first, never straight to full weight.
+  calm[1].fault_degraded = false;
+  step.windows(calm, 3);
+  EXPECT_EQ(admission.state(1), AdmissionController::State::kDegraded);
+  EXPECT_EQ(admission.counters(1).readmissions, 1);
+  step.windows(calm, 3);
+  EXPECT_EQ(admission.state(1), AdmissionController::State::kAdmitted);
+  EXPECT_EQ(admission.counters(1).readmissions, 2);
+}
+
+}  // namespace
+}  // namespace movr::arena

@@ -7,7 +7,12 @@
 //   * admission evicting a user whose LinkManager is already in its safe
 //     fallback mode (kDegraded) must leave every piece of shared state
 //     consistent — no lease leaks, revoke on a non-holder is a no-op, and
-//     the user readmits cleanly after backoff.
+//     the user readmits cleanly after backoff;
+//   * a waiter whose wait_ttl expires the very tick its reservation is
+//     granted must not leave a dangling reservation;
+//   * device quarantine bounces acquires without registering wait entries,
+//     and failover's strip + fast-track primitives behave (one-shot
+//     backdated priority for the displaced holder).
 #include <arena/admission.hpp>
 #include <arena/lease.hpp>
 
@@ -223,6 +228,106 @@ TEST(ArenaLease, EvictionWhileVictimDegradedStaysConsistent) {
   simulator.run_until(simulator.now() + std::chrono::milliseconds{250});
   b.manager.on_frame();
   EXPECT_TRUE(b.manager.leased_reflector().has_value());
+}
+
+// --- edge 4: wait_ttl expiring the tick the reservation lands -----------
+
+// A waiter whose wait_ttl runs out in the very tick its reservation is
+// granted (it stopped retrying — its blockage cleared) must not leave a
+// dangling reservation that blocks everyone else for the full
+// reserve_ttl.
+TEST(ArenaLease, StaleReservationLapsesWhenReservedWaiterGaveUp) {
+  ReflectorArbiter::Config cfg;
+  cfg.lease_duration = std::chrono::milliseconds{100};
+  cfg.wait_ttl = std::chrono::milliseconds{250};
+  cfg.aging_per_second = 4.0;
+  ReflectorArbiter arbiter{1, 3, cfg};
+
+  ASSERT_TRUE(arbiter.acquire(0, 0, ms(0)));
+  // User 1 asks once at 10 ms and never again (its blockage clears).
+  EXPECT_FALSE(arbiter.acquire(1, 0, ms(10)));
+
+  // At 260 ms user 1 is still inside wait_ttl by the strict-> comparison
+  // (250 ms exactly), has out-aged the holder bonus (4.0/s * 250 ms = 1.0
+  // > 0.25), and the lease term (100 ms) has long expired: the renew
+  // revokes and reserves for user 1 — in the same tick its TTL lapses.
+  EXPECT_FALSE(arbiter.renew(0, 0, ms(260)));
+  ASSERT_EQ(arbiter.reserved_for(0), std::optional<std::size_t>{1});
+
+  // One tick later the reserved waiter is stale. A third user's acquire
+  // must be granted through the lapsed reservation, not bounced until
+  // reserve_expiry.
+  EXPECT_TRUE(arbiter.acquire(2, 0, ms(261)));
+  EXPECT_EQ(arbiter.holder(0), std::optional<std::size_t>{2});
+  EXPECT_FALSE(arbiter.reserved_for(0).has_value());
+  EXPECT_EQ(arbiter.stats().stale_reservations, 1u);
+}
+
+// --- edge 5: device quarantine bounces acquires without aging -----------
+
+TEST(ArenaLease, QuarantinedDeviceBouncesAcquiresWithoutWaitEntry) {
+  ReflectorArbiter arbiter{1, 2, {}};
+  ASSERT_TRUE(arbiter.acquire(0, 0, ms(0)));
+
+  arbiter.set_device_quarantined(0, true);
+  EXPECT_TRUE(arbiter.device_quarantined(0));
+
+  // A non-holder bounces off the benched device...
+  EXPECT_FALSE(arbiter.acquire(1, 0, ms(10)));
+  EXPECT_EQ(arbiter.stats().quarantine_denials, 1u);
+  EXPECT_EQ(arbiter.user_stats(1).quarantine_denials, 1u);
+  // ...while the surviving holder may still refresh (enforcement is the
+  // coordinator's failover strip, so a disabled failover is observable).
+  EXPECT_TRUE(arbiter.renew(0, 0, ms(20)));
+
+  // Failover strips the holder; the device stays un-leasable until the
+  // re-probe succeeds and clears the flag.
+  EXPECT_EQ(arbiter.strip_holder(0), std::optional<std::size_t>{0});
+  EXPECT_FALSE(arbiter.holder(0).has_value());
+  EXPECT_EQ(arbiter.user_stats(0).revocations, 1u);
+  EXPECT_FALSE(arbiter.acquire(1, 0, ms(30)));
+
+  arbiter.set_device_quarantined(0, false);
+  EXPECT_TRUE(arbiter.acquire(1, 0, ms(40)));
+  EXPECT_EQ(arbiter.holder(0), std::optional<std::size_t>{1});
+
+  // The bounce at 10 ms must not have registered a wait entry: no aged
+  // priority, so a release with no other live waiter reserves nothing.
+  arbiter.release(1, 0, ms(50));
+  EXPECT_FALSE(arbiter.reserved_for(0).has_value());
+}
+
+// --- edge 6: a displaced holder re-queues with its head start -----------
+
+TEST(ArenaLease, FastTrackBackdatesTheDisplacedHoldersWait) {
+  ReflectorArbiter::Config cfg;
+  cfg.lease_duration = std::chrono::milliseconds{100};
+  cfg.wait_ttl = std::chrono::milliseconds{1000};
+  cfg.aging_per_second = 4.0;
+  ReflectorArbiter arbiter{2, 3, cfg};
+
+  // User 0 holds both reflectors; user 2 has been waiting on both since
+  // 10 ms; user 1 (a failover-displaced holder, 150 ms credit) joins both
+  // queues at 20 ms.
+  ASSERT_TRUE(arbiter.acquire(0, 0, ms(0)));
+  ASSERT_TRUE(arbiter.acquire(0, 1, ms(0)));
+  EXPECT_FALSE(arbiter.acquire(2, 0, ms(10)));
+  EXPECT_FALSE(arbiter.acquire(2, 1, ms(10)));
+  arbiter.fast_track(1, std::chrono::milliseconds{150});
+  EXPECT_FALSE(arbiter.acquire(1, 0, ms(20)));  // consumes the credit here
+  EXPECT_FALSE(arbiter.acquire(1, 1, ms(30)));  // credit already spent
+  EXPECT_EQ(arbiter.stats().fast_tracks, 1u);
+
+  // Reflector 0 at 120 ms: priorities are 4.0/s * 250 ms = 1.0 (user 1,
+  // backdated to -130 ms) vs 4.0/s * 110 ms = 0.44 (user 2) — the
+  // displaced holder wins the revocation despite registering later.
+  EXPECT_FALSE(arbiter.renew(0, 0, ms(120)));
+  EXPECT_EQ(arbiter.reserved_for(0), std::optional<std::size_t>{1});
+
+  // Reflector 1: the credit was one-shot, so user 1 ages from its real
+  // registration (30 ms) and the longer-waiting user 2 wins this queue.
+  EXPECT_FALSE(arbiter.renew(0, 1, ms(200)));
+  EXPECT_EQ(arbiter.reserved_for(1), std::optional<std::size_t>{2});
 }
 
 }  // namespace

@@ -43,6 +43,29 @@ TEST(HealthMonitor, ProbeDueAfterBackoffExpires) {
   EXPECT_TRUE(health.usable(0, sim::TimePoint{backoff}));
 }
 
+TEST(HealthMonitor, ExtendQuarantinePinsTheReprobePastAKnownFaultWindow) {
+  HealthMonitor health;
+  health.track(1);
+  health.quarantine(0, sim::TimePoint{0}, "arena fault");
+  const auto backoff = health.config().backoff_initial;
+  ASSERT_TRUE(health.probe_due(0, sim::TimePoint{backoff}));
+
+  // The coordinator knows the scripted fault clears at 2 s: the first
+  // re-probe must not fire (and fail, doubling the backoff) before then.
+  health.extend_quarantine(0, sim::TimePoint{2s});
+  EXPECT_FALSE(health.probe_due(0, sim::TimePoint{backoff}));
+  EXPECT_FALSE(health.probe_due(0, sim::TimePoint{1999ms}));
+  EXPECT_TRUE(health.probe_due(0, sim::TimePoint{2s}));
+
+  // Never shortens an existing window, and is a no-op on healthy entries.
+  health.extend_quarantine(0, sim::TimePoint{1s});
+  EXPECT_TRUE(health.probe_due(0, sim::TimePoint{2s}));
+  health.note_probe_result(0, sim::TimePoint{2s}, true);
+  EXPECT_FALSE(health.quarantined(0));
+  health.extend_quarantine(0, sim::TimePoint{5s});
+  EXPECT_TRUE(health.usable(0, sim::TimePoint{2100ms}));
+}
+
 TEST(HealthMonitor, FailedReprobeDoublesBackoffUpToCap) {
   HealthMonitor::Config config;
   config.backoff_initial = 200ms;
